@@ -1,0 +1,54 @@
+"""Shared benchmark helpers (uniquely named to avoid conftest shadowing).
+
+Every bench regenerates one table or figure of the paper.  Tables are
+printed to stdout (run with ``-s`` to see them live) and written to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.formats import convert
+from repro.matrices import generate
+
+#: matrix scale used by the benches (1/SCALE of the paper dimensions)
+SCALE = 64
+#: Table I matrices in paper column order
+TABLE1_KEYS = ("DLR1", "DLR2", "HMEp", "sAMG")
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def suite_coo():
+    """The four Table I matrices at 1/64 scale (DP)."""
+    return {k: generate(k, scale=SCALE) for k in TABLE1_KEYS}
+
+
+@pytest.fixture(scope="session")
+def suite_formats(suite_coo):
+    """Cached format conversions per matrix and precision."""
+    cache: dict = {}
+
+    def get(key: str, fmt: str, dtype=np.float64):
+        ck = (key, fmt, np.dtype(dtype).name)
+        if ck not in cache:
+            coo = suite_coo[key].astype(dtype)
+            cache[ck] = convert(coo, fmt)
+        return cache[ck]
+
+    return get
+
+
+def emit_table(name: str, lines: list[str]) -> str:
+    """Print a result table and persist it under benchmarks/results/."""
+    text = "\n".join(lines)
+    banner = f"\n=== {name} ===\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    return text

@@ -1,0 +1,79 @@
+"""Ablation: the pJDS padding block size ``br``.
+
+DESIGN.md calls out ``br = warp size (32)`` as the central design
+choice.  The sweep shows the trade-off the paper describes:
+
+* ``br = 1`` (classic JDS): zero padding, but jagged columns break
+  warp-granular coalescing -> more memory transactions;
+* ``br = 32``: padding stays tiny while every warp reads aligned,
+  fully-used transactions;
+* large ``br``: padding grows back toward plain ELLPACK.
+"""
+
+import pytest
+
+from repro.core import PJDSMatrix
+from repro.gpu import C2070, simulate_spmv
+
+from _bench_common import SCALE, emit_table
+
+BLOCK_SIZES = (1, 4, 8, 16, 32, 64, 128, 256)
+KEY = "sAMG"  # the strongest-reduction matrix shows the trade-off best
+
+
+@pytest.fixture(scope="module")
+def sweep(suite_coo):
+    coo = suite_coo[KEY]
+    dev = C2070(ecc=True).scaled(SCALE)
+    rows = {}
+    for br in BLOCK_SIZES:
+        m = PJDSMatrix.from_coo(coo, block_rows=br)
+        rep = simulate_spmv(m, dev, "DP")
+        rows[br] = (m.overhead_vs_minimum(), rep)
+    lines = [f"{'br':>4s} {'padding %':>10s} {'GF/s':>7s} {'bytes/nnz':>10s}"]
+    for br, (ovh, rep) in rows.items():
+        lines.append(
+            f"{br:4d} {100 * ovh:10.3f} {rep.gflops:7.2f} "
+            f"{rep.total_bytes / rep.nnz:10.2f}"
+        )
+    emit_table("ablation_blocksize", lines)
+    return rows
+
+
+class TestBlockSizeAblation:
+    def test_padding_monotone_in_block_size(self, sweep):
+        overheads = [sweep[br][0] for br in BLOCK_SIZES]
+        assert overheads == sorted(overheads)
+
+    def test_br1_zero_padding(self, sweep):
+        assert sweep[1][0] == 0.0
+
+    def test_warp_size_padding_still_small(self, sweep):
+        """At br = 32 the paper reports < 0.01 % (full scale); tiny here."""
+        assert sweep[32][0] < 0.02
+
+    def test_performance_flat_on_fermi(self, sweep):
+        """Sect. II-A: 'data alignment became of minor importance with
+        the latest nVidia GPGPU generations' — on the L2-equipped
+        Fermi model the block size barely moves GF/s, so br = 32 costs
+        nothing while guaranteeing warp-aligned storage."""
+        rates = [rep.gflops for _, rep in sweep.values()]
+        assert max(rates) / min(rates) < 1.05
+
+    def test_br1_pays_in_transactions(self, sweep):
+        """Unaligned jagged columns touch more val/idx lines per nnz."""
+        b1 = sweep[1][1]
+        b32 = sweep[32][1]
+        per_nnz_1 = (b1.val_bytes + b1.idx_bytes) / b1.nnz
+        per_nnz_32 = (b32.val_bytes + b32.idx_bytes) / b32.nnz
+        assert per_nnz_1 >= per_nnz_32 * 0.999
+
+
+def test_bench_construction_scaling(benchmark, suite_coo):
+    """pJDS build cost is dominated by the sort, not the block size."""
+    coo = suite_coo[KEY]
+    result = benchmark.pedantic(
+        PJDSMatrix.from_coo, args=(coo,), kwargs={"block_rows": 32},
+        rounds=3, iterations=1,
+    )
+    assert result.block_rows == 32

@@ -1,0 +1,95 @@
+"""Ablation: GPU generation — Fermi (C2070) vs pre-Fermi (C1060).
+
+Sect. II-A: the pJDS permutation's RHS-locality damage "is more severe
+on older GPGPU generations without L2 cache".  We rerun the pJDS /
+ELLPACK-R comparison on both device generations and check that the
+pJDS-vs-ELLPACK-R ratio degrades when the L2 disappears.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu import C1060, C2070, simulate_spmv
+
+from _bench_common import SCALE, TABLE1_KEYS, emit_table
+
+
+@pytest.fixture(scope="module")
+def generation_grid(suite_formats):
+    grid = {}
+    devices = {
+        "C2070": C2070(ecc=False).scaled(SCALE),
+        "C1060": C1060().scaled(SCALE),
+    }
+    for key in TABLE1_KEYS:
+        for fmt in ("ELLPACK-R", "pJDS"):
+            m = suite_formats(key, fmt, np.float64)
+            for dev_name, dev in devices.items():
+                grid[(key, fmt, dev_name)] = simulate_spmv(m, dev, "DP")
+    lines = [
+        f"{'matrix':6s} {'device':6s} {'ELLR GF/s':>9s} {'pJDS GF/s':>9s} "
+        f"{'ratio':>6s} {'aE':>5s} {'aP':>5s}"
+    ]
+    for key in TABLE1_KEYS:
+        for dev_name in ("C2070", "C1060"):
+            er = grid[(key, "ELLPACK-R", dev_name)]
+            pj = grid[(key, "pJDS", dev_name)]
+            lines.append(
+                f"{key:6s} {dev_name:6s} {er.gflops:9.2f} {pj.gflops:9.2f} "
+                f"{pj.gflops / er.gflops:6.2f} {er.effective_alpha:5.2f} "
+                f"{pj.effective_alpha:5.2f}"
+            )
+    emit_table("ablation_c1060", lines)
+    return grid
+
+
+class TestGenerationAblation:
+    def test_c1060_slower_everywhere(self, generation_grid):
+        for key in TABLE1_KEYS:
+            for fmt in ("ELLPACK-R", "pJDS"):
+                fermi = generation_grid[(key, fmt, "C2070")].gflops
+                gt200 = generation_grid[(key, fmt, "C1060")].gflops
+                assert gt200 < fermi, (key, fmt)
+
+    def test_rhs_traffic_explodes_without_l2(self, generation_grid):
+        for key in TABLE1_KEYS:
+            fermi = generation_grid[(key, "pJDS", "C2070")]
+            gt200 = generation_grid[(key, "pJDS", "C1060")]
+            assert gt200.effective_alpha >= fermi.effective_alpha
+
+    def test_pjds_penalty_more_severe_without_l2(self, generation_grid):
+        """The paper's claim, on the locality-sensitive matrices: the
+        pJDS/ELLPACK-R ratio drops from Fermi to the C1060."""
+        worse = 0
+        for key in ("DLR2", "HMEp"):
+            r_fermi = (
+                generation_grid[(key, "pJDS", "C2070")].gflops
+                / generation_grid[(key, "ELLPACK-R", "C2070")].gflops
+            )
+            r_gt200 = (
+                generation_grid[(key, "pJDS", "C1060")].gflops
+                / generation_grid[(key, "ELLPACK-R", "C1060")].gflops
+            )
+            if r_gt200 < r_fermi:
+                worse += 1
+        assert worse >= 1
+
+    def test_c1060_cacheless(self):
+        dev = C1060()
+        assert dev.l2_bytes == 0
+        assert dev.l2_lines == 0
+        assert dev.scaled(64).l2_bytes == 0
+
+    def test_c1060_spec(self):
+        dev = C1060()
+        assert dev.num_sms == 30
+        assert dev.cache_line_bytes == 64
+        assert dev.bandwidth_gbs == 78.0
+
+
+def test_bench_c1060_simulation(benchmark, suite_formats):
+    m = suite_formats("sAMG", "pJDS", np.float64)
+    rep = benchmark.pedantic(
+        simulate_spmv, args=(m, C1060().scaled(SCALE), "DP"), rounds=2, iterations=1
+    )
+    assert rep.gflops > 0

@@ -1,0 +1,82 @@
+"""Ablation: the sorting window sigma (the SELL-C-sigma outlook).
+
+Sect. II-A names the pJDS caveat — the global sort can destroy RHS
+locality — and Sect. IV points to sliced formats as follow-up work.
+Sweeping sigma from 1 (no reordering) to N (full pJDS sort) exposes
+the trade-off: padding shrinks with sigma while the RHS gather traffic
+can grow as the permutation scatters formerly-adjacent rows.
+"""
+
+import pytest
+
+from repro.core import SELLMatrix
+from repro.gpu import C2070, simulate_spmv
+
+from _bench_common import SCALE, emit_table
+
+KEY = "DLR2"  # block structure => locality destruction is visible
+
+
+@pytest.fixture(scope="module")
+def sigmas(suite_coo):
+    n = suite_coo[KEY].nrows
+    return (1, 32, 256, 2048, n)
+
+
+@pytest.fixture(scope="module")
+def sweep(suite_coo, sigmas):
+    coo = suite_coo[KEY]
+    dev = C2070(ecc=True).scaled(SCALE)
+    rows = {}
+    for sigma in sigmas:
+        m = SELLMatrix.from_coo(coo, chunk_rows=32, sigma=sigma)
+        rep = simulate_spmv(m, dev, "DP")
+        rows[sigma] = (m, rep)
+    lines = [
+        f"{'sigma':>7s} {'slots':>9s} {'padding %':>10s} {'rhs MB':>8s} {'GF/s':>7s}"
+    ]
+    for sigma, (m, rep) in rows.items():
+        pad = 100.0 * (m.total_slots / m.nnz - 1.0)
+        lines.append(
+            f"{sigma:7d} {m.total_slots:9d} {pad:10.2f} "
+            f"{rep.rhs_bytes / 2**20:8.2f} {rep.gflops:7.2f}"
+        )
+    emit_table("ablation_sigma", lines)
+    return rows
+
+
+class TestSigmaAblation:
+    def test_padding_decreases_with_sigma(self, sweep, sigmas):
+        slots = [sweep[s][0].total_slots for s in sigmas]
+        assert slots == sorted(slots, reverse=True)
+
+    def test_sigma1_no_reordering(self, sweep):
+        assert sweep[1][0].permutation.is_identity
+
+    def test_full_sigma_minimises_storage(self, sweep, sigmas):
+        full = sweep[sigmas[-1]][0]
+        for s in sigmas[:-1]:
+            assert full.total_slots <= sweep[s][0].total_slots
+
+    def test_rhs_traffic_grows_with_sigma(self, sweep, sigmas):
+        """Sorting scatters the 5x5-block locality (the pJDS caveat)."""
+        first = sweep[1][1].rhs_bytes
+        last = sweep[sigmas[-1]][1].rhs_bytes
+        assert last >= first
+
+    def test_intermediate_sigma_is_competitive(self, sweep, sigmas):
+        """A windowed sort keeps most of the storage win at lower RHS
+        cost — the SELL-C-sigma design point."""
+        mid = sigmas[2]
+        g_mid = sweep[mid][1].gflops
+        g_all = [rep.gflops for _, rep in sweep.values()]
+        assert g_mid >= 0.9 * max(g_all)
+
+
+def test_bench_sell_construction(benchmark, suite_coo):
+    coo = suite_coo[KEY]
+    m = benchmark.pedantic(
+        SELLMatrix.from_coo, args=(coo,), kwargs={"chunk_rows": 32, "sigma": 256},
+        rounds=3, iterations=1,
+    )
+    assert m.sigma == 256

@@ -1,0 +1,86 @@
+"""Distributed CG iterations: the paper's per-spMVM gains inside a
+real solver loop (Sect. IV outlook: "application of our results to a
+production-grade eigensolver").
+
+For DLR1 across node counts: full-iteration GF/s, the spMVM share, and
+the allreduce floor that steepens the strong-scaling collapse.
+"""
+
+import pytest
+
+from repro.distributed import (
+    KernelCost,
+    build_plan,
+    model_cg_iteration,
+    partition_rows,
+    stats_from_plan,
+)
+from repro.formats import CSRMatrix
+from repro.gpu import C2050
+from repro.matrices import generate
+
+from _bench_common import emit_table
+
+NODES = [1, 2, 4, 8, 16, 32]
+SCALE = 16
+
+
+@pytest.fixture(scope="module")
+def cg_series():
+    coo = generate("DLR1", scale=SCALE)
+    csr = CSRMatrix.from_coo(coo)
+    cost = KernelCost.from_alpha(0.25)
+    dev = C2050(ecc=True)
+    rows = {}
+    for nodes in NODES:
+        plan = build_plan(
+            csr,
+            partition_rows(csr.nrows, nodes, row_weights=csr.row_lengths()),
+            with_matrices=False,
+        )
+        stats = stats_from_plan(plan, itemsize=8, workload_scale=SCALE)
+        rows[nodes] = model_cg_iteration(stats, dev, cost=cost, mode="task")
+    lines = [
+        f"{'nodes':>5s} {'iter us':>8s} {'GF/s':>6s} {'spMVM %':>8s} "
+        f"{'allreduce us':>12s}"
+    ]
+    for nodes, m in rows.items():
+        lines.append(
+            f"{nodes:5d} {m.iteration_seconds * 1e6:8.1f} {m.gflops:6.1f} "
+            f"{100 * m.spmv_share:8.1f} {m.allreduce_seconds * 1e6:12.1f}"
+        )
+    emit_table("distributed_cg", lines)
+    return rows
+
+
+class TestDistributedCG:
+    def test_spmv_dominates_at_every_count(self, cg_series):
+        for nodes, m in cg_series.items():
+            assert m.spmv_share > 0.5, nodes
+
+    def test_share_shrinks_with_scaling(self, cg_series):
+        """Strong scaling erodes the spMVM share: fixed allreduce and
+        launch costs take over — Amdahl inside one iteration."""
+        assert cg_series[32].spmv_share <= cg_series[1].spmv_share
+
+    def test_iteration_rate_improves(self, cg_series):
+        assert (
+            cg_series[32].iterations_per_second
+            > 3 * cg_series[1].iterations_per_second
+        )
+
+    def test_allreduce_floor(self, cg_series):
+        assert cg_series[32].allreduce_seconds > 0
+        assert cg_series[1].allreduce_seconds == 0.0
+
+
+def test_bench_cg_model(benchmark):
+    coo = generate("DLR1", scale=64)
+    csr = CSRMatrix.from_coo(coo)
+    plan = build_plan(
+        csr, partition_rows(csr.nrows, 8, row_weights=csr.row_lengths()),
+        with_matrices=False,
+    )
+    stats = stats_from_plan(plan, itemsize=8, workload_scale=64)
+    m = benchmark(model_cg_iteration, stats, C2050(ecc=True))
+    assert m.nodes == 8

@@ -1,0 +1,101 @@
+"""Fig. 2: scheduling patterns and required storage per format.
+
+The figure compares, for a toy matrix and a 4-thread warp, three
+quantities per format:
+
+* stored value slots (white + light + dark boxes),
+* executed operations (arrows),
+* reserved warp-iterations (hardware occupancy, light + dark).
+
+ELLPACK computes everything it stores; ELLPACK-R executes only the
+non-zeros but reserves full warps; pJDS reduces both storage and
+reservation to (nearly) the executed work.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, convert
+from repro.gpu import DeviceSpec, extract_trace
+
+from _bench_common import emit_table
+
+
+@pytest.fixture(scope="module")
+def toy():
+    """An 8-row matrix with strongly imbalanced row lengths."""
+    rng = np.random.default_rng(0)
+    lengths = [7, 2, 5, 1, 3, 6, 2, 1]
+    rows, cols = [], []
+    for i, k in enumerate(lengths):
+        rows += [i] * k
+        cols += rng.choice(8, size=k, replace=False).tolist()
+    return COOMatrix(rows, cols, np.ones(len(rows)), (8, 8))
+
+
+@pytest.fixture(scope="module")
+def warp4():
+    """Fig. 2 uses a four-thread warp."""
+    return DeviceSpec(warp_size=4, resident_warps=2)
+
+
+@pytest.fixture(scope="module")
+def fig2_table(toy, warp4):
+    rows = {}
+    for fmt, kwargs in (
+        ("ELLPACK", {"row_pad": 4}),
+        ("ELLPACK-R", {"row_pad": 4}),
+        ("pJDS", {"block_rows": 4}),
+    ):
+        m = convert(toy, fmt, **kwargs)
+        tr = extract_trace(m, warp4, "DP")
+        rows[fmt] = {
+            "stored": m.stored_elements,
+            "executed": tr.executed_slots,
+            "reserved_lanes": tr.reserved_steps * warp4.warp_size,
+        }
+    lines = [f"{'format':10s} {'stored':>7s} {'executed':>9s} {'reserved':>9s}"]
+    for fmt, r in rows.items():
+        lines.append(
+            f"{fmt:10s} {r['stored']:7d} {r['executed']:9d} {r['reserved_lanes']:9d}"
+        )
+    lines.append(f"(non-zeros: {toy.nnz}; warp size 4)")
+    emit_table("fig2_overhead", lines)
+    return rows
+
+
+class TestFig2:
+    def test_ellpack_executes_everything_it_stores(self, fig2_table):
+        e = fig2_table["ELLPACK"]
+        assert e["executed"] == e["stored"]
+
+    def test_ellpack_r_executes_only_nonzeros(self, fig2_table, toy):
+        er = fig2_table["ELLPACK-R"]
+        assert er["executed"] == toy.nnz
+        # but storage is unchanged (white boxes stay)
+        assert er["stored"] == fig2_table["ELLPACK"]["stored"]
+
+    def test_ellpack_r_still_reserves_warp_maxima(self, fig2_table, toy):
+        """The light boxes of Fig. 2b: reserved > executed."""
+        er = fig2_table["ELLPACK-R"]
+        assert er["reserved_lanes"] > toy.nnz
+
+    def test_pjds_cuts_storage(self, fig2_table):
+        assert fig2_table["pJDS"]["stored"] < fig2_table["ELLPACK"]["stored"]
+
+    def test_pjds_cuts_reservation(self, fig2_table):
+        assert (
+            fig2_table["pJDS"]["reserved_lanes"]
+            <= fig2_table["ELLPACK-R"]["reserved_lanes"]
+        )
+
+    def test_pjds_storage_equals_reservation(self, fig2_table):
+        """In pJDS the padded rectangle IS the reserved work (Fig. 2c)."""
+        p = fig2_table["pJDS"]
+        assert p["stored"] == p["reserved_lanes"]
+
+
+def test_bench_trace_extraction_toy(benchmark, toy, warp4):
+    m = convert(toy, "pJDS", block_rows=4)
+    tr = benchmark(extract_trace, m, warp4, "DP")
+    assert tr.nnz == toy.nnz

@@ -1,0 +1,84 @@
+"""Fig. 3: row-length distribution histograms (bin size 1).
+
+Regenerates the four panels as data series and checks their defining
+features: axis extents, where the weight sits, and the dynamic range
+of the relative shares (Fig. 3 uses log axes down to 1e-4 .. 1e-7).
+"""
+
+import numpy as np
+import pytest
+
+from repro.matrices import row_length_histogram
+
+from _bench_common import TABLE1_KEYS, emit_table
+
+
+@pytest.fixture(scope="module")
+def histograms(suite_coo):
+    hs = {k: row_length_histogram(suite_coo[k]) for k in TABLE1_KEYS}
+    lines = []
+    for key in TABLE1_KEYS:
+        h = hs[key]
+        coo = suite_coo[key]
+        lines.append(
+            f"{key}: N={coo.nrows} Nnz={coo.nnz} "
+            f"range=[{int(coo.row_lengths().min())}, {int(coo.row_lengths().max())}]"
+        )
+        for start, count, share in h.as_rows():
+            lines.append(f"  len={start:4d} count={count:8d} share={share:.3e}")
+    emit_table("fig3_histograms", lines)
+    return hs
+
+
+class TestPanelShapes:
+    def test_dlr1_axis_extent(self, histograms):
+        """DLR1 panel spans 0..200 with mass clustered near the top."""
+        h = histograms["DLR1"]
+        top = h.bin_edges[h.counts > 0].max()
+        assert 150 <= top <= 200
+        assert h.share_at_least(int(0.8 * top)) > 0.7
+
+    def test_dlr2_axis_extent(self, histograms):
+        """DLR2 panel spans 0..600."""
+        h = histograms["DLR2"]
+        top = h.bin_edges[h.counts > 0].max()
+        assert 500 <= top <= 620
+
+    def test_hmep_axis_extent(self, histograms):
+        """HMEp panel spans 0..25-ish."""
+        h = histograms["HMEp"]
+        top = h.bin_edges[h.counts > 0].max()
+        assert 20 <= top <= 30
+
+    def test_samg_axis_extent(self, histograms):
+        h = histograms["sAMG"]
+        top = h.bin_edges[h.counts > 0].max()
+        assert 20 <= top <= 30
+
+    def test_samg_weight_at_short_rows(self, histograms):
+        """'short rows account for most of the weight'."""
+        h = histograms["sAMG"]
+        short = h.counts[h.bin_edges <= 8].sum()
+        assert short / h.nrows > 0.5
+
+    def test_samg_longest_over_four_times_smallest(self, suite_coo):
+        lengths = suite_coo["sAMG"].row_lengths()
+        assert lengths.max() / lengths.min() > 4.0
+
+    def test_log_scale_dynamic_range(self, histograms):
+        """Non-empty bins span several decades of relative share."""
+        for key in TABLE1_KEYS:
+            share = histograms[key].relative_share
+            nz = share[share > 0]
+            assert nz.max() / nz.min() > 10.0, key
+
+    def test_shares_normalised(self, histograms):
+        for key in TABLE1_KEYS:
+            assert histograms[key].relative_share.sum() == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("key", TABLE1_KEYS)
+def test_bench_histogram(benchmark, suite_coo, key):
+    """Wall-clock of histogram extraction (a bincount sweep)."""
+    h = benchmark(row_length_histogram, suite_coo[key])
+    assert h.counts.sum() == suite_coo[key].nrows

@@ -1,0 +1,95 @@
+"""Fig. 4: the task-mode event timeline with a dedicated MPI thread.
+
+Regenerates the timeline picture for a DLR1-like workload on 4 ranks
+and checks its defining properties: MPI runs on thread 0 concurrently
+with the local spMVM on the GPU; the halo upload and the nonlocal
+kernel follow; the result equals the sum of the parts minus overlap.
+"""
+
+import pytest
+
+from repro.distributed import (
+    DIRAC_IB,
+    KernelCost,
+    build_plan,
+    partition_rows,
+    render_timeline,
+    simulate_mode,
+    stats_from_plan,
+)
+from repro.formats import CSRMatrix
+from repro.gpu import C2050
+from repro.matrices import generate
+
+from _bench_common import emit_table
+
+NODES = 4
+
+
+@pytest.fixture(scope="module")
+def task_result():
+    coo = generate("DLR1", scale=32)
+    csr = CSRMatrix.from_coo(coo)
+    part = partition_rows(csr.nrows, NODES, row_weights=csr.row_lengths())
+    plan = build_plan(csr, part, with_matrices=False)
+    stats = stats_from_plan(plan, itemsize=8, workload_scale=32)
+    res = simulate_mode(
+        "task", stats, C2050(ecc=True), DIRAC_IB, KernelCost.from_alpha(0.25)
+    )
+    art = render_timeline(res.timeline, rank=res.slowest_rank)
+    emit_table("fig4_timeline", art.splitlines())
+    return res
+
+
+class TestFig4:
+    def test_all_fig4_phases_present(self, task_result):
+        labels = {iv.label for iv in task_result.timeline.intervals}
+        for expected in (
+            "gather",
+            "DL buf",
+            "MPI_Waitall",
+            "UL halo",
+            "local spMVM",
+            "nonlocal spMVM",
+        ):
+            assert expected in labels
+
+    def test_mpi_overlaps_local_kernel(self, task_result):
+        tl = task_result.timeline
+        r = task_result.slowest_rank
+        local = next(iv for iv in tl.for_rank(r) if iv.label == "local spMVM")
+        mpi = next(iv for iv in tl.for_rank(r) if iv.label == "MPI_Waitall")
+        assert local.start < mpi.end and mpi.start < local.end
+
+    def test_nonlocal_after_upload_and_local(self, task_result):
+        tl = task_result.timeline
+        r = task_result.slowest_rank
+        nl = next(iv for iv in tl.for_rank(r) if iv.label == "nonlocal spMVM")
+        ul = next(iv for iv in tl.for_rank(r) if iv.label == "UL halo")
+        local = next(iv for iv in tl.for_rank(r) if iv.label == "local spMVM")
+        assert nl.start >= max(ul.end, local.end) - 1e-12
+
+    def test_makespan_below_serial_sum(self, task_result):
+        """Overlap means the iteration is shorter than the busy total."""
+        tl = task_result.timeline
+        r = task_result.slowest_rank
+        busy = sum(iv.duration for iv in tl.for_rank(r))
+        assert task_result.per_rank_seconds[r] < busy
+
+    def test_render_contains_lanes(self, task_result):
+        art = render_timeline(task_result.timeline, rank=task_result.slowest_rank)
+        for lane in ("gpu", "pcie", "thread0"):
+            assert lane in art
+
+
+def test_bench_mode_simulation(benchmark):
+    coo = generate("DLR1", scale=64)
+    csr = CSRMatrix.from_coo(coo)
+    part = partition_rows(csr.nrows, NODES, row_weights=csr.row_lengths())
+    plan = build_plan(csr, part, with_matrices=False)
+    stats = stats_from_plan(plan, itemsize=8, workload_scale=64)
+
+    res = benchmark(
+        simulate_mode, "task", stats, C2050(ecc=True), DIRAC_IB
+    )
+    assert res.gflops > 0

@@ -1,0 +1,209 @@
+"""Fig. 5: strong scaling of DLR1 (a) and UHBR (b) on the Dirac model.
+
+Paper shape targets:
+
+* DLR1 — single-GPU reference 10.9 GF/s; scaling flattens by 32 nodes
+  (task ~60 GF/s in the paper); task mode leads at small/medium node
+  counts; the variants converge at large counts.
+* UHBR — reference 44.6 GF/s at 5 nodes is memory-infeasible below 5
+  nodes on a 3 GB C2050; task mode reaches ~84 % parallel efficiency
+  at 32 nodes (naive overlap ~70 %).
+"""
+
+import pytest
+
+from repro.distributed import (
+    KernelCost,
+    single_gpu_effective_gflops,
+    strong_scaling,
+)
+from repro.formats import convert
+from repro.gpu import C2050
+from repro.matrices import generate
+
+from _bench_common import emit_table
+
+DLR1_NODES = [1, 2, 4, 8, 16, 24, 32]
+UHBR_NODES = [5, 8, 16, 24, 32]
+DLR1_SCALE = 16
+UHBR_SCALE = 64
+
+
+@pytest.fixture(scope="module")
+def device():
+    return C2050(ecc=True)
+
+
+@pytest.fixture(scope="module")
+def dlr1_series(device):
+    coo = generate("DLR1", scale=DLR1_SCALE)
+    return strong_scaling(
+        coo,
+        DLR1_NODES,
+        device=device,
+        cost=KernelCost.from_alpha(0.25),
+        workload_scale=DLR1_SCALE,
+        matrix_name="DLR1",
+    )
+
+
+@pytest.fixture(scope="module")
+def uhbr_series(device):
+    coo = generate("UHBR", scale=UHBR_SCALE)
+    return strong_scaling(
+        coo,
+        UHBR_NODES,
+        device=device,
+        cost=KernelCost.from_alpha(0.25),
+        workload_scale=UHBR_SCALE,
+        matrix_name="UHBR",
+    )
+
+
+@pytest.fixture(scope="module")
+def scaling_tables(dlr1_series, uhbr_series, device):
+    lines = []
+    for series, nodes, ref_paper in (
+        (dlr1_series, DLR1_NODES, 10.9),
+        (uhbr_series, UHBR_NODES, 44.6),
+    ):
+        lines.append(f"--- {series.matrix_name} (GF/s per node count) ---")
+        lines.append("nodes   " + " ".join(f"{n:7d}" for n in nodes))
+        for mode in ("vector", "naive", "task"):
+            vals = " ".join(f"{p.gflops:7.1f}" for p in series.series(mode))
+            lines.append(f"{mode:7s} {vals}")
+        lines.append(f"(paper single-GPU reference: {ref_paper} GF/s)")
+        lines.append("")
+    emit_table("fig5_scaling", lines)
+    return {"DLR1": dlr1_series, "UHBR": uhbr_series}
+
+
+class TestFig5a:
+    def test_single_gpu_reference(self, device):
+        """The 10.9 GF/s dashed line of Fig. 5a."""
+        eff = single_gpu_effective_gflops(
+            40_025_628, 278_502, device, KernelCost.from_alpha(0.25)
+        )
+        assert eff == pytest.approx(10.9, rel=0.12)
+
+    def test_task_mode_leads_midrange(self, scaling_tables):
+        s = scaling_tables["DLR1"]
+        for nodes in (2, 4, 8):
+            assert s.gflops_at("task", nodes) >= s.gflops_at("vector", nodes)
+
+    def test_flattening_at_scale(self, scaling_tables):
+        """Per-node efficiency collapses by 32 nodes (paper: ~17 %)."""
+        s = scaling_tables["DLR1"]
+        base = s.series("task")[0]
+        eff32 = s.series("task")[-1].efficiency(base)
+        assert eff32 < 0.45
+
+    def test_modes_converge_at_high_counts(self, scaling_tables):
+        s = scaling_tables["DLR1"]
+        hi = [s.gflops_at(m, 32) for m in ("vector", "naive", "task")]
+        assert max(hi) / min(hi) < 1.25
+
+    def test_absolute_within_50pct_of_paper_task32(self, scaling_tables):
+        """Paper Fig. 5a task mode tops out near ~60 GF/s at 32 nodes."""
+        got = scaling_tables["DLR1"].gflops_at("task", 32)
+        assert got == pytest.approx(60.0, rel=0.5)
+
+
+class TestFig5b:
+    def test_uhbr_infeasible_at_small_node_counts(self, device):
+        """'Due to memory restrictions ... not possible on fewer than
+        five nodes': the matrix alone rules out 1-2 C2050s; with the
+        vectors, halo and CUDA runtime overheads the practical bound
+        is the paper's five."""
+        coo = generate("UHBR", scale=UHBR_SCALE)
+        bytes_total = convert(coo, "ELLPACK-R").nbytes * UHBR_SCALE
+        assert bytes_total / 2 > device.memory_bytes  # 2 nodes impossible
+        assert bytes_total / 5 < device.memory_bytes  # 5 nodes feasible
+
+    def test_single_gpu_reference(self, device):
+        """The 44.6 GF/s line: UHBR's Nnzr makes PCIe nearly free, so
+        the kernel-rate reference is ~4x DLR1's vector-transfer-limited
+        one; we accept a broad band here."""
+        coo = generate("UHBR", scale=UHBR_SCALE)
+        eff = single_gpu_effective_gflops(
+            coo.nnz * UHBR_SCALE,
+            coo.nrows * UHBR_SCALE,
+            device,
+            KernelCost.from_alpha(0.25),
+        )
+        assert 10.0 < eff < 44.6
+
+    def test_task_efficiency_near_paper(self, scaling_tables):
+        """84 % task-mode parallel efficiency at 32 nodes (paper)."""
+        s = scaling_tables["UHBR"]
+        base = s.series("task")[0]
+        eff = s.series("task")[-1].efficiency(base)
+        assert eff == pytest.approx(0.84, abs=0.12)
+
+    def test_naive_efficiency_below_task(self, scaling_tables):
+        s = scaling_tables["UHBR"]
+        base_t = s.series("task")[0]
+        base_n = s.series("naive")[0]
+        eff_t = s.series("task")[-1].efficiency(base_t)
+        eff_n = s.series("naive")[-1].efficiency(base_n)
+        assert eff_n < eff_t
+        assert eff_n == pytest.approx(0.70, abs=0.15)
+
+    def test_good_scaling_no_breakdown(self, scaling_tables):
+        """UHBR keeps gaining through 32 nodes (no DLR1-style collapse)."""
+        task = scaling_tables["UHBR"].series("task")
+        gains = [b.gflops / a.gflops for a, b in zip(task, task[1:])]
+        assert all(g > 1.1 for g in gains)
+
+
+class TestSectIIIExclusion:
+    """'We restrict the discussion in this section to the DLR1 and UHBR
+    matrices' — because HMEp/sAMG single-GPU performance (PCIe charged)
+    'is already below the capability of a typical dual-socket server
+    node'.  Regenerate that decision."""
+
+    def test_hmep_samg_excluded(self, device):
+        from repro.matrices import SUITE
+        from repro.perfmodel import cpu_crs_gflops
+
+        for key, alpha in (("HMEp", 0.73), ("sAMG", 1.0)):
+            spec = SUITE[key]
+            eff = single_gpu_effective_gflops(
+                spec.paper_nnz,
+                spec.paper_dim,
+                device,
+                KernelCost.from_alpha(alpha),
+            )
+            cpu = cpu_crs_gflops(0.3, spec.paper_nnzr)
+            # one GPU lands at/below ~1.3x the CPU node: not worth a
+            # GPU cluster (the paper's cut-off reasoning)
+            assert eff < 1.4 * cpu, key
+
+    def test_dlr_class_included(self, device):
+        from repro.matrices import SUITE
+        from repro.perfmodel import cpu_crs_gflops
+
+        for key in ("DLR1", "UHBR"):
+            spec = SUITE[key]
+            eff = single_gpu_effective_gflops(
+                spec.paper_nnz, spec.paper_dim, device, KernelCost.from_alpha(0.25)
+            )
+            cpu = cpu_crs_gflops(0.2, spec.paper_nnzr)
+            assert eff > 1.5 * cpu, key
+
+
+def test_bench_strong_scaling_sweep(benchmark, device):
+    coo = generate("DLR1", scale=64)
+    result = benchmark.pedantic(
+        strong_scaling,
+        args=(coo, [1, 4, 16]),
+        kwargs={
+            "device": device,
+            "cost": KernelCost.from_alpha(0.25),
+            "workload_scale": 64,
+            "matrix_name": "DLR1",
+        },
+        rounds=2,
+        iterations=1,
+    )
+    assert len(result.points) == 9

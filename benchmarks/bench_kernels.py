@@ -1,0 +1,81 @@
+"""Wall-clock benchmarks of the vectorised NumPy spMVM kernels.
+
+These are *host* measurements (the GPU numbers come from the device
+model), but the relative shape is informative: pJDS sweeps fewer
+padded slots than ELLPACK, so on strongly irregular matrices the
+column-sweep kernel family orders the same way as on the device.
+"""
+
+import numpy as np
+import pytest
+
+from repro.utils import gflops
+
+from _bench_common import TABLE1_KEYS, emit_table
+
+FORMATS = ("CRS", "ELLPACK", "ELLPACK-R", "JDS", "pJDS", "SELL-C-sigma")
+
+
+@pytest.fixture(scope="module")
+def vectors(suite_coo):
+    rng = np.random.default_rng(0)
+    return {k: rng.normal(size=suite_coo[k].ncols) for k in TABLE1_KEYS}
+
+
+@pytest.mark.parametrize("key", TABLE1_KEYS)
+@pytest.mark.parametrize("fmt", FORMATS)
+def test_bench_spmv(benchmark, suite_formats, vectors, key, fmt):
+    m = suite_formats(key, fmt)
+    x = vectors[key]
+    out = np.zeros(m.nrows)
+    benchmark(m.spmv, x, out=out)
+    rate = gflops(m.nnz, benchmark.stats["mean"])
+    benchmark.extra_info["numpy_gflops"] = round(rate, 4)
+
+
+@pytest.fixture(scope="module")
+def relative_table(suite_formats, vectors):
+    """One-shot relative timing table (independent of pytest-benchmark)."""
+    import time
+
+    lines = [f"{'matrix':6s} " + " ".join(f"{f:>13s}" for f in FORMATS)]
+    rows = {}
+    for key in TABLE1_KEYS:
+        x = vectors[key]
+        cells = []
+        rows[key] = {}
+        for fmt in FORMATS:
+            m = suite_formats(key, fmt)
+            out = np.zeros(m.nrows)
+            m.spmv(x, out=out)  # warm up
+            reps = 3
+            t0 = time.perf_counter()
+            for _ in range(reps):
+                m.spmv(x, out=out)
+            dt = (time.perf_counter() - t0) / reps
+            rate = gflops(m.nnz, dt)
+            rows[key][fmt] = rate
+            cells.append(f"{rate:13.3f}")
+        lines.append(f"{key:6s} " + " ".join(cells))
+    lines.append("(host NumPy GF/s; device numbers come from the GPU model)")
+    emit_table("kernels_wallclock", lines)
+    return rows
+
+
+def test_pjds_not_slower_than_plain_ellpack(relative_table):
+    """pJDS sweeps fewer padded slots: never materially slower."""
+    for key in TABLE1_KEYS:
+        r = relative_table[key]
+        assert r["pJDS"] >= 0.7 * r["ELLPACK"], key
+
+
+def test_high_reduction_matrices_speed_up(relative_table):
+    """On sAMG (68 % reduction) the slot savings must show up."""
+    r = relative_table["sAMG"]
+    assert r["pJDS"] > 1.2 * r["ELLPACK"]
+
+
+def test_all_rates_positive(relative_table):
+    for key in TABLE1_KEYS:
+        for fmt in FORMATS:
+            assert relative_table[key][fmt] > 0

@@ -1,0 +1,101 @@
+"""Solver pipeline: spMVM share of real iterative algorithms.
+
+The paper's opening claim — spMVM "may easily consume most of the
+total runtime" of sparse solvers — measured on this package's own
+solvers: wall-clock per CG / Lanczos / KPM run, spMVM call counts, and
+the format comparison inside an identical solver loop.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.formats import convert
+from repro.matrices import poisson2d
+from repro.solvers import (
+    bicgstab,
+    conjugate_gradient,
+    kpm_spectral_density,
+    lanczos,
+)
+
+from _bench_common import emit_table
+
+
+@pytest.fixture(scope="module")
+def spd():
+    return poisson2d(48, 48)
+
+
+@pytest.fixture(scope="module")
+def solver_table(spd):
+    rows = []
+    b = np.random.default_rng(0).normal(size=spd.nrows)
+    pjds = convert(spd, "pJDS")
+
+    t0 = time.perf_counter()
+    cg = conjugate_gradient(pjds, b, tol=1e-8)
+    t_cg = time.perf_counter() - t0
+    rows.append(("CG", cg.iterations, cg.spmv_count, t_cg))
+
+    t0 = time.perf_counter()
+    bi = bicgstab(pjds, b, tol=1e-8)
+    t_bi = time.perf_counter() - t0
+    rows.append(("BiCGSTAB", bi.iterations, bi.spmv_count, t_bi))
+
+    t0 = time.perf_counter()
+    lz = lanczos(pjds, num_eigenvalues=2, tol=1e-8)
+    t_lz = time.perf_counter() - t0
+    rows.append(("Lanczos", lz.iterations, lz.spmv_count, t_lz))
+
+    t0 = time.perf_counter()
+    kpm = kpm_spectral_density(pjds, num_moments=64, num_vectors=4, seed=1)
+    t_kpm = time.perf_counter() - t0
+    rows.append(("KPM", 64, kpm.spmv_count, t_kpm))
+
+    lines = [f"{'solver':9s} {'iters':>6s} {'spMVMs':>7s} {'seconds':>8s}"]
+    for name, iters, spmvs, sec in rows:
+        lines.append(f"{name:9s} {iters:6d} {spmvs:7d} {sec:8.3f}")
+    emit_table("solver_pipeline", lines)
+    return {r[0]: r for r in rows}
+
+
+class TestSolverPipeline:
+    def test_all_solvers_ran(self, solver_table):
+        assert set(solver_table) == {"CG", "BiCGSTAB", "Lanczos", "KPM"}
+
+    def test_spmv_dominates_call_counts(self, solver_table):
+        """Each solver issues at least one spMVM per iteration."""
+        for name, iters, spmvs, _ in solver_table.values():
+            assert spmvs >= iters * 0.9, name
+
+    def test_kpm_is_pure_spmvm(self, solver_table):
+        _, moments, spmvs, _ = solver_table["KPM"]
+        # (moments - 1) applications per random vector + bound probes
+        assert spmvs >= 4 * (moments - 1)
+
+
+@pytest.mark.parametrize("fmt", ["CRS", "ELLPACK-R", "pJDS", "SELL-C-sigma"])
+def test_bench_cg_iteration(benchmark, spd, fmt):
+    """Wall-clock of a fixed-iteration CG run per storage format."""
+    m = convert(spd, fmt)
+    b = np.ones(spd.nrows)
+
+    def run():
+        return conjugate_gradient(m, b, tol=1e-30, max_iter=20)
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert res.iterations == 20
+
+
+def test_bench_kpm_moments(benchmark, spd):
+    m = convert(spd, "pJDS")
+    res = benchmark.pedantic(
+        kpm_spectral_density,
+        args=(m,),
+        kwargs={"num_moments": 32, "num_vectors": 2, "bounds": (0.0, 8.0)},
+        rounds=2,
+        iterations=1,
+    )
+    assert res.spmv_count == 2 * 31

@@ -1,0 +1,47 @@
+"""Table I, "data reduction [%]" row: pJDS vs plain ELLPACK storage.
+
+Paper values: DLR1 17.5, DLR2 48.0, HMEp 36.0, sAMG 68.4.
+"""
+
+import pytest
+
+from _bench_common import TABLE1_KEYS, emit_table
+
+PAPER_REDUCTION = {"DLR1": 17.5, "DLR2": 48.0, "HMEp": 36.0, "sAMG": 68.4}
+
+
+@pytest.fixture(scope="module")
+def reduction_table(suite_formats):
+    rows = {}
+    for key in TABLE1_KEYS:
+        pjds = suite_formats(key, "pJDS")
+        ell = suite_formats(key, "ELLPACK")
+        rows[key] = 100.0 * pjds.data_reduction_vs(ell)
+    lines = [f"{'matrix':6s} {'measured %':>10s} {'paper %':>8s}"]
+    for key in TABLE1_KEYS:
+        lines.append(f"{key:6s} {rows[key]:10.1f} {PAPER_REDUCTION[key]:8.1f}")
+    emit_table("table1_reduction", lines)
+    return rows
+
+
+def test_reduction_within_band(reduction_table):
+    for key, measured in reduction_table.items():
+        assert measured == pytest.approx(PAPER_REDUCTION[key], abs=6.0)
+
+
+def test_reduction_ordering(reduction_table):
+    r = reduction_table
+    assert r["sAMG"] > r["DLR2"] > r["HMEp"] > r["DLR1"]
+
+
+@pytest.mark.parametrize("key", TABLE1_KEYS)
+def test_bench_pjds_construction(benchmark, suite_coo, key):
+    """Wall-clock of the pJDS build (sort + pad + fill)."""
+    from repro.core import PJDSMatrix
+
+    coo = suite_coo[key]
+    result = benchmark.pedantic(
+        PJDSMatrix.from_coo, args=(coo,), kwargs={"block_rows": 32},
+        rounds=3, iterations=1,
+    )
+    assert result.nnz == coo.nnz

@@ -1,0 +1,10 @@
+"""Pytest fixtures for the benchmarks (helpers live in _bench_common)."""
+
+from _bench_common import (  # noqa: F401 - re-exported fixtures
+    RESULTS_DIR,
+    SCALE,
+    TABLE1_KEYS,
+    emit_table,
+    suite_coo,
+    suite_formats,
+)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""HMEp workload: ground state of a Holstein-Hubbard-like Hamiltonian.
+
+The paper's HMEp matrix comes from exact diagonalisation of a
+quantum-mechanical model; the consuming application is a sparse
+eigensolver whose runtime is dominated by spMVM (Sect. I).  This
+example reproduces that pipeline end to end:
+
+1. generate the HMEp-like matrix and symmetrise it (a Hamiltonian),
+2. convert to pJDS and enter the permuted basis once,
+3. run Lanczos for the lowest eigenvalues ("ground state energy"),
+4. verify against a dense reference at this reduced scale,
+5. count the spMVM invocations — the quantity the paper optimises.
+
+Run:  python examples/eigensolver_hmep.py
+"""
+
+import numpy as np
+
+from repro.formats import COOMatrix, convert
+from repro.matrices import generate
+from repro.solvers import lanczos
+
+
+def symmetrise(coo: COOMatrix) -> COOMatrix:
+    """H = (A + A^T) / 2 — Hamiltonians are Hermitian."""
+    t = coo.transpose()
+    return COOMatrix(
+        np.concatenate([coo.rows, t.rows]),
+        np.concatenate([coo.cols, t.cols]),
+        np.concatenate([0.5 * coo.values, 0.5 * t.values]),
+        coo.shape,
+    )
+
+
+def main() -> None:
+    # ~1500-row instance (the full HMEp is 6.2M; physics is the same)
+    coo = generate("HMEp", scale=4096, seed=3)
+    ham = symmetrise(coo)
+    print(f"Hamiltonian: {ham.nrows} x {ham.ncols}, {ham.nnz} non-zeros, "
+          f"Nnzr = {ham.avg_row_length:.1f}")
+
+    pjds = convert(ham, "pJDS", block_rows=32)
+    print(f"pJDS storage: {pjds.nbytes / 1024:.0f} kB "
+          f"({100 * pjds.overhead_vs_minimum():.2f} % padding)")
+
+    result = lanczos(pjds, num_eigenvalues=3, tol=1e-10, max_iter=300)
+    print(f"Lanczos converged in {result.iterations} iterations "
+          f"({result.spmv_count} spMVM calls)")
+    print(f"lowest eigenvalues: {np.array2string(result.eigenvalues, precision=6)}")
+    print(f"ground state energy: {result.ground_state_energy:.8f}")
+    print(f"residual norms: {np.array2string(result.residual_norms, precision=2)}")
+
+    # dense cross-check (only possible at this reduced scale)
+    dense_vals = np.linalg.eigvalsh(ham.todense())[:3]
+    err = np.abs(result.eigenvalues - dense_vals).max()
+    print(f"dense reference: {np.array2string(dense_vals, precision=6)} "
+          f"(max deviation {err:.2e})")
+    assert err < 1e-6, "Lanczos disagrees with the dense reference"
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

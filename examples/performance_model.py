@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""The Sect. II-B performance model: is your matrix worth a GPU?
+
+Evaluates Eqs. (1)-(4) for the paper suite and for a user-style sweep
+of Nnzr values, reproducing the paper's conclusions: HMEp and sAMG are
+poor GPGPU candidates once PCIe transfers are charged; the DLR/UHBR
+class is safe.
+
+Run:  python examples/performance_model.py
+"""
+
+from repro.matrices import SUITE
+from repro.perfmodel import (
+    analyse,
+    code_balance_dp,
+    cpu_crs_gflops,
+    nnzr_lower_bound_10pct,
+    nnzr_upper_bound_50pct,
+    predicted_gflops,
+)
+
+ALPHAS = {"HMEp": 0.73, "sAMG": 1.0, "DLR1": 0.25, "DLR2": 0.25, "UHBR": 0.25}
+
+
+def main() -> None:
+    print("Eq. (1): kernel-only performance, DP, ECC on (91 GB/s)")
+    print(f"{'matrix':6s} {'Nnzr':>7s} {'alpha':>6s} {'B [B/F]':>8s} {'GF/s':>6s}")
+    for key, spec in SUITE.items():
+        a = ALPHAS[key]
+        b = code_balance_dp(a, spec.paper_nnzr)
+        g = predicted_gflops(91.0, a, spec.paper_nnzr)
+        print(f"{key:6s} {spec.paper_nnzr:7.1f} {a:6.2f} {b:8.2f} {g:6.1f}")
+
+    print("\nEqs. (2)-(3): charge the PCIe transfers (6 GB/s)")
+    print(f"{'matrix':6s} {'effective':>9s} {'penalty':>8s} "
+          f"{'CPU CRS':>8s} {'verdict':>18s}")
+    for key, spec in SUITE.items():
+        a = analyse(spec.paper_dim, spec.paper_nnzr, ALPHAS[key])
+        cpu = cpu_crs_gflops(0.3 * ALPHAS[key], spec.paper_nnzr)
+        verdict = "GPU worthwhile" if a.effective_gflops > cpu else "stay on the CPU"
+        print(f"{key:6s} {a.effective_gflops:9.1f} {a.pcie_penalty:8.2f} "
+              f"{cpu:8.1f} {verdict:>18s}")
+
+    print("\nEq. (3)/(4) admissibility bounds on Nnzr:")
+    for ratio, alpha, label in (
+        (20.0, 1.0 / 25.0, "worst case (BGPU ~ 20 BPCI, alpha = 1/Nnzr)"),
+        (10.0, 1.0, "best case  (BGPU ~ 10 BPCI, alpha = 1)"),
+    ):
+        lo = nnzr_upper_bound_50pct(ratio, alpha)
+        hi = nnzr_lower_bound_10pct(ratio, alpha)
+        print(f"  {label}:")
+        print(f"    > 50 % PCIe penalty below Nnzr ~ {lo:5.1f}")
+        print(f"    < 10 % PCIe penalty above Nnzr ~ {hi:5.1f}")
+
+    print("\nrule of thumb: matrices with Nnzr below ~25 should stay on "
+          "the CPU; above ~80-270 (depending on caching) the PCIe cost "
+          "disappears — exactly the paper's conclusion.")
+
+
+if __name__ == "__main__":
+    main()

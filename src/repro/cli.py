@@ -1,0 +1,288 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples
+--------
+::
+
+    python -m repro suite                 # matrix statistics + reduction
+    python -m repro table1 --scale 128    # the Table I performance grid
+    python -m repro pcie                  # Eqs. (2)-(4) analysis
+    python -m repro fig5 --matrix UHBR    # strong-scaling series
+    python -m repro timeline --nodes 8    # Fig. 4 ASCII timeline
+    python -m repro spmv matrix.mtx --format pJDS
+
+Heavy experiments accept ``--scale`` (matrix shrink factor relative to
+the paper dimensions; larger = faster).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+# ---------------------------------------------------------------------------
+# subcommand implementations (print to a writable stream for testability)
+# ---------------------------------------------------------------------------
+
+def cmd_suite(args, out) -> int:
+    from repro.formats import convert
+    from repro.matrices import SUITE_KEYS, generate, structure_stats
+
+    print(
+        f"{'matrix':6s} {'rows':>8s} {'nnz':>10s} {'Nnzr':>7s} "
+        f"{'min':>4s} {'max':>4s} {'reduction %':>11s}",
+        file=out,
+    )
+    for key in SUITE_KEYS:
+        coo = generate(key, scale=args.scale, seed=args.seed)
+        st = structure_stats(coo)
+        red = 100.0 * convert(coo, "pJDS").data_reduction_vs(
+            convert(coo, "ELLPACK")
+        )
+        print(
+            f"{key:6s} {st.nrows:8d} {st.nnz:10d} {st.nnzr:7.1f} "
+            f"{st.min_row_length:4d} {st.max_row_length:4d} {red:11.1f}",
+            file=out,
+        )
+    return 0
+
+
+def cmd_table1(args, out) -> int:
+    from repro.formats import convert
+    from repro.gpu import C2070, extract_trace, run_kernel
+    from repro.matrices import generate
+
+    keys = ("DLR1", "DLR2", "HMEp", "sAMG")
+    mats = {k: generate(k, scale=args.scale, seed=args.seed) for k in keys}
+    print(
+        f"{'config':10s} {'format':10s} " + " ".join(f"{k:>7s}" for k in keys),
+        file=out,
+    )
+    for prec, dtype in (("SP", np.float32), ("DP", np.float64)):
+        traces = {}
+        base = C2070().scaled(args.scale)
+        for key in keys:
+            coo = mats[key].astype(dtype)
+            for fmt in ("ELLPACK-R", "pJDS"):
+                traces[(key, fmt)] = extract_trace(convert(coo, fmt), base, prec)
+        for ecc in (0, 1):
+            dev = C2070(ecc=bool(ecc)).scaled(args.scale)
+            for fmt in ("ELLPACK-R", "pJDS"):
+                cells = " ".join(
+                    f"{run_kernel(traces[(k, fmt)], dev).gflops:7.1f}" for k in keys
+                )
+                print(f"{prec} ECC={ecc}   {fmt:10s} {cells}", file=out)
+    return 0
+
+
+def cmd_fig3(args, out) -> int:
+    from repro.matrices import generate, row_length_histogram
+
+    for key in ("DLR1", "DLR2", "HMEp", "sAMG"):
+        coo = generate(key, scale=args.scale, seed=args.seed)
+        h = row_length_histogram(coo)
+        print(f"{key}: N={coo.nrows} Nnz={coo.nnz}", file=out)
+        for start, count, share in h.as_rows():
+            bar = "#" * max(int(44 * count / h.counts.max()), 1)
+            print(f"  {start:4d} {share:9.2e} {bar}", file=out)
+    return 0
+
+
+def cmd_pcie(args, out) -> int:
+    from repro.matrices import SUITE
+    from repro.perfmodel import analyse
+
+    alphas = {"HMEp": 0.73, "sAMG": 1.0, "DLR1": 0.25, "DLR2": 0.25, "UHBR": 0.25}
+    print(
+        f"{'matrix':6s} {'Nnzr':>6s} {'kernel':>7s} {'effective':>9s} "
+        f"{'penalty':>8s} {'worthwhile':>10s}",
+        file=out,
+    )
+    for key, spec in SUITE.items():
+        a = analyse(spec.paper_dim, spec.paper_nnzr, alphas[key])
+        print(
+            f"{key:6s} {a.nnzr:6.1f} {a.kernel_gflops:7.1f} "
+            f"{a.effective_gflops:9.1f} {a.pcie_penalty:8.2f} "
+            f"{str(a.gpu_worthwhile):>10s}",
+            file=out,
+        )
+    return 0
+
+
+def cmd_fig5(args, out) -> int:
+    from repro.distributed import KernelCost, strong_scaling
+    from repro.gpu import C2050
+    from repro.matrices import generate
+
+    nodes = [1, 2, 4, 8, 16, 24, 32] if args.matrix == "DLR1" else [5, 8, 16, 24, 32]
+    coo = generate(args.matrix, scale=args.scale, seed=args.seed)
+    series = strong_scaling(
+        coo,
+        nodes,
+        device=C2050(ecc=True),
+        cost=KernelCost.from_alpha(0.25),
+        workload_scale=args.scale,
+        matrix_name=args.matrix,
+    )
+    print(f"{args.matrix} strong scaling (GF/s):", file=out)
+    print("nodes   " + " ".join(f"{n:7d}" for n in nodes), file=out)
+    for mode in ("vector", "naive", "task"):
+        row = " ".join(f"{p.gflops:7.1f}" for p in series.series(mode))
+        print(f"{mode:7s} {row}", file=out)
+    print(file=out)
+    print(series.render(), file=out)
+    return 0
+
+
+def cmd_timeline(args, out) -> int:
+    from repro.distributed import (
+        DIRAC_IB,
+        KernelCost,
+        build_plan,
+        partition_rows,
+        render_timeline,
+        simulate_mode,
+        stats_from_plan,
+    )
+    from repro.formats import CSRMatrix
+    from repro.gpu import C2050
+    from repro.matrices import generate
+
+    coo = generate("DLR1", scale=args.scale, seed=args.seed)
+    csr = CSRMatrix.from_coo(coo)
+    part = partition_rows(csr.nrows, args.nodes, row_weights=csr.row_lengths())
+    plan = build_plan(csr, part, with_matrices=False)
+    stats = stats_from_plan(plan, itemsize=8, workload_scale=args.scale)
+    res = simulate_mode(
+        args.mode, stats, C2050(ecc=True), DIRAC_IB, KernelCost.from_alpha(0.25)
+    )
+    print(
+        f"{args.mode} mode, {args.nodes} nodes: {res.gflops:.1f} GF/s",
+        file=out,
+    )
+    print(render_timeline(res.timeline, rank=res.slowest_rank), file=out)
+    return 0
+
+
+def cmd_shootout(args, out) -> int:
+    from repro.formats import convert
+    from repro.gpu import C2070, simulate_spmv
+    from repro.matrices import generate
+
+    formats = {
+        "CRS": {},
+        "ELLPACK": {},
+        "ELLPACK-R": {},
+        "ELLR-T": {"threads_per_row": 4},
+        "JDS": {},
+        "pJDS": {"block_rows": 32},
+        "SELL-C-sigma": {"chunk_rows": 32, "sigma": 256},
+    }
+    coo = generate(args.matrix, scale=args.scale, seed=args.seed)
+    dev = C2070(ecc=True).scaled(args.scale)
+    print(f"{args.matrix} (1/{args.scale} scale), DP, ECC on:", file=out)
+    print(f"{'format':13s} {'GF/s':>7s} {'MiB':>8s} {'alpha':>6s}", file=out)
+    for fmt, kwargs in formats.items():
+        m = convert(coo, fmt, **kwargs)
+        rep = simulate_spmv(m, dev, "DP")
+        print(
+            f"{fmt:13s} {rep.gflops:7.2f} {m.nbytes / 2**20:8.1f} "
+            f"{rep.effective_alpha:6.2f}",
+            file=out,
+        )
+    return 0
+
+
+def cmd_spmv(args, out) -> int:
+    from repro.formats import convert
+    from repro.gpu import C2070, simulate_spmv
+    from repro.matrices import read_matrix_market, structure_stats
+
+    coo = read_matrix_market(args.matrix_file)
+    st = structure_stats(coo)
+    print(
+        f"{args.matrix_file}: {st.nrows} x {st.ncols}, {st.nnz} non-zeros, "
+        f"Nnzr = {st.nnzr:.1f}",
+        file=out,
+    )
+    m = convert(coo, args.format)
+    print(f"{m.name}: {m.nbytes} bytes device storage", file=out)
+    x = np.random.default_rng(args.seed).normal(size=coo.ncols).astype(m.dtype)
+    y = m.spmv(x)
+    print(f"spMVM done; ||y|| = {float(np.linalg.norm(y)):.6g}", file=out)
+    if st.nrows == st.ncols:
+        try:
+            rep = simulate_spmv(m, C2070(ecc=True))
+            print(
+                f"modelled C2070 (ECC on): {rep.gflops:.1f} GF/s "
+                f"(balance {rep.code_balance:.2f} B/F)",
+                file=out,
+            )
+        except TypeError:
+            print("(no GPU model for this format)", file=out)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="pJDS spMVM reproduction: run the paper's experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, scale_default=64):
+        p.add_argument("--scale", type=int, default=scale_default,
+                       help="matrix shrink factor vs paper size")
+        p.add_argument("--seed", type=int, default=0)
+
+    common(sub.add_parser("suite", help="suite matrix statistics"))
+    common(sub.add_parser("table1", help="Table I performance grid"))
+    common(sub.add_parser("fig3", help="row-length histograms"), 256)
+    sub.add_parser("pcie", help="Eqs. (2)-(4) PCIe analysis")
+
+    p5 = sub.add_parser("fig5", help="strong scaling series")
+    common(p5, 32)
+    p5.add_argument("--matrix", choices=("DLR1", "UHBR"), default="DLR1")
+
+    psh = sub.add_parser("shootout", help="all formats on one matrix")
+    common(psh, 128)
+    psh.add_argument(
+        "--matrix", choices=("DLR1", "DLR2", "HMEp", "sAMG", "UHBR"),
+        default="sAMG",
+    )
+
+    pt = sub.add_parser("timeline", help="Fig. 4 event timeline")
+    common(pt, 32)
+    pt.add_argument("--nodes", type=int, default=4)
+    pt.add_argument("--mode", choices=("vector", "naive", "task"), default="task")
+
+    ps = sub.add_parser("spmv", help="run spMVM on a MatrixMarket file")
+    ps.add_argument("matrix_file")
+    ps.add_argument("--format", default="pJDS")
+    ps.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+_COMMANDS = {
+    "shootout": cmd_shootout,
+    "suite": cmd_suite,
+    "table1": cmd_table1,
+    "fig3": cmd_fig3,
+    "pcie": cmd_pcie,
+    "fig5": cmd_fig5,
+    "timeline": cmd_timeline,
+    "spmv": cmd_spmv,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out or sys.stdout)

@@ -1,0 +1,18 @@
+"""The paper's contribution: pJDS and its jagged-diagonal relatives."""
+
+from repro.core.jds import JDSMatrix, JaggedDiagonalsBase, jagged_fill
+from repro.core.pjds import PJDSMatrix, block_padded_lengths
+from repro.core.sell import SELLMatrix
+from repro.core.sorting import Permutation, descending_row_sort, windowed_row_sort
+
+__all__ = [
+    "JDSMatrix",
+    "JaggedDiagonalsBase",
+    "jagged_fill",
+    "PJDSMatrix",
+    "block_padded_lengths",
+    "SELLMatrix",
+    "Permutation",
+    "descending_row_sort",
+    "windowed_row_sort",
+]

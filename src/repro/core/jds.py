@@ -1,0 +1,283 @@
+"""Jagged Diagonals Storage (JDS) and the shared jagged-column machinery.
+
+Classic JDS (used on vector computers) sorts rows by descending length
+and stores the "jagged diagonals" — the j-th stored entry of every row
+that has one — contiguously.  pJDS (:mod:`repro.core.pjds`) is JDS with
+block-granular padding; both share the layout logic implemented in
+:class:`JaggedDiagonalsBase`.
+
+Layout invariant: stored row ``k`` (sorted order) owns one slot in each
+jagged column ``j < padded_length[k]``; because padded lengths are
+non-increasing in ``k``, the active rows of column ``j`` are exactly the
+prefix ``0..col_len[j)`` and the slot of row ``k`` in column ``j`` sits
+at flat position ``col_start[j] + k`` — precisely the address
+arithmetic of Listing 2.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.sorting import Permutation, descending_row_sort, windowed_row_sort
+from repro.formats.base import INDEX_DTYPE, SparseMatrixFormat, index_nbytes
+from repro.formats.coo import COOMatrix
+
+__all__ = ["JDSMatrix", "JaggedDiagonalsBase", "jagged_fill"]
+
+
+def jagged_fill(
+    coo: COOMatrix, perm: Permutation, padded_lengths: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Build flat jagged-column arrays for a given row order and padding.
+
+    Parameters
+    ----------
+    coo : COOMatrix
+        Canonical source matrix.
+    perm : Permutation
+        Row order; ``perm.perm[k]`` = original row at stored position k.
+    padded_lengths : ndarray
+        Padded length of each stored position; must be non-increasing and
+        >= the true row length.
+
+    Returns
+    -------
+    val, col_idx : flat ndarrays of ``sum(padded_lengths)`` slots
+        (column-by-column).  Padding slots hold 0.0 / column 0.
+    col_start : ndarray of ``width + 1`` offsets into the flat arrays.
+    true_lengths : ndarray, true non-zero count per stored position.
+    """
+    n = coo.nrows
+    padded_lengths = np.asarray(padded_lengths, dtype=INDEX_DTYPE)
+    if padded_lengths.shape != (n,):
+        raise ValueError(
+            f"padded_lengths must have shape ({n},), got {padded_lengths.shape}"
+        )
+    if n > 1 and np.any(np.diff(padded_lengths) > 0):
+        raise ValueError("padded_lengths must be non-increasing")
+
+    orig_lengths = np.bincount(coo.rows, minlength=n).astype(INDEX_DTYPE)
+    true_lengths = orig_lengths[perm.perm]
+    if np.any(true_lengths > padded_lengths):
+        raise ValueError("padded_lengths smaller than actual row lengths")
+
+    width = int(padded_lengths[0]) if n else 0
+    # col_len[j] = #stored rows with padded length > j; lengths are sorted
+    # non-increasingly, so a cumulative histogram from the top suffices.
+    hist = np.bincount(padded_lengths, minlength=width + 1)
+    col_len = n - np.cumsum(hist)[:width] if width else np.empty(0, dtype=np.int64)
+    col_start = np.zeros(width + 1, dtype=INDEX_DTYPE)
+    np.cumsum(col_len, out=col_start[1:])
+
+    total = int(col_start[-1])
+    val = np.zeros(total, dtype=coo.dtype)
+    col_idx = np.zeros(total, dtype=INDEX_DTYPE)
+    if coo.nnz:
+        row_start = np.zeros(n + 1, dtype=INDEX_DTYPE)
+        np.cumsum(orig_lengths, out=row_start[1:])
+        j = np.arange(coo.nnz, dtype=INDEX_DTYPE) - row_start[coo.rows]
+        k = perm.inverse[coo.rows]
+        pos = col_start[j] + k
+        val[pos] = coo.values
+        col_idx[pos] = coo.cols
+    return val, col_idx, col_start, true_lengths
+
+
+class JaggedDiagonalsBase(SparseMatrixFormat):
+    """Shared state and kernels of JDS-family formats."""
+
+    def __init__(
+        self,
+        val: np.ndarray,
+        col_idx: np.ndarray,
+        col_start: np.ndarray,
+        true_lengths: np.ndarray,
+        padded_lengths: np.ndarray,
+        permutation: Permutation,
+        shape: tuple[int, int],
+    ):
+        nnz = int(true_lengths.sum())
+        super().__init__(shape, nnz=nnz, dtype=val.dtype)
+        if permutation.size != shape[0]:
+            raise ValueError("permutation size must equal nrows")
+        if val.shape != col_idx.shape or val.ndim != 1:
+            raise ValueError("val/col_idx must be flat arrays of equal length")
+        if col_start[-1] != val.shape[0]:
+            raise ValueError("col_start[-1] must equal the flat array length")
+        self._val = np.ascontiguousarray(val)
+        self._col_idx = np.ascontiguousarray(col_idx, dtype=INDEX_DTYPE)
+        self._col_start = np.ascontiguousarray(col_start, dtype=INDEX_DTYPE)
+        self._true_lengths = np.ascontiguousarray(true_lengths, dtype=INDEX_DTYPE)
+        self._padded_lengths = np.ascontiguousarray(padded_lengths, dtype=INDEX_DTYPE)
+        self._perm = permutation
+
+    # ------------------------------------------------------------------
+    @property
+    def val(self) -> np.ndarray:
+        v = self._val.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def col_idx(self) -> np.ndarray:
+        v = self._col_idx.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def col_start(self) -> np.ndarray:
+        """Offsets of each jagged column (the ``col_start[]`` of Listing 2)."""
+        v = self._col_start.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def rowmax(self) -> np.ndarray:
+        """True row lengths in *stored* order (``rowmax[]`` of Listing 2)."""
+        v = self._true_lengths.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def padded_lengths(self) -> np.ndarray:
+        v = self._padded_lengths.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def permutation(self) -> Permutation:
+        return self._perm
+
+    @property
+    def width(self) -> int:
+        """Number of jagged columns (= padded length of the longest row)."""
+        return self._col_start.shape[0] - 1
+
+    @property
+    def column_lengths(self) -> np.ndarray:
+        return np.diff(self._col_start)
+
+    @property
+    def total_slots(self) -> int:
+        """Stored value slots including padding."""
+        return int(self._col_start[-1])
+
+    # ------------------------------------------------------------------
+    def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``y = A @ x`` in the *original* basis (permutation undone)."""
+        x = self.check_rhs(x)
+        y = self.alloc_result(out)
+        # stored col_idx refer to original column numbers: gather from x
+        # directly, then scatter the stored-order result back.
+        acc = self._column_sweep(x, self._col_idx)
+        y[self._perm.perm] = acc.astype(self._dtype)
+        return y
+
+    def spmv_permuted(self, x_perm: np.ndarray) -> np.ndarray:
+        """``y~ = P A P^T x~`` entirely in the permuted basis.
+
+        For a square matrix the Krylov-solver workflow of Sect. II-A
+        permutes both row and column space once up front; pass a vector
+        already in stored order and receive the result in stored order —
+        no scatter/gather happens inside the iteration.
+        """
+        if self.nrows != self.ncols:
+            raise ValueError("permuted-basis spmv requires a square matrix")
+        x_perm = self.check_rhs(x_perm)
+        acc = self._column_sweep(x_perm, self._permuted_col_idx())
+        return acc.astype(self._dtype)
+
+    def _permuted_col_idx(self) -> np.ndarray:
+        """Column indices rewritten into the permuted basis (cached)."""
+        cached = getattr(self, "_col_idx_perm", None)
+        if cached is None:
+            if self._perm.is_identity:
+                cached = self._col_idx
+            else:
+                cached = self._perm.inverse[self._col_idx]
+            self._col_idx_perm = cached
+        return cached
+
+    def _column_sweep(self, x: np.ndarray, col_idx: np.ndarray) -> np.ndarray:
+        """Listing-2 kernel, one vectorised pass per jagged column.
+
+        Returns the accumulator in *stored* row order, computed in
+        float64 so SP and DP matrices agree with the COO/CSR oracles.
+        """
+        acc = np.zeros(self.nrows, dtype=np.float64)
+        xf = x.astype(np.float64, copy=False)
+        cs = self._col_start
+        val = self._val
+        for j in range(self.width):
+            s = cs[j]
+            e = cs[j + 1]
+            acc[: e - s] += val[s:e].astype(np.float64) * xf[col_idx[s:e]]
+        return acc
+
+    # ------------------------------------------------------------------
+    def to_coo(self) -> COOMatrix:
+        rows_, cols_, vals_ = [], [], []
+        perm = self._perm.perm
+        for j in range(self.width):
+            s = int(self._col_start[j])
+            e = int(self._col_start[j + 1])
+            k = np.arange(e - s, dtype=INDEX_DTYPE)
+            active = self._true_lengths[: e - s] > j
+            k = k[active]
+            rows_.append(perm[k])
+            cols_.append(self._col_idx[s + k])
+            vals_.append(self._val[s + k])
+        if rows_:
+            rows = np.concatenate(rows_)
+            cols = np.concatenate(cols_)
+            vals = np.concatenate(vals_)
+        else:
+            rows = np.empty(0, dtype=INDEX_DTYPE)
+            cols = np.empty(0, dtype=INDEX_DTYPE)
+            vals = np.empty(0, dtype=self._dtype)
+        return COOMatrix(rows, cols, vals, self.shape, sum_duplicates=False)
+
+    def row_lengths(self) -> np.ndarray:
+        out = np.empty(self.nrows, dtype=INDEX_DTYPE)
+        out[self._perm.perm] = self._true_lengths
+        return out
+
+
+class JDSMatrix(JaggedDiagonalsBase):
+    """Classic (unpadded) Jagged Diagonals Storage.
+
+    Equivalent to pJDS with block size 1: zero storage overhead, but the
+    per-column lengths are arbitrary, which breaks warp-granular
+    coalescing on a GPU (the motivation for the "pad" step of Fig. 1).
+    """
+
+    name = "JDS"
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, *, sigma: int | None = None, **kwargs) -> "JDSMatrix":
+        if kwargs:
+            raise TypeError(f"unexpected kwargs for JDS: {sorted(kwargs)}")
+        lengths = np.bincount(coo.rows, minlength=coo.nrows)
+        if sigma is None:
+            perm = Permutation(descending_row_sort(lengths))
+        else:
+            perm = Permutation(windowed_row_sort(lengths, sigma))
+        sorted_lengths = lengths[perm.perm].astype(INDEX_DTYPE)
+        if sigma is not None and coo.nrows > 1:
+            # windowed sort may violate global monotonicity; JDS requires
+            # the prefix property, so lift to the running maximum.
+            sorted_lengths = np.maximum.accumulate(sorted_lengths[::-1])[::-1]
+        val, col_idx, col_start, true_lengths = jagged_fill(coo, perm, sorted_lengths)
+        return cls(
+            val, col_idx, col_start, true_lengths, sorted_lengths, perm, coo.shape
+        )
+
+    def memory_breakdown(self) -> Mapping[str, int]:
+        return {
+            "val": self.total_slots * self.value_itemsize,
+            "col_idx": index_nbytes(self.total_slots),
+            "col_start": index_nbytes(self.width + 1),
+            "perm": index_nbytes(self.nrows),
+        }

@@ -1,0 +1,147 @@
+"""pJDS — padded Jagged Diagonals Storage (Sect. II-A, Fig. 1).
+
+Construction (the three steps of Fig. 1):
+
+1. **compress** — shift the non-zeros of each row to the left
+   (implicit: we work from the canonical COO row lists);
+2. **sort** — stable descending sort of the rows by non-zero count
+   (optionally restricted to windows of ``sigma`` rows);
+3. **pad** — group ``block_rows`` (= warp size, default 32) consecutive
+   sorted rows and pad each to the longest row *of its block*.
+
+The padded rectangle of each block keeps warp-granular load coalescing
+while eliminating almost all of ELLPACK's global zero fill: the paper
+measures 17.5 %–68.4 % data reduction on its matrix suite, at 91 %–130 %
+of ELLPACK-R performance.
+
+Storage bound (paper, Sect. II-A): for the adversarial matrix with one
+full row and single-entry rows elsewhere, pJDS stores at most
+``(br + 1) * N - br`` elements versus ELLPACK's ``N * N``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.jds import JaggedDiagonalsBase, jagged_fill
+from repro.core.sorting import Permutation, descending_row_sort, windowed_row_sort
+from repro.formats.base import INDEX_DTYPE, index_nbytes
+from repro.formats.coo import COOMatrix
+from repro.utils.validation import check_positive_int
+
+__all__ = ["PJDSMatrix", "block_padded_lengths"]
+
+
+def block_padded_lengths(sorted_lengths: np.ndarray, block_rows: int) -> np.ndarray:
+    """Pad each block of ``block_rows`` rows to the block's maximum length.
+
+    ``sorted_lengths`` must already be sorted for the result to satisfy
+    the jagged prefix property; with a *windowed* sort the caller must
+    lift the result to a non-increasing sequence afterwards.
+    """
+    lengths = np.asarray(sorted_lengths, dtype=INDEX_DTYPE)
+    block_rows = check_positive_int(block_rows, "block_rows")
+    n = lengths.shape[0]
+    if n == 0:
+        return lengths.copy()
+    nblocks = -(-n // block_rows)
+    padded = np.zeros(nblocks * block_rows, dtype=INDEX_DTYPE)
+    padded[:n] = lengths
+    block_max = padded.reshape(nblocks, block_rows).max(axis=1)
+    return np.repeat(block_max, block_rows)[:n]
+
+
+class PJDSMatrix(JaggedDiagonalsBase):
+    """Padded Jagged Diagonals Storage.
+
+    Parameters of :meth:`from_coo`
+    ------------------------------
+    block_rows : int
+        The padding granularity ``br`` (warp size on Fermi = 32).
+    sigma : int or None
+        Sorting window.  ``None`` (default) sorts globally, the paper's
+        construction; a finite value gives the SELL-C-sigma-style
+        locality/padding trade-off named in the outlook (Sect. IV).
+    """
+
+    name = "pJDS"
+
+    def __init__(self, *args, block_rows: int = 32, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._block_rows = check_positive_int(block_rows, "block_rows")
+
+    @property
+    def block_rows(self) -> int:
+        """Padding block size ``br``."""
+        return self._block_rows
+
+    @classmethod
+    def from_coo(
+        cls,
+        coo: COOMatrix,
+        *,
+        block_rows: int = 32,
+        sigma: int | None = None,
+        **kwargs,
+    ) -> "PJDSMatrix":
+        if kwargs:
+            raise TypeError(f"unexpected kwargs for pJDS: {sorted(kwargs)}")
+        block_rows = check_positive_int(block_rows, "block_rows")
+        lengths = np.bincount(coo.rows, minlength=coo.nrows)
+        if sigma is None:
+            perm = Permutation(descending_row_sort(lengths))
+        else:
+            perm = Permutation(windowed_row_sort(lengths, sigma))
+        sorted_lengths = lengths[perm.perm].astype(INDEX_DTYPE)
+        padded = block_padded_lengths(sorted_lengths, block_rows)
+        if sigma is not None and coo.nrows > 1:
+            # windowed sorting can break global monotonicity; restore the
+            # jagged prefix property by lifting to the running maximum.
+            padded = np.maximum.accumulate(padded[::-1])[::-1]
+        val, col_idx, col_start, true_lengths = jagged_fill(coo, perm, padded)
+        return cls(
+            val,
+            col_idx,
+            col_start,
+            true_lengths,
+            padded,
+            perm,
+            coo.shape,
+            block_rows=block_rows,
+        )
+
+    def memory_breakdown(self) -> Mapping[str, int]:
+        return {
+            "val": self.total_slots * self.value_itemsize,
+            "col_idx": index_nbytes(self.total_slots),
+            # the paper: "a (small) array col_start[] of size Nmax x 4 byte"
+            "col_start": index_nbytes(self.width + 1),
+            # rowmax[] of Listing 2 (true lengths, stored order)
+            "rowmax": index_nbytes(self.nrows),
+            "perm": index_nbytes(self.nrows),
+        }
+
+    # ------------------------------------------------------------------
+    # paper-facing metrics
+    # ------------------------------------------------------------------
+    def data_reduction_vs(self, other) -> float:
+        """Fractional reduction of stored value slots vs. another format.
+
+        ``1 - slots(pJDS) / slots(other)`` — the "data reduction [%]"
+        row of Table I uses the plain ELLPACK matrix as ``other``.
+        """
+        theirs = other.stored_elements
+        if theirs == 0:
+            raise ValueError("reference format stores no elements")
+        return 1.0 - self.stored_elements / theirs
+
+    def overhead_vs_minimum(self) -> float:
+        """Padding slots relative to storing the non-zeros only.
+
+        The paper reports < 0.01 % for its suite at ``br = 32``.
+        """
+        if self.nnz == 0:
+            return 0.0
+        return self.total_slots / self.nnz - 1.0

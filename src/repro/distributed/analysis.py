@@ -1,0 +1,80 @@
+"""Communication-plan analysis: the quantities behind Fig. 5's shape.
+
+Whether a matrix scales (UHBR) or collapses (DLR1) is decided by a few
+per-rank ratios — halo size vs. owned rows, communication volume vs.
+kernel bytes, neighbor counts.  This module computes them from a
+:class:`~repro.distributed.plan.CommPlan` so users can predict scaling
+behaviour *before* running the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributed.modes import KernelCost
+from repro.distributed.plan import CommPlan
+
+__all__ = ["CommStats", "analyse_plan"]
+
+
+@dataclass(frozen=True)
+class CommStats:
+    """Aggregate communication statistics of one partitioning."""
+
+    nparts: int
+    total_nnz: int
+    total_rows: int
+    #: distinct x-elements received, summed over ranks
+    total_halo_elements: int
+    #: worst-case per-rank halo / owned-rows ratio
+    max_halo_ratio: float
+    mean_halo_ratio: float
+    #: largest neighbor count of any rank
+    max_neighbors: int
+    mean_neighbors: float
+    #: share of non-zeros referencing remote columns
+    nonlocal_nnz_fraction: float
+    #: load imbalance: max rank nnz / mean rank nnz
+    nnz_imbalance: float
+    #: estimated comm bytes / kernel bytes at DP (the scaling verdict)
+    comm_to_compute_bytes: float
+
+    @property
+    def communication_bound(self) -> bool:
+        """True when the exchange volume rivals the kernel traffic."""
+        return self.comm_to_compute_bytes > 0.5
+
+
+def analyse_plan(
+    plan: CommPlan, *, cost: KernelCost | None = None
+) -> CommStats:
+    """Compute :class:`CommStats` for a communication plan."""
+    cost = cost or KernelCost()
+    ranks = plan.ranks
+    n = len(ranks)
+    halo = np.array([r.halo_size for r in ranks], dtype=np.float64)
+    rows = np.array([r.local_rows for r in ranks], dtype=np.float64)
+    nnz = np.array([r.nnz_local + r.nnz_nonlocal for r in ranks], dtype=np.float64)
+    nonlocal_nnz = np.array([r.nnz_nonlocal for r in ranks], dtype=np.float64)
+    neighbors = np.array([len(r.neighbors) for r in ranks], dtype=np.float64)
+
+    ratios = halo / np.maximum(rows, 1.0)
+    comm_bytes = float(halo.sum()) * cost.itemsize * 2  # send + recv sides
+    kernel_bytes = float(
+        nnz.sum() * cost.bytes_per_nnz + rows.sum() * cost.bytes_per_row
+    )
+    return CommStats(
+        nparts=n,
+        total_nnz=int(nnz.sum()),
+        total_rows=int(rows.sum()),
+        total_halo_elements=int(halo.sum()),
+        max_halo_ratio=float(ratios.max()),
+        mean_halo_ratio=float(ratios.mean()),
+        max_neighbors=int(neighbors.max()) if n else 0,
+        mean_neighbors=float(neighbors.mean()) if n else 0.0,
+        nonlocal_nnz_fraction=float(nonlocal_nnz.sum() / max(nnz.sum(), 1.0)),
+        nnz_imbalance=float(nnz.max() / max(nnz.mean(), 1e-30)),
+        comm_to_compute_bytes=comm_bytes / max(kernel_bytes, 1e-30),
+    )

@@ -1,0 +1,129 @@
+"""Event timeline records for the execution modes (Fig. 4).
+
+The three communication modes are deterministic schedules; instead of
+a general discrete-event engine we record, per rank, the intervals each
+*resource* (host thread 0, host thread 1, the GPU, the PCIe bus, the
+NIC) is busy with.  :func:`render_timeline` draws the Fig. 4 picture as
+ASCII art for the benchmarks and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Interval", "Timeline", "render_timeline"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One busy period of one resource."""
+
+    rank: int
+    resource: str  # e.g. "thread0", "thread1", "gpu", "pcie", "nic"
+    label: str  # e.g. "MPI_Waitall", "local spMVM"
+    start: float
+    end: float
+
+    def __post_init__(self):
+        if self.end < self.start:
+            raise ValueError(f"interval ends before it starts: {self}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """Ordered interval records of one simulated iteration."""
+
+    intervals: list[Interval] = field(default_factory=list)
+
+    def add(
+        self, rank: int, resource: str, label: str, start: float, duration: float
+    ) -> float:
+        """Append an interval; returns its end time."""
+        end = start + duration
+        self.intervals.append(Interval(rank, resource, label, start, end))
+        return end
+
+    @property
+    def makespan(self) -> float:
+        return max((iv.end for iv in self.intervals), default=0.0)
+
+    def resources(self, rank: int | None = None) -> list[str]:
+        seen: dict[str, None] = {}
+        for iv in self.intervals:
+            if rank is None or iv.rank == rank:
+                seen.setdefault(iv.resource, None)
+        return list(seen)
+
+    def for_rank(self, rank: int) -> list[Interval]:
+        return [iv for iv in self.intervals if iv.rank == rank]
+
+    def busy_seconds(self, resource: str, rank: int | None = None) -> float:
+        return sum(
+            iv.duration
+            for iv in self.intervals
+            if iv.resource == resource and (rank is None or iv.rank == rank)
+        )
+
+
+def to_chrome_trace(timeline: Timeline) -> list[dict]:
+    """Convert to Chrome-tracing "complete" events (``chrome://tracing``).
+
+    Each rank becomes a process, each resource a thread; dump the
+    returned list as JSON (wrapped in ``{"traceEvents": [...]}``) and
+    load it in any Perfetto/Chrome trace viewer.
+    """
+    events = []
+    for iv in timeline.intervals:
+        events.append(
+            {
+                "name": iv.label,
+                "cat": iv.resource,
+                "ph": "X",
+                "ts": iv.start * 1e6,  # microseconds
+                "dur": iv.duration * 1e6,
+                "pid": iv.rank,
+                "tid": iv.resource,
+            }
+        )
+    return events
+
+
+def render_timeline(
+    timeline: Timeline, rank: int = 0, *, width: int = 78
+) -> str:
+    """ASCII rendering of one rank's timeline (the Fig. 4 picture).
+
+    Each resource gets one lane; busy periods are drawn as labelled
+    blocks positioned proportionally to wall-clock time.
+    """
+    ivs = timeline.for_rank(rank)
+    if not ivs:
+        return f"(no events for rank {rank})"
+    span = max(iv.end for iv in ivs)
+    if span <= 0:
+        return f"(empty timeline for rank {rank})"
+    lanes = timeline.resources(rank)
+    name_w = max(len(r) for r in lanes) + 1
+    bar_w = max(width - name_w - 2, 20)
+    lines = [f"rank {rank}, 1 iteration = {span * 1e6:.1f} us"]
+    for res in lanes:
+        row = [" "] * bar_w
+        for iv in ivs:
+            if iv.resource != res:
+                continue
+            a = int(iv.start / span * bar_w)
+            b = max(int(iv.end / span * bar_w), a + 1)
+            b = min(b, bar_w)
+            block = list("#" * (b - a))
+            label = iv.label[: b - a - 2]
+            if label and b - a >= 3:
+                pos = (b - a - len(label)) // 2
+                for i, ch in enumerate(label):
+                    block[pos + i] = ch
+            row[a:b] = block
+        lines.append(f"{res:>{name_w}} |{''.join(row)}|")
+    return "\n".join(lines)

@@ -1,0 +1,315 @@
+"""The three multi-GPGPU execution modes of Sect. III-A.
+
+* **vector mode** — communication is a separate bulk-synchronous phase;
+  the spMVM runs afterwards in a single unsplit kernel.
+* **naive overlap** — the kernel is split into local and nonlocal
+  parts and the local part is "overlapped" with non-blocking MPI.
+  Since MPI libraries rarely progress messages asynchronously, only a
+  fraction of the transfer really hides behind the kernel; the rest is
+  served inside ``MPI_Waitall``.  The split also writes the result
+  vector twice (the +8/Nnzr bytes/flop penalty the paper notes).
+* **task mode** — a dedicated host thread drives MPI, giving reliably
+  asynchronous transfers: communication fully overlaps the local
+  kernel (Fig. 4).
+
+All modes share the same per-rank cost pieces, computed from the
+:class:`~repro.distributed.plan.CommPlan` statistics, the GPU's
+bandwidth model, the PCIe model and the interconnect model.  One
+iteration is bulk-synchronous: its wall-clock is the slowest rank's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distributed.events import Timeline
+from repro.distributed.network import NetworkModel
+from repro.distributed.plan import CommPlan, RankPlan
+from repro.gpu.device import DeviceSpec
+from repro.gpu.pcie import transfer_seconds
+
+__all__ = ["MODES", "NodeStats", "KernelCost", "ModeResult", "simulate_mode"]
+
+MODES = ("vector", "naive", "task")
+
+
+@dataclass(frozen=True)
+class NodeStats:
+    """Scale-free workload description of one rank."""
+
+    rank: int
+    rows: int
+    nnz_local: int
+    nnz_nonlocal: int
+    send_elements: int
+    halo_elements: int
+    send_bytes: dict[int, int]
+    recv_bytes: dict[int, int]
+
+    @property
+    def nnz(self) -> int:
+        return self.nnz_local + self.nnz_nonlocal
+
+    @classmethod
+    def from_plan(
+        cls, plan: RankPlan, itemsize: int, *, workload_scale: int = 1
+    ) -> "NodeStats":
+        """Extract stats, optionally re-inflating a 1/scale matrix.
+
+        ``workload_scale`` multiplies every extensive quantity (rows,
+        non-zeros, message sizes) so that a plan built on a shrunk
+        suite matrix reproduces paper-scale timings; intensive
+        quantities (Nnzr, halo/rows ratios) are unchanged because the
+        suite generators shrink dimensions and strides together.
+        """
+        s = workload_scale
+        return cls(
+            rank=plan.rank,
+            rows=plan.local_rows * s,
+            nnz_local=plan.nnz_local * s,
+            nnz_nonlocal=plan.nnz_nonlocal * s,
+            send_elements=plan.send_elements * s,
+            halo_elements=plan.halo_size * s,
+            send_bytes={d: b * s for d, b in plan.send_bytes(itemsize).items()},
+            recv_bytes={d: b * s for d, b in plan.recv_bytes(itemsize).items()},
+        )
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Linear kernel-time model: bandwidth-bound bytes per nnz / row.
+
+    Defaults follow Eq. (1) at double precision: 12 bytes of matrix
+    data per non-zero plus ``8 * alpha`` of RHS traffic, and 20 bytes
+    per row (16 for the LHS read-modify-write + 4 for ``rowmax``).
+    """
+
+    bytes_per_nnz: float = 12.0 + 8.0 * 0.3
+    bytes_per_row: float = 20.0
+    itemsize: int = 8
+
+    @classmethod
+    def from_alpha(cls, alpha: float, precision: str = "DP") -> "KernelCost":
+        if precision == "DP":
+            return cls(12.0 + 8.0 * alpha, 20.0, 8)
+        if precision == "SP":
+            return cls(8.0 + 4.0 * alpha, 12.0, 4)
+        raise ValueError(f"precision must be 'SP' or 'DP', got {precision!r}")
+
+    def kernel_seconds(self, nnz: int, rows: int, device: DeviceSpec) -> float:
+        bytes_ = nnz * self.bytes_per_nnz + rows * self.bytes_per_row
+        return bytes_ / device.bandwidth_bytes_per_s + device.launch_latency_s
+
+    def gather_seconds(self, elements: int, device: DeviceSpec) -> float:
+        """Pack owned elements into the contiguous send buffer (on GPU)."""
+        if elements == 0:
+            return 0.0
+        return (
+            2.0 * self.itemsize * elements / device.bandwidth_bytes_per_s
+            + device.launch_latency_s
+        )
+
+
+@dataclass
+class ModeResult:
+    """One simulated bulk-synchronous spMVM iteration."""
+
+    mode: str
+    nparts: int
+    iteration_seconds: float
+    per_rank_seconds: list[float]
+    total_nnz: int
+    timeline: Timeline
+
+    @property
+    def gflops(self) -> float:
+        return 2.0 * self.total_nnz / self.iteration_seconds * 1e-9
+
+    @property
+    def slowest_rank(self) -> int:
+        return max(
+            range(len(self.per_rank_seconds)), key=self.per_rank_seconds.__getitem__
+        )
+
+
+def _mpi_seconds(stats: NodeStats, network: NetworkModel) -> float:
+    """One rank's exchange: full duplex, slower direction dominates."""
+    return max(
+        network.exchange_seconds(stats.send_bytes),
+        network.exchange_seconds(stats.recv_bytes),
+    )
+
+
+def _vector_mode(
+    stats: list[NodeStats],
+    device: DeviceSpec,
+    network: NetworkModel,
+    cost: KernelCost,
+    tl: Timeline,
+) -> list[float]:
+    """Vector mode is bulk-synchronous *per phase*: the RHS distribution
+    is one global communication step, so every rank waits for the
+    slowest gather/download before exchanging and for the slowest
+    exchange before computing — the synchronisation cost that makes
+    this mode fall behind at scale (Fig. 5)."""
+    pre = []
+    for s in stats:
+        g = cost.gather_seconds(s.send_elements, device)
+        d = transfer_seconds(s.send_elements * cost.itemsize, device)
+        tl.add(s.rank, "gpu", "gather", 0.0, g)
+        tl.add(s.rank, "pcie", "DL buf", g, d)
+        pre.append(g + d)
+    t1 = max(pre)
+    mpi = [_mpi_seconds(s, network) for s in stats]
+    for s, m in zip(stats, mpi):
+        tl.add(s.rank, "nic", "MPI exchange", t1, m)
+    t2 = t1 + max(mpi)
+    ends = []
+    for s in stats:
+        t = tl.add(
+            s.rank,
+            "pcie",
+            "UL halo",
+            t2,
+            transfer_seconds(s.halo_elements * cost.itemsize, device),
+        )
+        # one unsplit kernel over the full row block
+        ends.append(
+            tl.add(s.rank, "gpu", "spMVM", t, cost.kernel_seconds(s.nnz, s.rows, device))
+        )
+    return ends
+
+
+def _rank_naive(
+    stats: NodeStats,
+    device: DeviceSpec,
+    network: NetworkModel,
+    cost: KernelCost,
+    tl: Timeline,
+    *,
+    async_progress_fraction: float,
+) -> float:
+    r = stats.rank
+    t = tl.add(r, "gpu", "gather", 0.0, cost.gather_seconds(stats.send_elements, device))
+    t = tl.add(
+        r, "pcie", "DL buf", t, transfer_seconds(stats.send_elements * cost.itemsize, device)
+    )
+    # split kernel: the local part nominally overlaps the non-blocking
+    # transfers, but only a fraction of the message time progresses
+    t_local = cost.kernel_seconds(stats.nnz_local, stats.rows, device)
+    t_mpi = _mpi_seconds(stats, network)
+    hidden = min(async_progress_fraction * t_mpi, t_local)
+    local_end = tl.add(r, "gpu", "local spMVM", t, t_local)
+    wait = t_mpi - hidden
+    t2 = tl.add(r, "nic", "MPI_Waitall", local_end, wait)
+    t2 = tl.add(
+        r, "pcie", "UL halo", t2, transfer_seconds(stats.halo_elements * cost.itemsize, device)
+    )
+    return tl.add(
+        r,
+        "gpu",
+        "nonlocal spMVM",
+        t2,
+        cost.kernel_seconds(stats.nnz_nonlocal, stats.rows, device),
+    )
+
+
+def _rank_task(
+    stats: NodeStats,
+    device: DeviceSpec,
+    network: NetworkModel,
+    cost: KernelCost,
+    tl: Timeline,
+) -> float:
+    r = stats.rank
+    # GPU: gather kernel, then the local spMVM back to back
+    g_end = tl.add(
+        r, "gpu", "gather", 0.0, cost.gather_seconds(stats.send_elements, device)
+    )
+    local_end = tl.add(
+        r,
+        "gpu",
+        "local spMVM",
+        g_end,
+        cost.kernel_seconds(stats.nnz_local, stats.rows, device),
+    )
+    # thread 0: download the send buffer, run MPI fully asynchronously
+    dl_end = tl.add(
+        r,
+        "pcie",
+        "DL buf",
+        g_end,
+        transfer_seconds(stats.send_elements * cost.itemsize, device),
+    )
+    tl.add(r, "thread0", "MPI_Irecv/Isend", g_end, 0.0)
+    mpi_end = tl.add(r, "thread0", "MPI_Waitall", dl_end, _mpi_seconds(stats, network))
+    ul_end = tl.add(
+        r,
+        "pcie",
+        "UL halo",
+        mpi_end,
+        transfer_seconds(stats.halo_elements * cost.itemsize, device),
+    )
+    start_nl = max(local_end, ul_end)
+    return tl.add(
+        r,
+        "gpu",
+        "nonlocal spMVM",
+        start_nl,
+        cost.kernel_seconds(stats.nnz_nonlocal, stats.rows, device),
+    )
+
+
+def simulate_mode(
+    mode: str,
+    stats: list[NodeStats],
+    device: DeviceSpec,
+    network: NetworkModel,
+    cost: KernelCost | None = None,
+    *,
+    async_progress_fraction: float = 0.35,
+) -> ModeResult:
+    """Simulate one bulk-synchronous iteration of ``mode``."""
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    if not stats:
+        raise ValueError("stats must not be empty")
+    if not 0.0 <= async_progress_fraction <= 1.0:
+        raise ValueError("async_progress_fraction must be in [0, 1]")
+    cost = cost or KernelCost()
+    tl = Timeline()
+    if mode == "vector":
+        per_rank = _vector_mode(stats, device, network, cost, tl)
+    else:
+        per_rank = []
+        for s in stats:
+            if mode == "naive":
+                end = _rank_naive(
+                    s,
+                    device,
+                    network,
+                    cost,
+                    tl,
+                    async_progress_fraction=async_progress_fraction,
+                )
+            else:
+                end = _rank_task(s, device, network, cost, tl)
+            per_rank.append(end)
+    return ModeResult(
+        mode=mode,
+        nparts=len(stats),
+        iteration_seconds=max(per_rank),
+        per_rank_seconds=per_rank,
+        total_nnz=sum(s.nnz for s in stats),
+        timeline=tl,
+    )
+
+
+def stats_from_plan(
+    comm_plan: CommPlan, *, itemsize: int = 8, workload_scale: int = 1
+) -> list[NodeStats]:
+    """Convenience: extract :class:`NodeStats` for every rank."""
+    return [
+        NodeStats.from_plan(p, itemsize, workload_scale=workload_scale)
+        for p in comm_plan.ranks
+    ]

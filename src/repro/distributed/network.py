@@ -1,0 +1,58 @@
+"""Interconnect model for the event simulator (the Dirac cluster's IB).
+
+A message of ``b`` bytes between two nodes costs
+
+    T(b) = latency + b / bandwidth
+
+the classic alpha-beta (Hockney) model.  The Dirac cluster's QDR
+InfiniBand sustains roughly 3 GB/s per node with ~2 microseconds
+point-to-point latency; both are configurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkModel", "DIRAC_IB"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """alpha-beta interconnect: per-message latency + inverse bandwidth."""
+
+    name: str = "QDR-IB"
+    latency_s: float = 2e-6
+    bandwidth_gbs: float = 3.0
+
+    def __post_init__(self):
+        if self.latency_s < 0:
+            raise ValueError("latency must be >= 0")
+        if self.bandwidth_gbs <= 0:
+            raise ValueError("bandwidth must be > 0")
+
+    @property
+    def bytes_per_s(self) -> float:
+        return self.bandwidth_gbs * 1e9
+
+    def message_seconds(self, nbytes: int) -> float:
+        """Point-to-point transfer time of one message."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        return self.latency_s + nbytes / self.bytes_per_s
+
+    def exchange_seconds(self, message_bytes: dict[int, int]) -> float:
+        """Serialised cost of one rank's sends (or receives).
+
+        The NIC injects messages one after another; receives from
+        distinct sources overlap with sends on full-duplex links, so a
+        rank's communication phase is bounded by the larger of the two
+        directions — callers pass each direction separately and take
+        the max.
+        """
+        return sum(self.message_seconds(b) for b in message_bytes.values())
+
+
+#: the cluster the paper's Fig. 5 was measured on
+DIRAC_IB = NetworkModel()

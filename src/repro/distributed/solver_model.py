@@ -1,0 +1,106 @@
+"""Distributed solver timing: a full CG iteration across the cluster.
+
+Fig. 5 times one spMVM; a production Krylov solver adds, per iteration,
+a handful of BLAS-1 sweeps on the device and two scalar all-reductions
+whose latency grows with the node count.  This model composes the
+spMVM mode simulation with those costs — quantifying how much of the
+paper's per-spMVM gains survive inside a real solver loop, and how the
+allreduce term steepens the strong-scaling collapse.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.distributed.modes import (
+    KernelCost,
+    NodeStats,
+    simulate_mode,
+)
+from repro.distributed.network import DIRAC_IB, NetworkModel
+from repro.gpu.device import DeviceSpec
+
+__all__ = ["CGIterationModel", "allreduce_seconds", "model_cg_iteration"]
+
+#: BLAS-1 sweeps per CG iteration (p update, x update, r update, 2 dots)
+_CG_VECTOR_READS = 7
+_CG_VECTOR_WRITES = 3
+#: scalar all-reductions per CG iteration (p.Ap and r.r)
+_CG_ALLREDUCE = 2
+
+
+def allreduce_seconds(
+    nodes: int, nbytes: int, network: NetworkModel
+) -> float:
+    """Tree all-reduce: 2 * ceil(log2(n)) message steps.
+
+    The standard latency-dominated model for the short reductions a
+    Krylov method issues (8-byte scalars).
+    """
+    if nodes < 1:
+        raise ValueError(f"nodes must be >= 1, got {nodes}")
+    if nodes == 1:
+        return 0.0
+    steps = 2 * math.ceil(math.log2(nodes))
+    return steps * network.message_seconds(max(nbytes, 1))
+
+
+@dataclass(frozen=True)
+class CGIterationModel:
+    """Per-iteration wall-clock decomposition of distributed CG."""
+
+    nodes: int
+    mode: str
+    spmv_seconds: float
+    blas1_seconds: float
+    allreduce_seconds: float
+    total_nnz: int
+
+    @property
+    def iteration_seconds(self) -> float:
+        return self.spmv_seconds + self.blas1_seconds + self.allreduce_seconds
+
+    @property
+    def gflops(self) -> float:
+        """spMVM-flop rate of the full iteration (the paper's metric)."""
+        return 2.0 * self.total_nnz / self.iteration_seconds * 1e-9
+
+    @property
+    def spmv_share(self) -> float:
+        """Fraction of the iteration spent in the spMVM — the Sect. I
+        'dominating component' claim, quantified."""
+        return self.spmv_seconds / self.iteration_seconds
+
+    @property
+    def iterations_per_second(self) -> float:
+        return 1.0 / self.iteration_seconds
+
+
+def model_cg_iteration(
+    stats: list[NodeStats],
+    device: DeviceSpec,
+    network: NetworkModel = DIRAC_IB,
+    cost: KernelCost | None = None,
+    *,
+    mode: str = "task",
+) -> CGIterationModel:
+    """Compose one CG iteration from the spMVM mode model + BLAS-1 +
+    all-reduce costs."""
+    cost = cost or KernelCost()
+    spmv = simulate_mode(mode, stats, device, network, cost)
+    rows_max = max(s.rows for s in stats)
+    blas1_bytes = (_CG_VECTOR_READS + _CG_VECTOR_WRITES) * rows_max * cost.itemsize
+    blas1 = (
+        blas1_bytes / device.bandwidth_bytes_per_s
+        + 3 * device.launch_latency_s  # axpy/axpy/dot kernel launches
+    )
+    reduce_t = _CG_ALLREDUCE * allreduce_seconds(len(stats), 8, network)
+    return CGIterationModel(
+        nodes=len(stats),
+        mode=mode,
+        spmv_seconds=spmv.iteration_seconds,
+        blas1_seconds=blas1,
+        allreduce_seconds=reduce_t,
+        total_nnz=spmv.total_nnz,
+    )

@@ -1,0 +1,229 @@
+"""Abstract base class for sparse matrix storage formats.
+
+Every format in :mod:`repro.formats` and :mod:`repro.core` derives from
+:class:`SparseMatrixFormat`.  The contract is deliberately small:
+
+* construction from / conversion to COO (the interchange format),
+* a vectorised ``spmv`` (sparse matrix-vector multiply, ``y = A @ x``),
+* byte-exact storage accounting (``memory_breakdown``), which Table I of
+  the paper is built on,
+* row-length introspection, which both the pJDS construction and the
+  Fig. 3 histograms are built on.
+
+Formats are immutable after construction; all arrays are private and the
+kernels receive them through read-only views.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.utils.validation import check_dense_vector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.formats.coo import COOMatrix
+
+__all__ = ["SparseMatrixFormat", "INDEX_DTYPE", "index_nbytes"]
+
+#: Package-wide index dtype.  The paper stores indices as 4-byte integers
+#: (``col_start`` is "Nmax x 4 byte"); we *compute* with int64 for safety
+#: but *account* storage at 4 bytes per index to match the paper's byte
+#: counts.  ``index_nbytes`` centralises that accounting rule.
+INDEX_DTYPE = np.int64
+
+#: Storage bytes per index entry used in all memory accounting (the
+#: device-side representation the paper assumes).
+INDEX_STORAGE_BYTES = 4
+
+
+def index_nbytes(count: int) -> int:
+    """Device-storage bytes for ``count`` index entries (4 bytes each)."""
+    return int(count) * INDEX_STORAGE_BYTES
+
+
+class SparseMatrixFormat(abc.ABC):
+    """Common interface of all sparse storage formats.
+
+    Subclasses must set :attr:`name` and implement the abstract methods.
+    """
+
+    #: Short human-readable format name (e.g. ``"pJDS"``); class attribute.
+    name: str = "abstract"
+
+    def __init__(self, shape: tuple[int, int], nnz: int, dtype: np.dtype):
+        self._shape = (int(shape[0]), int(shape[1]))
+        self._nnz = int(nnz)
+        self._dtype = np.dtype(dtype)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Matrix shape ``(nrows, ncols)``."""
+        return self._shape
+
+    @property
+    def nrows(self) -> int:
+        return self._shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self._shape[1]
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored *non-zero* entries (excludes format padding)."""
+        return self._nnz
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Value dtype (float32 = paper's SP, float64 = DP)."""
+        return self._dtype
+
+    @property
+    def value_itemsize(self) -> int:
+        """Bytes per stored value (4 for SP, 8 for DP)."""
+        return self._dtype.itemsize
+
+    @property
+    def avg_row_length(self) -> float:
+        """The paper's ``Nnzr``: average number of non-zeros per row."""
+        return self._nnz / self._shape[0]
+
+    # ------------------------------------------------------------------
+    # abstract interface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Compute ``y = A @ x`` with the format's vectorised kernel.
+
+        Parameters
+        ----------
+        x : ndarray
+            Dense RHS vector of length ``ncols``.
+        out : ndarray, optional
+            Preallocated result vector of length ``nrows``; overwritten.
+
+        Returns
+        -------
+        ndarray
+            The result ``y`` in the matrix's *original* row ordering
+            (permuting formats undo their permutation internally).
+        """
+
+    @abc.abstractmethod
+    def to_coo(self) -> "COOMatrix":
+        """Convert to the COO interchange format (canonical ordering)."""
+
+    @classmethod
+    @abc.abstractmethod
+    def from_coo(cls, coo: "COOMatrix", **kwargs) -> "SparseMatrixFormat":
+        """Build this format from a COO matrix."""
+
+    @abc.abstractmethod
+    def memory_breakdown(self) -> Mapping[str, int]:
+        """Per-array device storage bytes, e.g. ``{"val": ..., "col_idx": ...}``.
+
+        Values are accounted at :attr:`value_itemsize` bytes per (possibly
+        padded) stored element and indices at 4 bytes per entry, matching
+        the paper's footprint discussion.
+        """
+
+    @abc.abstractmethod
+    def row_lengths(self) -> np.ndarray:
+        """Number of non-zeros of each row, in original row order."""
+
+    # ------------------------------------------------------------------
+    # derived helpers
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Total device storage bytes (sum of :meth:`memory_breakdown`)."""
+        return int(sum(self.memory_breakdown().values()))
+
+    @property
+    def stored_elements(self) -> int:
+        """Number of value slots held in device memory, *including* padding."""
+        return self.memory_breakdown()["val"] // self.value_itemsize
+
+    @property
+    def padding_overhead(self) -> float:
+        """Fraction of stored value slots that are padding (zero fill)."""
+        stored = self.stored_elements
+        if stored == 0:
+            return 0.0
+        return 1.0 - self._nnz / stored
+
+    def max_row_length(self) -> int:
+        """The paper's ``Nmax_nzr``."""
+        lengths = self.row_lengths()
+        return int(lengths.max()) if lengths.size else 0
+
+    def check_rhs(self, x: np.ndarray) -> np.ndarray:
+        """Validate an RHS vector and coerce it to the value dtype."""
+        return check_dense_vector(x, self.ncols, dtype=self._dtype, name="x")
+
+    def alloc_result(self, out: np.ndarray | None) -> np.ndarray:
+        """Return a zeroed result vector, reusing ``out`` when provided."""
+        if out is None:
+            return np.zeros(self.nrows, dtype=self._dtype)
+        result = check_dense_vector(out, self.nrows, name="out")
+        if result.dtype != self._dtype:
+            raise ValueError(
+                f"out has dtype {result.dtype}, expected {self._dtype}"
+            )
+        if result is not out or not out.flags.c_contiguous:
+            raise ValueError("out must be a C-contiguous ndarray")
+        result[:] = 0.0
+        return result
+
+    def todense(self) -> np.ndarray:
+        """Materialise as a dense ndarray (small matrices / tests only)."""
+        return self.to_coo().todense()
+
+    def spmm(self, X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Multi-vector product ``Y = A @ X`` for ``X`` of shape (ncols, k).
+
+        Block Krylov methods and KPM batches use this; the generic
+        implementation loops :meth:`spmv` per column (formats may
+        override with a fused kernel).
+        """
+        X = np.ascontiguousarray(X, dtype=self._dtype)
+        if X.ndim != 2 or X.shape[0] != self.ncols:
+            raise ValueError(
+                f"X must have shape ({self.ncols}, k), got {X.shape}"
+            )
+        k = X.shape[1]
+        if out is None:
+            out = np.empty((self.nrows, k), dtype=self._dtype)
+        elif out.shape != (self.nrows, k) or out.dtype != self._dtype:
+            raise ValueError(
+                f"out must be a ({self.nrows}, {k}) array of {self._dtype}"
+            )
+        col_buf = np.zeros(self.nrows, dtype=self._dtype)
+        for j in range(k):
+            out[:, j] = self.spmv(np.ascontiguousarray(X[:, j]), out=col_buf)
+        return out
+
+    def diagonal(self) -> np.ndarray:
+        """Main-diagonal entries (missing entries are 0).
+
+        Used by the Jacobi preconditioner; square matrices only.
+        """
+        if self.nrows != self.ncols:
+            raise ValueError("diagonal() requires a square matrix")
+        coo = self.to_coo()
+        diag = np.zeros(self.nrows, dtype=self._dtype)
+        on_diag = coo.rows == coo.cols
+        diag[coo.rows[on_diag]] = coo.values[on_diag]
+        return diag
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{type(self).__name__} {self.nrows}x{self.ncols} "
+            f"nnz={self.nnz} dtype={self.dtype} bytes={self.nbytes}>"
+        )

@@ -1,0 +1,200 @@
+"""BELLPACK (Choi, Singh, Vuduc): blocked ELLPACK.
+
+The second "a priori structure" format the paper positions pJDS
+against: the matrix is tiled into dense ``br x bc`` blocks; the
+*blocks* are stored in ELLPACK fashion (each block-row padded to the
+maximal block count).  For matrices that really consist of dense
+sub-blocks (DLR2's 5x5, DLR1's 6x6) this amortises one column index
+over ``br*bc`` values; for unstructured matrices the explicit zeros
+inside partially-filled blocks blow the footprint up — exactly the
+trade-off that motivates the structure-agnostic pJDS.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.formats.base import INDEX_DTYPE, SparseMatrixFormat, index_nbytes
+from repro.formats.coo import COOMatrix
+from repro.utils.validation import check_positive_int
+
+__all__ = ["BELLPACKMatrix"]
+
+
+class BELLPACKMatrix(SparseMatrixFormat):
+    """Blocked ELLPACK with dense ``br x bc`` tiles."""
+
+    name = "BELLPACK"
+
+    def __init__(
+        self,
+        block_val: np.ndarray,  # (width, nblockrows, br, bc)
+        block_col: np.ndarray,  # (width, nblockrows) block-column ids
+        blocks_per_row: np.ndarray,  # true block count per block-row
+        shape: tuple[int, int],
+        nnz: int,
+    ):
+        if block_val.ndim != 4:
+            raise ValueError("block_val must be 4-D (width, nbr, br, bc)")
+        width, nbr, br, bc = block_val.shape
+        if block_col.shape != (width, nbr):
+            raise ValueError("block_col must be (width, nblockrows)")
+        if blocks_per_row.shape != (nbr,):
+            raise ValueError("blocks_per_row must have one entry per block-row")
+        dtype = block_val.dtype
+        super().__init__(shape, nnz=nnz, dtype=dtype)
+        if nbr * br < shape[0]:
+            raise ValueError("block grid does not cover the row space")
+        self._val = np.ascontiguousarray(block_val)
+        self._col = np.ascontiguousarray(block_col, dtype=INDEX_DTYPE)
+        self._blocks = np.ascontiguousarray(blocks_per_row, dtype=INDEX_DTYPE)
+
+    # ------------------------------------------------------------------
+    @property
+    def block_shape(self) -> tuple[int, int]:
+        return (self._val.shape[2], self._val.shape[3])
+
+    @property
+    def width(self) -> int:
+        """Stored blocks per block-row (the padded maximum)."""
+        return self._val.shape[0]
+
+    @property
+    def nblockrows(self) -> int:
+        return self._val.shape[1]
+
+    @property
+    def blocks_per_row(self) -> np.ndarray:
+        v = self._blocks.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def stored_blocks(self) -> int:
+        return self.width * self.nblockrows
+
+    @property
+    def fill_ratio(self) -> float:
+        """Stored values per actual non-zero (>= 1; 1 = perfect tiling)."""
+        if self.nnz == 0:
+            return 1.0
+        return self.stored_elements / self.nnz
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(
+        cls, coo: COOMatrix, *, block_rows: int = 5, block_cols: int | None = None, **kwargs
+    ) -> "BELLPACKMatrix":
+        if kwargs:
+            raise TypeError(f"unexpected kwargs for BELLPACK: {sorted(kwargs)}")
+        br = check_positive_int(block_rows, "block_rows")
+        bc = check_positive_int(
+            block_cols if block_cols is not None else block_rows, "block_cols"
+        )
+        nbr = -(-coo.nrows // br)
+        nbc = -(-coo.ncols // bc)
+
+        brow = coo.rows // br
+        bcol = coo.cols // bc
+        # enumerate distinct blocks per block-row, assign slot ids
+        keys = brow * nbc + bcol
+        order = np.argsort(keys, kind="stable")
+        sk = keys[order]
+        first = np.ones(sk.shape[0], dtype=bool)
+        first[1:] = sk[1:] != sk[:-1]
+        block_ids = np.cumsum(first) - 1  # dense id per distinct block
+        nblocks = int(block_ids[-1]) + 1 if sk.size else 0
+
+        uniq_keys = sk[first]
+        uniq_brow = uniq_keys // nbc
+        uniq_bcol = uniq_keys % nbc
+        counts = np.bincount(uniq_brow, minlength=nbr)
+        width = int(counts.max()) if nblocks else 0
+
+        val = np.zeros((max(width, 1), nbr, br, bc), dtype=coo.dtype)
+        col = np.zeros((max(width, 1), nbr), dtype=INDEX_DTYPE)
+        if nblocks:
+            # slot of each distinct block within its block-row
+            starts = np.zeros(nbr + 1, dtype=np.int64)
+            np.cumsum(counts, out=starts[1:])
+            slot_of_block = np.arange(nblocks) - starts[uniq_brow]
+            col[slot_of_block, uniq_brow] = uniq_bcol
+            # scatter entries into their block interiors
+            entry_block = np.empty(coo.nnz, dtype=np.int64)
+            entry_block[order] = block_ids
+            r_in = coo.rows - brow * br
+            c_in = coo.cols - bcol * bc
+            val[
+                slot_of_block[entry_block],
+                brow,
+                r_in,
+                c_in,
+            ] = coo.values
+        return cls(
+            val[: max(width, 1)],
+            col,
+            counts.astype(INDEX_DTYPE),
+            coo.shape,
+            coo.nnz,
+        )
+
+    # ------------------------------------------------------------------
+    def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        x = self.check_rhs(x)
+        y = self.alloc_result(out)
+        br, bc = self.block_shape
+        nbr = self.nblockrows
+        # pad x to the block grid, accumulate block-row results
+        xpad = np.zeros(-(-self.ncols // bc) * bc, dtype=np.float64)
+        xpad[: self.ncols] = x
+        xblocks = xpad.reshape(-1, bc)
+        acc = np.zeros((nbr, br), dtype=np.float64)
+        for j in range(self.width):
+            active = self._blocks > j
+            if not active.any():
+                break
+            idx = np.nonzero(active)[0]
+            blocks = self._val[j, idx].astype(np.float64)  # (k, br, bc)
+            xs = xblocks[self._col[j, idx]]  # (k, bc)
+            acc[idx] += np.einsum("krc,kc->kr", blocks, xs)
+        y[:] = acc.reshape(-1)[: self.nrows].astype(self._dtype)
+        return y
+
+    def to_coo(self) -> COOMatrix:
+        br, bc = self.block_shape
+        rows_, cols_, vals_ = [], [], []
+        for j in range(self.width):
+            idx = np.nonzero(self._blocks > j)[0]
+            for b in idx:
+                block = self._val[j, b]
+                r, c = np.nonzero(block)
+                if r.size == 0:
+                    continue
+                rows_.append(b * br + r)
+                cols_.append(self._col[j, b] * bc + c)
+                vals_.append(block[r, c])
+        if rows_:
+            rows = np.concatenate(rows_)
+            cols = np.concatenate(cols_)
+            vals = np.concatenate(vals_)
+            keep = (rows < self.nrows) & (cols < self.ncols)
+            rows, cols, vals = rows[keep], cols[keep], vals[keep]
+        else:
+            rows = np.empty(0, dtype=INDEX_DTYPE)
+            cols = np.empty(0, dtype=INDEX_DTYPE)
+            vals = np.empty(0, dtype=self._dtype)
+        return COOMatrix(rows, cols, vals, self.shape, sum_duplicates=False)
+
+    def memory_breakdown(self) -> Mapping[str, int]:
+        br, bc = self.block_shape
+        slots = self.stored_blocks * br * bc
+        return {
+            "val": slots * self.value_itemsize,
+            "col_idx": index_nbytes(self.stored_blocks),
+            "blocks_per_row": index_nbytes(self.nblockrows),
+        }
+
+    def row_lengths(self) -> np.ndarray:
+        return self.to_coo().row_lengths()

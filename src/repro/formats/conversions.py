@@ -1,0 +1,78 @@
+"""Format registry and generic conversion helpers.
+
+``FORMATS`` maps the short names used throughout the benchmarks
+(``"CRS"``, ``"ELLPACK"``, ``"ELLPACK-R"``, ``"JDS"``, ``"pJDS"``,
+``"SELL-C-sigma"``, ``"COO"``) to their classes, and :func:`convert`
+routes any format to any other through COO.
+"""
+
+from __future__ import annotations
+
+from typing import Type
+
+from repro.formats.base import SparseMatrixFormat
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.ellpack import ELLPACKMatrix
+from repro.formats.ellpack_r import ELLPACKRMatrix
+
+__all__ = ["FORMATS", "convert", "register_format", "available_formats"]
+
+FORMATS: dict[str, Type[SparseMatrixFormat]] = {
+    COOMatrix.name: COOMatrix,
+    CSRMatrix.name: CSRMatrix,
+    ELLPACKMatrix.name: ELLPACKMatrix,
+    ELLPACKRMatrix.name: ELLPACKRMatrix,
+}
+
+
+def register_format(cls: Type[SparseMatrixFormat]) -> Type[SparseMatrixFormat]:
+    """Register a format class under its ``name`` (idempotent)."""
+    existing = FORMATS.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"format name {cls.name!r} already registered")
+    FORMATS[cls.name] = cls
+    return cls
+
+
+def available_formats() -> list[str]:
+    """Names of all registered formats, sorted."""
+    _register_core_formats()
+    return sorted(FORMATS)
+
+
+def convert(
+    matrix: SparseMatrixFormat, target: str | Type[SparseMatrixFormat], **kwargs
+) -> SparseMatrixFormat:
+    """Convert ``matrix`` to the ``target`` format (name or class).
+
+    Extra keyword arguments are passed to the target's ``from_coo``
+    (e.g. ``block_rows=`` for pJDS, ``sigma=`` for SELL).
+    """
+    _register_core_formats()
+    if isinstance(target, str):
+        try:
+            cls = FORMATS[target]
+        except KeyError:
+            raise ValueError(
+                f"unknown format {target!r}; available: {available_formats()}"
+            ) from None
+    else:
+        cls = target
+    if type(matrix) is cls and not kwargs:
+        return matrix
+    return cls.from_coo(matrix.to_coo(), **kwargs)
+
+
+def _register_core_formats() -> None:
+    """Register the remaining formats lazily: they import repro.formats
+    themselves, so registering at module import time would cycle."""
+    from repro.core.jds import JDSMatrix
+    from repro.core.pjds import PJDSMatrix
+    from repro.core.sell import SELLMatrix
+    from repro.formats.bellpack import BELLPACKMatrix
+    from repro.formats.ellr_t import ELLRTMatrix
+
+    for cls in (JDSMatrix, PJDSMatrix, SELLMatrix, BELLPACKMatrix, ELLRTMatrix):
+        if cls.name not in FORMATS:
+            register_format(cls)

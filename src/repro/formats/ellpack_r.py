@@ -1,0 +1,62 @@
+"""ELLPACK-R (Vazquez, Fernandez, Garzon 2011) — Listing 1 of the paper.
+
+Identical device storage to plain ELLPACK plus one extra array
+``rowmax[]`` holding the true non-zero count of each row, so threads
+stop at the end of their row instead of streaming the zero fill
+(Fig. 2b).  The *storage* overhead is unchanged; only executed work and
+transferred bytes shrink, which is why the distinction lives in the
+GPU execution model rather than in the NumPy kernel (a vectorised
+column sweep cannot profitably skip scattered inactive rows).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.formats.base import index_nbytes
+from repro.formats.coo import COOMatrix
+from repro.formats.ellpack import ELLPACKMatrix
+
+__all__ = ["ELLPACKRMatrix"]
+
+
+class ELLPACKRMatrix(ELLPACKMatrix):
+    """ELLPACK with per-row lengths (``rowmax`` of Listing 1)."""
+
+    name = "ELLPACK-R"
+
+    @property
+    def rowmax(self) -> np.ndarray:
+        """Per-row non-zero counts, padded rows included (the ``rowmax[]``
+        array of Listing 1)."""
+        v = self._row_lengths.view()
+        v.flags.writeable = False
+        return v
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, *, row_pad: int = 32, **kwargs) -> "ELLPACKRMatrix":
+        if kwargs:
+            raise TypeError(f"unexpected kwargs for ELLPACK-R: {sorted(kwargs)}")
+        base = ELLPACKMatrix.from_coo(coo, row_pad=row_pad)
+        # row_lengths() trims padding rows; the constructor wants them all
+        lengths = base._row_lengths.copy()  # noqa: SLF001 - same class family
+        return cls(base.val.copy(), base.col.copy(), lengths, coo.shape)
+
+    def memory_breakdown(self) -> Mapping[str, int]:
+        breakdown = dict(super().memory_breakdown())
+        breakdown["rowmax"] = index_nbytes(self.padded_rows)
+        return breakdown
+
+    def executed_column_rows(self, j: int) -> int:
+        """Rows a GPU kernel actually works on in jagged column ``j``.
+
+        For ELLPACK-R a thread leaves the loop after ``rowmax[i]``
+        iterations, so only rows with length > j execute; the executor
+        still *reserves* the whole warp until its longest thread is done
+        (the light boxes of Fig. 2b — modelled in :mod:`repro.gpu`).
+        """
+        if not 0 <= j < max(self.width, 1):
+            raise ValueError(f"column {j} out of range for width {self.width}")
+        return int(np.count_nonzero(self._row_lengths > j))

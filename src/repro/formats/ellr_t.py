@@ -1,0 +1,82 @@
+"""ELLR-T (Vazquez et al.): ELLPACK-R with T threads per row.
+
+The paper lists ELLR-T among the tuned alternatives it measures pJDS
+against ("formats such as, e.g., BELLPACK or ELLR-T ... use a priori
+knowledge about the matrix structure [or] matrix-dependent tuning
+parameters").  ELLR-T assigns ``T`` consecutive threads to each row:
+thread ``t`` accumulates the elements ``t, t+T, t+2T, ...`` and a
+shared-memory reduction combines the partials.  Long rows therefore
+occupy a warp for ``ceil(len/T)`` iterations instead of ``len`` —
+less imbalance — at the price of the reduction and of padding the
+stored width to a multiple of ``T``.
+
+Host-side the arithmetic is identical to ELLPACK-R; the difference
+lives in the GPU execution model (see ``repro.gpu.trace``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+from repro.formats.ellpack import ELLPACKMatrix, build_ell_arrays
+from repro.formats.ellpack_r import ELLPACKRMatrix
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ELLRTMatrix"]
+
+
+class ELLRTMatrix(ELLPACKRMatrix):
+    """ELLPACK-R storage with a threads-per-row tuning parameter ``T``.
+
+    ``T`` must divide the warp size; the stored width is padded to a
+    multiple of ``T`` so every thread group reads aligned chunks.
+    """
+
+    name = "ELLR-T"
+
+    def __init__(self, *args, threads_per_row: int = 1, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._threads_per_row = check_positive_int(
+            threads_per_row, "threads_per_row"
+        )
+
+    @property
+    def threads_per_row(self) -> int:
+        """The tuning parameter T (threads cooperating on one row)."""
+        return self._threads_per_row
+
+    @classmethod
+    def from_coo(
+        cls,
+        coo: COOMatrix,
+        *,
+        threads_per_row: int = 4,
+        row_pad: int = 32,
+        **kwargs,
+    ) -> "ELLRTMatrix":
+        if kwargs:
+            raise TypeError(f"unexpected kwargs for ELLR-T: {sorted(kwargs)}")
+        T = check_positive_int(threads_per_row, "threads_per_row")
+        row_pad = check_positive_int(row_pad, "row_pad")
+        if row_pad % T != 0:
+            raise ValueError(
+                f"threads_per_row={T} must divide the warp size ({row_pad})"
+            )
+        padded = -(-coo.nrows // row_pad) * row_pad
+        lengths = np.bincount(coo.rows, minlength=coo.nrows)
+        width = int(lengths.max()) if coo.nnz else 0
+        width = -(-max(width, 1) // T) * T  # pad the width to a multiple of T
+        val, col, row_lengths = build_ell_arrays(coo, padded, width)
+        return cls(val, col, row_lengths, coo.shape, threads_per_row=T)
+
+    def memory_breakdown(self) -> Mapping[str, int]:
+        # identical arrays to ELLPACK-R (the T-padding is inside width)
+        return super().memory_breakdown()
+
+    def row_iterations(self) -> np.ndarray:
+        """Warp iterations each row occupies: ceil(rowmax / T)."""
+        T = self._threads_per_row
+        return -(-self.rowmax // T)

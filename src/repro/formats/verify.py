@@ -1,0 +1,123 @@
+"""Structural invariant checker for format instances.
+
+``verify_format`` inspects any :class:`SparseMatrixFormat` instance and
+raises :class:`FormatInvariantError` on the first violated invariant —
+useful both in this package's tests and for downstream users writing
+their own formats against the ABC.
+
+Checked invariants (per applicable format):
+
+* shape/nnz bookkeeping is consistent with the COO round trip;
+* ``memory_breakdown`` values are non-negative and ``val`` accounts for
+  at least ``nnz`` elements;
+* ``row_lengths`` sums to ``nnz`` and matches the round-tripped COO;
+* jagged formats: ``col_start`` monotone, padded lengths non-increasing
+  and dominating the true lengths, permutation valid;
+* SELL: chunk pointers consistent with chunk widths;
+* spMVM agreement with the COO oracle on a random vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.base import SparseMatrixFormat
+
+__all__ = ["FormatInvariantError", "verify_format"]
+
+
+class FormatInvariantError(AssertionError):
+    """A format instance violates one of its structural invariants."""
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise FormatInvariantError(message)
+
+
+def verify_format(
+    matrix: SparseMatrixFormat, *, check_spmv: bool = True, seed: int = 0
+) -> None:
+    """Validate every applicable invariant of ``matrix``.
+
+    Raises :class:`FormatInvariantError` on the first violation; returns
+    None when everything holds.  ``check_spmv=False`` skips the (O(nnz))
+    oracle comparison for very large instances.
+    """
+    # imported here: repro.core modules themselves import repro.formats
+    from repro.core.jds import JaggedDiagonalsBase
+    from repro.core.sell import SELLMatrix
+
+    _require(matrix.nrows >= 1 and matrix.ncols >= 1, "empty shape")
+    _require(matrix.nnz >= 0, "negative nnz")
+
+    breakdown = matrix.memory_breakdown()
+    _require(len(breakdown) > 0, "memory_breakdown is empty")
+    for name, nbytes in breakdown.items():
+        _require(nbytes >= 0, f"negative byte count for {name!r}")
+    _require("val" in breakdown, "memory_breakdown must account 'val'")
+    _require(
+        breakdown["val"] >= matrix.nnz * matrix.value_itemsize,
+        "val storage smaller than the non-zeros",
+    )
+    _require(matrix.nbytes == sum(breakdown.values()), "nbytes != breakdown sum")
+
+    lengths = matrix.row_lengths()
+    _require(lengths.shape == (matrix.nrows,), "row_lengths shape mismatch")
+    _require(int(lengths.sum()) == matrix.nnz, "row_lengths do not sum to nnz")
+    _require(bool(np.all(lengths >= 0)), "negative row length")
+
+    if isinstance(matrix, JaggedDiagonalsBase):
+        cs = matrix.col_start
+        _require(cs[0] == 0, "col_start[0] != 0")
+        _require(bool(np.all(np.diff(cs) >= 0)), "col_start not monotone")
+        _require(int(cs[-1]) == matrix.total_slots, "col_start[-1] != slots")
+        _require(
+            bool(np.all(matrix.padded_lengths >= matrix.rowmax)),
+            "padded lengths below true lengths",
+        )
+        if matrix.nrows > 1:
+            _require(
+                bool(np.all(np.diff(matrix.padded_lengths) <= 0)),
+                "padded lengths not non-increasing",
+            )
+        perm = matrix.permutation
+        _require(perm.size == matrix.nrows, "permutation size mismatch")
+        _require(
+            bool(np.array_equal(np.sort(perm.perm), np.arange(matrix.nrows))),
+            "permutation is not a bijection",
+        )
+
+    if isinstance(matrix, SELLMatrix):
+        ptr = matrix.chunk_ptr
+        widths = matrix.chunk_widths
+        _require(ptr[0] == 0, "chunk_ptr[0] != 0")
+        _require(
+            bool(
+                np.array_equal(
+                    np.diff(ptr), widths * matrix.chunk_rows
+                )
+            ),
+            "chunk_ptr inconsistent with chunk widths",
+        )
+
+    # the (O(nnz)) round trip runs after the cheap structural checks so
+    # corrupted layout metadata fails with a clear message, not an
+    # IndexError from inside to_coo
+    coo = matrix.to_coo()
+    _require(coo.shape == matrix.shape, "to_coo changes the shape")
+    _require(coo.nnz == matrix.nnz, "to_coo changes nnz")
+    _require(
+        np.array_equal(coo.row_lengths(), lengths),
+        "row_lengths disagree with the COO round trip",
+    )
+
+    if check_spmv and matrix.nnz:
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(matrix.ncols).astype(matrix.dtype)
+        got = matrix.spmv(x)
+        want = coo.spmv(x)
+        _require(
+            bool(np.allclose(got, want, atol=1e-5 if matrix.dtype == np.float32 else 1e-9)),
+            "spmv disagrees with the COO oracle",
+        )

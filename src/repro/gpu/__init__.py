@@ -1,0 +1,28 @@
+"""Fermi-class GPGPU execution model (mechanistic, trace-driven)."""
+
+from repro.gpu.cache import CacheModel, dedupe_units, gather_traffic, lru_misses, stack_distance_misses
+from repro.gpu.device import C1060, C2050, C2070, DeviceSpec, precision_dtype
+from repro.gpu.executor import KernelReport, run_kernel, simulate_spmv
+from repro.gpu.pcie import TransferReport, spmv_with_transfers, transfer_seconds
+from repro.gpu.trace import KernelTrace, extract_trace
+
+__all__ = [
+    "CacheModel",
+    "dedupe_units",
+    "gather_traffic",
+    "lru_misses",
+    "stack_distance_misses",
+    "C1060",
+    "C2050",
+    "C2070",
+    "DeviceSpec",
+    "precision_dtype",
+    "KernelReport",
+    "run_kernel",
+    "simulate_spmv",
+    "TransferReport",
+    "spmv_with_transfers",
+    "transfer_seconds",
+    "KernelTrace",
+    "extract_trace",
+]

@@ -1,0 +1,182 @@
+"""Fermi-class GPGPU device description (Sect. I-B of the paper).
+
+The Tesla C2050/C2070 ("GF100") parameters the paper publishes:
+
+* 14 streaming multiprocessors (SMs) x 32 in-order ALUs,
+* one SP FMA per ALU per cycle -> 896 flops/cycle chip-wide, half at DP,
+* clock above 1 GHz (1.15 GHz on the Tesla parts),
+* 768 kB shared L2 cache, 128-byte cache lines / memory transactions,
+* sustained device-memory bandwidth ~91 GB/s with ECC, ~120 GB/s
+  without (streaming measurement, ref. [5] of the paper),
+* 3 GB (C2050) or 6 GB (C2070) device memory,
+* PCIe 2.0 x16 host link, ~6 GB/s effective.
+
+The executor consumes these numbers; nothing here is fitted to the
+paper's results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = ["DeviceSpec", "Precision", "C2050", "C2070", "precision_dtype"]
+
+
+#: Precision labels used throughout the benchmarks ("SP"/"DP").
+Precision = str
+
+_PRECISION_SIZES = {"SP": 4, "DP": 8}
+
+
+def precision_dtype(precision: Precision) -> np.dtype:
+    """Map "SP"/"DP" to float32/float64."""
+    if precision == "SP":
+        return np.dtype(np.float32)
+    if precision == "DP":
+        return np.dtype(np.float64)
+    raise ValueError(f"precision must be 'SP' or 'DP', got {precision!r}")
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Mechanistic description of one GPGPU board."""
+
+    name: str = "C2070"
+    num_sms: int = 14
+    alus_per_sm: int = 32
+    warp_size: int = 32
+    clock_ghz: float = 1.15
+    memory_bytes: int = 6 * 1024**3
+    l2_bytes: int = 768 * 1024
+    cache_line_bytes: int = 128
+    #: sustained streaming bandwidth (GB/s) with ECC protection enabled
+    bandwidth_ecc_gbs: float = 91.0
+    #: sustained streaming bandwidth (GB/s) with ECC disabled
+    bandwidth_noecc_gbs: float = 120.0
+    #: aggregate L2 transaction bandwidth (GB/s); the throughput limit
+    #: uncoalesced access patterns hit (GF100: ~384 B/clk ~ 440 GB/s)
+    l2_bandwidth_gbs: float = 440.0
+    #: effective host<->device bandwidth over PCIe (GB/s)
+    pcie_bandwidth_gbs: float = 6.0
+    #: PCIe transfer launch latency (s) — cudaMemcpy overhead scale
+    pcie_latency_s: float = 10e-6
+    #: kernel launch latency (s)
+    launch_latency_s: float = 7e-6
+    #: warps resident on the whole chip at typical spMVM occupancy
+    #: (14 SMs x 32 warps/SM on Fermi); sets the granularity at which
+    #: the cache model interleaves warp execution
+    resident_warps: int = 448
+    #: extra issue cycles per warp-iteration beyond the FMA itself
+    #: (address arithmetic, loads); only matters far from the
+    #: bandwidth-bound regime the paper operates in
+    issue_overhead_cycles: float = 4.0
+    ecc: bool = True
+
+    # ------------------------------------------------------------------
+    def with_ecc(self, ecc: bool) -> "DeviceSpec":
+        """Copy of this spec with ECC switched on/off."""
+        return replace(self, ecc=ecc)
+
+    def scaled(self, divisor: int) -> "DeviceSpec":
+        """Device for matrices shrunk by ``divisor`` from paper scale.
+
+        Cache behaviour depends on the *ratio* of working-set to cache
+        size, and execution interleaving on the ratio of resident to
+        total warps — neither is scale-invariant, so simulating a
+        1/64-scale matrix against a full-size L2 would flatter it.
+        This shrinks L2 capacity, resident-warp count and device memory
+        by the same factor while bandwidths (bytes per second, which
+        divide scale-invariant per-nnz byte counts) stay untouched.
+        """
+        if divisor < 1:
+            raise ValueError(f"divisor must be >= 1, got {divisor}")
+        if divisor == 1:
+            return self
+        l2 = (
+            max(self.l2_bytes // divisor, self.cache_line_bytes)
+            if self.l2_bytes
+            else 0
+        )
+        return replace(
+            self,
+            name=f"{self.name}/{divisor}",
+            l2_bytes=l2,
+            resident_warps=max(self.resident_warps // divisor, 1),
+            memory_bytes=max(self.memory_bytes // divisor, 1),
+        )
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        """Effective device-memory bandwidth for the current ECC setting."""
+        return self.bandwidth_ecc_gbs if self.ecc else self.bandwidth_noecc_gbs
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        return self.bandwidth_gbs * 1e9
+
+    @property
+    def pcie_bytes_per_s(self) -> float:
+        return self.pcie_bandwidth_gbs * 1e9
+
+    @property
+    def l2_bytes_per_s(self) -> float:
+        return self.l2_bandwidth_gbs * 1e9
+
+    @property
+    def l2_lines(self) -> int:
+        """L2 capacity in cache lines (the reuse-window of the cache model)."""
+        return self.l2_bytes // self.cache_line_bytes
+
+    def peak_gflops(self, precision: Precision) -> float:
+        """Theoretical peak (896 flops/cycle SP chip-wide; half at DP)."""
+        itemsize = _PRECISION_SIZES[precision]  # validates the label
+        flops_per_cycle = self.num_sms * self.alus_per_sm * 2  # FMA = 2 flops
+        if itemsize == 8:
+            flops_per_cycle //= 2
+        return flops_per_cycle * self.clock_ghz
+
+    def cycles_per_warp_step(self, precision: Precision) -> float:
+        """Issue cycles one warp-iteration costs an SM."""
+        base = 1.0 if precision == "SP" else 2.0
+        return base + self.issue_overhead_cycles
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        ecc = "on" if self.ecc else "off"
+        return f"{self.name} (ECC {ecc}, {self.bandwidth_gbs:.0f} GB/s)"
+
+
+def C2050(*, ecc: bool = True) -> DeviceSpec:
+    """Tesla C2050: 3 GB device memory (the Dirac cluster's boards)."""
+    return DeviceSpec(name="C2050", memory_bytes=3 * 1024**3, ecc=ecc)
+
+
+def C2070(*, ecc: bool = True) -> DeviceSpec:
+    """Tesla C2070: 6 GB device memory (the Table I board)."""
+    return DeviceSpec(name="C2070", memory_bytes=6 * 1024**3, ecc=ecc)
+
+
+def C1060() -> DeviceSpec:
+    """Tesla C1060 ("GT200"), the pre-Fermi generation of Sect. II-A.
+
+    No L2 cache (every RHS gather that misses the tiny texture path
+    goes to memory) and 64-byte transaction granularity — the paper
+    notes the pJDS locality penalty "is more severe on older GPGPU
+    generations without L2 cache".  30 SMs x 8 ALUs, ~78 GB/s
+    sustained, no ECC option.
+    """
+    return DeviceSpec(
+        name="C1060",
+        num_sms=30,
+        alus_per_sm=8,
+        warp_size=32,
+        clock_ghz=1.296,
+        memory_bytes=4 * 1024**3,
+        l2_bytes=0,
+        cache_line_bytes=64,
+        bandwidth_ecc_gbs=78.0,
+        bandwidth_noecc_gbs=78.0,
+        resident_warps=480,
+        ecc=False,
+    )

@@ -1,0 +1,188 @@
+"""Kernel execution model: turns a trace into bytes, cycles and GF/s.
+
+The model follows the paper's own analysis (Sect. II-B): spMVM on Fermi
+is memory-bandwidth bound, so kernel time is
+
+    T = max(T_mem, T_issue) + launch latency
+
+with ``T_mem`` = (all 128-byte transactions the kernel causes) /
+(sustained bandwidth at the current ECC setting) and ``T_issue`` the
+warp-scheduling floor (reserved warp-iterations x cycles per
+iteration / SM count) — the "light boxes" of Fig. 2 that make
+imbalanced warps waste hardware even when they skip loads.
+
+Byte accounting per source:
+
+* ``val`` / ``col_idx``: distinct 128-byte lines touched by executed
+  slots.  ELLPACK's zero fill, ELLPACK-R's partially-used transactions
+  (scattered active lanes) and pJDS's dense prefixes all fall out of
+  the line count.
+* RHS gather: transactions deduplicated per warp-iteration, then run
+  through the L2 reuse model (:mod:`repro.gpu.cache`).
+* LHS and ``rowmax``: streamed once (Eq. 1's ``16/Nnzr`` DP term).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.base import SparseMatrixFormat
+from repro.gpu.cache import CacheModel
+from repro.gpu.device import DeviceSpec, Precision
+from repro.gpu.trace import KernelTrace, extract_trace
+
+__all__ = ["KernelReport", "run_kernel", "simulate_spmv"]
+
+
+def _distinct_lines(lines: np.ndarray) -> int:
+    if lines.size == 0:
+        return 0
+    return int(np.unique(lines).shape[0])
+
+
+@dataclass(frozen=True)
+class KernelReport:
+    """Modelled execution of one spMVM kernel on one device."""
+
+    format_name: str
+    precision: Precision
+    device_name: str
+    ecc: bool
+    nrows: int
+    nnz: int
+    # --- traffic (bytes) ---
+    val_bytes: int
+    idx_bytes: int
+    rhs_bytes: int
+    lhs_bytes: int
+    aux_bytes: int
+    # --- scheduling ---
+    reserved_steps: int
+    active_steps: int
+    # --- derived ---
+    kernel_seconds: float
+    memory_seconds: float
+    fabric_seconds: float
+    issue_seconds: float
+    effective_alpha: float
+    transactions: int
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.val_bytes
+            + self.idx_bytes
+            + self.rhs_bytes
+            + self.lhs_bytes
+            + self.aux_bytes
+        )
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.nnz
+
+    @property
+    def gflops(self) -> float:
+        return self.flops / self.kernel_seconds * 1e-9
+
+    @property
+    def code_balance(self) -> float:
+        """Measured bytes per flop — comparable to Eq. (1)."""
+        return self.total_bytes / self.flops
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.memory_seconds >= self.issue_seconds
+
+    @property
+    def fabric_bound(self) -> bool:
+        """Limited by transaction throughput, not DRAM bytes (the
+        scalar-CSR signature)."""
+        return self.fabric_seconds > self.memory_seconds
+
+    def row(self) -> dict[str, float | str | bool]:
+        """Flat dict for tabular output in the benchmarks."""
+        return {
+            "format": self.format_name,
+            "precision": self.precision,
+            "ecc": self.ecc,
+            "gflops": self.gflops,
+            "balance_bytes_per_flop": self.code_balance,
+            "alpha": self.effective_alpha,
+            "kernel_ms": self.kernel_seconds * 1e3,
+        }
+
+
+def run_kernel(
+    trace: KernelTrace, device: DeviceSpec, *, cache_window: int | None = None
+) -> KernelReport:
+    """Evaluate the execution model on an extracted trace."""
+    line = device.cache_line_bytes
+    val_bytes = _distinct_lines(trace.val_line) * line
+    idx_bytes = _distinct_lines(trace.idx_line) * line
+
+    cache = CacheModel(
+        device.l2_lines if cache_window is None else cache_window, line
+    )
+    rhs_transactions, _, rhs_bytes = cache.gather_traffic(
+        trace.unit, trace.rhs_line
+    )
+    itemsize = 4 if trace.precision == "SP" else 8
+    alpha = rhs_bytes / (itemsize * trace.nnz) if trace.nnz else 0.0
+
+    total_bytes = val_bytes + idx_bytes + rhs_bytes + trace.lhs_bytes + trace.aux_bytes
+    # every load is a line-sized transaction through the cache fabric;
+    # coalesced kernels issue ~bytes/line of them, scalar-CSR-style
+    # scatter issues up to one per lane and hits this limit instead
+    streamed = -(-(trace.lhs_bytes + trace.aux_bytes) // line)
+    transactions = (
+        trace.val_transactions
+        + trace.idx_transactions
+        + rhs_transactions
+        + streamed
+    )
+    t_mem = total_bytes / device.bandwidth_bytes_per_s
+    if device.l2_bytes > 0:
+        t_fabric = transactions * line / device.l2_bytes_per_s
+    else:
+        # no L2 (C1060): partially-used transactions burn DRAM bandwidth
+        t_fabric = max(total_bytes, transactions * line) / device.bandwidth_bytes_per_s
+    cycles = trace.reserved_steps * device.cycles_per_warp_step(trace.precision)
+    t_issue = cycles / (device.num_sms * device.clock_ghz * 1e9)
+    kernel = max(t_mem, t_fabric, t_issue) + device.launch_latency_s
+
+    return KernelReport(
+        format_name=trace.format_name,
+        precision=trace.precision,
+        device_name=device.name,
+        ecc=device.ecc,
+        nrows=trace.nrows,
+        nnz=trace.nnz,
+        val_bytes=val_bytes,
+        idx_bytes=idx_bytes,
+        rhs_bytes=rhs_bytes,
+        lhs_bytes=trace.lhs_bytes,
+        aux_bytes=trace.aux_bytes,
+        reserved_steps=trace.reserved_steps,
+        active_steps=trace.active_steps,
+        kernel_seconds=kernel,
+        memory_seconds=t_mem,
+        fabric_seconds=t_fabric,
+        issue_seconds=t_issue,
+        effective_alpha=alpha,
+        transactions=transactions,
+    )
+
+
+def simulate_spmv(
+    matrix: SparseMatrixFormat,
+    device: DeviceSpec,
+    precision: Precision | None = None,
+    *,
+    cache_window: int | None = None,
+) -> KernelReport:
+    """Extract the trace of ``matrix`` and run the execution model."""
+    trace = extract_trace(matrix, device, precision)
+    return run_kernel(trace, device, cache_window=cache_window)

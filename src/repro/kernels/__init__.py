@@ -1,0 +1,19 @@
+"""spMVM kernels: loop oracles (paper listings) and vectorised dispatch."""
+
+from repro.kernels.reference import (
+    csr_spmv_reference,
+    ellpack_r_spmv_reference,
+    ellpack_spmv_reference,
+    pjds_spmv_reference,
+)
+from repro.kernels.vectorized import make_spmv_operator, power_apply, spmv
+
+__all__ = [
+    "csr_spmv_reference",
+    "ellpack_r_spmv_reference",
+    "ellpack_spmv_reference",
+    "pjds_spmv_reference",
+    "make_spmv_operator",
+    "power_apply",
+    "spmv",
+]

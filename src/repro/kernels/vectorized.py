@@ -1,0 +1,58 @@
+"""Vectorised spMVM entry points and repetition helpers.
+
+The per-format vectorised kernels live on the format classes
+(``spmv``); this module provides the uniform dispatch the benchmarks
+and solvers use, plus an allocation-free repeated-application helper
+for iterative algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.formats.base import SparseMatrixFormat
+
+__all__ = ["spmv", "make_spmv_operator", "power_apply"]
+
+
+def spmv(
+    matrix: SparseMatrixFormat, x: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """``y = A @ x`` through the matrix's vectorised kernel."""
+    return matrix.spmv(x, out=out)
+
+
+def make_spmv_operator(
+    matrix: SparseMatrixFormat, *, permuted: bool = False
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Return a closure computing ``A @ x``.
+
+    With ``permuted=True`` (jagged formats only) the operator works in
+    the stored basis — the Sect. II-A Krylov workflow: permute the
+    start vector once with ``matrix.permutation.to_permuted``, iterate,
+    and map the final result back with ``to_original``.
+    """
+    if permuted:
+        op = getattr(matrix, "spmv_permuted", None)
+        if op is None:
+            raise TypeError(
+                f"{type(matrix).__name__} has no permuted-basis kernel"
+            )
+        return op
+    return lambda x: matrix.spmv(x)
+
+
+def power_apply(
+    matrix: SparseMatrixFormat, x: np.ndarray, repetitions: int
+) -> np.ndarray:
+    """Apply ``A`` repeatedly (un-normalised); benchmark inner loop."""
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    y = matrix.spmv(x)
+    buf = np.empty_like(y)
+    for _ in range(repetitions - 1):
+        buf = matrix.spmv(y, out=buf)
+        y, buf = buf, y
+    return y

@@ -1,0 +1,55 @@
+"""Matrix corpus: synthetic generators, the paper suite, analysis, I/O."""
+
+from repro.matrices.cache import cached_generate, default_cache_dir, load_coo, save_coo
+from repro.matrices.analysis import (
+    RowLengthHistogram,
+    StructureStats,
+    row_length_histogram,
+    structure_stats,
+)
+from repro.matrices.generators import (
+    banded_sparse,
+    block_sparse,
+    from_networkx,
+    off_diagonal_sparse,
+    poisson2d,
+    random_sparse,
+    sample_columns,
+)
+from repro.matrices.mmio import read_matrix_market, write_matrix_market
+from repro.matrices.reorder import matrix_bandwidth, permute_symmetric, rcm_permutation
+from repro.matrices.suite import (
+    SUITE,
+    SUITE_KEYS,
+    MatrixSpec,
+    generate,
+    paper_statistics,
+)
+
+__all__ = [
+    "cached_generate",
+    "default_cache_dir",
+    "load_coo",
+    "save_coo",
+    "RowLengthHistogram",
+    "StructureStats",
+    "row_length_histogram",
+    "structure_stats",
+    "banded_sparse",
+    "block_sparse",
+    "from_networkx",
+    "off_diagonal_sparse",
+    "poisson2d",
+    "random_sparse",
+    "sample_columns",
+    "read_matrix_market",
+    "write_matrix_market",
+    "matrix_bandwidth",
+    "permute_symmetric",
+    "rcm_permutation",
+    "SUITE",
+    "SUITE_KEYS",
+    "MatrixSpec",
+    "generate",
+    "paper_statistics",
+]

@@ -1,0 +1,85 @@
+"""On-disk caching of generated suite matrices.
+
+The synthetic generators are deterministic but not free (the larger
+suite matrices take seconds).  ``cached_generate`` memoises them as
+``.npz`` triplet files keyed by (matrix, scale, seed, dtype), so
+repeated benchmark runs skip regeneration.  The cache is content-safe:
+a corrupt or truncated file is regenerated, never trusted.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+from repro.matrices.suite import generate
+
+__all__ = ["cached_generate", "default_cache_dir", "save_coo", "load_coo"]
+
+_FORMAT_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-pjds``."""
+    import os
+
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-pjds"
+
+
+def save_coo(matrix: COOMatrix, path: Path | str) -> None:
+    """Persist a COO matrix as a compressed ``.npz`` triplet file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        shape=np.asarray(matrix.shape, dtype=np.int64),
+        rows=matrix.rows,
+        cols=matrix.cols,
+        values=matrix.values,
+    )
+
+
+def load_coo(path: Path | str) -> COOMatrix:
+    """Load a matrix written by :func:`save_coo`.
+
+    Raises ``ValueError`` for unreadable or version-mismatched files.
+    """
+    try:
+        with np.load(path) as data:
+            if int(data["version"]) != _FORMAT_VERSION:
+                raise ValueError(f"unsupported cache version in {path}")
+            shape = tuple(int(s) for s in data["shape"])
+            return COOMatrix(
+                data["rows"], data["cols"], data["values"], shape,
+                sum_duplicates=False,
+            )
+    except (OSError, KeyError, ValueError) as exc:
+        raise ValueError(f"unreadable matrix cache file {path}: {exc}") from exc
+
+
+def cached_generate(
+    key: str,
+    *,
+    scale: int = 64,
+    seed: int = 0,
+    dtype=np.float64,
+    cache_dir: Path | str | None = None,
+) -> COOMatrix:
+    """:func:`repro.matrices.generate` with a transparent disk cache."""
+    base = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    dt = np.dtype(dtype)
+    path = base / f"{key}_s{scale}_r{seed}_{dt.name}.npz"
+    if path.exists():
+        try:
+            return load_coo(path)
+        except ValueError:
+            path.unlink(missing_ok=True)  # corrupt: regenerate below
+    matrix = generate(key, scale=scale, seed=seed, dtype=dtype)
+    save_coo(matrix, path)
+    return matrix

@@ -1,0 +1,116 @@
+"""Matrix Market (.mtx) I/O for the COO interchange format.
+
+Supports the ``matrix coordinate`` container with ``real``, ``integer``
+and ``pattern`` fields and ``general``, ``symmetric`` and
+``skew-symmetric`` symmetries — enough to load the usual sparse-matrix
+collections a downstream user would point this library at.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.formats.base import INDEX_DTYPE
+from repro.formats.coo import COOMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_FIELDS = {"real", "integer", "pattern"}
+_SYMMETRIES = {"general", "symmetric", "skew-symmetric"}
+
+
+def read_matrix_market(source) -> COOMatrix:
+    """Read a Matrix Market coordinate file into a :class:`COOMatrix`.
+
+    ``source`` may be a path or an open text file object.
+    """
+    if hasattr(source, "read"):
+        return _read(source)
+    with open(source, "r", encoding="utf-8") as fh:
+        return _read(fh)
+
+
+def _read(fh) -> COOMatrix:
+    header = fh.readline().strip().split()
+    if len(header) < 5 or header[0] != "%%MatrixMarket":
+        raise ValueError(f"not a MatrixMarket file (header {' '.join(header)!r})")
+    _, obj, fmt, field, symmetry = (h.lower() for h in header[:5])
+    if obj != "matrix" or fmt != "coordinate":
+        raise ValueError(f"only 'matrix coordinate' is supported, got {obj} {fmt}")
+    if field not in _FIELDS:
+        raise ValueError(f"unsupported field {field!r}; supported: {sorted(_FIELDS)}")
+    if symmetry not in _SYMMETRIES:
+        raise ValueError(
+            f"unsupported symmetry {symmetry!r}; supported: {sorted(_SYMMETRIES)}"
+        )
+
+    line = fh.readline()
+    while line and line.lstrip().startswith("%"):
+        line = fh.readline()
+    if not line:
+        raise ValueError("missing size line")
+    sizes = line.split()
+    if len(sizes) != 3:
+        raise ValueError(f"malformed size line: {line!r}")
+    nrows, ncols, nnz = (int(s) for s in sizes)
+
+    body = np.loadtxt(fh, ndmin=2) if nnz else np.empty((0, 3))
+    if body.shape[0] != nnz:
+        raise ValueError(f"expected {nnz} entries, found {body.shape[0]}")
+    if field == "pattern":
+        if nnz and body.shape[1] != 2:
+            raise ValueError("pattern entries must have 2 columns")
+        rows = body[:, 0].astype(INDEX_DTYPE) - 1
+        cols = body[:, 1].astype(INDEX_DTYPE) - 1
+        vals = np.ones(nnz, dtype=np.float64)
+    else:
+        if nnz and body.shape[1] != 3:
+            raise ValueError(f"{field} entries must have 3 columns")
+        rows = body[:, 0].astype(INDEX_DTYPE) - 1
+        cols = body[:, 1].astype(INDEX_DTYPE) - 1
+        vals = body[:, 2].astype(np.float64)
+
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off = rows != cols
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        rows = np.concatenate([rows, cols[off]])
+        cols = np.concatenate([cols, body[:, 0].astype(INDEX_DTYPE)[off] - 1])
+        vals = np.concatenate([vals, sign * vals[off]])
+
+    return COOMatrix(rows, cols, vals, (nrows, ncols), sum_duplicates=True)
+
+
+def write_matrix_market(
+    matrix, target, *, comment: str | None = None, precision: int = 17
+) -> None:
+    """Write any format to a Matrix Market ``real general`` file.
+
+    ``target`` may be a path or an open text file object.
+    """
+    coo = matrix.to_coo()
+    if hasattr(target, "write"):
+        _write(coo, target, comment, precision)
+    else:
+        Path(target).parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "w", encoding="utf-8") as fh:
+            _write(coo, fh, comment, precision)
+
+
+def _write(coo: COOMatrix, fh, comment: str | None, precision: int) -> None:
+    fh.write("%%MatrixMarket matrix coordinate real general\n")
+    if comment:
+        for line in comment.splitlines():
+            fh.write(f"% {line}\n")
+    fh.write(f"{coo.nrows} {coo.ncols} {coo.nnz}\n")
+    buf = io.StringIO()
+    fmt = f"%d %d %.{precision}g"
+    if coo.nnz:
+        np.savetxt(
+            buf,
+            np.column_stack([coo.rows + 1, coo.cols + 1, coo.values]),
+            fmt=fmt,
+        )
+    fh.write(buf.getvalue())

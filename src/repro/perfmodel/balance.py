@@ -1,0 +1,89 @@
+"""Code-balance model of the ELLPACK/pJDS kernels — Eq. (1) of the paper.
+
+The worst-case double-precision code balance is
+
+    B_DP(alpha, Nnzr) = (8 + 4 + 8*alpha + 16/Nnzr) / 2
+                      = 6 + 4*alpha + 8/Nnzr     [bytes/flop]
+
+with the per-flop shares of the matrix entry (8 B), its column index
+(4 B), the RHS gather (8*alpha B) and the LHS read-modify-write
+(16/Nnzr B per row amortised).  ``alpha`` in [1/Nnzr, 1] is the RHS
+reuse parameter: 1 = every gather from memory, 1/Nnzr = each element
+loaded once (the kappa = 0 case of ref. [4]).
+
+The single-precision variant halves the value and RHS/LHS element
+sizes: B_SP = 4 + 2*alpha + 4/Nnzr.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "code_balance_dp",
+    "code_balance_sp",
+    "code_balance",
+    "alpha_bounds",
+    "predicted_gflops",
+    "alpha_from_balance",
+]
+
+
+def _check(alpha: float, nnzr: float) -> None:
+    if nnzr <= 0:
+        raise ValueError(f"Nnzr must be > 0, got {nnzr}")
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+
+
+def code_balance_dp(alpha: float, nnzr: float) -> float:
+    """Eq. (1): DP bytes/flop of the ELLPACK/pJDS kernel family."""
+    _check(alpha, nnzr)
+    return 6.0 + 4.0 * alpha + 8.0 / nnzr
+
+
+def code_balance_sp(alpha: float, nnzr: float) -> float:
+    """SP variant of Eq. (1): 4-byte values, indices stay 4 bytes."""
+    _check(alpha, nnzr)
+    return 4.0 + 2.0 * alpha + 4.0 / nnzr
+
+
+def code_balance(alpha: float, nnzr: float, precision: str = "DP") -> float:
+    """Dispatch on the paper's precision labels."""
+    if precision == "DP":
+        return code_balance_dp(alpha, nnzr)
+    if precision == "SP":
+        return code_balance_sp(alpha, nnzr)
+    raise ValueError(f"precision must be 'SP' or 'DP', got {precision!r}")
+
+
+def alpha_bounds(nnzr: float) -> tuple[float, float]:
+    """The paper's admissible range ``1/Nnzr <= alpha <= 1``."""
+    if nnzr <= 0:
+        raise ValueError(f"Nnzr must be > 0, got {nnzr}")
+    return (1.0 / nnzr, 1.0)
+
+
+def predicted_gflops(
+    bandwidth_gbs: float, alpha: float, nnzr: float, precision: str = "DP"
+) -> float:
+    """Bandwidth-limited performance: BW / B."""
+    if bandwidth_gbs <= 0:
+        raise ValueError(f"bandwidth must be > 0, got {bandwidth_gbs}")
+    return bandwidth_gbs / code_balance(alpha, nnzr, precision)
+
+
+def alpha_from_balance(balance: float, nnzr: float, precision: str = "DP") -> float:
+    """Invert Eq. (1): the alpha a measured code balance implies.
+
+    Useful for comparing the mechanistic simulator (which reports real
+    byte counts) against the analytic model.  May exceed 1 when cache
+    lines are only partially used.
+    """
+    if nnzr <= 0:
+        raise ValueError(f"Nnzr must be > 0, got {nnzr}")
+    if precision == "DP":
+        return (balance - 6.0 - 8.0 / nnzr) / 4.0
+    if precision == "SP":
+        return (balance - 4.0 - 4.0 / nnzr) / 2.0
+    raise ValueError(f"precision must be 'SP' or 'DP', got {precision!r}")

@@ -1,0 +1,128 @@
+"""CPU baseline model: CRS spMVM on a dual-socket Westmere node.
+
+Table I's last row reports the CRS double-precision performance of a
+dual-socket (12-core) Intel Westmere node: 5.7 / 5.8 / 3.9 / 4.1 GF/s
+for DLR1 / DLR2 / HMEp / sAMG (implementation details in ref. [4]).
+
+CPU spMVM is memory-bandwidth bound just like the GPU kernels, with
+the CRS double-precision balance
+
+    B_CRS = (8 + 4 + 8*alpha + 16/Nnzr + 4/Nnzr) / 2
+
+(the extra ``4/Nnzr`` is the row-pointer load).  A Westmere EP node
+sustains ~40 GB/s (STREAM triad, both sockets).  The much larger CPU
+cache hierarchy (12 MB LLC per socket) gives smaller alpha than the
+GPU for banded matrices; callers either supply alpha or let
+:func:`estimate_alpha_cpu` derive one from the matrix structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.base import SparseMatrixFormat
+
+__all__ = [
+    "WESTMERE_BANDWIDTH_GBS",
+    "WESTMERE_LLC_BYTES",
+    "crs_code_balance_dp",
+    "cpu_crs_gflops",
+    "estimate_alpha_cpu",
+    "CPUReport",
+    "model_cpu_crs",
+]
+
+#: sustained node-level memory bandwidth of a dual-socket Westmere EP
+WESTMERE_BANDWIDTH_GBS = 40.0
+#: combined last-level cache of both sockets
+WESTMERE_LLC_BYTES = 2 * 12 * 1024**2
+
+
+def crs_code_balance_dp(alpha: float, nnzr: float) -> float:
+    """DP bytes/flop of the CRS kernel (row pointer included)."""
+    if nnzr <= 0:
+        raise ValueError(f"Nnzr must be > 0, got {nnzr}")
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    return (8.0 + 4.0 + 8.0 * alpha + 16.0 / nnzr + 4.0 / nnzr) / 2.0
+
+
+def cpu_crs_gflops(
+    alpha: float, nnzr: float, bandwidth_gbs: float = WESTMERE_BANDWIDTH_GBS
+) -> float:
+    """Bandwidth-limited CRS DP performance."""
+    if bandwidth_gbs <= 0:
+        raise ValueError(f"bandwidth must be > 0, got {bandwidth_gbs}")
+    return bandwidth_gbs / crs_code_balance_dp(alpha, nnzr)
+
+
+def estimate_alpha_cpu(
+    matrix: SparseMatrixFormat,
+    llc_bytes: int = WESTMERE_LLC_BYTES,
+    *,
+    scale: int = 1,
+) -> float:
+    """Coarse RHS-reuse estimate for the CPU cache hierarchy.
+
+    The CRS sweep is row-by-row; a RHS element is reused from cache if
+    the rows referencing it fit their gather footprints into the LLC
+    between touches.  We estimate the resident window as
+    ``llc_bytes / (bytes gathered per row)`` rows and count, per
+    non-zero, whether the same column was touched within that window —
+    computable exactly from the COO triplets.  ``scale`` shrinks the
+    LLC alongside a shrunk matrix (see ``DeviceSpec.scaled``).
+    """
+    coo = matrix.to_coo()
+    if coo.nnz == 0:
+        return 0.0
+    itemsize = coo.dtype.itemsize
+    llc = max(llc_bytes // max(scale, 1), itemsize)
+    nnzr = max(coo.nnz / coo.nrows, 1e-9)
+    window_rows = max(int(llc / (nnzr * itemsize)), 1)
+    # previous row touching the same column, per non-zero
+    order = np.lexsort((coo.rows, coo.cols))
+    cols = coo.cols[order]
+    rows = coo.rows[order]
+    same = cols[1:] == cols[:-1]
+    gap = rows[1:] - rows[:-1]
+    hits = int(np.count_nonzero(same & (gap <= window_rows)))
+    misses = coo.nnz - hits
+    return misses / coo.nnz
+
+
+@dataclass(frozen=True)
+class CPUReport:
+    """Modelled CPU CRS execution for one matrix."""
+
+    nrows: int
+    nnz: int
+    nnzr: float
+    alpha: float
+    bandwidth_gbs: float
+    gflops: float
+    code_balance: float
+
+
+def model_cpu_crs(
+    matrix: SparseMatrixFormat,
+    *,
+    bandwidth_gbs: float = WESTMERE_BANDWIDTH_GBS,
+    alpha: float | None = None,
+    scale: int = 1,
+) -> CPUReport:
+    """Evaluate the Westmere CRS model on a matrix."""
+    nnzr = matrix.avg_row_length
+    if alpha is None:
+        alpha = estimate_alpha_cpu(matrix, scale=scale)
+    balance = crs_code_balance_dp(alpha, nnzr)
+    return CPUReport(
+        nrows=matrix.nrows,
+        nnz=matrix.nnz,
+        nnzr=nnzr,
+        alpha=alpha,
+        bandwidth_gbs=bandwidth_gbs,
+        gflops=bandwidth_gbs / balance,
+        code_balance=balance,
+    )

@@ -1,0 +1,24 @@
+"""spMVM-dominated solvers using the permuted-basis workflow (Sect. II-A)."""
+
+from repro.solvers.bicgstab import BiCGSTABResult, bicgstab
+from repro.solvers.cg import CGResult, conjugate_gradient
+from repro.solvers.kpm import KPMResult, jackson_kernel, kpm_spectral_density
+from repro.solvers.lanczos import LanczosResult, lanczos
+from repro.solvers.permuted import PermutedOperator, as_operator
+from repro.solvers.power import PowerResult, power_iteration
+
+__all__ = [
+    "BiCGSTABResult",
+    "bicgstab",
+    "CGResult",
+    "conjugate_gradient",
+    "KPMResult",
+    "jackson_kernel",
+    "kpm_spectral_density",
+    "LanczosResult",
+    "lanczos",
+    "PermutedOperator",
+    "as_operator",
+    "PowerResult",
+    "power_iteration",
+]

@@ -1,0 +1,80 @@
+"""Permuted-basis solver workflow (Sect. II-A).
+
+The pJDS drawback is that spMVM happens in a permuted basis.  The
+paper's answer: for Krylov-type iterative methods, permute once before
+the iteration, run every iteration on permuted vectors, and permute
+back once at the end.  :class:`PermutedOperator` packages exactly that
+contract so the solvers below never gather/scatter inside their loops.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.jds import JaggedDiagonalsBase
+from repro.core.sorting import Permutation
+from repro.formats.base import SparseMatrixFormat
+
+__all__ = ["PermutedOperator", "as_operator"]
+
+
+class PermutedOperator:
+    """Square linear operator working in a format's stored basis.
+
+    For jagged formats the ``apply`` closure is the zero-copy
+    ``spmv_permuted`` kernel; for permutation-free formats it is plain
+    ``spmv`` and the basis maps are identities.
+    """
+
+    def __init__(
+        self,
+        apply_: Callable[[np.ndarray], np.ndarray],
+        permutation: Permutation,
+        dtype: np.dtype,
+    ):
+        self._apply = apply_
+        self._perm = permutation
+        self._dtype = np.dtype(dtype)
+
+    @property
+    def size(self) -> int:
+        return self._perm.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    @property
+    def permutation(self) -> Permutation:
+        return self._perm
+
+    def apply(self, x_perm: np.ndarray) -> np.ndarray:
+        """One operator application in the stored basis."""
+        return self._apply(x_perm)
+
+    __call__ = apply
+
+    def enter(self, x: np.ndarray) -> np.ndarray:
+        """Map a vector from the original into the stored basis."""
+        return np.ascontiguousarray(self._perm.to_permuted(x), dtype=self._dtype)
+
+    def leave(self, x_perm: np.ndarray) -> np.ndarray:
+        """Map a stored-basis vector back to the original ordering."""
+        return self._perm.to_original(x_perm)
+
+
+def as_operator(matrix: SparseMatrixFormat) -> PermutedOperator:
+    """Wrap any square format as a :class:`PermutedOperator`."""
+    if matrix.nrows != matrix.ncols:
+        raise ValueError("solvers require a square matrix")
+    if isinstance(matrix, JaggedDiagonalsBase):
+        return PermutedOperator(
+            matrix.spmv_permuted, matrix.permutation, matrix.dtype
+        )
+    return PermutedOperator(
+        lambda x: matrix.spmv(x),
+        Permutation.identity(matrix.nrows),
+        matrix.dtype,
+    )

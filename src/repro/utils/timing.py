@@ -1,0 +1,88 @@
+"""Timing and floating-point-rate accounting helpers.
+
+The paper reports spMVM performance in GF/s with ``2 * Nnz`` flops per
+multiply (one multiplication plus one addition per stored non-zero).
+These helpers keep that accounting in one place for the wall-clock
+benchmarks and the simulator alike.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["flops_per_spmv", "gflops", "Timer", "Stopwatch"]
+
+
+def flops_per_spmv(nnz: int) -> int:
+    """Floating point operations of one spMVM: one FMA (2 flops) per non-zero."""
+    if nnz < 0:
+        raise ValueError(f"nnz must be >= 0, got {nnz}")
+    return 2 * nnz
+
+
+def gflops(nnz: int, seconds: float) -> float:
+    """Performance in GF/s of one spMVM over ``nnz`` non-zeros in ``seconds``."""
+    if seconds <= 0.0:
+        raise ValueError(f"seconds must be > 0, got {seconds}")
+    return flops_per_spmv(nnz) / seconds * 1e-9
+
+
+class Timer:
+    """Context-manager wall-clock timer.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(10))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch for repeated measurement sections."""
+
+    total: float = 0.0
+    laps: list[float] = field(default_factory=list)
+    _start: float | None = None
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError("Stopwatch already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Stopwatch not running")
+        lap = time.perf_counter() - self._start
+        self._start = None
+        self.laps.append(lap)
+        self.total += lap
+        return lap
+
+    @property
+    def mean(self) -> float:
+        if not self.laps:
+            raise RuntimeError("no laps recorded")
+        return self.total / len(self.laps)
+
+    @property
+    def best(self) -> float:
+        if not self.laps:
+            raise RuntimeError("no laps recorded")
+        return min(self.laps)

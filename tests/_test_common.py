@@ -1,0 +1,78 @@
+"""Shared test helpers (uniquely named to avoid conftest shadowing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, convert
+
+#: every registered format that implements spmv (COO included)
+ALL_FORMATS = ["COO", "CRS", "ELLPACK", "ELLPACK-R", "JDS", "pJDS", "SELL-C-sigma"]
+#: formats with a GPU kernel trace
+GPU_FORMATS = ["ELLPACK", "ELLPACK-R", "JDS", "pJDS", "SELL-C-sigma"]
+#: formats that permute rows
+PERMUTING_FORMATS = ["JDS", "pJDS", "SELL-C-sigma"]
+
+
+def random_coo(
+    n: int = 60,
+    m: int | None = None,
+    *,
+    seed: int = 0,
+    max_row: int = 12,
+    min_row: int = 0,
+    dtype=np.float64,
+    empty_row_fraction: float = 0.1,
+) -> COOMatrix:
+    """Random rectangular COO with a skewed row-length distribution."""
+    m = n if m is None else m
+    rng = np.random.default_rng(seed)
+    rows, cols, vals = [], [], []
+    for i in range(n):
+        if rng.random() < empty_row_fraction and min_row == 0:
+            continue
+        k = int(rng.integers(max(min_row, 1), max_row + 1))
+        k = min(k, m)
+        c = rng.choice(m, size=k, replace=False)
+        rows.extend([i] * k)
+        cols.extend(c.tolist())
+        vals.extend(rng.normal(size=k).tolist())
+    return COOMatrix(
+        np.asarray(rows, dtype=np.int64),
+        np.asarray(cols, dtype=np.int64),
+        np.asarray(vals, dtype=dtype),
+        (n, m),
+        sum_duplicates=False,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_coo() -> COOMatrix:
+    """60x60 random square matrix with empty rows and skewed lengths."""
+    return random_coo(60, seed=3)
+
+
+@pytest.fixture(scope="session")
+def rect_coo() -> COOMatrix:
+    """Rectangular 40x70 matrix."""
+    return random_coo(40, 70, seed=5)
+
+
+@pytest.fixture(scope="session")
+def spd_coo() -> COOMatrix:
+    """Small symmetric positive-definite matrix (for CG)."""
+    from repro.matrices import poisson2d
+
+    return poisson2d(12, 13)
+
+
+@pytest.fixture(params=ALL_FORMATS)
+def any_format(request, small_coo):
+    """One instance of every format built from the same matrix."""
+    return convert(small_coo, request.param)
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

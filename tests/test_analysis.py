@@ -1,0 +1,104 @@
+"""Tests for row-length histograms (Fig. 3) and structure statistics."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, convert
+from repro.matrices import row_length_histogram, structure_stats
+
+from _test_common import random_coo
+
+
+class TestHistogram:
+    def test_counts_sum_to_rows(self):
+        coo = random_coo(80, seed=91)
+        h = row_length_histogram(coo)
+        assert h.counts.sum() == coo.nrows
+        assert h.nrows == coo.nrows
+
+    def test_bin_size_one_exact(self):
+        coo = COOMatrix([0, 0, 1, 2], [0, 1, 0, 0], np.ones(4), (4, 4))
+        h = row_length_histogram(coo)
+        # lengths: 2,1,1,0
+        assert h.counts.tolist() == [1, 2, 1]
+        assert h.bin_edges.tolist() == [0, 1, 2]
+
+    def test_relative_share_normalised(self):
+        coo = random_coo(60, seed=92)
+        h = row_length_histogram(coo)
+        assert h.relative_share.sum() == pytest.approx(1.0)
+
+    def test_share_at_least(self):
+        coo = random_coo(60, seed=93)
+        h = row_length_histogram(coo)
+        lengths = coo.row_lengths()
+        for L in (0, 3, int(lengths.max())):
+            expected = np.count_nonzero(lengths >= L) / coo.nrows
+            assert h.share_at_least(L) == pytest.approx(expected)
+
+    def test_binned(self):
+        coo = random_coo(60, seed=94)
+        h1 = row_length_histogram(coo, bin_size=1)
+        h3 = row_length_histogram(coo, bin_size=3)
+        assert h3.counts.sum() == h1.counts.sum()
+        assert h3.bin_edges[1] - h3.bin_edges[0] == 3
+
+    def test_from_raw_lengths(self):
+        h = row_length_histogram(np.array([2, 2, 5]))
+        assert h.counts.tolist() == [0, 0, 2, 0, 0, 1]
+
+    def test_as_rows_skips_empty_bins(self):
+        h = row_length_histogram(np.array([0, 4]))
+        rows = h.as_rows()
+        assert [r[0] for r in rows] == [0, 4]
+        assert all(r[1] > 0 for r in rows)
+
+    def test_bad_bin_size(self):
+        with pytest.raises(ValueError):
+            row_length_histogram(np.array([1]), bin_size=0)
+
+    def test_works_for_all_formats(self):
+        coo = random_coo(30, seed=95)
+        ref = row_length_histogram(coo).counts
+        for fmt in ("CRS", "ELLPACK-R", "pJDS"):
+            h = row_length_histogram(convert(coo, fmt))
+            assert np.array_equal(h.counts, ref), fmt
+
+
+class TestStructureStats:
+    def test_basic_fields(self):
+        coo = random_coo(50, seed=96)
+        st = structure_stats(coo)
+        assert st.nrows == 50
+        assert st.nnz == coo.nnz
+        assert st.nnzr == pytest.approx(coo.nnz / 50)
+        lengths = coo.row_lengths()
+        assert st.min_row_length == lengths.min()
+        assert st.max_row_length == lengths.max()
+
+    def test_relative_width(self):
+        coo = COOMatrix([0, 0, 1], [0, 1, 0], np.ones(3), (2, 2))
+        st = structure_stats(coo)
+        assert st.relative_width == 2.0
+
+    def test_relative_width_with_empty_rows(self):
+        coo = COOMatrix([0, 0], [0, 1], np.ones(2), (2, 2))
+        st = structure_stats(coo)
+        assert st.relative_width == 2.0  # min clamped to 1
+
+    def test_density(self):
+        coo = random_coo(40, seed=97)
+        st = structure_stats(coo)
+        assert st.density == pytest.approx(coo.nnz / 1600)
+
+    def test_as_dict(self):
+        st = structure_stats(random_coo(10, seed=98))
+        d = st.as_dict()
+        assert d["nrows"] == 10
+        assert set(d) >= {"nnz", "nnzr", "density"}
+
+    def test_diagonal_matrix_zero_distance(self):
+        n = 10
+        coo = COOMatrix(range(n), range(n), np.ones(n), (n, n))
+        st = structure_stats(coo)
+        assert st.mean_abs_col_distance == 0.0

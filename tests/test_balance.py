@@ -1,0 +1,117 @@
+"""Tests for the Eq. (1) code-balance model and the CPU baseline."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import (
+    alpha_bounds,
+    alpha_from_balance,
+    code_balance,
+    code_balance_dp,
+    code_balance_sp,
+    cpu_crs_gflops,
+    crs_code_balance_dp,
+    estimate_alpha_cpu,
+    model_cpu_crs,
+    predicted_gflops,
+)
+
+from _test_common import random_coo
+
+
+class TestEq1:
+    def test_dp_formula(self):
+        """B = 6 + 4 alpha + 8/Nnzr (Eq. 1)."""
+        assert code_balance_dp(1.0, 8.0) == pytest.approx(6 + 4 + 1)
+        assert code_balance_dp(0.0, 16.0) == pytest.approx(6.5)
+
+    def test_sp_formula(self):
+        assert code_balance_sp(1.0, 8.0) == pytest.approx(4 + 2 + 0.5)
+
+    def test_worst_case_limits(self):
+        """alpha = 1, huge Nnzr: B -> 10 bytes/flop DP."""
+        assert code_balance_dp(1.0, 1e9) == pytest.approx(10.0)
+
+    def test_best_case_limits(self):
+        """alpha = 1/Nnzr, huge Nnzr: B -> 6 bytes/flop DP (kappa=0 case)."""
+        assert code_balance_dp(1e-9, 1e9) == pytest.approx(6.0)
+
+    def test_dispatch(self):
+        assert code_balance(0.5, 10, "DP") == code_balance_dp(0.5, 10)
+        assert code_balance(0.5, 10, "SP") == code_balance_sp(0.5, 10)
+        with pytest.raises(ValueError):
+            code_balance(0.5, 10, "XP")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            code_balance_dp(-0.1, 10)
+        with pytest.raises(ValueError):
+            code_balance_dp(0.5, 0)
+
+    def test_alpha_bounds(self):
+        lo, hi = alpha_bounds(20.0)
+        assert lo == pytest.approx(0.05)
+        assert hi == 1.0
+
+    def test_inversion_roundtrip(self):
+        for prec in ("SP", "DP"):
+            b = code_balance(0.37, 42.0, prec)
+            assert alpha_from_balance(b, 42.0, prec) == pytest.approx(0.37)
+
+    def test_predicted_gflops(self):
+        """91 GB/s at B = 7 bytes/flop -> 13 GF/s (the DLR1 regime)."""
+        assert predicted_gflops(91.0, 0.2, 144.0) == pytest.approx(
+            91.0 / code_balance_dp(0.2, 144.0)
+        )
+        with pytest.raises(ValueError):
+            predicted_gflops(0.0, 0.2, 10)
+
+
+class TestCPUModel:
+    def test_crs_balance_includes_row_ptr(self):
+        b = crs_code_balance_dp(0.0, 10.0)
+        assert b == pytest.approx((12 + 20.0 / 10.0) / 2)
+
+    def test_gflops_at_paper_regime(self):
+        """~40 GB/s at DLR-like balance lands in the 5-6 GF/s row of Table I."""
+        g = cpu_crs_gflops(0.2, 144.0)
+        assert 4.5 <= g <= 7.0
+
+    def test_estimate_alpha_in_range(self):
+        coo = random_coo(100, seed=141)
+        a = estimate_alpha_cpu(coo)
+        assert 0.0 <= a <= 1.0
+
+    def test_banded_matrix_better_alpha_than_random(self):
+        from repro.matrices import banded_sparse, random_sparse
+
+        n = 400
+        lengths = np.full(n, 6)
+        banded = banded_sparse(n, 15, lengths, seed=1)
+        scattered = random_sparse(n, n, lengths, seed=1)
+        scale = 4096  # shrink the LLC so the working sets differ
+        assert estimate_alpha_cpu(banded, scale=scale) <= estimate_alpha_cpu(
+            scattered, scale=scale
+        )
+
+    def test_empty_matrix_alpha(self):
+        from repro.formats import COOMatrix
+
+        assert estimate_alpha_cpu(COOMatrix([], [], [], (3, 3))) == 0.0
+
+    def test_model_cpu_crs_report(self):
+        coo = random_coo(80, seed=142)
+        rep = model_cpu_crs(coo)
+        assert rep.nnz == coo.nnz
+        assert rep.gflops == pytest.approx(rep.bandwidth_gbs / rep.code_balance)
+
+    def test_explicit_alpha_respected(self):
+        coo = random_coo(80, seed=143)
+        rep = model_cpu_crs(coo, alpha=0.5)
+        assert rep.alpha == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            crs_code_balance_dp(-1, 10)
+        with pytest.raises(ValueError):
+            cpu_crs_gflops(0.5, 10, bandwidth_gbs=0)

@@ -1,0 +1,157 @@
+"""Tests for BiCGSTAB and the Jacobi-preconditioned CG."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, convert
+from repro.matrices import poisson2d
+from repro.solvers import bicgstab, conjugate_gradient
+
+from _test_common import random_coo
+
+
+def _nonsymmetric_system(n=120, seed=221, diag=30.0):
+    """Diagonally dominant nonsymmetric matrix (guaranteed solvable)."""
+    coo = random_coo(n, seed=seed, max_row=6, empty_row_fraction=0.0)
+    d = np.arange(n)
+    return COOMatrix(
+        np.concatenate([coo.rows, d]),
+        np.concatenate([coo.cols, d]),
+        np.concatenate([coo.values, np.full(n, diag)]),
+        (n, n),
+    )
+
+
+class TestBiCGSTAB:
+    @pytest.mark.parametrize("fmt", ["CRS", "ELLPACK-R", "pJDS"])
+    def test_solves_nonsymmetric(self, fmt):
+        A = _nonsymmetric_system()
+        m = convert(A, fmt)
+        b = np.random.default_rng(0).normal(size=A.nrows)
+        res = bicgstab(m, b, tol=1e-11)
+        assert res.converged
+        assert np.allclose(A.todense() @ res.x, b, atol=1e-7)
+
+    def test_not_symmetric_required(self):
+        """BiCGSTAB handles what CG cannot."""
+        A = _nonsymmetric_system(seed=222)
+        dense = A.todense()
+        assert not np.allclose(dense, dense.T)
+
+    def test_spd_also_works(self):
+        A = poisson2d(9, 10)
+        b = np.ones(A.nrows)
+        res = bicgstab(convert(A, "pJDS"), b, tol=1e-10)
+        assert res.converged
+        assert np.allclose(A.todense() @ res.x, b, atol=1e-6)
+
+    def test_zero_rhs(self):
+        A = _nonsymmetric_system()
+        res = bicgstab(A, np.zeros(A.nrows))
+        assert res.converged and res.iterations == 0
+
+    def test_warm_start(self):
+        A = _nonsymmetric_system()
+        b = np.random.default_rng(1).normal(size=A.nrows)
+        exact = np.linalg.solve(A.todense(), b)
+        res = bicgstab(A, b, x0=exact, tol=1e-8)
+        assert res.converged
+        assert res.iterations <= 2
+
+    def test_two_spmv_per_iteration(self):
+        A = _nonsymmetric_system()
+        b = np.random.default_rng(2).normal(size=A.nrows)
+        res = bicgstab(A, b, tol=1e-10)
+        assert res.spmv_count <= 2 * res.iterations + 1
+
+    def test_max_iter(self):
+        A = _nonsymmetric_system(diag=1.5)  # weakly dominant: slow
+        b = np.ones(A.nrows)
+        res = bicgstab(A, b, tol=1e-15, max_iter=2)
+        assert not res.converged
+        assert res.iterations == 2
+
+    def test_validation(self):
+        A = _nonsymmetric_system()
+        with pytest.raises(ValueError):
+            bicgstab(A, np.ones(A.nrows), tol=0.0)
+        with pytest.raises(ValueError):
+            bicgstab(A, np.ones(A.nrows), max_iter=-1)
+
+    def test_residual_definition(self):
+        A = _nonsymmetric_system()
+        b = np.random.default_rng(3).normal(size=A.nrows)
+        res = bicgstab(A, b, tol=1e-9)
+        true_res = np.linalg.norm(A.todense() @ res.x - b)
+        assert true_res <= 1e-9 * np.linalg.norm(b) * 10
+
+
+class TestPreconditionedCG:
+    @pytest.fixture(scope="class")
+    def badly_scaled(self):
+        """SPD with wildly varying diagonal — Jacobi's best case."""
+        base = poisson2d(10, 11)
+        coo = base.to_coo()
+        n = base.nrows
+        scale = np.exp(np.linspace(0.0, 6.0, n))  # condition blow-up
+        vals = coo.values * scale[coo.rows] * scale[coo.cols]
+        return COOMatrix(coo.rows, coo.cols, vals, base.shape)
+
+    def test_jacobi_accelerates(self, badly_scaled):
+        m = convert(badly_scaled, "pJDS")
+        b = np.random.default_rng(4).normal(size=badly_scaled.nrows)
+        plain = conjugate_gradient(m, b, tol=1e-8, max_iter=20_000)
+        pre = conjugate_gradient(
+            m, b, tol=1e-8, max_iter=20_000, preconditioner="jacobi"
+        )
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+
+    def test_jacobi_solution_correct(self, badly_scaled):
+        m = convert(badly_scaled, "pJDS")
+        b = np.random.default_rng(5).normal(size=badly_scaled.nrows)
+        res = conjugate_gradient(m, b, tol=1e-10, preconditioner="jacobi",
+                                 max_iter=20_000)
+        assert np.allclose(
+            badly_scaled.todense() @ res.x, b, atol=1e-5
+        )
+
+    def test_explicit_minv_array(self, badly_scaled):
+        m = convert(badly_scaled, "pJDS")
+        b = np.ones(badly_scaled.nrows)
+        minv = 1.0 / badly_scaled.diagonal()
+        res = conjugate_gradient(m, b, tol=1e-8, preconditioner=minv,
+                                 max_iter=20_000)
+        assert res.converged
+
+    def test_unknown_preconditioner(self, badly_scaled):
+        with pytest.raises(ValueError, match="unknown preconditioner"):
+            conjugate_gradient(
+                badly_scaled, np.ones(badly_scaled.nrows), preconditioner="ilu"
+            )
+
+    def test_zero_diagonal_rejected(self):
+        coo = COOMatrix([0, 1], [1, 0], [1.0, 1.0], (2, 2))
+        with pytest.raises(np.linalg.LinAlgError, match="diagonal"):
+            conjugate_gradient(coo, np.ones(2), preconditioner="jacobi")
+
+
+class TestDiagonal:
+    def test_diagonal_extraction(self):
+        coo = COOMatrix([0, 1, 1], [0, 1, 0], [4.0, 5.0, 1.0], (2, 2))
+        assert coo.diagonal().tolist() == [4.0, 5.0]
+
+    def test_missing_entries_zero(self):
+        coo = COOMatrix([0], [1], [3.0], (2, 2))
+        assert coo.diagonal().tolist() == [0.0, 0.0]
+
+    def test_all_formats_agree(self):
+        coo = random_coo(30, seed=223)
+        ref = coo.diagonal()
+        for fmt in ("CRS", "ELLPACK-R", "pJDS", "SELL-C-sigma"):
+            assert np.array_equal(convert(coo, fmt).diagonal(), ref), fmt
+
+    def test_rectangular_rejected(self):
+        coo = random_coo(5, 8, seed=224)
+        with pytest.raises(ValueError, match="square"):
+            coo.diagonal()

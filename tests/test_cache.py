@@ -1,0 +1,75 @@
+"""Tests for the matrix disk cache."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import cached_generate, generate, load_coo, save_coo
+
+from _test_common import random_coo
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        coo = random_coo(40, seed=291)
+        path = tmp_path / "m.npz"
+        save_coo(coo, path)
+        back = load_coo(path)
+        assert back.shape == coo.shape
+        assert np.array_equal(back.todense(), coo.todense())
+        assert back.dtype == coo.dtype
+
+    def test_float32_preserved(self, tmp_path):
+        coo = random_coo(20, seed=292, dtype=np.float32)
+        path = tmp_path / "m.npz"
+        save_coo(coo, path)
+        assert load_coo(path).dtype == np.float32
+
+    def test_creates_parent_dirs(self, tmp_path):
+        coo = random_coo(10, seed=293)
+        path = tmp_path / "a" / "b" / "m.npz"
+        save_coo(coo, path)
+        assert path.exists()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValueError, match="unreadable"):
+            load_coo(tmp_path / "nope.npz")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"not a zip at all")
+        with pytest.raises(ValueError, match="unreadable"):
+            load_coo(path)
+
+
+class TestCachedGenerate:
+    def test_matches_direct_generation(self, tmp_path):
+        a = cached_generate("sAMG", scale=512, seed=3, cache_dir=tmp_path)
+        b = generate("sAMG", scale=512, seed=3)
+        assert np.array_equal(a.todense(), b.todense())
+
+    def test_second_call_hits_cache(self, tmp_path):
+        cached_generate("sAMG", scale=512, cache_dir=tmp_path)
+        files = list(tmp_path.glob("*.npz"))
+        assert len(files) == 1
+        mtime = files[0].stat().st_mtime_ns
+        cached_generate("sAMG", scale=512, cache_dir=tmp_path)
+        assert files[0].stat().st_mtime_ns == mtime  # not rewritten
+
+    def test_keys_distinguish_parameters(self, tmp_path):
+        cached_generate("sAMG", scale=512, seed=0, cache_dir=tmp_path)
+        cached_generate("sAMG", scale=512, seed=1, cache_dir=tmp_path)
+        cached_generate("sAMG", scale=1024, seed=0, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.npz"))) == 3
+
+    def test_corrupt_cache_regenerated(self, tmp_path):
+        cached_generate("sAMG", scale=512, cache_dir=tmp_path)
+        path = next(tmp_path.glob("*.npz"))
+        path.write_bytes(b"garbage")
+        m = cached_generate("sAMG", scale=512, cache_dir=tmp_path)
+        assert m.nnz > 0  # regenerated, not crashed
+
+    def test_default_cache_dir_env(self, tmp_path, monkeypatch):
+        from repro.matrices import default_cache_dir
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert default_cache_dir() == tmp_path

@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv: str) -> str:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    assert code == 0
+    return out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["suite"])
+        assert args.scale == 64
+        assert args.seed == 0
+
+    def test_fig5_matrix_choice(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "--matrix", "HMEp"])
+
+
+class TestCommands:
+    def test_suite(self):
+        text = run_cli("suite", "--scale", "512")
+        for key in ("HMEp", "sAMG", "DLR1", "DLR2", "UHBR"):
+            assert key in text
+        assert "reduction" in text
+
+    def test_table1(self):
+        text = run_cli("table1", "--scale", "512")
+        assert "SP ECC=0" in text
+        assert "pJDS" in text
+        assert "ELLPACK-R" in text
+
+    def test_fig3(self):
+        text = run_cli("fig3", "--scale", "1024")
+        assert "DLR1" in text
+        assert "#" in text  # histogram bars
+
+    def test_pcie(self):
+        text = run_cli("pcie")
+        assert "worthwhile" in text
+        assert "sAMG" in text
+        # sAMG must be ruled out
+        samg_line = next(l for l in text.splitlines() if l.startswith("sAMG"))
+        assert "False" in samg_line
+
+    def test_fig5(self):
+        text = run_cli("fig5", "--scale", "128", "--matrix", "DLR1")
+        assert "task" in text
+        assert "vector" in text
+
+    def test_timeline(self):
+        text = run_cli("timeline", "--scale", "128", "--nodes", "3")
+        assert "GF/s" in text
+        assert "|" in text
+
+    def test_timeline_modes(self):
+        for mode in ("vector", "naive", "task"):
+            text = run_cli(
+                "timeline", "--scale", "256", "--nodes", "2", "--mode", mode
+            )
+            assert "GF/s" in text
+
+    def test_shootout(self):
+        text = run_cli("shootout", "--scale", "512", "--matrix", "sAMG")
+        assert "pJDS" in text
+        assert "SELL-C-sigma" in text
+        assert "GF/s" in text
+
+    def test_fig5_renders_chart(self):
+        text = run_cli("fig5", "--scale", "256", "--matrix", "DLR1")
+        assert "legend" in text
+
+    def test_spmv_roundtrip(self, tmp_path):
+        from repro.matrices import poisson2d, write_matrix_market
+
+        path = tmp_path / "m.mtx"
+        write_matrix_market(poisson2d(12, 12), path)
+        text = run_cli("spmv", str(path), "--format", "pJDS")
+        assert "144 x 144" in text
+        assert "GF/s" in text
+
+    def test_spmv_coo_no_gpu_model(self, tmp_path):
+        from repro.matrices import poisson2d, write_matrix_market
+
+        path = tmp_path / "m.mtx"
+        write_matrix_market(poisson2d(8, 8), path)
+        text = run_cli("spmv", str(path), "--format", "COO")
+        assert "no GPU model" in text
+
+    def test_spmv_crs_scalar_model(self, tmp_path):
+        from repro.matrices import poisson2d, write_matrix_market
+
+        path = tmp_path / "m.mtx"
+        write_matrix_market(poisson2d(8, 8), path)
+        text = run_cli("spmv", str(path), "--format", "CRS")
+        assert "GF/s" in text

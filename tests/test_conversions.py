@@ -1,0 +1,82 @@
+"""Tests for the format registry and conversion routing."""
+
+import numpy as np
+import pytest
+
+from repro.formats import FORMATS, available_formats, convert, register_format
+from repro.formats.base import SparseMatrixFormat
+
+from _test_common import ALL_FORMATS, random_coo
+
+
+class TestRegistry:
+    def test_all_expected_formats_present(self):
+        names = available_formats()
+        for expected in ALL_FORMATS:
+            assert expected in names
+
+    def test_register_idempotent(self):
+        cls = FORMATS["CRS"]
+        assert register_format(cls) is cls
+
+    def test_register_conflict_rejected(self):
+        class Fake(SparseMatrixFormat):
+            name = "CRS"
+
+            def spmv(self, x, out=None):  # pragma: no cover
+                raise NotImplementedError
+
+            def to_coo(self):  # pragma: no cover
+                raise NotImplementedError
+
+            @classmethod
+            def from_coo(cls, coo, **kw):  # pragma: no cover
+                raise NotImplementedError
+
+            def memory_breakdown(self):  # pragma: no cover
+                return {}
+
+            def row_lengths(self):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_format(Fake)
+
+
+class TestConvert:
+    @pytest.mark.parametrize("src", ALL_FORMATS)
+    @pytest.mark.parametrize("dst", ALL_FORMATS)
+    def test_all_pairs(self, src, dst):
+        coo = random_coo(30, seed=71)
+        a = convert(coo, src)
+        b = convert(a, dst)
+        assert np.allclose(b.todense(), coo.todense()), (src, dst)
+
+    def test_same_format_short_circuit(self):
+        coo = random_coo(10, seed=72)
+        m = convert(coo, "CRS")
+        assert convert(m, "CRS") is m
+
+    def test_kwargs_force_rebuild(self):
+        coo = random_coo(10, seed=73)
+        p = convert(coo, "pJDS", block_rows=4)
+        p2 = convert(p, "pJDS", block_rows=2)
+        assert p2 is not p
+        assert p2.block_rows == 2
+
+    def test_unknown_format(self):
+        coo = random_coo(5, seed=74)
+        with pytest.raises(ValueError, match="unknown format"):
+            convert(coo, "BOGUS")
+
+    def test_class_target(self):
+        from repro.core import PJDSMatrix
+
+        coo = random_coo(10, seed=75)
+        p = convert(coo, PJDSMatrix, block_rows=4)
+        assert isinstance(p, PJDSMatrix)
+
+    def test_dtype_preserved(self):
+        coo = random_coo(12, seed=76, dtype=np.float32)
+        for dst in ALL_FORMATS:
+            assert convert(coo, dst).dtype == np.float32, dst

@@ -1,0 +1,175 @@
+"""Unit tests for the COO interchange format."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix
+
+from _test_common import random_coo
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = COOMatrix([0, 1], [1, 0], [2.0, 3.0], (2, 2))
+        assert m.shape == (2, 2)
+        assert m.nnz == 2
+        assert m.dtype == np.float64
+
+    def test_canonical_ordering(self):
+        m = COOMatrix([1, 0, 1], [0, 1, 1], [1.0, 2.0, 3.0], (2, 2))
+        assert m.rows.tolist() == [0, 1, 1]
+        assert m.cols.tolist() == [1, 0, 1]
+        assert m.values.tolist() == [2.0, 1.0, 3.0]
+
+    def test_duplicates_summed(self):
+        m = COOMatrix([0, 0, 0], [1, 1, 0], [1.0, 2.0, 5.0], (2, 2))
+        assert m.nnz == 2
+        dense = m.todense()
+        assert dense[0, 1] == 3.0
+        assert dense[0, 0] == 5.0
+
+    def test_duplicates_kept_when_disabled(self):
+        m = COOMatrix([0, 0], [1, 1], [1.0, 2.0], (2, 2), sum_duplicates=False)
+        assert m.nnz == 2
+
+    def test_drop_zeros(self):
+        m = COOMatrix([0, 1], [0, 1], [0.0, 2.0], (2, 2), drop_zeros=True)
+        assert m.nnz == 1
+
+    def test_explicit_zeros_kept_by_default(self):
+        m = COOMatrix([0], [0], [0.0], (2, 2))
+        assert m.nnz == 1
+
+    def test_duplicate_cancellation_with_drop(self):
+        m = COOMatrix([0, 0], [0, 0], [1.0, -1.0], (2, 2), drop_zeros=True)
+        assert m.nnz == 0
+
+    def test_float32_preserved(self):
+        m = COOMatrix([0], [0], np.asarray([1.0], dtype=np.float32), (1, 1))
+        assert m.dtype == np.float32
+
+    def test_int_values_upcast(self):
+        m = COOMatrix([0], [0], [3], (1, 1))
+        assert m.dtype == np.float64
+
+    def test_out_of_range_row_rejected(self):
+        with pytest.raises(ValueError, match="rows"):
+            COOMatrix([5], [0], [1.0], (2, 2))
+
+    def test_negative_col_rejected(self):
+        with pytest.raises(ValueError, match="cols"):
+            COOMatrix([0], [-1], [1.0], (2, 2))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            COOMatrix([0, 1], [0], [1.0], (2, 2))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix([], [], [], (0, 2))
+
+    def test_empty_matrix(self):
+        m = COOMatrix([], [], [], (3, 3))
+        assert m.nnz == 0
+        assert np.all(m.spmv(np.ones(3)) == 0.0)
+
+
+class TestSpmv:
+    def test_against_dense(self):
+        m = random_coo(30, seed=7)
+        x = np.random.default_rng(0).normal(size=30)
+        assert np.allclose(m.spmv(x), m.todense() @ x)
+
+    def test_rectangular(self):
+        m = random_coo(20, 35, seed=8)
+        x = np.random.default_rng(1).normal(size=35)
+        y = m.spmv(x)
+        assert y.shape == (20,)
+        assert np.allclose(y, m.todense() @ x)
+
+    def test_out_parameter_reused(self):
+        m = random_coo(25, seed=9)
+        x = np.ones(25)
+        out = np.empty(25)
+        y = m.spmv(x, out=out)
+        assert y is out
+
+    def test_out_wrong_length_rejected(self):
+        m = random_coo(25, seed=9)
+        with pytest.raises(ValueError):
+            m.spmv(np.ones(25), out=np.empty(24))
+
+    def test_wrong_x_length_rejected(self):
+        m = random_coo(25, seed=9)
+        with pytest.raises(ValueError, match="length"):
+            m.spmv(np.ones(26))
+
+    def test_x_2d_rejected(self):
+        m = random_coo(25, seed=9)
+        with pytest.raises(ValueError, match="1-D"):
+            m.spmv(np.ones((25, 1)))
+
+    def test_sp_matches_dp_loosely(self):
+        m64 = random_coo(40, seed=10)
+        m32 = m64.astype(np.float32)
+        x = np.random.default_rng(2).normal(size=40)
+        assert np.allclose(m32.spmv(x), m64.spmv(x), atol=1e-4)
+
+
+class TestConverters:
+    def test_from_dense_roundtrip(self):
+        rng = np.random.default_rng(11)
+        dense = rng.normal(size=(8, 9)) * (rng.random((8, 9)) < 0.4)
+        m = COOMatrix.from_dense(dense)
+        assert np.allclose(m.todense(), dense)
+
+    def test_from_dense_requires_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            COOMatrix.from_dense(np.ones(4))
+
+    def test_scipy_roundtrip(self):
+        import scipy.sparse as sp
+
+        m = random_coo(15, seed=12)
+        back = COOMatrix.from_scipy(m.to_scipy())
+        assert np.allclose(back.todense(), m.todense())
+
+    def test_transpose(self):
+        m = random_coo(10, 14, seed=13)
+        t = m.transpose()
+        assert t.shape == (14, 10)
+        assert np.allclose(t.todense(), m.todense().T)
+
+    def test_astype_roundtrip(self):
+        m = random_coo(10, seed=14)
+        m32 = m.astype(np.float32)
+        assert m32.dtype == np.float32
+        assert m.astype(np.float64) is m
+
+    def test_to_coo_is_self(self):
+        m = random_coo(10, seed=15)
+        assert m.to_coo() is m
+
+
+class TestAccounting:
+    def test_memory_breakdown(self):
+        m = COOMatrix([0, 1], [1, 0], [1.0, 2.0], (2, 2))
+        bd = m.memory_breakdown()
+        assert bd["val"] == 2 * 8
+        assert bd["row_idx"] == 2 * 4
+        assert bd["col_idx"] == 2 * 4
+        assert m.nbytes == 32
+
+    def test_row_lengths(self):
+        m = COOMatrix([0, 0, 2], [0, 1, 2], [1.0, 1.0, 1.0], (3, 3))
+        assert m.row_lengths().tolist() == [2, 0, 1]
+
+    def test_avg_row_length(self):
+        m = random_coo(30, seed=16, empty_row_fraction=0.0)
+        assert m.avg_row_length == pytest.approx(m.nnz / 30)
+
+    def test_views_are_readonly(self):
+        m = random_coo(10, seed=17)
+        for arr in (m.rows, m.cols, m.values):
+            with pytest.raises(ValueError):
+                arr[0] = 0

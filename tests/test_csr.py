@@ -1,0 +1,147 @@
+"""Unit tests for the CRS format and its partitioning helpers."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix, COOMatrix
+
+from _test_common import random_coo
+
+
+@pytest.fixture(scope="module")
+def csr() -> CSRMatrix:
+    return CSRMatrix.from_coo(random_coo(50, seed=21))
+
+
+class TestConstruction:
+    def test_from_coo_roundtrip(self, csr):
+        coo = csr.to_coo()
+        assert np.allclose(coo.todense(), csr.todense())
+
+    def test_empty_rows_preserved(self):
+        coo = COOMatrix([2], [1], [5.0], (4, 4))
+        m = CSRMatrix.from_coo(coo)
+        assert m.row_lengths().tolist() == [0, 0, 1, 0]
+
+    def test_indptr_validation(self):
+        with pytest.raises(ValueError, match="indptr"):
+            CSRMatrix(np.array([0, 1]), np.array([0]), np.array([1.0]), (2, 2))
+
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(ValueError, match="indptr\\[0\\]"):
+            CSRMatrix(np.array([1, 1, 1]), np.empty(0, np.int64), np.empty(0), (2, 2))
+
+    def test_indptr_monotone(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CSRMatrix(
+                np.array([0, 2, 1]),
+                np.array([0, 1]),
+                np.array([1.0, 2.0]),
+                (2, 2),
+            )
+
+    def test_data_length_checked(self):
+        with pytest.raises(ValueError, match="indices/data"):
+            CSRMatrix(np.array([0, 1, 2]), np.array([0, 1]), np.array([1.0]), (2, 2))
+
+    def test_column_bounds_checked(self):
+        with pytest.raises(ValueError, match="indices"):
+            CSRMatrix(np.array([0, 1]), np.array([9]), np.array([1.0]), (1, 2))
+
+
+class TestSpmv:
+    def test_against_coo(self, csr):
+        x = np.random.default_rng(0).normal(size=csr.ncols)
+        assert np.allclose(csr.spmv(x), csr.to_coo().spmv(x))
+
+    def test_empty_matrix(self):
+        m = CSRMatrix(np.zeros(4, np.int64), np.empty(0, np.int64), np.empty(0), (3, 5))
+        assert np.all(m.spmv(np.ones(5)) == 0.0)
+
+    def test_single_row(self):
+        m = CSRMatrix(
+            np.array([0, 3]), np.array([0, 2, 4]), np.array([1.0, 2.0, 3.0]), (1, 5)
+        )
+        assert m.spmv(np.arange(5.0))[0] == pytest.approx(0 + 4 + 12)
+
+
+class TestRowBlock:
+    def test_block_extracts_rows(self, csr):
+        blk = csr.row_block(10, 25)
+        assert blk.shape == (15, csr.ncols)
+        assert np.allclose(blk.todense(), csr.todense()[10:25])
+
+    def test_full_block_is_copy(self, csr):
+        blk = csr.row_block(0, csr.nrows)
+        assert np.allclose(blk.todense(), csr.todense())
+
+    def test_empty_block_rejected(self, csr):
+        # zero-row matrices are rejected by shape validation
+        with pytest.raises(ValueError):
+            csr.row_block(5, 5)
+
+    def test_bad_range_rejected(self, csr):
+        with pytest.raises(ValueError):
+            csr.row_block(10, csr.nrows + 1)
+        with pytest.raises(ValueError):
+            csr.row_block(-1, 3)
+
+
+class TestSplitColumns:
+    def test_split_partitions_entries(self, csr):
+        mask = np.zeros(csr.ncols, dtype=bool)
+        mask[: csr.ncols // 2] = True
+        a, b = csr.split_columns(mask)
+        assert a.nnz + b.nnz == csr.nnz
+        assert np.allclose(a.todense() + b.todense(), csr.todense())
+
+    def test_split_respects_mask(self, csr):
+        mask = np.zeros(csr.ncols, dtype=bool)
+        mask[::2] = True
+        a, b = csr.split_columns(mask)
+        assert np.all(mask[a.indices])
+        assert not np.any(mask[b.indices])
+
+    def test_wrong_mask_shape(self, csr):
+        with pytest.raises(ValueError, match="mask"):
+            csr.split_columns(np.ones(3, dtype=bool))
+
+    def test_all_true_mask(self, csr):
+        a, b = csr.split_columns(np.ones(csr.ncols, dtype=bool))
+        assert a.nnz == csr.nnz
+        assert b.nnz == 0
+
+
+class TestPermuteRows:
+    def test_permuted_dense_matches(self, csr):
+        rng = np.random.default_rng(5)
+        perm = rng.permutation(csr.nrows)
+        p = csr.permute_rows(perm)
+        assert np.allclose(p.todense(), csr.todense()[perm])
+
+    def test_identity_permutation(self, csr):
+        p = csr.permute_rows(np.arange(csr.nrows))
+        assert np.allclose(p.todense(), csr.todense())
+
+    def test_invalid_permutation_rejected(self, csr):
+        bad = np.zeros(csr.nrows, dtype=np.int64)  # duplicates
+        with pytest.raises(ValueError, match="permutation"):
+            csr.permute_rows(bad)
+
+
+class TestAccounting:
+    def test_memory_breakdown(self, csr):
+        bd = csr.memory_breakdown()
+        assert bd["val"] == csr.nnz * 8
+        assert bd["col_idx"] == csr.nnz * 4
+        assert bd["row_ptr"] == (csr.nrows + 1) * 4
+
+    def test_column_set(self):
+        coo = COOMatrix([0, 1], [3, 3], [1.0, 1.0], (2, 5))
+        m = CSRMatrix.from_coo(coo)
+        assert m.column_set().tolist() == [3]
+
+    def test_views_readonly(self, csr):
+        for arr in (csr.indptr, csr.indices, csr.data):
+            with pytest.raises(ValueError):
+                arr[0] = 0

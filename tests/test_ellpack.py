@@ -1,0 +1,127 @@
+"""Unit tests for ELLPACK and ELLPACK-R."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, ELLPACKMatrix, ELLPACKRMatrix
+
+from _test_common import random_coo
+
+
+@pytest.fixture(scope="module")
+def coo() -> COOMatrix:
+    return random_coo(45, seed=31)
+
+
+class TestELLPACK:
+    def test_spmv_matches_coo(self, coo):
+        m = ELLPACKMatrix.from_coo(coo)
+        x = np.random.default_rng(0).normal(size=coo.ncols)
+        assert np.allclose(m.spmv(x), coo.spmv(x))
+
+    def test_row_padding_to_warp(self, coo):
+        m = ELLPACKMatrix.from_coo(coo, row_pad=32)
+        assert m.padded_rows % 32 == 0
+        assert m.padded_rows >= coo.nrows
+
+    def test_row_pad_one(self, coo):
+        m = ELLPACKMatrix.from_coo(coo, row_pad=1)
+        assert m.padded_rows == coo.nrows
+
+    def test_width_is_max_row_length(self, coo):
+        m = ELLPACKMatrix.from_coo(coo)
+        assert m.width == int(coo.row_lengths().max())
+
+    def test_padding_entries_are_zero_and_col0(self, coo):
+        m = ELLPACKMatrix.from_coo(coo, row_pad=1)
+        lengths = coo.row_lengths()
+        for i in (0, coo.nrows - 1):
+            for j in range(int(lengths[i]), m.width):
+                assert m.val[j, i] == 0.0
+                assert m.col[j, i] == 0
+
+    def test_column_major_contiguity(self, coo):
+        m = ELLPACKMatrix.from_coo(coo)
+        assert m.val.flags.c_contiguous
+        # jagged column j is row j of the 2-D array => contiguous
+        assert m.val[0].flags.c_contiguous
+
+    def test_memory_footprint_is_rectangle(self, coo):
+        m = ELLPACKMatrix.from_coo(coo)
+        slots = m.padded_rows * m.width
+        assert m.memory_breakdown()["val"] == slots * 8
+        assert m.memory_breakdown()["col_idx"] == slots * 4
+        assert m.stored_elements == slots
+
+    def test_padding_overhead_positive_for_irregular(self, coo):
+        m = ELLPACKMatrix.from_coo(coo)
+        assert m.padding_overhead > 0.0
+
+    def test_constant_rows_no_overhead(self):
+        n = 16
+        rows = np.repeat(np.arange(n), 3)
+        cols = np.tile(np.array([0, 5, 9]), n)
+        m = ELLPACKMatrix.from_coo(
+            COOMatrix(rows, cols, np.ones(3 * n), (n, 16)), row_pad=1
+        )
+        assert m.padding_overhead == 0.0
+
+    def test_roundtrip(self, coo):
+        m = ELLPACKMatrix.from_coo(coo)
+        assert np.allclose(m.to_coo().todense(), coo.todense())
+
+    def test_unknown_kwarg_rejected(self, coo):
+        with pytest.raises(TypeError, match="unexpected"):
+            ELLPACKMatrix.from_coo(coo, sigma=2)
+
+    def test_val_col_shape_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            ELLPACKMatrix(
+                np.zeros((2, 4)), np.zeros((2, 5), np.int64), np.zeros(4, np.int64), (4, 4)
+            )
+
+    def test_row_lengths_match_source(self, coo):
+        m = ELLPACKMatrix.from_coo(coo)
+        assert np.array_equal(m.row_lengths(), coo.row_lengths())
+
+
+class TestELLPACKR:
+    def test_spmv_matches_coo(self, coo):
+        m = ELLPACKRMatrix.from_coo(coo)
+        x = np.random.default_rng(1).normal(size=coo.ncols)
+        assert np.allclose(m.spmv(x), coo.spmv(x))
+
+    def test_rowmax_matches_lengths(self, coo):
+        m = ELLPACKRMatrix.from_coo(coo, row_pad=32)
+        lengths = coo.row_lengths()
+        assert np.array_equal(m.rowmax[: coo.nrows], lengths)
+        assert np.all(m.rowmax[coo.nrows :] == 0)
+
+    def test_storage_same_as_ellpack_plus_rowmax(self, coo):
+        e = ELLPACKMatrix.from_coo(coo)
+        r = ELLPACKRMatrix.from_coo(coo)
+        be, br = e.memory_breakdown(), r.memory_breakdown()
+        assert br["val"] == be["val"]
+        assert br["col_idx"] == be["col_idx"]
+        assert br["rowmax"] == r.padded_rows * 4
+
+    def test_executed_column_rows(self, coo):
+        m = ELLPACKRMatrix.from_coo(coo)
+        lengths = coo.row_lengths()
+        for j in (0, m.width // 2, m.width - 1):
+            assert m.executed_column_rows(j) == int(np.count_nonzero(lengths > j))
+
+    def test_executed_column_rows_bounds(self, coo):
+        m = ELLPACKRMatrix.from_coo(coo)
+        with pytest.raises(ValueError):
+            m.executed_column_rows(m.width)
+        with pytest.raises(ValueError):
+            m.executed_column_rows(-1)
+
+    def test_roundtrip(self, coo):
+        m = ELLPACKRMatrix.from_coo(coo)
+        assert np.allclose(m.to_coo().todense(), coo.todense())
+
+    def test_name(self):
+        assert ELLPACKRMatrix.name == "ELLPACK-R"
+        assert ELLPACKMatrix.name == "ELLPACK"

@@ -1,0 +1,96 @@
+"""Tests for the ELLR-T format (T threads per row)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import ELLRTMatrix, convert
+from repro.gpu import C2070, extract_trace
+
+from _test_common import random_coo
+
+
+@pytest.fixture(scope="module")
+def coo():
+    return random_coo(90, seed=201, max_row=30)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("T", [1, 2, 4, 8, 16, 32])
+    def test_spmv_correct(self, coo, T):
+        m = ELLRTMatrix.from_coo(coo, threads_per_row=T)
+        x = np.random.default_rng(T).normal(size=coo.ncols)
+        assert np.allclose(m.spmv(x), coo.spmv(x))
+
+    def test_width_padded_to_t(self, coo):
+        for T in (2, 4, 8):
+            m = ELLRTMatrix.from_coo(coo, threads_per_row=T)
+            assert m.width % T == 0
+
+    def test_t_must_divide_warp(self, coo):
+        with pytest.raises(ValueError, match="divide"):
+            ELLRTMatrix.from_coo(coo, threads_per_row=3)
+
+    def test_roundtrip(self, coo):
+        m = ELLRTMatrix.from_coo(coo, threads_per_row=4)
+        assert np.allclose(m.to_coo().todense(), coo.todense())
+
+    def test_row_iterations(self, coo):
+        m = ELLRTMatrix.from_coo(coo, threads_per_row=4)
+        lengths = m.rowmax
+        assert np.array_equal(m.row_iterations(), -(-lengths // 4))
+
+    def test_storage_same_family_as_ellpack_r(self, coo):
+        t1 = ELLRTMatrix.from_coo(coo, threads_per_row=1)
+        er = convert(coo, "ELLPACK-R")
+        # T=1: same width, same arrays
+        assert t1.width == er.width
+        assert t1.memory_breakdown().keys() == er.memory_breakdown().keys()
+
+    def test_registered_in_conversions(self, coo):
+        m = convert(coo, "ELLR-T", threads_per_row=2)
+        assert isinstance(m, ELLRTMatrix)
+        assert m.threads_per_row == 2
+
+    def test_unknown_kwarg(self, coo):
+        with pytest.raises(TypeError, match="unexpected"):
+            ELLRTMatrix.from_coo(coo, sigma=1)
+
+
+class TestSchedulingModel:
+    def test_reserved_steps_shrink_with_t_on_skewed_rows(self):
+        """T threads per row absorb row-length imbalance: with one very
+        long row, a T=1 warp idles 31 lanes for the whole row while
+        T=16 finishes it in len/16 iterations."""
+        from repro.formats import COOMatrix
+
+        n, long_len = 64, 512
+        rows = [0] * long_len + list(range(1, n))
+        cols = list(range(long_len)) + [0] * (n - 1)
+        coo = COOMatrix(rows, cols, np.ones(len(rows)), (n, max(long_len, n)))
+        dev = C2070()
+        reserved = {}
+        for T in (1, 4, 16):
+            m = ELLRTMatrix.from_coo(coo, threads_per_row=T)
+            reserved[T] = extract_trace(m, dev, "DP").reserved_steps
+        assert reserved[4] < reserved[1]
+        assert reserved[16] < reserved[4]
+
+    def test_executed_slots_unchanged(self, coo):
+        dev = C2070()
+        for T in (1, 4):
+            m = ELLRTMatrix.from_coo(coo, threads_per_row=T)
+            assert extract_trace(m, dev, "DP").executed_slots == coo.nnz
+
+    def test_t1_matches_ellpack_r_schedule(self, coo):
+        dev = C2070()
+        t1 = extract_trace(ELLRTMatrix.from_coo(coo, threads_per_row=1), dev, "DP")
+        er = extract_trace(convert(coo, "ELLPACK-R"), dev, "DP")
+        assert t1.reserved_steps == er.reserved_steps
+
+    def test_simulation_runs(self, coo):
+        from repro.gpu import simulate_spmv
+
+        m = ELLRTMatrix.from_coo(coo, threads_per_row=4)
+        rep = simulate_spmv(m, C2070(), "DP")
+        assert rep.gflops > 0
+        assert rep.format_name == "ELLR-T"

@@ -1,0 +1,99 @@
+"""Tests for timeline records and the Fig. 4 ASCII rendering."""
+
+import pytest
+
+from repro.distributed import Interval, Timeline, render_timeline
+
+
+class TestInterval:
+    def test_duration(self):
+        iv = Interval(0, "gpu", "kernel", 1.0, 3.5)
+        assert iv.duration == 2.5
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError, match="ends before"):
+            Interval(0, "gpu", "kernel", 2.0, 1.0)
+
+    def test_zero_duration_allowed(self):
+        iv = Interval(0, "thread0", "Irecv", 1.0, 1.0)
+        assert iv.duration == 0.0
+
+
+class TestTimeline:
+    def test_add_returns_end(self):
+        tl = Timeline()
+        end = tl.add(0, "gpu", "a", 0.0, 2.0)
+        assert end == 2.0
+        assert len(tl.intervals) == 1
+
+    def test_makespan(self):
+        tl = Timeline()
+        tl.add(0, "gpu", "a", 0.0, 2.0)
+        tl.add(1, "gpu", "b", 1.0, 5.0)
+        assert tl.makespan == 6.0
+
+    def test_makespan_empty(self):
+        assert Timeline().makespan == 0.0
+
+    def test_resources_ordered_first_seen(self):
+        tl = Timeline()
+        tl.add(0, "thread0", "x", 0, 1)
+        tl.add(0, "gpu", "y", 0, 1)
+        tl.add(0, "thread0", "z", 1, 1)
+        assert tl.resources(0) == ["thread0", "gpu"]
+
+    def test_for_rank_filters(self):
+        tl = Timeline()
+        tl.add(0, "gpu", "a", 0, 1)
+        tl.add(1, "gpu", "b", 0, 1)
+        assert [iv.label for iv in tl.for_rank(1)] == ["b"]
+
+    def test_busy_seconds(self):
+        tl = Timeline()
+        tl.add(0, "pcie", "ul", 0, 2)
+        tl.add(0, "pcie", "dl", 5, 3)
+        tl.add(1, "pcie", "ul", 0, 7)
+        assert tl.busy_seconds("pcie") == 12
+        assert tl.busy_seconds("pcie", rank=0) == 5
+        assert tl.busy_seconds("gpu") == 0
+
+
+class TestRender:
+    def test_renders_all_lanes(self):
+        tl = Timeline()
+        tl.add(0, "thread0", "MPI_Waitall", 0.0, 5e-6)
+        tl.add(0, "gpu", "local spMVM", 0.0, 1e-5)
+        tl.add(0, "gpu", "nonlocal", 1e-5, 5e-6)
+        art = render_timeline(tl, rank=0)
+        lines = art.splitlines()
+        assert len(lines) == 3  # header + two lanes
+        assert "thread0" in art and "gpu" in art
+
+    def test_labels_embedded(self):
+        tl = Timeline()
+        tl.add(0, "gpu", "spMVM", 0.0, 1.0)
+        art = render_timeline(tl, rank=0, width=60)
+        assert "spMVM" in art
+
+    def test_proportional_layout(self):
+        tl = Timeline()
+        tl.add(0, "gpu", "a", 0.0, 1.0)
+        tl.add(0, "gpu", "b", 9.0, 1.0)
+        art = render_timeline(tl, rank=0, width=60)
+        lane = art.splitlines()[1]
+        bar = lane.split("|")[1]
+        # early block at the left edge, late block at the right edge
+        assert bar[:1] != " "
+        assert bar.rstrip()[-1] != " "
+        assert "  " in bar  # gap in between
+
+    def test_missing_rank(self):
+        tl = Timeline()
+        tl.add(0, "gpu", "a", 0, 1)
+        assert "no events" in render_timeline(tl, rank=5)
+
+    def test_header_reports_duration(self):
+        tl = Timeline()
+        tl.add(2, "gpu", "a", 0.0, 123e-6)
+        art = render_timeline(tl, rank=2)
+        assert "123.0 us" in art

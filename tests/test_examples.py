@@ -1,0 +1,53 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples are part of the public contract (deliverable b); each one
+ends with its own assertions, so a zero exit code means the walkthrough
+verified itself.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST = [
+    "quickstart.py",
+    "format_tour.py",
+    "performance_model.py",
+    "custom_format.py",
+]
+SLOW = [
+    "eigensolver_hmep.py",
+    "multi_gpu_scaling.py",
+    "spectral_density.py",
+]
+
+
+def _run(name: str, timeout: int) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_example(name):
+    proc = _run(name, timeout=180)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+
+
+@pytest.mark.parametrize("name", SLOW)
+def test_slow_example(name):
+    proc = _run(name, timeout=600)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+
+
+def test_all_examples_enumerated():
+    """No example file exists without a smoke test."""
+    shipped = {p.name for p in EXAMPLES.glob("*.py")}
+    assert shipped == set(FAST) | set(SLOW)

@@ -1,0 +1,192 @@
+"""Tests for the synthetic matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    banded_sparse,
+    block_sparse,
+    from_networkx,
+    off_diagonal_sparse,
+    poisson2d,
+    random_sparse,
+    sample_columns,
+)
+
+
+class TestSampleColumns:
+    def test_exact_lengths(self):
+        rng = np.random.default_rng(0)
+        lengths = np.array([3, 0, 7, 1])
+        rows, cols = sample_columns(lengths, 20, rng)
+        assert np.array_equal(np.bincount(rows, minlength=4), lengths)
+
+    def test_no_duplicates(self):
+        rng = np.random.default_rng(1)
+        lengths = np.full(50, 18)
+        rows, cols = sample_columns(lengths, 20, rng)
+        pairs = set(zip(rows.tolist(), cols.tolist()))
+        assert len(pairs) == rows.shape[0]
+
+    def test_bandwidth_respected(self):
+        rng = np.random.default_rng(2)
+        n = 200
+        lengths = np.full(n, 5)
+        rows, cols = sample_columns(lengths, n, rng, bandwidth=21)
+        centre = (rows * n) // n
+        lo = np.clip(centre - 10, 0, n - 21)
+        assert np.all(cols >= lo)
+        assert np.all(cols < lo + 21)
+
+    def test_row_longer_than_window_rejected(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError, match="distinct columns"):
+            sample_columns(np.array([10]), 5, rng)
+        with pytest.raises(ValueError, match="distinct columns"):
+            sample_columns(np.array([10]), 100, rng, bandwidth=5)
+
+    def test_dense_rows_converge(self):
+        rng = np.random.default_rng(4)
+        lengths = np.full(10, 10)  # fully dense rows
+        rows, cols = sample_columns(lengths, 10, rng)
+        assert rows.shape[0] == 100
+
+    def test_negative_length_rejected(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError, match="non-negative"):
+            sample_columns(np.array([-1]), 5, rng)
+
+
+class TestRandomSparse:
+    def test_shape_and_lengths(self):
+        lengths = np.random.default_rng(6).integers(0, 10, size=30)
+        m = random_sparse(30, 40, lengths, seed=7)
+        assert m.shape == (30, 40)
+        assert np.array_equal(m.row_lengths(), lengths)
+
+    def test_deterministic(self):
+        lengths = np.full(20, 4)
+        a = random_sparse(20, 20, lengths, seed=8)
+        b = random_sparse(20, 20, lengths, seed=8)
+        assert np.array_equal(a.todense(), b.todense())
+
+    def test_seed_changes_matrix(self):
+        lengths = np.full(20, 4)
+        a = random_sparse(20, 20, lengths, seed=8)
+        b = random_sparse(20, 20, lengths, seed=9)
+        assert not np.array_equal(a.todense(), b.todense())
+
+    def test_float32(self):
+        m = random_sparse(10, 10, np.full(10, 2), dtype=np.float32)
+        assert m.dtype == np.float32
+
+    def test_no_zero_values(self):
+        m = random_sparse(50, 50, np.full(50, 5), seed=10)
+        assert np.all(m.values != 0.0)
+
+
+class TestBanded:
+    def test_band_structure(self):
+        m = banded_sparse(100, 11, np.full(100, 4), seed=11)
+        coo = m.to_coo()
+        assert np.all(np.abs(coo.cols - coo.rows) <= 11)
+
+
+class TestOffDiagonal:
+    def test_diagonals_present(self):
+        m = off_diagonal_sparse(20, np.array([0, 2, -3]))
+        dense = m.todense()
+        assert np.all(np.diag(dense) != 0)
+        assert np.all(np.diag(dense, 2) != 0)
+        assert np.all(np.diag(dense, -3) != 0)
+
+    def test_row_lengths_at_boundaries(self):
+        m = off_diagonal_sparse(10, np.array([0, 5]))
+        lengths = m.row_lengths()
+        assert lengths[0] == 2  # diagonal + offset 5
+        assert lengths[-1] == 1  # offset 5 out of range
+
+    def test_offset_out_of_range(self):
+        with pytest.raises(ValueError, match="offset"):
+            off_diagonal_sparse(5, np.array([7]))
+
+    def test_extras_added(self):
+        m = off_diagonal_sparse(
+            30, np.array([0]), extra_lengths=np.full(30, 3), seed=12
+        )
+        # duplicates with the diagonal may collapse: at least the extras
+        assert m.nnz >= 30 + 30 * 3 - 30
+
+
+class TestBlockSparse:
+    def test_dense_blocks(self):
+        blocks = np.array([2, 1, 3])
+        m = block_sparse(3, 3, 4, blocks, seed=13)
+        assert m.shape == (12, 12)
+        assert m.nnz == int(blocks.sum()) * 16
+        # row lengths are multiples of the block size
+        assert np.all(m.row_lengths() % 4 == 0)
+
+    def test_rows_in_block_share_length(self):
+        blocks = np.array([2, 5, 1, 3])
+        m = block_sparse(4, 6, 5, blocks, seed=14)
+        lengths = m.row_lengths().reshape(4, 5)
+        assert np.all(lengths == lengths[:, :1])
+
+    def test_blocks_shape_checked(self):
+        with pytest.raises(ValueError, match="blocks_per_row"):
+            block_sparse(3, 3, 4, np.array([1, 2]), seed=15)
+
+
+class TestPoisson2D:
+    def test_shape(self):
+        m = poisson2d(5, 7)
+        assert m.shape == (35, 35)
+
+    def test_symmetric(self):
+        m = poisson2d(6)
+        dense = m.todense()
+        assert np.allclose(dense, dense.T)
+
+    def test_row_sums_nonnegative(self):
+        """Diagonal dominance of the 5-point stencil."""
+        dense = poisson2d(5, 5).todense()
+        assert np.all(dense.sum(axis=1) >= 0)
+
+    def test_interior_rows_have_five_entries(self):
+        m = poisson2d(5, 5)
+        lengths = m.row_lengths().reshape(5, 5)
+        assert np.all(lengths[1:-1, 1:-1][1:-1] == 5)
+
+    def test_spd(self):
+        dense = poisson2d(4, 4).todense()
+        assert np.all(np.linalg.eigvalsh(dense) > 0)
+
+
+class TestNetworkx:
+    def test_undirected_symmetric(self):
+        import networkx as nx
+
+        g = nx.path_graph(6)
+        m = from_networkx(g)
+        dense = m.todense()
+        assert np.allclose(dense, dense.T)
+        assert m.nnz == 2 * g.number_of_edges()
+
+    def test_weighted(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge(0, 1, w=2.5)
+        m = from_networkx(g, weight="w")
+        assert m.todense()[0, 1] == 2.5
+
+    def test_directed(self):
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_edge(0, 1)
+        m = from_networkx(g)
+        dense = m.todense()
+        assert dense[0, 1] == 1.0
+        assert dense[1, 0] == 0.0

@@ -1,0 +1,83 @@
+"""Tests for the Fermi device description."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import C2050, C2070, DeviceSpec, precision_dtype
+
+
+class TestSpecs:
+    def test_paper_numbers(self):
+        dev = C2070()
+        assert dev.num_sms == 14
+        assert dev.alus_per_sm == 32
+        assert dev.warp_size == 32
+        assert dev.l2_bytes == 768 * 1024
+        assert dev.cache_line_bytes == 128
+
+    def test_memory_sizes(self):
+        assert C2050().memory_bytes == 3 * 1024**3
+        assert C2070().memory_bytes == 6 * 1024**3
+
+    def test_peak_performance(self):
+        """896 flops/cycle SP chip-wide, half at DP (Sect. I-B)."""
+        dev = C2070()
+        assert dev.peak_gflops("SP") == pytest.approx(896 * dev.clock_ghz)
+        assert dev.peak_gflops("DP") == pytest.approx(448 * dev.clock_ghz)
+
+    def test_ecc_bandwidths(self):
+        """~91 GB/s with ECC, ~120 GB/s without (ref. [5] of the paper)."""
+        assert C2070(ecc=True).bandwidth_gbs == 91.0
+        assert C2070(ecc=False).bandwidth_gbs == 120.0
+
+    def test_with_ecc(self):
+        dev = C2070(ecc=True)
+        assert dev.with_ecc(False).bandwidth_gbs == 120.0
+        assert dev.bandwidth_gbs == 91.0  # original untouched
+
+    def test_l2_lines(self):
+        assert C2070().l2_lines == 768 * 1024 // 128
+
+    def test_precision_dtype(self):
+        assert precision_dtype("SP") == np.float32
+        assert precision_dtype("DP") == np.float64
+        with pytest.raises(ValueError):
+            precision_dtype("HP")
+
+    def test_cycles_per_warp_step(self):
+        dev = DeviceSpec(issue_overhead_cycles=0.0)
+        assert dev.cycles_per_warp_step("SP") == 1.0
+        assert dev.cycles_per_warp_step("DP") == 2.0
+
+    def test_peak_validates_precision(self):
+        with pytest.raises(KeyError):
+            C2070().peak_gflops("FP16")
+
+
+class TestScaling:
+    def test_scaled_divides_cache_and_residency(self):
+        dev = C2070().scaled(64)
+        assert dev.l2_bytes == 768 * 1024 // 64
+        assert dev.resident_warps == 448 // 64
+        assert dev.memory_bytes == 6 * 1024**3 // 64
+
+    def test_scaled_keeps_bandwidths(self):
+        dev = C2070(ecc=True).scaled(16)
+        assert dev.bandwidth_gbs == 91.0
+        assert dev.pcie_bandwidth_gbs == 6.0
+
+    def test_scaled_floors(self):
+        dev = C2070().scaled(10**9)
+        assert dev.l2_bytes >= dev.cache_line_bytes
+        assert dev.resident_warps >= 1
+
+    def test_scale_one_is_identity(self):
+        dev = C2070()
+        assert dev.scaled(1) is dev
+
+    def test_bad_divisor(self):
+        with pytest.raises(ValueError):
+            C2070().scaled(0)
+
+    def test_name_records_scale(self):
+        assert "64" in C2070().scaled(64).name

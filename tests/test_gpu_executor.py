@@ -1,0 +1,154 @@
+"""Tests for the kernel execution model (bytes, time, GF/s)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import convert
+from repro.gpu import C2070, extract_trace, run_kernel, simulate_spmv
+from repro.perfmodel import code_balance_dp
+
+from _test_common import GPU_FORMATS, random_coo
+
+
+@pytest.fixture(scope="module")
+def coo():
+    return random_coo(256, seed=121, max_row=24)
+
+
+@pytest.fixture(scope="module")
+def device():
+    return C2070(ecc=True)
+
+
+class TestReports:
+    @pytest.mark.parametrize("fmt", GPU_FORMATS)
+    def test_report_consistency(self, coo, device, fmt):
+        rep = simulate_spmv(convert(coo, fmt), device, "DP")
+        assert rep.nnz == coo.nnz
+        assert rep.flops == 2 * coo.nnz
+        assert rep.total_bytes == (
+            rep.val_bytes + rep.idx_bytes + rep.rhs_bytes + rep.lhs_bytes + rep.aux_bytes
+        )
+        assert rep.kernel_seconds > 0
+        assert rep.gflops > 0
+
+    def test_kernel_time_is_max_plus_launch(self, coo, device):
+        rep = simulate_spmv(convert(coo, "pJDS"), device, "DP")
+        expected = max(rep.memory_seconds, rep.issue_seconds) + device.launch_latency_s
+        assert rep.kernel_seconds == pytest.approx(expected)
+
+    def test_memory_bound_regime(self, coo, device):
+        """spMVM on Fermi is bandwidth-bound (the paper's premise)."""
+        rep = simulate_spmv(convert(coo, "pJDS"), device, "DP")
+        assert rep.memory_bound
+
+    def test_gflops_below_peak(self, coo, device):
+        for fmt in GPU_FORMATS:
+            rep = simulate_spmv(convert(coo, fmt), device, "DP")
+            assert rep.gflops < device.peak_gflops("DP"), fmt
+
+    def test_row_dict(self, coo, device):
+        rep = simulate_spmv(convert(coo, "pJDS"), device, "SP")
+        row = rep.row()
+        assert row["format"] == "pJDS"
+        assert row["precision"] == "SP"
+        assert row["gflops"] == pytest.approx(rep.gflops)
+
+
+class TestPhysicalOrderings:
+    def test_ecc_slower_than_no_ecc(self, coo):
+        p = convert(coo, "pJDS")
+        on = simulate_spmv(p, C2070(ecc=True), "DP")
+        off = simulate_spmv(p, C2070(ecc=False), "DP")
+        assert off.gflops > on.gflops
+        # bandwidth-bound: pure memory time tracks the bandwidth ratio
+        # (kernel launch latency dilutes the GF/s ratio on tiny matrices)
+        assert off.memory_seconds > 0
+        assert on.memory_seconds / off.memory_seconds == pytest.approx(
+            120 / 91, rel=0.02
+        )
+
+    def test_sp_faster_than_dp(self, coo, device):
+        p = convert(coo, "pJDS")
+        sp = simulate_spmv(p, device, "SP")
+        dp = simulate_spmv(p, device, "DP")
+        assert sp.gflops > dp.gflops
+
+    def test_ellpack_r_never_slower_than_plain(self, coo, device):
+        """Skipping the zero fill can only reduce traffic (Fig. 2a vs 2b)."""
+        e = simulate_spmv(convert(coo, "ELLPACK"), device, "DP")
+        er = simulate_spmv(convert(coo, "ELLPACK-R"), device, "DP")
+        assert er.total_bytes <= e.total_bytes
+        assert er.gflops >= e.gflops * 0.999
+
+    def test_pjds_moves_fewer_matrix_bytes(self, coo, device):
+        """Sorting compacts warps: val+idx traffic below ELLPACK-R's."""
+        er = simulate_spmv(convert(coo, "ELLPACK-R"), device, "DP")
+        pj = simulate_spmv(convert(coo, "pJDS"), device, "DP")
+        assert pj.val_bytes + pj.idx_bytes <= er.val_bytes + er.idx_bytes
+
+    def test_code_balance_in_model_range(self, coo, device):
+        """Measured balance within the Eq. (1) envelope (alpha in [0, 16])."""
+        rep = simulate_spmv(convert(coo, "pJDS"), device, "DP")
+        nnzr = coo.nnz / coo.nrows
+        lower = code_balance_dp(0.0, nnzr) * 0.9
+        upper = code_balance_dp(16.0, nnzr) * 1.5
+        assert lower <= rep.code_balance <= upper
+
+    def test_effective_alpha_at_least_compulsory(self, coo, device):
+        rep = simulate_spmv(convert(coo, "pJDS"), device, "DP")
+        compulsory = coo.ncols * 8 / (8 * coo.nnz)  # each element once
+        assert rep.effective_alpha >= compulsory * 0.5
+
+    def test_cache_window_override(self, coo, device):
+        p = convert(coo, "pJDS")
+        cold = simulate_spmv(p, device, "DP", cache_window=0)
+        warm = simulate_spmv(p, device, "DP", cache_window=10**9)
+        assert cold.rhs_bytes >= warm.rhs_bytes
+        assert cold.gflops <= warm.gflops
+
+    def test_run_kernel_on_trace(self, coo, device):
+        tr = extract_trace(convert(coo, "pJDS"), device, "DP")
+        rep = run_kernel(tr, device)
+        rep2 = simulate_spmv(convert(coo, "pJDS"), device, "DP")
+        assert rep.gflops == pytest.approx(rep2.gflops)
+
+
+class TestFabricLimit:
+    def test_coalesced_formats_not_fabric_bound(self, coo, device):
+        for fmt in ("ELLPACK", "ELLPACK-R", "pJDS"):
+            rep = simulate_spmv(convert(coo, fmt), device, "DP")
+            assert not rep.fabric_bound, fmt
+
+    def test_scalar_csr_issues_more_transactions(self, coo, device):
+        crs = simulate_spmv(convert(coo, "CRS"), device, "DP")
+        pj = simulate_spmv(convert(coo, "pJDS"), device, "DP")
+        assert crs.transactions > pj.transactions
+
+    def test_fabric_seconds_reported(self, coo, device):
+        rep = simulate_spmv(convert(coo, "pJDS"), device, "DP")
+        assert rep.fabric_seconds > 0
+        assert rep.kernel_seconds >= max(
+            rep.memory_seconds, rep.fabric_seconds, rep.issue_seconds
+        )
+
+    def test_c1060_charges_transactions_to_dram(self, coo):
+        from repro.gpu import C1060
+
+        rep = simulate_spmv(convert(coo, "pJDS"), C1060(), "DP")
+        # with no L2, fabric time is at least the DRAM stream time
+        assert rep.fabric_seconds >= rep.memory_seconds
+
+
+class TestDenseRowBoundary:
+    def test_constant_row_matrix_formats_agree(self, device):
+        """With equal row lengths the formats move identical val bytes."""
+        n = 128
+        rows = np.repeat(np.arange(n), 4)
+        cols = (rows * 7 + np.tile(np.arange(4), n) * 13) % n
+        from repro.formats import COOMatrix
+
+        coo = COOMatrix(rows, cols, np.ones(4 * n), (n, n), sum_duplicates=False)
+        e = simulate_spmv(convert(coo, "ELLPACK", row_pad=32), device, "DP")
+        p = simulate_spmv(convert(coo, "pJDS"), device, "DP")
+        assert e.val_bytes == p.val_bytes

@@ -1,0 +1,110 @@
+"""Unit tests for classic JDS and the shared jagged machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core import JDSMatrix, PJDSMatrix, Permutation, jagged_fill
+from repro.formats import COOMatrix
+
+from _test_common import random_coo
+
+
+@pytest.fixture(scope="module")
+def coo() -> COOMatrix:
+    return random_coo(55, seed=51)
+
+
+class TestJaggedFill:
+    def test_prefix_property(self, coo):
+        lengths = coo.row_lengths()
+        perm = Permutation(np.argsort(-lengths, kind="stable"))
+        sorted_lengths = lengths[perm.perm]
+        val, col, cs, true_l = jagged_fill(coo, perm, sorted_lengths)
+        assert cs[-1] == coo.nnz  # no padding when padded == true
+        assert np.array_equal(true_l, sorted_lengths)
+        # column lengths are the counts of rows longer than j
+        for j in range(len(cs) - 1):
+            assert cs[j + 1] - cs[j] == int(np.count_nonzero(sorted_lengths > j))
+
+    def test_rejects_increasing_padded_lengths(self, coo):
+        perm = Permutation.identity(coo.nrows)
+        bad = np.arange(coo.nrows)  # increasing
+        with pytest.raises(ValueError, match="non-increasing"):
+            jagged_fill(coo, perm, bad)
+
+    def test_rejects_too_small_padding(self, coo):
+        lengths = coo.row_lengths()
+        perm = Permutation(np.argsort(-lengths, kind="stable"))
+        with pytest.raises(ValueError, match="smaller"):
+            jagged_fill(coo, perm, np.zeros(coo.nrows, dtype=np.int64))
+
+    def test_wrong_shape_rejected(self, coo):
+        perm = Permutation.identity(coo.nrows)
+        with pytest.raises(ValueError, match="shape"):
+            jagged_fill(coo, perm, np.zeros(3, dtype=np.int64))
+
+
+class TestJDS:
+    def test_spmv_matches_coo(self, coo):
+        m = JDSMatrix.from_coo(coo)
+        x = np.random.default_rng(0).normal(size=coo.ncols)
+        assert np.allclose(m.spmv(x), coo.spmv(x))
+
+    def test_zero_storage_overhead(self, coo):
+        m = JDSMatrix.from_coo(coo)
+        assert m.total_slots == coo.nnz
+        assert m.padding_overhead == 0.0
+
+    def test_equals_pjds_block_one(self, coo):
+        j = JDSMatrix.from_coo(coo)
+        p = PJDSMatrix.from_coo(coo, block_rows=1)
+        assert j.total_slots == p.total_slots
+        assert np.array_equal(j.col_start, p.col_start)
+        assert np.array_equal(j.permutation.perm, p.permutation.perm)
+
+    def test_roundtrip(self, coo):
+        m = JDSMatrix.from_coo(coo)
+        assert np.allclose(m.to_coo().todense(), coo.todense())
+
+    def test_row_lengths_original_order(self, coo):
+        m = JDSMatrix.from_coo(coo)
+        assert np.array_equal(m.row_lengths(), coo.row_lengths())
+
+    def test_memory_breakdown_fields(self, coo):
+        m = JDSMatrix.from_coo(coo)
+        bd = m.memory_breakdown()
+        assert set(bd) == {"val", "col_idx", "col_start", "perm"}
+        assert bd["val"] == coo.nnz * 8
+
+    def test_sigma_windowed(self, coo):
+        x = np.random.default_rng(1).normal(size=coo.ncols)
+        for sigma in (1, 7, 1000):
+            m = JDSMatrix.from_coo(coo, sigma=sigma)
+            assert np.allclose(m.spmv(x), coo.spmv(x)), sigma
+
+    def test_sigma_windowed_padding_appears(self, coo):
+        """Windowed sorting forces the running-max lift => padding."""
+        m = JDSMatrix.from_coo(coo, sigma=5)
+        assert m.total_slots >= coo.nnz
+
+    def test_width(self, coo):
+        m = JDSMatrix.from_coo(coo)
+        assert m.width == int(coo.row_lengths().max())
+
+    def test_empty_rows_supported(self):
+        coo = COOMatrix([0], [0], [1.0], (5, 5))
+        m = JDSMatrix.from_coo(coo)
+        x = np.ones(5)
+        y = m.spmv(x)
+        assert y[0] == 1.0
+        assert np.all(y[1:] == 0.0)
+
+    def test_unknown_kwarg_rejected(self, coo):
+        with pytest.raises(TypeError, match="unexpected"):
+            JDSMatrix.from_coo(coo, block_rows=4)
+
+    def test_views_readonly(self, coo):
+        m = JDSMatrix.from_coo(coo)
+        for arr in (m.val, m.col_idx, m.col_start, m.rowmax, m.padded_lengths):
+            with pytest.raises(ValueError):
+                arr[0] = 0

@@ -1,0 +1,130 @@
+"""Tests for Matrix Market I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.matrices import read_matrix_market, write_matrix_market
+
+from _test_common import random_coo
+
+
+class TestRoundtrip:
+    def test_file_roundtrip(self, tmp_path):
+        coo = random_coo(25, 30, seed=101)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(coo, path)
+        back = read_matrix_market(path)
+        assert back.shape == coo.shape
+        assert np.allclose(back.todense(), coo.todense())
+
+    def test_stream_roundtrip(self):
+        coo = random_coo(12, seed=102)
+        buf = io.StringIO()
+        write_matrix_market(coo, buf, comment="unit test")
+        buf.seek(0)
+        back = read_matrix_market(buf)
+        assert np.allclose(back.todense(), coo.todense())
+
+    def test_any_format_writable(self, tmp_path):
+        from repro.formats import convert
+
+        coo = random_coo(15, seed=103)
+        p = convert(coo, "pJDS", block_rows=4)
+        path = tmp_path / "p.mtx"
+        write_matrix_market(p, path)
+        assert np.allclose(read_matrix_market(path).todense(), coo.todense())
+
+    def test_empty_matrix(self, tmp_path):
+        from repro.formats import COOMatrix
+
+        coo = COOMatrix([], [], [], (4, 4))
+        path = tmp_path / "e.mtx"
+        write_matrix_market(coo, path)
+        back = read_matrix_market(path)
+        assert back.nnz == 0
+        assert back.shape == (4, 4)
+
+    def test_precision_preserved(self, tmp_path):
+        from repro.formats import COOMatrix
+
+        coo = COOMatrix([0], [0], [1.0 / 3.0], (1, 1))
+        path = tmp_path / "p.mtx"
+        write_matrix_market(coo, path)
+        assert read_matrix_market(path).values[0] == pytest.approx(1 / 3, abs=1e-16)
+
+
+class TestParsing:
+    def _read(self, text: str):
+        return read_matrix_market(io.StringIO(text))
+
+    def test_pattern_field(self):
+        m = self._read(
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n"
+        )
+        assert np.array_equal(m.todense(), np.eye(2))
+
+    def test_integer_field(self):
+        m = self._read(
+            "%%MatrixMarket matrix coordinate integer general\n2 2 1\n2 1 7\n"
+        )
+        assert m.todense()[1, 0] == 7.0
+
+    def test_symmetric_mirrored(self):
+        m = self._read(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 3\n1 1 1.0\n2 1 5.0\n3 2 2.0\n"
+        )
+        dense = m.todense()
+        assert dense[0, 1] == 5.0 and dense[1, 0] == 5.0
+        assert dense[1, 2] == 2.0 and dense[2, 1] == 2.0
+        assert m.nnz == 5  # diagonal not duplicated
+
+    def test_skew_symmetric(self):
+        m = self._read(
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n2 1 3.0\n"
+        )
+        dense = m.todense()
+        assert dense[1, 0] == 3.0
+        assert dense[0, 1] == -3.0
+
+    def test_comments_skipped(self):
+        m = self._read(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n% another\n1 1 1\n1 1 4.0\n"
+        )
+        assert m.todense()[0, 0] == 4.0
+
+    def test_bad_header(self):
+        with pytest.raises(ValueError, match="MatrixMarket"):
+            self._read("garbage\n1 1 0\n")
+
+    def test_unsupported_field(self):
+        with pytest.raises(ValueError, match="field"):
+            self._read("%%MatrixMarket matrix coordinate complex general\n1 1 0\n")
+
+    def test_unsupported_format(self):
+        with pytest.raises(ValueError, match="coordinate"):
+            self._read("%%MatrixMarket matrix array real general\n1 1\n1.0\n")
+
+    def test_unsupported_symmetry(self):
+        with pytest.raises(ValueError, match="symmetry"):
+            self._read("%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n")
+
+    def test_wrong_entry_count(self):
+        with pytest.raises(ValueError, match="expected 2"):
+            self._read(
+                "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+            )
+
+    def test_missing_size_line(self):
+        with pytest.raises(ValueError, match="size"):
+            self._read("%%MatrixMarket matrix coordinate real general\n")
+
+    def test_one_based_indexing(self):
+        m = self._read(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n2 2 9.0\n"
+        )
+        assert m.todense()[1, 1] == 9.0

@@ -1,0 +1,225 @@
+"""Tests for the execution-mode simulator (vector / naive / task)."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    DIRAC_IB,
+    KernelCost,
+    NetworkModel,
+    NodeStats,
+    build_plan,
+    partition_rows,
+    simulate_mode,
+    stats_from_plan,
+)
+from repro.formats import CSRMatrix
+from repro.gpu import C2050
+
+from _test_common import random_coo
+
+
+@pytest.fixture(scope="module")
+def stats():
+    csr = CSRMatrix.from_coo(random_coo(200, seed=171, max_row=14))
+    part = partition_rows(csr.nrows, 4, row_weights=csr.row_lengths())
+    plan = build_plan(csr, part, with_matrices=False)
+    # inflate the workload so kernels are long enough to overlap MPI
+    return stats_from_plan(plan, itemsize=8, workload_scale=64)
+
+
+@pytest.fixture(scope="module")
+def device():
+    return C2050(ecc=True)
+
+
+class TestNetworkModel:
+    def test_message_seconds(self):
+        net = NetworkModel(latency_s=1e-6, bandwidth_gbs=1.0)
+        assert net.message_seconds(1_000_000) == pytest.approx(1e-6 + 1e-3)
+        assert net.message_seconds(0) == 0.0
+
+    def test_exchange_serialises(self):
+        net = NetworkModel(latency_s=1e-6, bandwidth_gbs=1.0)
+        msgs = {0: 1000, 1: 2000}
+        assert net.exchange_seconds(msgs) == pytest.approx(
+            net.message_seconds(1000) + net.message_seconds(2000)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(latency_s=-1.0)
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_gbs=0.0)
+        with pytest.raises(ValueError):
+            DIRAC_IB.message_seconds(-5)
+
+
+class TestKernelCost:
+    def test_from_alpha_dp(self):
+        c = KernelCost.from_alpha(0.5, "DP")
+        assert c.bytes_per_nnz == pytest.approx(16.0)
+        assert c.itemsize == 8
+
+    def test_from_alpha_sp(self):
+        c = KernelCost.from_alpha(1.0, "SP")
+        assert c.bytes_per_nnz == pytest.approx(12.0)
+        assert c.itemsize == 4
+
+    def test_bad_precision(self):
+        with pytest.raises(ValueError):
+            KernelCost.from_alpha(0.5, "HP")
+
+    def test_kernel_seconds_linear(self, device):
+        c = KernelCost()
+        t1 = c.kernel_seconds(1000, 100, device)
+        t2 = c.kernel_seconds(2000, 200, device)
+        launch = device.launch_latency_s
+        assert (t2 - launch) == pytest.approx(2 * (t1 - launch))
+
+    def test_gather_free_when_empty(self, device):
+        assert KernelCost().gather_seconds(0, device) == 0.0
+
+
+class TestNodeStats:
+    def test_from_plan_scaling(self):
+        csr = CSRMatrix.from_coo(random_coo(60, seed=172))
+        plan = build_plan(csr, partition_rows(60, 3), with_matrices=False)
+        s1 = NodeStats.from_plan(plan.ranks[0], 8, workload_scale=1)
+        s4 = NodeStats.from_plan(plan.ranks[0], 8, workload_scale=4)
+        assert s4.rows == 4 * s1.rows
+        assert s4.nnz == 4 * s1.nnz
+        assert s4.halo_elements == 4 * s1.halo_elements
+        for dst in s1.send_bytes:
+            assert s4.send_bytes[dst] == 4 * s1.send_bytes[dst]
+
+
+class TestModes:
+    @pytest.mark.parametrize("mode", ["vector", "naive", "task"])
+    def test_result_consistency(self, stats, device, mode):
+        res = simulate_mode(mode, stats, device, DIRAC_IB)
+        assert res.mode == mode
+        assert res.nparts == len(stats)
+        assert res.iteration_seconds == max(res.per_rank_seconds)
+        assert res.total_nnz == sum(s.nnz for s in stats)
+        assert res.gflops > 0
+        assert res.timeline.makespan <= res.iteration_seconds * 1.0001
+
+    def test_task_never_slower_than_naive(self, stats, device):
+        """True asynchronous progress can only help."""
+        naive = simulate_mode("naive", stats, device, DIRAC_IB)
+        task = simulate_mode("task", stats, device, DIRAC_IB)
+        assert task.iteration_seconds <= naive.iteration_seconds * 1.0001
+
+    def test_task_bounded_by_two_x(self, stats, device):
+        """Overlap gains at most a factor of two (Sect. III-A)."""
+        vector = simulate_mode("vector", stats, device, DIRAC_IB)
+        task = simulate_mode("task", stats, device, DIRAC_IB)
+        assert vector.iteration_seconds <= 2.05 * task.iteration_seconds
+
+    def test_async_fraction_bounds(self, stats, device):
+        with pytest.raises(ValueError):
+            simulate_mode("naive", stats, device, DIRAC_IB, async_progress_fraction=1.5)
+
+    def test_full_async_naive_equals_task_shape(self, stats, device):
+        """With 100 % progress the naive mode approaches task mode."""
+        naive = simulate_mode(
+            "naive", stats, device, DIRAC_IB, async_progress_fraction=1.0
+        )
+        task = simulate_mode("task", stats, device, DIRAC_IB)
+        assert naive.iteration_seconds <= task.iteration_seconds * 1.5
+
+    def test_unknown_mode(self, stats, device):
+        with pytest.raises(ValueError, match="mode"):
+            simulate_mode("magic", stats, device, DIRAC_IB)
+
+    def test_empty_stats(self, device):
+        with pytest.raises(ValueError, match="stats"):
+            simulate_mode("task", [], device, DIRAC_IB)
+
+    def test_slowest_rank(self, stats, device):
+        res = simulate_mode("task", stats, device, DIRAC_IB)
+        r = res.slowest_rank
+        assert res.per_rank_seconds[r] == res.iteration_seconds
+
+    def test_single_rank_no_comm(self, device):
+        s = NodeStats(
+            rank=0,
+            rows=1000,
+            nnz_local=50_000,
+            nnz_nonlocal=0,
+            send_elements=0,
+            halo_elements=0,
+            send_bytes={},
+            recv_bytes={},
+        )
+        for mode in ("vector", "naive", "task"):
+            res = simulate_mode(mode, [s], device, DIRAC_IB)
+            assert res.timeline.busy_seconds("nic") == 0.0 or mode != "task"
+
+    def test_comm_dominated_modes_converge(self, device):
+        """When communication dwarfs compute, the modes converge
+        (the paper's strong-scaling limit)."""
+        s = NodeStats(
+            rank=0,
+            rows=100,
+            nnz_local=1000,
+            nnz_nonlocal=1000,
+            send_elements=500_000,
+            halo_elements=500_000,
+            send_bytes={1: 4_000_000},
+            recv_bytes={1: 4_000_000},
+        )
+        times = {
+            m: simulate_mode(m, [s], device, DIRAC_IB).iteration_seconds
+            for m in ("vector", "naive", "task")
+        }
+        assert times["task"] <= times["naive"] <= times["vector"] * 1.1
+        assert times["vector"] / times["task"] < 1.35
+
+
+class TestTimelines:
+    def test_task_mode_timeline_structure(self, device):
+        """Fig. 4: local spMVM overlaps the MPI wait on thread 0."""
+        # compute-heavy rank: the local kernel spans the whole exchange
+        s = NodeStats(
+            rank=0,
+            rows=50_000,
+            nnz_local=5_000_000,
+            nnz_nonlocal=500_000,
+            send_elements=20_000,
+            halo_elements=20_000,
+            send_bytes={1: 160_000},
+            recv_bytes={1: 160_000},
+        )
+        res = simulate_mode("task", [s], device, DIRAC_IB)
+        tl = res.timeline
+        labels = {iv.label for iv in tl.for_rank(0)}
+        assert {"local spMVM", "nonlocal spMVM", "MPI_Waitall"} <= labels
+        local = next(iv for iv in tl.for_rank(0) if iv.label == "local spMVM")
+        wait = next(iv for iv in tl.for_rank(0) if iv.label == "MPI_Waitall")
+        # overlap: the two intervals intersect
+        assert local.start < wait.end and wait.start < local.end
+        # and the nonlocal kernel starts only after both complete
+        nl = next(iv for iv in tl.for_rank(0) if iv.label == "nonlocal spMVM")
+        assert nl.start >= max(local.end, wait.end) - 1e-12
+
+    def test_vector_mode_is_sequential(self, stats, device):
+        res = simulate_mode("vector", stats, device, DIRAC_IB)
+        ivs = res.timeline.for_rank(0)
+        mpi = next(iv for iv in ivs if iv.label == "MPI exchange")
+        kern = next(iv for iv in ivs if iv.label == "spMVM")
+        assert kern.start >= mpi.end - 1e-12
+
+    def test_render_timeline(self, stats, device):
+        from repro.distributed import render_timeline
+
+        res = simulate_mode("task", stats, device, DIRAC_IB)
+        art = render_timeline(res.timeline, rank=0)
+        assert "gpu" in art
+        assert "|" in art
+
+    def test_render_empty(self):
+        from repro.distributed import Timeline, render_timeline
+
+        assert "no events" in render_timeline(Timeline(), rank=3)

@@ -1,0 +1,93 @@
+"""Tests for row-block partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import RowPartition, partition_rows
+
+
+class TestRowPartition:
+    def test_basic(self):
+        p = RowPartition(np.array([0, 3, 7, 10]))
+        assert p.nparts == 3
+        assert p.nrows == 10
+        assert p.row_range(1) == (3, 7)
+        assert p.rows_of(2) == 3
+
+    def test_iteration(self):
+        p = RowPartition(np.array([0, 2, 5]))
+        assert list(p) == [(0, 2), (2, 5)]
+
+    def test_owner_of(self):
+        p = RowPartition(np.array([0, 3, 7, 10]))
+        owners = p.owner_of(np.array([0, 2, 3, 6, 7, 9]))
+        assert owners.tolist() == [0, 0, 1, 1, 2, 2]
+
+    def test_owner_of_out_of_range(self):
+        p = RowPartition(np.array([0, 5]))
+        with pytest.raises(ValueError):
+            p.owner_of(np.array([5]))
+
+    def test_rank_out_of_range(self):
+        p = RowPartition(np.array([0, 5]))
+        with pytest.raises(ValueError):
+            p.row_range(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RowPartition(np.array([1, 5]))  # must start at 0
+        with pytest.raises(ValueError):
+            RowPartition(np.array([0, 5, 3]))  # decreasing
+        with pytest.raises(ValueError):
+            RowPartition(np.array([0]))  # too short
+
+
+class TestPartitionRows:
+    def test_uniform(self):
+        p = partition_rows(100, 4)
+        assert p.nparts == 4
+        assert p.nrows == 100
+        sizes = [p.rows_of(r) for r in range(4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_covers_all_rows(self):
+        for nparts in (1, 3, 7, 32):
+            p = partition_rows(97, nparts)
+            assert p.offsets[0] == 0
+            assert p.offsets[-1] == 97
+            assert all(p.rows_of(r) >= 1 for r in range(nparts))
+
+    def test_weighted_balances_nnz(self):
+        rng = np.random.default_rng(0)
+        weights = rng.integers(1, 100, size=500).astype(float)
+        p = partition_rows(500, 8, row_weights=weights)
+        loads = [weights[lo:hi].sum() for lo, hi in p]
+        assert max(loads) <= 1.5 * weights.sum() / 8
+
+    def test_skewed_weights(self):
+        # all weight in the first rows: blocks still strictly increase
+        weights = np.zeros(100)
+        weights[:10] = 1000.0
+        p = partition_rows(100, 5, row_weights=weights)
+        assert all(p.rows_of(r) >= 1 for r in range(5))
+        assert p.nrows == 100
+
+    def test_more_parts_than_rows_rejected(self):
+        with pytest.raises(ValueError, match="cannot split"):
+            partition_rows(3, 4)
+
+    def test_one_part(self):
+        p = partition_rows(50, 1)
+        assert p.row_range(0) == (0, 50)
+
+    def test_parts_equal_rows(self):
+        p = partition_rows(5, 5)
+        assert [p.rows_of(r) for r in range(5)] == [1] * 5
+
+    def test_weight_shape_checked(self):
+        with pytest.raises(ValueError, match="row_weights"):
+            partition_rows(10, 2, row_weights=np.ones(5))
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            partition_rows(10, 2, row_weights=np.full(10, -1.0))

@@ -1,0 +1,134 @@
+"""Tests for the PCIe transfer model (gpu.pcie) and Eqs. (2)-(4)."""
+
+import pytest
+
+from repro.gpu import C2070, simulate_spmv, spmv_with_transfers, transfer_seconds
+from repro.formats import convert
+from repro.perfmodel import (
+    analyse,
+    nnzr_lower_bound_10pct,
+    nnzr_upper_bound_50pct,
+    t_mvm,
+    t_pci,
+)
+
+from _test_common import random_coo
+
+
+class TestTransferSeconds:
+    def test_latency_plus_bandwidth(self):
+        dev = C2070()
+        t = transfer_seconds(6_000_000, dev)
+        assert t == pytest.approx(dev.pcie_latency_s + 6e6 / 6e9)
+
+    def test_zero_bytes_free(self):
+        assert transfer_seconds(0, C2070()) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_seconds(-1, C2070())
+
+
+class TestTransferReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        coo = random_coo(200, seed=131, max_row=12)
+        dev = C2070()
+        kernel = simulate_spmv(convert(coo, "pJDS"), dev, "DP")
+        return spmv_with_transfers(kernel, dev)
+
+    def test_totals(self, report):
+        assert report.total_seconds == pytest.approx(
+            report.kernel.kernel_seconds
+            + report.upload_seconds
+            + report.download_seconds
+        )
+
+    def test_effective_below_kernel_gflops(self, report):
+        assert report.gflops < report.kernel.gflops
+
+    def test_penalty_positive(self, report):
+        assert report.pcie_penalty > 0
+
+    def test_dp_vector_bytes(self, report):
+        dev = C2070()
+        nbytes = 8 * report.kernel.nrows
+        assert report.upload_seconds == pytest.approx(transfer_seconds(nbytes, dev))
+
+
+class TestEq2:
+    def test_t_pci_formula(self):
+        """TPCI = 16 N / BPCI at double precision."""
+        assert t_pci(1000, 6e9) == pytest.approx(16_000 / 6e9)
+
+    def test_t_mvm_formula(self):
+        """TMVM = 8N/BGPU * (Nnzr (alpha + 3/2) + 2)."""
+        n, nnzr, alpha, bw = 1000, 20.0, 0.5, 91e9
+        expected = 8 * n / bw * (nnzr * 2.0 + 2)
+        assert t_mvm(n, nnzr, alpha, bw) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            t_mvm(0, 10, 0.5, 1e9)
+        with pytest.raises(ValueError):
+            t_mvm(10, 0, 0.5, 1e9)
+        with pytest.raises(ValueError):
+            t_pci(-1, 1e9)
+
+
+class TestEq3Eq4:
+    def test_paper_worst_case_bound(self):
+        """alpha = 1/Nnzr, BGPU ~ 20 BPCI  =>  Nnzr <= ~25 (paper text)."""
+        # self-consistent at Nnzr = 25: alpha = 1/25
+        bound = nnzr_upper_bound_50pct(20.0, 1.0 / 25.0)
+        assert bound == pytest.approx(25, abs=1.0)
+
+    def test_paper_best_case_bound(self):
+        """alpha = 1, BGPU ~ 10 BPCI  =>  Nnzr <= ~7 (paper text)."""
+        assert nnzr_upper_bound_50pct(10.0, 1.0) == pytest.approx(7.2, abs=0.1)
+
+    def test_paper_10pct_bound_alpha1(self):
+        """alpha = 1, BGPU ~ 10 BPCI  =>  Nnzr >= ~79 (paper: ~80)."""
+        assert nnzr_lower_bound_10pct(10.0, 1.0) == pytest.approx(79.2, abs=0.1)
+
+    def test_paper_10pct_worst_case(self):
+        """BGPU ~ 20 BPCI, alpha = 1/Nnzr  =>  Nnzr >= ~265 (paper: ~266)."""
+        bound = nnzr_lower_bound_10pct(20.0, 1.0 / 266.0)
+        assert bound == pytest.approx(265, abs=2.0)
+
+    def test_bounds_validate(self):
+        with pytest.raises(ValueError):
+            nnzr_upper_bound_50pct(0.0, 0.5)
+        with pytest.raises(ValueError):
+            nnzr_lower_bound_10pct(-1.0, 0.5)
+
+
+class TestAnalyse:
+    def test_dlr1_effective_near_paper(self):
+        """Paper: 10.9 GF/s effective vs 12.9 kernel-only for DLR1."""
+        a = analyse(278_502, 143.7, 0.25, bw_gpu_gbs=91.0, bw_pci_gbs=6.0)
+        assert a.kernel_gflops == pytest.approx(12.9, rel=0.05)
+        assert a.effective_gflops == pytest.approx(10.9, rel=0.12)
+
+    def test_hmep_not_gpu_friendly(self):
+        """HMEp's Nnzr ~ 15 sits below the worst-case Eq. (3) bound."""
+        a = analyse(6_201_600, 14.9, 1.0 / 14.9, bw_gpu_gbs=120.0, bw_pci_gbs=6.0)
+        assert not a.gpu_worthwhile
+
+    def test_samg_not_gpu_friendly(self):
+        a = analyse(3_405_035, 7.06, 1.0, bw_gpu_gbs=91.0, bw_pci_gbs=6.0)
+        assert not a.gpu_worthwhile
+
+    def test_dlr_class_gpu_friendly(self):
+        for nnzr in (143.7, 314.8, 123.0):
+            a = analyse(500_000, nnzr, 0.3)
+            assert a.gpu_worthwhile
+            assert a.pcie_penalty < 0.5
+
+    def test_penalty_monotone_in_nnzr(self):
+        penalties = [analyse(10**6, nnzr, 0.5).pcie_penalty for nnzr in (5, 20, 100, 400)]
+        assert penalties == sorted(penalties, reverse=True)
+
+    def test_bw_ratio(self):
+        a = analyse(100, 10, 0.5, bw_gpu_gbs=90.0, bw_pci_gbs=6.0)
+        assert a.bw_ratio == pytest.approx(15.0)

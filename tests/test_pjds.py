@@ -1,0 +1,199 @@
+"""Unit tests for the pJDS format — the paper's contribution (Sect. II-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PJDSMatrix, block_padded_lengths
+from repro.formats import COOMatrix, ELLPACKMatrix, convert
+
+from _test_common import random_coo
+
+
+@pytest.fixture(scope="module")
+def coo() -> COOMatrix:
+    return random_coo(70, seed=41)
+
+
+class TestBlockPaddedLengths:
+    def test_pads_to_block_max(self):
+        lengths = np.array([9, 7, 5, 5, 3, 1])
+        padded = block_padded_lengths(lengths, 2)
+        assert padded.tolist() == [9, 9, 5, 5, 3, 3]
+
+    def test_block_one_is_identity(self):
+        lengths = np.array([4, 3, 2])
+        assert block_padded_lengths(lengths, 1).tolist() == [4, 3, 2]
+
+    def test_block_larger_than_n(self):
+        lengths = np.array([4, 3, 2])
+        assert block_padded_lengths(lengths, 8).tolist() == [4, 4, 4]
+
+    def test_partial_last_block(self):
+        lengths = np.array([5, 5, 4, 2, 1])
+        assert block_padded_lengths(lengths, 2).tolist() == [5, 5, 4, 4, 1]
+
+    def test_empty(self):
+        assert block_padded_lengths(np.empty(0, np.int64), 4).size == 0
+
+    def test_bad_block_rejected(self):
+        with pytest.raises(ValueError):
+            block_padded_lengths(np.array([1]), 0)
+
+
+class TestFig1Example:
+    """The derivation of Fig. 1: an 8x8 matrix, blocking size br = 4."""
+
+    @pytest.fixture()
+    def fig1(self):
+        # row lengths 2,4,3,1,2,3,2,1 (a small irregular matrix)
+        rows = [0, 0, 1, 1, 1, 1, 2, 2, 2, 3, 4, 4, 5, 5, 5, 6, 6, 7]
+        cols = [0, 3, 1, 2, 4, 7, 0, 2, 5, 6, 1, 3, 2, 4, 6, 0, 5, 7]
+        vals = np.arange(1.0, len(rows) + 1.0)
+        return COOMatrix(rows, cols, vals, (8, 8))
+
+    def test_sort_step(self, fig1):
+        p = PJDSMatrix.from_coo(fig1, block_rows=4)
+        # stable descending: longest row (1: len 4) first
+        assert p.permutation.perm[0] == 1
+        assert np.all(np.diff(p.rowmax) <= 0)
+
+    def test_pad_step(self, fig1):
+        p = PJDSMatrix.from_coo(fig1, block_rows=4)
+        # first block padded to 4 (the longest), second block to its max (2)
+        assert p.padded_lengths[:4].tolist() == [4, 4, 4, 4]
+        assert np.all(p.padded_lengths[4:] <= 2)
+
+    def test_storage_below_ellpack(self, fig1):
+        p = PJDSMatrix.from_coo(fig1, block_rows=4)
+        e = ELLPACKMatrix.from_coo(fig1, row_pad=4)
+        assert p.stored_elements < e.stored_elements
+
+    def test_spmv(self, fig1):
+        p = PJDSMatrix.from_coo(fig1, block_rows=4)
+        x = np.arange(1.0, 9.0)
+        assert np.allclose(p.spmv(x), fig1.spmv(x))
+
+
+class TestConstruction:
+    def test_spmv_matches_coo(self, coo):
+        for br in (1, 4, 32, 200):
+            p = PJDSMatrix.from_coo(coo, block_rows=br)
+            x = np.random.default_rng(br).normal(size=coo.ncols)
+            assert np.allclose(p.spmv(x), coo.spmv(x)), br
+
+    def test_column_lengths_are_block_multiples_inside(self, coo):
+        br = 8
+        p = PJDSMatrix.from_coo(coo, block_rows=br)
+        # every column length is a multiple of br, except where the
+        # partial last block participates
+        cl = p.column_lengths
+        full_rows = (coo.nrows // br) * br
+        inner = cl[cl < full_rows]
+        assert np.all(inner % br == 0)
+
+    def test_padded_lengths_non_increasing(self, coo):
+        p = PJDSMatrix.from_coo(coo, block_rows=8)
+        assert np.all(np.diff(p.padded_lengths) <= 0)
+
+    def test_rowmax_true_lengths(self, coo):
+        p = PJDSMatrix.from_coo(coo, block_rows=8)
+        lengths = coo.row_lengths()
+        assert np.array_equal(p.rowmax, lengths[p.permutation.perm])
+
+    def test_padding_points_to_column_zero(self, coo):
+        p = PJDSMatrix.from_coo(coo, block_rows=16)
+        # padded slots: those where k >= true length in that column
+        for j in range(p.width):
+            s, e = int(p.col_start[j]), int(p.col_start[j + 1])
+            k = np.arange(e - s)
+            pad = k[p.rowmax[: e - s] <= j]
+            assert np.all(p.val[s + pad] == 0.0)
+            assert np.all(p.col_idx[s + pad] == 0)
+
+    def test_roundtrip(self, coo):
+        p = PJDSMatrix.from_coo(coo, block_rows=8)
+        assert np.allclose(p.to_coo().todense(), coo.todense())
+
+    def test_total_slots_equals_padded_sum(self, coo):
+        p = PJDSMatrix.from_coo(coo, block_rows=8)
+        assert p.total_slots == int(p.padded_lengths.sum())
+
+    def test_block_rows_recorded(self, coo):
+        assert PJDSMatrix.from_coo(coo, block_rows=8).block_rows == 8
+
+    def test_unknown_kwarg_rejected(self, coo):
+        with pytest.raises(TypeError, match="unexpected"):
+            PJDSMatrix.from_coo(coo, row_pad=2)
+
+
+class TestSigmaWindow:
+    def test_sigma_one_keeps_order(self, coo):
+        p = PJDSMatrix.from_coo(coo, block_rows=8, sigma=1)
+        assert p.permutation.is_identity
+
+    def test_sigma_full_equals_global_sort(self, coo):
+        full = PJDSMatrix.from_coo(coo, block_rows=8)
+        sig = PJDSMatrix.from_coo(coo, block_rows=8, sigma=coo.nrows)
+        assert np.array_equal(full.permutation.perm, sig.permutation.perm)
+
+    def test_sigma_variants_correct(self, coo):
+        x = np.random.default_rng(3).normal(size=coo.ncols)
+        ref = coo.spmv(x)
+        for sigma in (1, 3, 16, 50):
+            p = PJDSMatrix.from_coo(coo, block_rows=8, sigma=sigma)
+            assert np.allclose(p.spmv(x), ref), sigma
+
+    def test_smaller_sigma_never_reduces_storage(self, coo):
+        sizes = [
+            PJDSMatrix.from_coo(coo, block_rows=8, sigma=s).total_slots
+            for s in (1, 8, 64, coo.nrows)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestPaperMetrics:
+    def test_adversarial_bound(self):
+        """One full row + single-entry rows: pJDS <= (br+1)*N - br slots."""
+        n, br = 64, 8
+        rows = [0] * n + list(range(1, n))
+        cols = list(range(n)) + [0] * (n - 1)
+        coo = COOMatrix(rows, cols, np.ones(len(rows)), (n, n))
+        p = PJDSMatrix.from_coo(coo, block_rows=br)
+        e = ELLPACKMatrix.from_coo(coo, row_pad=1)
+        assert p.total_slots <= (br + 1) * n - br
+        assert e.stored_elements == n * n
+
+    def test_data_reduction_vs_ellpack(self, coo):
+        p = PJDSMatrix.from_coo(coo, block_rows=8)
+        e = ELLPACKMatrix.from_coo(coo, row_pad=8)
+        red = p.data_reduction_vs(e)
+        assert 0.0 < red < 1.0
+        expected = 1.0 - p.stored_elements / e.stored_elements
+        assert red == pytest.approx(expected)
+
+    def test_overhead_vs_minimum_small(self, coo):
+        p = PJDSMatrix.from_coo(coo, block_rows=4)
+        assert 0.0 <= p.overhead_vs_minimum() < 0.5
+
+    def test_constant_rows_zero_overhead(self):
+        n = 32
+        rows = np.repeat(np.arange(n), 3)
+        cols = np.tile(np.array([0, 5, 9]), n)
+        coo = COOMatrix(rows, cols, np.ones(3 * n), (n, 16))
+        p = PJDSMatrix.from_coo(coo, block_rows=8)
+        assert p.overhead_vs_minimum() == 0.0
+
+
+class TestPermutedBasis:
+    def test_spmv_permuted_consistent(self, coo):
+        p = PJDSMatrix.from_coo(coo, block_rows=8)
+        x = np.random.default_rng(4).normal(size=coo.ncols)
+        y_direct = p.spmv(x)
+        y_perm = p.spmv_permuted(p.permutation.to_permuted(x))
+        assert np.allclose(p.permutation.to_original(y_perm), y_direct)
+
+    def test_spmv_permuted_requires_square(self):
+        rect = random_coo(10, 20, seed=42)
+        p = PJDSMatrix.from_coo(rect, block_rows=4)
+        with pytest.raises(ValueError, match="square"):
+            p.spmv_permuted(np.ones(20))

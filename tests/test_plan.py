@@ -1,0 +1,143 @@
+"""Tests for the communication plan (halo lists, local/nonlocal split)."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import build_plan, partition_rows
+from repro.formats import CSRMatrix
+
+from _test_common import random_coo
+
+
+@pytest.fixture(scope="module")
+def csr():
+    return CSRMatrix.from_coo(random_coo(90, seed=151, max_row=10))
+
+
+@pytest.fixture(scope="module")
+def plan(csr):
+    part = partition_rows(csr.nrows, 5, row_weights=csr.row_lengths())
+    return build_plan(csr, part)
+
+
+class TestPlanInvariants:
+    def test_nnz_split_covers_matrix(self, csr, plan):
+        assert plan.total_nnz == csr.nnz
+        for rp in plan.ranks:
+            lo, hi = rp.row_range
+            block_nnz = int(csr.row_lengths()[lo:hi].sum())
+            assert rp.nnz_local + rp.nnz_nonlocal == block_nnz
+
+    def test_recv_cols_are_remote_and_sorted(self, plan):
+        for rp in plan.ranks:
+            lo, hi = rp.row_range
+            for src, cols in rp.recv_cols.items():
+                assert src != rp.rank
+                assert np.all((cols < lo) | (cols >= hi))
+                assert np.all(np.diff(cols) > 0)  # sorted, duplicate-free
+
+    def test_recv_cols_owned_by_source(self, plan):
+        part = plan.partition
+        for rp in plan.ranks:
+            for src, cols in rp.recv_cols.items():
+                assert np.all(part.owner_of(cols) == src)
+
+    def test_send_matches_recv(self, plan):
+        part = plan.partition
+        for rp in plan.ranks:
+            for src, cols in rp.recv_cols.items():
+                sender = plan.ranks[src]
+                local = sender.send_cols[rp.rank]
+                lo = part.offsets[src]
+                assert np.array_equal(local + lo, cols)
+
+    def test_halo_size_accounting(self, plan):
+        for rp in plan.ranks:
+            assert rp.halo_size == sum(len(c) for c in rp.recv_cols.values())
+        assert plan.total_comm_elements == sum(r.halo_size for r in plan.ranks)
+
+    def test_neighbors_symmetric_with_lists(self, plan):
+        for rp in plan.ranks:
+            for n in rp.neighbors:
+                assert n in rp.recv_cols or n in rp.send_cols
+
+    def test_bytes_scale_with_itemsize(self, plan):
+        for rp in plan.ranks:
+            b8 = rp.recv_bytes(8)
+            b4 = rp.recv_bytes(4)
+            for src in b8:
+                assert b8[src] == 2 * b4[src]
+
+
+class TestMatrices:
+    def test_local_matrix_columns_in_range(self, plan):
+        for rp in plan.ranks:
+            lm = rp.local_matrix
+            assert lm is not None
+            if lm.nnz:
+                assert lm.indices.max() < rp.local_rows
+
+    def test_nonlocal_matrix_columns_in_halo(self, plan):
+        for rp in plan.ranks:
+            nm = rp.nonlocal_matrix
+            assert nm is not None
+            if nm.nnz:
+                assert nm.indices.max() < rp.halo_size
+
+    def test_halo_cols_concatenate_sources(self, plan):
+        for rp in plan.ranks:
+            if rp.halo_cols is None or rp.halo_cols.size == 0:
+                continue
+            expected = np.concatenate(
+                [rp.recv_cols[s] for s in sorted(rp.recv_cols)]
+            )
+            assert np.array_equal(rp.halo_cols, expected)
+            assert np.all(np.diff(rp.halo_cols) > 0)
+
+    def test_reconstruction(self, csr, plan):
+        """local + nonlocal sub-matrices reproduce each row block."""
+        for rp in plan.ranks:
+            lo, hi = rp.row_range
+            dense = np.zeros((rp.local_rows, csr.ncols))
+            ld = rp.local_matrix.todense()
+            dense[:, lo:hi] += ld[:, : rp.local_rows]
+            if rp.halo_cols is not None and rp.halo_cols.size:
+                nd = rp.nonlocal_matrix.todense()
+                dense[:, rp.halo_cols] += nd[:, : rp.halo_cols.size]
+            assert np.allclose(dense, csr.todense()[lo:hi])
+
+    def test_stats_only_plan(self, csr):
+        part = partition_rows(csr.nrows, 4)
+        p = build_plan(csr, part, with_matrices=False)
+        for rp in p.ranks:
+            assert rp.local_matrix is None
+            assert rp.nonlocal_matrix is None
+            assert rp.halo_size >= 0
+
+
+class TestEdgeCases:
+    def test_single_rank_no_comm(self, csr):
+        p = build_plan(csr, partition_rows(csr.nrows, 1))
+        assert p.total_comm_elements == 0
+        assert p.ranks[0].nnz_nonlocal == 0
+
+    def test_block_diagonal_no_comm(self):
+        """A block-diagonal matrix partitioned on block boundaries."""
+        from repro.formats import COOMatrix
+
+        n = 40
+        rows = np.arange(n)
+        cols = (rows // 10) * 10 + (rows + 3) % 10  # stay within own block
+        coo = COOMatrix(rows, cols, np.ones(n), (n, n))
+        csr = CSRMatrix.from_coo(coo)
+        p = build_plan(csr, partition_rows(n, 4))
+        assert p.total_comm_elements == 0
+
+    def test_rectangular_rejected(self):
+        csr = CSRMatrix.from_coo(random_coo(10, 20, seed=152))
+        with pytest.raises(ValueError, match="square"):
+            build_plan(csr, partition_rows(10, 2))
+
+    def test_partition_size_mismatch(self, csr):
+        with pytest.raises(ValueError, match="partition"):
+            build_plan(csr, partition_rows(csr.nrows + 1, 2))

@@ -1,0 +1,265 @@
+"""Property-based tests (hypothesis) on the core format invariants.
+
+Strategy: generate arbitrary small sparse matrices as COO triplets and
+assert that every format agrees with the dense oracle, that round
+trips are lossless and that the storage accounting invariants hold.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    JDSMatrix,
+    Permutation,
+    PJDSMatrix,
+    SELLMatrix,
+    block_padded_lengths,
+    descending_row_sort,
+    windowed_row_sort,
+)
+from repro.formats import COOMatrix, convert
+
+from _test_common import ALL_FORMATS
+
+
+@st.composite
+def coo_matrices(draw, max_n: int = 24, square: bool = True):
+    n = draw(st.integers(1, max_n))
+    m = n if square else draw(st.integers(1, max_n))
+    nnz = draw(st.integers(0, n * m))
+    if nnz:
+        # distinct flat positions guarantee no duplicates
+        flat = draw(
+            st.lists(
+                st.integers(0, n * m - 1), min_size=nnz, max_size=nnz, unique=True
+            )
+        )
+        flat = np.asarray(flat, dtype=np.int64)
+        rows, cols = flat // m, flat % m
+        vals = np.asarray(
+            draw(
+                st.lists(
+                    st.floats(-100, 100, allow_nan=False, width=64),
+                    min_size=nnz,
+                    max_size=nnz,
+                )
+            )
+        )
+    else:
+        rows = np.empty(0, np.int64)
+        cols = np.empty(0, np.int64)
+        vals = np.empty(0, np.float64)
+    return COOMatrix(rows, cols, vals, (n, m), sum_duplicates=False)
+
+
+@st.composite
+def length_arrays(draw):
+    return np.asarray(
+        draw(st.lists(st.integers(0, 40), min_size=1, max_size=60)), dtype=np.int64
+    )
+
+
+class TestSpmvOracle:
+    @settings(max_examples=40, deadline=None)
+    @given(coo=coo_matrices(), seed=st.integers(0, 10))
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_matches_dense(self, coo, seed, fmt):
+        m = convert(coo, fmt)
+        x = np.random.default_rng(seed).normal(size=coo.ncols)
+        assert np.allclose(m.spmv(x), coo.todense() @ x, atol=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(coo=coo_matrices())
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_roundtrip_lossless(self, coo, fmt):
+        m = convert(coo, fmt)
+        assert np.array_equal(m.to_coo().todense(), coo.todense())
+
+    @settings(max_examples=40, deadline=None)
+    @given(coo=coo_matrices())
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_nnz_preserved(self, coo, fmt):
+        assert convert(coo, fmt).nnz == coo.nnz
+
+    @settings(max_examples=40, deadline=None)
+    @given(coo=coo_matrices())
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_row_lengths_preserved(self, coo, fmt):
+        m = convert(coo, fmt)
+        assert np.array_equal(m.row_lengths(), coo.row_lengths())
+
+
+class TestLinearity:
+    @settings(max_examples=30, deadline=None)
+    @given(coo=coo_matrices(), a=st.floats(-5, 5, allow_nan=False))
+    def test_pjds_linear(self, coo, a):
+        p = convert(coo, "pJDS", block_rows=4)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=coo.ncols)
+        y = rng.normal(size=coo.ncols)
+        lhs = p.spmv(a * x + y)
+        rhs = a * p.spmv(x) + p.spmv(y)
+        assert np.allclose(lhs, rhs, atol=1e-8)
+
+
+class TestStorageInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(coo=coo_matrices(), br=st.integers(1, 16))
+    def test_pjds_between_jds_and_ellpack(self, coo, br):
+        """nnz <= JDS = nnz <= pJDS <= ELLPACK rectangle."""
+        p = PJDSMatrix.from_coo(coo, block_rows=br)
+        j = JDSMatrix.from_coo(coo)
+        width = int(coo.row_lengths().max()) if coo.nnz else 0
+        assert j.total_slots == coo.nnz
+        assert coo.nnz <= p.total_slots <= coo.nrows * max(width, 0) or coo.nnz == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(coo=coo_matrices(), br=st.integers(1, 16))
+    def test_pjds_padded_dominates_true(self, coo, br):
+        p = PJDSMatrix.from_coo(coo, block_rows=br)
+        assert np.all(p.padded_lengths >= p.rowmax)
+        assert np.all(np.diff(p.padded_lengths) <= 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(coo=coo_matrices(), c=st.integers(1, 16), sigma=st.integers(1, 40))
+    def test_sell_slots_cover_nnz(self, coo, c, sigma):
+        s = SELLMatrix.from_coo(coo, chunk_rows=c, sigma=sigma)
+        assert s.total_slots >= coo.nnz
+
+    @settings(max_examples=50, deadline=None)
+    @given(lengths=length_arrays(), br=st.integers(1, 12))
+    def test_block_padding_properties(self, lengths, br):
+        sorted_l = np.sort(lengths)[::-1]
+        padded = block_padded_lengths(sorted_l, br)
+        assert np.all(padded >= sorted_l)
+        assert np.all(np.diff(padded) <= 0)
+        # padding never exceeds the block maximum rule
+        nblocks = -(-len(sorted_l) // br)
+        for b in range(nblocks):
+            blk = slice(b * br, (b + 1) * br)
+            assert np.all(padded[blk] == sorted_l[blk].max())
+
+
+class TestSortingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(lengths=length_arrays())
+    def test_descending_sort_is_permutation(self, lengths):
+        perm = descending_row_sort(lengths)
+        assert np.array_equal(np.sort(perm), np.arange(len(lengths)))
+        assert np.all(np.diff(lengths[perm]) <= 0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(lengths=length_arrays(), sigma=st.integers(1, 70))
+    def test_windowed_sort_is_permutation(self, lengths, sigma):
+        perm = windowed_row_sort(lengths, sigma)
+        assert np.array_equal(np.sort(perm), np.arange(len(lengths)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(lengths=length_arrays())
+    def test_permutation_involution(self, lengths):
+        p = Permutation(descending_row_sort(lengths))
+        x = np.arange(len(lengths), dtype=float)
+        assert np.allclose(p.to_original(p.to_permuted(x)), x)
+
+
+class TestVerifierProperty:
+    """Every instance any format builds from any matrix passes the
+    structural invariant checker — the strongest cross-cutting property."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(coo=coo_matrices())
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_all_instances_verify(self, coo, fmt):
+        from repro.formats import verify_format
+
+        verify_format(convert(coo, fmt))
+
+    @settings(max_examples=20, deadline=None)
+    @given(coo=coo_matrices(), br=st.integers(1, 8), sigma=st.integers(1, 30))
+    def test_pjds_sigma_instances_verify(self, coo, br, sigma):
+        from repro.formats import verify_format
+
+        verify_format(convert(coo, "pJDS", block_rows=br, sigma=sigma))
+
+    @settings(max_examples=20, deadline=None)
+    @given(coo=coo_matrices(), t=st.sampled_from([1, 2, 4, 8]))
+    def test_ellr_t_instances_verify(self, coo, t):
+        from repro.formats import verify_format
+
+        verify_format(convert(coo, "ELLR-T", threads_per_row=t))
+
+
+class TestDuplicateSemantics:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(1, 10),
+        entries=st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9), st.floats(-10, 10, allow_nan=False)),
+            max_size=40,
+        ),
+    )
+    def test_duplicate_summing_matches_dense(self, n, entries):
+        dense = np.zeros((n, n))
+        rows, cols, vals = [], [], []
+        for r, c, v in entries:
+            if r < n and c < n:
+                rows.append(r)
+                cols.append(c)
+                vals.append(v)
+                dense[r, c] += v
+        coo = COOMatrix(rows, cols, vals, (n, n))
+        assert np.allclose(coo.todense(), dense, atol=1e-12)
+
+
+class TestIOProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(coo=coo_matrices(square=False))
+    def test_matrix_market_roundtrip(self, coo, tmp_path_factory):
+        import io
+
+        from repro.matrices import read_matrix_market, write_matrix_market
+
+        buf = io.StringIO()
+        write_matrix_market(coo, buf)
+        buf.seek(0)
+        back = read_matrix_market(buf)
+        assert back.shape == coo.shape
+        assert np.allclose(back.todense(), coo.todense(), atol=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(coo=coo_matrices())
+    def test_npz_cache_roundtrip(self, coo, tmp_path_factory):
+        from repro.matrices import load_coo, save_coo
+
+        path = tmp_path_factory.mktemp("cache") / "m.npz"
+        save_coo(coo, path)
+        back = load_coo(path)
+        assert np.array_equal(back.todense(), coo.todense())
+
+
+class TestOperatorProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(coo=coo_matrices(max_n=16), k=st.integers(1, 4))
+    def test_spmm_is_columnwise_spmv(self, coo, k):
+        m = convert(coo, "pJDS", block_rows=4)
+        X = np.random.default_rng(0).normal(size=(coo.ncols, k))
+        Y = m.spmm(X)
+        for j in range(k):
+            assert np.allclose(Y[:, j], coo.spmv(X[:, j].copy()), atol=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(coo=coo_matrices(max_n=16), br=st.integers(1, 8))
+    def test_permuted_basis_identity(self, coo, br):
+        """P^T (A~ (P x)) == A x for every matrix and block size."""
+        p = convert(coo, "pJDS", block_rows=br)
+        x = np.random.default_rng(1).normal(size=coo.ncols)
+        direct = p.spmv(x)
+        perm = p.permutation
+        via_permuted = perm.to_original(p.spmv_permuted(perm.to_permuted(x)))
+        assert np.allclose(direct, via_permuted, atol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(coo=coo_matrices(max_n=16))
+    def test_diagonal_matches_dense(self, coo):
+        assert np.allclose(coo.diagonal(), np.diag(coo.todense()))

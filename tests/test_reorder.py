@@ -1,0 +1,126 @@
+"""Tests for RCM reordering and symmetric permutation."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix, convert
+from repro.matrices import (
+    banded_sparse,
+    matrix_bandwidth,
+    permute_symmetric,
+    poisson2d,
+    rcm_permutation,
+)
+
+from _test_common import random_coo
+
+
+class TestBandwidth:
+    def test_diagonal_zero(self):
+        from repro.formats import COOMatrix
+
+        n = 8
+        coo = COOMatrix(range(n), range(n), np.ones(n), (n, n))
+        assert matrix_bandwidth(coo) == 0
+
+    def test_banded(self):
+        coo = banded_sparse(100, 9, np.full(100, 4), seed=261)
+        assert matrix_bandwidth(coo) <= 9
+
+    def test_empty(self):
+        from repro.formats import COOMatrix
+
+        assert matrix_bandwidth(COOMatrix([], [], [], (4, 4))) == 0
+
+
+class TestRCM:
+    def test_reduces_bandwidth_on_shuffled_grid(self):
+        """A randomly-renumbered 2-D grid regains a narrow band."""
+        grid = poisson2d(15, 15)
+        rng = np.random.default_rng(262)
+        shuffle = rng.permutation(grid.nrows)
+        shuffled = permute_symmetric(grid, shuffle)
+        assert matrix_bandwidth(shuffled) > 100
+
+        perm = rcm_permutation(shuffled)
+        restored = permute_symmetric(shuffled, perm)
+        assert matrix_bandwidth(restored) < matrix_bandwidth(shuffled) / 3
+
+    def test_returns_valid_permutation(self):
+        coo = random_coo(60, seed=263)
+        perm = rcm_permutation(coo)
+        assert np.array_equal(np.sort(perm), np.arange(60))
+
+    def test_rectangular_rejected(self):
+        coo = random_coo(10, 20, seed=264)
+        with pytest.raises(ValueError, match="square"):
+            rcm_permutation(coo)
+
+
+class TestPermuteSymmetric:
+    def test_spmv_identity(self):
+        coo = random_coo(80, seed=265)
+        perm = np.random.default_rng(1).permutation(80)
+        re = permute_symmetric(coo, perm)
+        x = np.random.default_rng(2).normal(size=80)
+        assert np.allclose(re.spmv(x[perm]), coo.spmv(x)[perm], atol=1e-12)
+
+    def test_identity_permutation(self):
+        coo = random_coo(30, seed=266)
+        re = permute_symmetric(coo, np.arange(30))
+        assert np.array_equal(re.todense(), coo.todense())
+
+    def test_involution(self):
+        coo = random_coo(30, seed=267)
+        perm = np.random.default_rng(3).permutation(30)
+        back = np.empty(30, dtype=np.int64)
+        back[np.arange(30)] = perm  # apply then invert
+        re = permute_symmetric(coo, perm)
+        inverse = np.argsort(perm)
+        again = permute_symmetric(re, inverse)
+        assert np.allclose(again.todense(), coo.todense())
+
+    def test_nnz_preserved(self):
+        coo = random_coo(40, seed=268)
+        perm = np.random.default_rng(4).permutation(40)
+        assert permute_symmetric(coo, perm).nnz == coo.nnz
+
+    def test_invalid_permutation(self):
+        coo = random_coo(10, seed=269)
+        with pytest.raises(ValueError, match="permutation"):
+            permute_symmetric(coo, np.zeros(10, dtype=int))
+
+    def test_works_on_any_format(self):
+        coo = random_coo(25, seed=270)
+        perm = np.random.default_rng(5).permutation(25)
+        a = permute_symmetric(coo, perm)
+        b = permute_symmetric(convert(coo, "pJDS"), perm)
+        assert np.array_equal(a.todense(), b.todense())
+
+
+class TestPipelineIntegration:
+    def test_rcm_reduces_halo_volume(self):
+        """The reason a distributed spMVM applies RCM first."""
+        from repro.distributed import analyse_plan, build_plan, partition_rows
+
+        coo = permute_symmetric(
+            poisson2d(20, 20), np.random.default_rng(6).permutation(400)
+        )
+        csr = CSRMatrix.from_coo(coo)
+        plan0 = build_plan(csr, partition_rows(400, 8), with_matrices=False)
+
+        reordered = permute_symmetric(coo, rcm_permutation(coo))
+        csr1 = CSRMatrix.from_coo(reordered)
+        plan1 = build_plan(csr1, partition_rows(400, 8), with_matrices=False)
+
+        assert (
+            analyse_plan(plan1).total_halo_elements
+            < analyse_plan(plan0).total_halo_elements / 2
+        )
+
+    def test_rcm_then_pjds_still_correct(self):
+        coo = random_coo(70, seed=271)
+        re = permute_symmetric(coo, rcm_permutation(coo))
+        p = convert(re, "pJDS")
+        x = np.random.default_rng(7).normal(size=70)
+        assert np.allclose(p.spmv(x), re.spmv(x))

@@ -1,0 +1,109 @@
+"""Tests for the roofline helpers and the Chrome trace export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.gpu import C1060, C2070
+from repro.perfmodel import (
+    RooflinePoint,
+    attainable_gflops,
+    ridge_intensity,
+    roofline_series,
+    spmv_intensity,
+)
+
+
+class TestRoofline:
+    def test_attainable_min(self):
+        assert attainable_gflops(0.1, 1000.0, 100.0) == pytest.approx(10.0)
+        assert attainable_gflops(100.0, 1000.0, 100.0) == pytest.approx(1000.0)
+
+    def test_ridge(self):
+        assert ridge_intensity(1000.0, 100.0) == pytest.approx(10.0)
+
+    def test_spmv_far_left_of_ridge(self):
+        """Eq. (1) balances put spMVM deep in the memory-bound region."""
+        dev = C2070(ecc=True)
+        ridge = ridge_intensity(dev.peak_gflops("DP"), dev.bandwidth_gbs)
+        for balance in (6.0, 10.0, 20.0):
+            assert spmv_intensity(balance) < ridge / 10
+
+    def test_point_classification(self):
+        dev = C2070(ecc=True)
+        p = RooflinePoint(
+            "spMVM",
+            spmv_intensity(7.0),
+            attainable_gflops(
+                spmv_intensity(7.0), dev.peak_gflops("DP"), dev.bandwidth_gbs
+            ),
+            dev.peak_gflops("DP"),
+            dev.bandwidth_gbs,
+        )
+        assert p.memory_bound
+        assert p.peak_fraction < 0.1
+
+    def test_table1_attainable_matches_bandwidth_model(self):
+        """On the roofline, spMVM attains BW / B — Eq. (1)'s prediction."""
+        dev = C2070(ecc=True)
+        for balance in (7.0, 9.0, 12.0):
+            att = attainable_gflops(
+                spmv_intensity(balance), dev.peak_gflops("DP"), dev.bandwidth_gbs
+            )
+            assert att == pytest.approx(dev.bandwidth_gbs / balance)
+
+    def test_series_monotone_then_flat(self):
+        x, y = roofline_series(C2070(ecc=False), "SP")
+        assert np.all(np.diff(y) >= -1e-9)
+        assert y[-1] == pytest.approx(C2070().peak_gflops("SP"))
+
+    def test_c1060_lower_roof(self):
+        _, y_fermi = roofline_series(C2070(ecc=False), "DP")
+        _, y_gt200 = roofline_series(C1060(), "DP")
+        assert y_gt200[-1] < y_fermi[-1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            attainable_gflops(-1.0, 10.0, 10.0)
+        with pytest.raises(ValueError):
+            ridge_intensity(0.0, 10.0)
+        with pytest.raises(ValueError):
+            spmv_intensity(0.0)
+
+
+class TestChromeTrace:
+    def test_export_structure(self):
+        from repro.distributed import Timeline, to_chrome_trace
+
+        tl = Timeline()
+        tl.add(0, "gpu", "local spMVM", 0.0, 1e-4)
+        tl.add(1, "nic", "MPI", 2e-5, 5e-5)
+        events = to_chrome_trace(tl)
+        assert len(events) == 2
+        ev = events[0]
+        assert ev["ph"] == "X"
+        assert ev["name"] == "local spMVM"
+        assert ev["pid"] == 0
+        assert ev["dur"] == pytest.approx(100.0)  # microseconds
+        # must be JSON-serialisable
+        json.dumps({"traceEvents": events})
+
+    def test_full_mode_timeline_exports(self):
+        from repro.distributed import (
+            DIRAC_IB,
+            NodeStats,
+            simulate_mode,
+            to_chrome_trace,
+        )
+        from repro.gpu import C2050
+
+        s = NodeStats(
+            rank=0, rows=1000, nnz_local=10_000, nnz_nonlocal=1000,
+            send_elements=100, halo_elements=100,
+            send_bytes={1: 800}, recv_bytes={1: 800},
+        )
+        res = simulate_mode("task", [s], C2050(), DIRAC_IB)
+        events = to_chrome_trace(res.timeline)
+        assert len(events) == len(res.timeline.intervals)
+        json.dumps(events)

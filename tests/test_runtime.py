@@ -1,0 +1,96 @@
+"""Tests for the threaded distributed spMVM runtime."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import build_plan, distributed_spmv, partition_rows, rank_spmv
+from repro.formats import CSRMatrix
+
+from _test_common import random_coo
+
+
+def _setup(n=80, nparts=4, seed=161, max_row=9):
+    csr = CSRMatrix.from_coo(random_coo(n, seed=seed, max_row=max_row))
+    part = partition_rows(csr.nrows, nparts, row_weights=csr.row_lengths())
+    return csr, build_plan(csr, part)
+
+
+class TestDistributedSpmv:
+    @pytest.mark.parametrize("nparts", [1, 2, 3, 5, 8])
+    def test_matches_serial(self, nparts):
+        csr, plan = _setup(nparts=nparts)
+        x = np.random.default_rng(nparts).normal(size=csr.nrows)
+        assert np.allclose(distributed_spmv(plan, x), csr.spmv(x), atol=1e-10)
+
+    def test_repeated_calls_stable(self):
+        csr, plan = _setup(nparts=4)
+        x = np.random.default_rng(0).normal(size=csr.nrows)
+        y1 = distributed_spmv(plan, x)
+        y2 = distributed_spmv(plan, x)
+        assert np.array_equal(y1, y2)
+
+    def test_float32(self):
+        csr = CSRMatrix.from_coo(random_coo(40, seed=162, dtype=np.float32))
+        plan = build_plan(csr, partition_rows(40, 3))
+        x = np.random.default_rng(1).normal(size=40).astype(np.float32)
+        assert np.allclose(distributed_spmv(plan, x), csr.spmv(x), atol=1e-4)
+
+    def test_suite_matrix(self):
+        from repro.matrices import generate
+
+        coo = generate("sAMG", scale=512)
+        csr = CSRMatrix.from_coo(coo)
+        plan = build_plan(csr, partition_rows(csr.nrows, 6, row_weights=csr.row_lengths()))
+        x = np.random.default_rng(2).normal(size=csr.nrows)
+        assert np.allclose(distributed_spmv(plan, x), csr.spmv(x), atol=1e-9)
+
+    def test_wrong_x_shape(self):
+        _, plan = _setup()
+        with pytest.raises(ValueError, match="shape"):
+            distributed_spmv(plan, np.ones(7))
+
+    def test_requires_matrices(self):
+        csr = CSRMatrix.from_coo(random_coo(30, seed=163))
+        plan = build_plan(csr, partition_rows(30, 2), with_matrices=False)
+        with pytest.raises((ValueError, RuntimeError), match="with_matrices|failed"):
+            distributed_spmv(plan, np.ones(30))
+
+    def test_block_diagonal_no_messages(self):
+        from repro.formats import COOMatrix
+
+        n = 40
+        rows = np.arange(n)
+        cols = (rows // 10) * 10 + (rows + 1) % 10
+        coo = COOMatrix(rows, cols, np.arange(1.0, n + 1), (n, n))
+        csr = CSRMatrix.from_coo(coo)
+        plan = build_plan(csr, partition_rows(n, 4))
+        x = np.random.default_rng(3).normal(size=n)
+        assert np.allclose(distributed_spmv(plan, x), csr.spmv(x))
+
+
+class TestRankSpmv:
+    def test_single_rank_equivalence(self):
+        csr, plan = _setup(nparts=1)
+        x = np.random.default_rng(4).normal(size=csr.nrows)
+        rp = plan.ranks[0]
+        halo = np.zeros(rp.nonlocal_matrix.ncols, dtype=x.dtype)
+        assert np.allclose(rank_spmv(rp, x, halo), csr.spmv(x))
+
+    def test_rank_rows_with_manual_halo(self):
+        csr, plan = _setup(nparts=3)
+        x = np.random.default_rng(5).normal(size=csr.nrows)
+        ref = csr.spmv(x)
+        for rp in plan.ranks:
+            lo, hi = rp.row_range
+            if rp.halo_cols is not None and rp.halo_cols.size:
+                halo = x[rp.halo_cols]
+            else:
+                halo = np.zeros(rp.nonlocal_matrix.ncols, dtype=x.dtype)
+            y = rank_spmv(rp, x[lo:hi], halo)
+            assert np.allclose(y, ref[lo:hi], atol=1e-10)
+
+    def test_stats_only_plan_rejected(self):
+        csr = CSRMatrix.from_coo(random_coo(20, seed=164))
+        plan = build_plan(csr, partition_rows(20, 2), with_matrices=False)
+        with pytest.raises(ValueError, match="with_matrices"):
+            rank_spmv(plan.ranks[0], np.ones(plan.ranks[0].local_rows), np.ones(1))

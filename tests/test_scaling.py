@@ -1,0 +1,112 @@
+"""Tests for the strong-scaling driver (Fig. 5)."""
+
+import pytest
+
+from repro.distributed import (
+    KernelCost,
+    ScalingPoint,
+    single_gpu_effective_gflops,
+    strong_scaling,
+)
+from repro.gpu import C2050
+
+from _test_common import random_coo
+
+
+@pytest.fixture(scope="module")
+def series():
+    # banded matrix: halos stay local, so the sweep actually scales
+    from repro.matrices import banded_sparse
+    import numpy as np
+
+    coo = banded_sparse(600, 40, np.full(600, 18), seed=181)
+    return strong_scaling(
+        coo,
+        [1, 2, 4, 8],
+        device=C2050(ecc=True),
+        workload_scale=64,
+        matrix_name="toy",
+    )
+
+
+class TestSeries:
+    def test_all_modes_and_counts_present(self, series):
+        assert series.node_counts() == [1, 2, 4, 8]
+        for mode in ("vector", "naive", "task"):
+            assert len(series.series(mode)) == 4
+
+    def test_gflops_at(self, series):
+        p = series.series("task")[0]
+        assert series.gflops_at("task", p.nodes) == p.gflops
+        with pytest.raises(KeyError):
+            series.gflops_at("task", 99)
+
+    def test_more_nodes_more_gflops_initially(self, series):
+        task = series.series("task")
+        assert task[1].gflops > task[0].gflops
+
+    def test_efficiency_definition(self, series):
+        task = series.series("task")
+        base = task[0]
+        eff = task[-1].efficiency(base)
+        ideal = base.gflops * task[-1].nodes
+        assert eff == pytest.approx(task[-1].gflops / ideal)
+        assert 0 < eff <= 1.05
+
+    def test_task_dominates_under_communication(self, series):
+        # at one node vector's single unsplit kernel wins (no comm to
+        # hide); with communication in play task mode must lead
+        for nodes in series.node_counts()[1:]:
+            task = series.gflops_at("task", nodes)
+            vector = series.gflops_at("vector", nodes)
+            assert task >= vector * 0.999
+
+
+class TestSingleGPU:
+    def test_pcie_reduces_effective(self):
+        dev = C2050(ecc=True)
+        cost = KernelCost()
+        nnz, n = 10**7, 10**5
+        eff = single_gpu_effective_gflops(nnz, n, dev, cost)
+        kernel_only = 2 * nnz / cost.kernel_seconds(nnz, n, dev) * 1e-9
+        assert eff < kernel_only
+
+    def test_dlr1_reference_value(self):
+        """Paper Fig. 5a reference line: 10.9 GF/s."""
+        dev = C2050(ecc=True)
+        eff = single_gpu_effective_gflops(
+            40_025_628, 278_502, dev, KernelCost.from_alpha(0.25)
+        )
+        assert eff == pytest.approx(10.9, rel=0.15)
+
+    def test_high_nnzr_insensitive_to_pcie(self):
+        """Eq. (4): large Nnzr makes the PCIe penalty negligible."""
+        dev = C2050(ecc=True)
+        cost = KernelCost()
+        n = 10**5
+        small = single_gpu_effective_gflops(20 * n, n, dev, cost)
+        large = single_gpu_effective_gflops(500 * n, n, dev, cost)
+        kernel_small = 2 * 20 * n / cost.kernel_seconds(20 * n, n, dev) * 1e-9
+        kernel_large = 2 * 500 * n / cost.kernel_seconds(500 * n, n, dev) * 1e-9
+        assert large / kernel_large > small / kernel_small
+
+
+class TestScalingPoint:
+    def test_fields(self):
+        p = ScalingPoint(nodes=4, mode="task", gflops=40.0, iteration_seconds=1e-3)
+        base = ScalingPoint(nodes=1, mode="task", gflops=11.0, iteration_seconds=4e-3)
+        assert p.efficiency(base) == pytest.approx(40.0 / 44.0)
+
+
+class TestRender:
+    def test_ascii_chart(self, series):
+        art = series.render()
+        assert "GF/s vs nodes" in art
+        assert "legend" in art
+        for sym in ("v", "n", "t"):
+            assert sym in art
+
+    def test_empty_series(self):
+        from repro.distributed import ScalingSeries
+
+        assert "empty" in ScalingSeries("x", []).render()

@@ -1,0 +1,119 @@
+"""Unit tests for SELL-C-sigma (sliced ELLPACK)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PJDSMatrix, SELLMatrix
+from repro.formats import COOMatrix
+
+from _test_common import random_coo
+
+
+@pytest.fixture(scope="module")
+def coo() -> COOMatrix:
+    return random_coo(65, seed=61)
+
+
+class TestConstruction:
+    def test_spmv_matches_coo(self, coo):
+        x = np.random.default_rng(0).normal(size=coo.ncols)
+        for C in (1, 4, 16, 32):
+            m = SELLMatrix.from_coo(coo, chunk_rows=C)
+            assert np.allclose(m.spmv(x), coo.spmv(x)), C
+
+    def test_chunk_count(self, coo):
+        m = SELLMatrix.from_coo(coo, chunk_rows=16)
+        assert m.nchunks == -(-coo.nrows // 16)
+        assert m.padded_rows == m.nchunks * 16
+
+    def test_chunk_widths_are_chunk_maxima(self, coo):
+        C = 8
+        m = SELLMatrix.from_coo(coo, chunk_rows=C, sigma=1)
+        lengths = coo.row_lengths()
+        for c in range(m.nchunks):
+            chunk_rows = lengths[c * C : (c + 1) * C]
+            expected = int(chunk_rows.max()) if chunk_rows.size else 0
+            assert m.chunk_widths[c] == expected
+
+    def test_total_slots(self, coo):
+        C = 8
+        m = SELLMatrix.from_coo(coo, chunk_rows=C)
+        assert m.total_slots == int((m.chunk_widths * C).sum())
+
+    def test_roundtrip(self, coo):
+        m = SELLMatrix.from_coo(coo, chunk_rows=8, sigma=16)
+        assert np.allclose(m.to_coo().todense(), coo.todense())
+
+    def test_row_lengths(self, coo):
+        m = SELLMatrix.from_coo(coo, chunk_rows=8)
+        assert np.array_equal(m.row_lengths(), coo.row_lengths())
+
+    def test_unknown_kwarg_rejected(self, coo):
+        with pytest.raises(TypeError, match="unexpected"):
+            SELLMatrix.from_coo(coo, block_rows=4)
+
+
+class TestSigma:
+    def test_sigma_one_identity_permutation(self, coo):
+        m = SELLMatrix.from_coo(coo, chunk_rows=8, sigma=1)
+        assert m.permutation.is_identity
+
+    def test_sigma_default_full_sort(self, coo):
+        m = SELLMatrix.from_coo(coo, chunk_rows=8)
+        assert m.sigma == coo.nrows
+
+    def test_full_sigma_matches_pjds_storage(self, coo):
+        """SELL-C-N == pJDS storage volume (same sort, same block pad)."""
+        C = 8
+        sell = SELLMatrix.from_coo(coo, chunk_rows=C)
+        pjds = PJDSMatrix.from_coo(coo, block_rows=C)
+        # pJDS's partial last block pads fewer rows; compare padded sums
+        assert sell.total_slots >= pjds.total_slots
+        # agreement when the row count divides evenly
+        if coo.nrows % C == 0:
+            assert sell.total_slots == pjds.total_slots
+
+    def test_storage_monotone_in_sigma(self, coo):
+        sizes = [
+            SELLMatrix.from_coo(coo, chunk_rows=8, sigma=s).total_slots
+            for s in (1, 4, 16, 64, coo.nrows)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_all_sigmas_correct(self, coo):
+        x = np.random.default_rng(2).normal(size=coo.ncols)
+        ref = coo.spmv(x)
+        for sigma in (1, 2, 9, 33, coo.nrows):
+            m = SELLMatrix.from_coo(coo, chunk_rows=8, sigma=sigma)
+            assert np.allclose(m.spmv(x), ref), sigma
+
+
+class TestEvenDivision:
+    def test_exact_multiple_rows(self):
+        coo = random_coo(64, seed=62, empty_row_fraction=0.0)
+        m = SELLMatrix.from_coo(coo, chunk_rows=8)
+        assert m.padded_rows == 64
+        x = np.random.default_rng(3).normal(size=64)
+        assert np.allclose(m.spmv(x), coo.spmv(x))
+
+    def test_single_chunk(self):
+        coo = random_coo(10, seed=63)
+        m = SELLMatrix.from_coo(coo, chunk_rows=32)
+        assert m.nchunks == 1
+        x = np.ones(10)
+        assert np.allclose(m.spmv(x), coo.spmv(x))
+
+
+class TestAccounting:
+    def test_memory_breakdown_fields(self, coo):
+        m = SELLMatrix.from_coo(coo, chunk_rows=8)
+        bd = m.memory_breakdown()
+        assert set(bd) == {"val", "col_idx", "chunk_ptr", "rowmax", "perm"}
+        assert bd["val"] == m.total_slots * 8
+        assert bd["chunk_ptr"] == (m.nchunks + 1) * 4
+
+    def test_views_readonly(self, coo):
+        m = SELLMatrix.from_coo(coo, chunk_rows=8)
+        for arr in (m.val, m.col_idx, m.chunk_ptr, m.chunk_widths):
+            with pytest.raises(ValueError):
+                arr[0] = 0

@@ -1,0 +1,119 @@
+"""Unit tests for row sorting and Permutation."""
+
+import numpy as np
+import pytest
+
+from repro.core import Permutation, descending_row_sort, windowed_row_sort
+
+
+class TestDescendingSort:
+    def test_sorts_descending(self):
+        lengths = np.array([3, 9, 1, 9, 4])
+        perm = descending_row_sort(lengths)
+        assert np.all(np.diff(lengths[perm]) <= 0)
+
+    def test_stability(self):
+        lengths = np.array([5, 2, 5, 2, 5])
+        perm = descending_row_sort(lengths)
+        # equal-length rows keep original relative order
+        assert perm.tolist() == [0, 2, 4, 1, 3]
+
+    def test_already_sorted_is_identity(self):
+        lengths = np.array([9, 7, 5, 3])
+        assert descending_row_sort(lengths).tolist() == [0, 1, 2, 3]
+
+    def test_empty(self):
+        assert descending_row_sort(np.empty(0, np.int64)).size == 0
+
+
+class TestWindowedSort:
+    def test_sigma_one_is_identity(self):
+        lengths = np.array([1, 5, 2, 9])
+        assert windowed_row_sort(lengths, 1).tolist() == [0, 1, 2, 3]
+
+    def test_sigma_full_equals_global(self):
+        lengths = np.array([1, 5, 2, 9, 4, 4])
+        assert np.array_equal(
+            windowed_row_sort(lengths, 6), descending_row_sort(lengths)
+        )
+        assert np.array_equal(
+            windowed_row_sort(lengths, 100), descending_row_sort(lengths)
+        )
+
+    def test_window_locality(self):
+        lengths = np.array([1, 9, 2, 8, 3, 7])
+        perm = windowed_row_sort(lengths, 2)
+        # each window of two sorted internally
+        assert perm.tolist() == [1, 0, 3, 2, 5, 4]
+
+    def test_rows_stay_in_window(self):
+        rng = np.random.default_rng(0)
+        lengths = rng.integers(0, 50, size=100)
+        sigma = 10
+        perm = windowed_row_sort(lengths, sigma)
+        assert np.all(perm // sigma == np.arange(100) // sigma)
+
+    def test_bad_sigma(self):
+        with pytest.raises(ValueError):
+            windowed_row_sort(np.array([1, 2]), 0)
+
+
+class TestPermutation:
+    def test_inverse(self):
+        p = Permutation(np.array([2, 0, 1]))
+        assert p.inverse.tolist() == [1, 2, 0]
+        assert np.array_equal(p.perm[p.inverse], np.arange(3))
+
+    def test_identity(self):
+        p = Permutation.identity(5)
+        assert p.is_identity
+        x = np.arange(5.0)
+        assert np.array_equal(p.to_permuted(x), x)
+        assert np.array_equal(p.to_original(x), x)
+
+    def test_roundtrip_vectors(self):
+        rng = np.random.default_rng(1)
+        p = Permutation(rng.permutation(40))
+        x = rng.normal(size=40)
+        assert np.allclose(p.to_original(p.to_permuted(x)), x)
+        assert np.allclose(p.to_permuted(p.to_original(x)), x)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError, match="duplicate|range"):
+            Permutation(np.array([0, 0, 1]))
+        with pytest.raises(ValueError, match="range"):
+            Permutation(np.array([0, 5]))
+
+    def test_compose(self):
+        rng = np.random.default_rng(2)
+        a = Permutation(rng.permutation(20))
+        b = Permutation(rng.permutation(20))
+        x = rng.normal(size=20)
+        composed = a.compose(b)
+        assert np.allclose(
+            composed.to_permuted(x), a.to_permuted(b.to_permuted(x))
+        )
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(ValueError, match="size"):
+            Permutation.identity(3).compose(Permutation.identity(4))
+
+    def test_equality(self):
+        a = Permutation(np.array([1, 0]))
+        b = Permutation(np.array([1, 0]))
+        assert a == b
+        assert a != Permutation.identity(2)
+
+    def test_vector_length_checked(self):
+        p = Permutation.identity(4)
+        with pytest.raises(ValueError, match="length"):
+            p.to_permuted(np.ones(3))
+        with pytest.raises(ValueError, match="length"):
+            p.to_original(np.ones(5))
+
+    def test_views_readonly(self):
+        p = Permutation(np.array([1, 0]))
+        with pytest.raises(ValueError):
+            p.perm[0] = 0
+        with pytest.raises(ValueError):
+            p.inverse[0] = 0

@@ -1,0 +1,147 @@
+"""Tests pinning the suite matrices to the paper's published statistics."""
+
+import numpy as np
+import pytest
+
+from repro.formats import convert
+from repro.matrices import SUITE, SUITE_KEYS, generate, paper_statistics, structure_stats
+
+#: smaller-than-default scale keeps this module fast
+SCALE = 256
+
+
+@pytest.fixture(scope="module")
+def suite_matrices():
+    return {k: generate(k, scale=SCALE) for k in SUITE_KEYS}
+
+
+class TestSuiteMetadata:
+    def test_all_keys_present(self):
+        assert set(SUITE_KEYS) == {"HMEp", "sAMG", "DLR1", "DLR2", "UHBR"}
+
+    def test_paper_statistics_complete(self):
+        stats = paper_statistics()
+        for key in SUITE_KEYS:
+            assert stats[key]["dim"] > 0
+            assert stats[key]["nnz"] > 0
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown suite matrix"):
+            generate("nope")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            generate("DLR1", scale=0)
+
+
+class TestScaledDimensions:
+    @pytest.mark.parametrize("key", SUITE_KEYS)
+    def test_dimension_near_scaled_paper_dim(self, suite_matrices, key):
+        m = suite_matrices[key]
+        target = SUITE[key].paper_dim // SCALE
+        assert abs(m.nrows - target) <= 8  # block-size rounding only
+
+    @pytest.mark.parametrize("key", SUITE_KEYS)
+    def test_square(self, suite_matrices, key):
+        m = suite_matrices[key]
+        assert m.nrows == m.ncols
+
+
+class TestNnzr:
+    """Average non-zeros per row must match Sect. I-C within 10 %."""
+
+    @pytest.mark.parametrize("key", SUITE_KEYS)
+    def test_nnzr(self, suite_matrices, key):
+        m = suite_matrices[key]
+        paper = SUITE[key].paper_nnzr
+        # boundary truncation bites harder at 1/256 scale
+        assert m.avg_row_length == pytest.approx(paper, rel=0.12)
+
+
+class TestStructure:
+    def test_dlr2_all_5x5_blocks(self, suite_matrices):
+        m = suite_matrices["DLR2"]
+        assert np.all(m.row_lengths() % 5 == 0)
+        # 5 consecutive rows share the same length (dense block rows)
+        lengths = m.row_lengths().reshape(-1, 5)
+        assert np.all(lengths == lengths[:, :1])
+
+    def test_dlr1_6x6_blocks(self, suite_matrices):
+        m = suite_matrices["DLR1"]
+        assert np.all(m.row_lengths() % 6 == 0)
+
+    def test_dlr1_width_clustered_near_max(self, suite_matrices):
+        """80 % of rows >= 0.8 x Nmax (the Fig. 3 discussion)."""
+        lengths = suite_matrices["DLR1"].row_lengths()
+        nmax = lengths.max()
+        share = np.count_nonzero(lengths >= 0.8 * nmax) / lengths.size
+        assert share >= 0.7
+
+    def test_dlr1_relative_width_about_two(self, suite_matrices):
+        lengths = suite_matrices["DLR1"].row_lengths()
+        ratio = lengths.max() / lengths.min()
+        assert 1.5 <= ratio <= 2.5
+
+    def test_samg_relative_width_over_four(self, suite_matrices):
+        lengths = suite_matrices["sAMG"].row_lengths()
+        assert lengths.max() / lengths.min() > 4.0
+
+    def test_samg_short_rows_dominate(self, suite_matrices):
+        lengths = suite_matrices["sAMG"].row_lengths()
+        assert np.median(lengths) < lengths.mean() + 1
+        assert np.count_nonzero(lengths <= 8) / lengths.size > 0.5
+
+    def test_hmep_off_diagonal_structure(self, suite_matrices):
+        """Entries live on matrix-wide off-diagonals (offset multiplicity)."""
+        coo = suite_matrices["HMEp"].to_coo()
+        offsets, counts = np.unique(coo.cols - coo.rows, return_counts=True)
+        # a small set of offsets carries all entries
+        assert offsets.size < 40
+        assert counts.max() > coo.nrows * 0.5
+
+    def test_hmep_length_range(self, suite_matrices):
+        lengths = suite_matrices["HMEp"].row_lengths()
+        assert lengths.max() <= 23
+        assert lengths.min() >= 1
+
+
+class TestDataReduction:
+    """Table I 'data reduction' column within a few points of the paper."""
+
+    @pytest.mark.parametrize(
+        "key", [k for k in SUITE_KEYS if SUITE[k].paper_reduction_pct is not None]
+    )
+    def test_reduction_close_to_paper(self, suite_matrices, key):
+        m = suite_matrices[key]
+        p = convert(m, "pJDS")
+        e = convert(m, "ELLPACK")
+        red = 100.0 * p.data_reduction_vs(e)
+        assert red == pytest.approx(SUITE[key].paper_reduction_pct, abs=6.0)
+
+    def test_reduction_ordering_matches_paper(self, suite_matrices):
+        """sAMG > DLR2 > HMEp > DLR1 (Table I)."""
+        reds = {}
+        for key in ("sAMG", "DLR2", "HMEp", "DLR1"):
+            m = suite_matrices[key]
+            reds[key] = convert(m, "pJDS").data_reduction_vs(convert(m, "ELLPACK"))
+        assert reds["sAMG"] > reds["DLR2"] > reds["HMEp"] > reds["DLR1"]
+
+    @pytest.mark.parametrize("key", SUITE_KEYS)
+    def test_pjds_overhead_below_one_percent(self, suite_matrices, key):
+        """Paper: overhead vs storing only non-zeros < 0.01 % (full scale);
+        at 1/256 scale blocks are coarser, so we allow < 2 %."""
+        p = convert(suite_matrices[key], "pJDS")
+        assert p.overhead_vs_minimum() < 0.02
+
+
+class TestDeterminism:
+    def test_same_seed_reproducible(self):
+        a = generate("sAMG", scale=512, seed=5)
+        b = generate("sAMG", scale=512, seed=5)
+        assert np.array_equal(a.todense(), b.todense())
+
+    def test_correctness_of_spmv(self, suite_matrices):
+        m = suite_matrices["sAMG"]
+        x = np.random.default_rng(0).normal(size=m.ncols)
+        p = convert(m, "pJDS")
+        assert np.allclose(p.spmv(x), m.spmv(x))
