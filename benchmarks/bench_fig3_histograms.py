@@ -5,7 +5,6 @@ features: axis extents, where the weight sits, and the dynamic range
 of the relative shares (Fig. 3 uses log axes down to 1e-4 .. 1e-7).
 """
 
-import numpy as np
 import pytest
 
 from repro.matrices import row_length_histogram

@@ -10,6 +10,8 @@ Examples
     python -m repro fig5 --matrix UHBR    # strong-scaling series
     python -m repro timeline --nodes 8    # Fig. 4 ASCII timeline
     python -m repro spmv matrix.mtx --format pJDS
+    python -m repro obs --format pjds --out trace.json \
+        --metrics-out metrics.prom        # instrumented run + artifacts
 
 Heavy experiments accept ``--scale`` (matrix shrink factor relative to
 the paper dimensions; larger = faster).
@@ -228,6 +230,128 @@ def cmd_spmv(args, out) -> int:
     return 0
 
 
+def _resolve_format(name: str) -> str:
+    """Case/punctuation-insensitive format lookup (``pjds`` -> ``pJDS``)."""
+    from repro.formats import available_formats
+
+    canon = {n.lower().replace("-", "").replace("_", ""): n for n in available_formats()}
+    key = name.lower().replace("-", "").replace("_", "")
+    if key not in canon:
+        raise SystemExit(
+            f"unknown format {name!r}; available: {available_formats()}"
+        )
+    return canon[key]
+
+
+def cmd_obs(args, out) -> int:
+    """Run an instrumented workload; dump trace + metrics artifacts.
+
+    Exercises every instrumented layer once — the GPU execution model
+    (``spmv_bytes_total``, ``cache_hit_ratio``), the real threaded
+    ``distributed_spmv`` (``rank.*`` spans, ``halo_bytes_sent``), the
+    simulated Fig. 4 task-mode timeline (one span per rank/resource)
+    and a CG solve (residual gauges) — then writes the Chrome
+    trace-event JSON and Prometheus text artifacts.
+    """
+    from repro import obs
+    from repro.distributed import (
+        DIRAC_IB,
+        KernelCost,
+        build_plan,
+        distributed_spmv,
+        partition_rows,
+        simulate_mode,
+        stats_from_plan,
+    )
+    from repro.formats import CSRMatrix, convert
+    from repro.gpu import C2050, C2070, simulate_spmv
+    from repro.matrices import generate, poisson2d
+    from repro.solvers import conjugate_gradient
+
+    fmt = _resolve_format(args.format)
+    was_enabled = obs.enabled()
+    obs.enable()
+    obs.reset_all()
+    try:
+        coo = generate(args.matrix, scale=args.scale, seed=args.seed)
+
+        # 1. GPU execution model -> spmv_* metrics incl. cache_hit_ratio
+        with obs.span("simulate_spmv", format=fmt, matrix=args.matrix):
+            rep = simulate_spmv(
+                convert(coo, fmt), C2070(ecc=True).scaled(args.scale)
+            )
+        print(
+            f"kernel model [{fmt}]: {rep.gflops:.1f} GF/s, "
+            f"balance {rep.code_balance:.2f} B/F, "
+            f"cache hit ratio {rep.cache_hit_ratio:.2f}",
+            file=out,
+        )
+
+        # 2. real threaded exchange -> rank.* spans + halo_bytes_sent
+        csr = CSRMatrix.from_coo(coo)
+        part = partition_rows(
+            csr.nrows, args.nodes, row_weights=csr.row_lengths()
+        )
+        plan = build_plan(csr, part)
+        x = np.random.default_rng(args.seed).normal(size=csr.nrows)
+        y = distributed_spmv(plan, x)
+        print(
+            f"distributed spMVM on {args.nodes} ranks: "
+            f"||y|| = {float(np.linalg.norm(y)):.6g}",
+            file=out,
+        )
+
+        # 3. simulated Fig. 4 timeline -> one span per rank per resource
+        stats = stats_from_plan(plan, itemsize=8, workload_scale=args.scale)
+        res = simulate_mode(
+            args.mode, stats, C2050(ecc=True), DIRAC_IB, KernelCost.from_alpha(0.25)
+        )
+        print(
+            f"{args.mode} mode simulation: {res.gflops:.1f} GF/s "
+            f"({res.iteration_seconds * 1e6:.1f} us/iteration)",
+            file=out,
+        )
+
+        # 4. solver convergence gauges
+        pois = convert(poisson2d(24, 24), fmt)
+        cg = conjugate_gradient(pois, np.ones(pois.nrows, dtype=pois.dtype))
+        print(
+            f"CG on poisson2d(24,24): {cg.iterations} iterations, "
+            f"residual {cg.residual_norm:.3e}",
+            file=out,
+        )
+
+        spans = obs.get_tracer().finished()
+        families = obs.get_registry().families()
+        print(
+            f"recorded {len(spans)} spans, {len(families)} metric families",
+            file=out,
+        )
+        if args.out:
+            n_events = obs.write_chrome_trace(args.out)
+            print(
+                f"wrote {n_events} trace events to {args.out} "
+                "(open in chrome://tracing or ui.perfetto.dev)",
+                file=out,
+            )
+        if args.metrics_out:
+            text = obs.prometheus_text()
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(
+                f"wrote {len(text.splitlines())} metric lines to "
+                f"{args.metrics_out}",
+                file=out,
+            )
+        if args.jsonl_out:
+            n_lines = obs.write_jsonl(args.jsonl_out)
+            print(f"wrote {n_lines} JSONL records to {args.jsonl_out}", file=out)
+    finally:
+        if not was_enabled:
+            obs.disable()
+    return 0
+
+
 # ---------------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
@@ -267,6 +391,25 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("matrix_file")
     ps.add_argument("--format", default="pJDS")
     ps.add_argument("--seed", type=int, default=0)
+
+    po = sub.add_parser(
+        "obs", help="instrumented run: dump Chrome trace + Prometheus metrics"
+    )
+    common(po, 256)
+    po.add_argument("--format", default="pJDS",
+                    help="storage format (case-insensitive, e.g. pjds)")
+    po.add_argument(
+        "--matrix", choices=("DLR1", "DLR2", "HMEp", "sAMG", "UHBR"),
+        default="sAMG",
+    )
+    po.add_argument("--nodes", type=int, default=4)
+    po.add_argument("--mode", choices=("vector", "naive", "task"), default="task")
+    po.add_argument("--out", default=None,
+                    help="Chrome trace-event JSON output path")
+    po.add_argument("--metrics-out", default=None,
+                    help="Prometheus text exposition output path")
+    po.add_argument("--jsonl-out", default=None,
+                    help="JSONL (spans + metrics) output path")
     return parser
 
 
@@ -279,6 +422,7 @@ _COMMANDS = {
     "fig5": cmd_fig5,
     "timeline": cmd_timeline,
     "spmv": cmd_spmv,
+    "obs": cmd_obs,
 }
 
 

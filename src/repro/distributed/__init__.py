@@ -13,7 +13,12 @@ from repro.distributed.modes import (
 from repro.distributed.network import DIRAC_IB, NetworkModel
 from repro.distributed.partition import RowPartition, partition_rows
 from repro.distributed.plan import CommPlan, RankPlan, build_plan
-from repro.distributed.runtime import RankResult, distributed_spmv, rank_spmv
+from repro.distributed.runtime import (
+    DistributedTimeout,
+    RankResult,
+    distributed_spmv,
+    rank_spmv,
+)
 from repro.distributed.solver_model import (
     CGIterationModel,
     allreduce_seconds,
@@ -47,6 +52,7 @@ __all__ = [
     "CommPlan",
     "RankPlan",
     "build_plan",
+    "DistributedTimeout",
     "RankResult",
     "distributed_spmv",
     "rank_spmv",

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.distributed.events import Timeline
 from repro.distributed.network import NetworkModel
 from repro.distributed.plan import CommPlan, RankPlan
@@ -295,7 +296,7 @@ def simulate_mode(
             else:
                 end = _rank_task(s, device, network, cost, tl)
             per_rank.append(end)
-    return ModeResult(
+    result = ModeResult(
         mode=mode,
         nparts=len(stats),
         iteration_seconds=max(per_rank),
@@ -303,6 +304,22 @@ def simulate_mode(
         total_nnz=sum(s.nnz for s in stats),
         timeline=tl,
     )
+    if obs.enabled():
+        # bridge the Fig. 4 intervals into spans so simulated runs
+        # share the Chrome-trace export path with real threaded runs
+        obs.record_timeline(tl, root_name="distributed_spmv", mode=mode)
+        mode_labels = {"mode": mode, "nparts": str(len(stats))}
+        obs.set_gauge("mode_iteration_seconds", result.iteration_seconds, **mode_labels)
+        obs.set_gauge("mode_gflops", result.gflops, **mode_labels)
+        obs.inc("mode_iterations_total", 1, **mode_labels)
+        for s in stats:
+            obs.inc(
+                "halo_bytes_sent",
+                float(sum(s.send_bytes.values())),
+                rank=str(s.rank),
+                mode=mode,
+            )
+    return result
 
 
 def stats_from_plan(

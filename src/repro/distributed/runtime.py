@@ -10,6 +10,12 @@ The exchange mirrors the mpi4py buffer idiom: senders gather owned
 elements into contiguous buffers (the "local gather" of Fig. 4) and
 post them tagged with their rank; receivers assemble their halo buffer
 in plan order, then run ``y_local = A_local @ x_local + A_nonlocal @ halo``.
+
+When :mod:`repro.obs` is enabled, every rank emits a span chain
+(``rank.gather`` → ``rank.send`` → ``rank.waitall`` → ``rank.spmv``)
+parented under a single ``distributed_spmv`` root span — the real-run
+counterpart of the simulated Fig. 4 timelines — plus
+``halo_bytes_sent{rank=...}`` counters.
 """
 
 from __future__ import annotations
@@ -20,12 +26,25 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.distributed.plan import CommPlan, RankPlan
 from repro.utils.validation import check_dense_vector
 
-__all__ = ["distributed_spmv", "RankResult", "rank_spmv"]
+__all__ = ["distributed_spmv", "RankResult", "rank_spmv", "DistributedTimeout"]
 
-_TIMEOUT_S = 60.0
+_DEFAULT_TIMEOUT_S = 60.0
+
+
+class DistributedTimeout(RuntimeError):
+    """A rank (or several) did not finish within the timeout."""
+
+    def __init__(self, stuck_ranks: list[int], timeout: float, where: str):
+        self.stuck_ranks = list(stuck_ranks)
+        self.timeout = timeout
+        super().__init__(
+            f"distributed spMVM timed out after {timeout:g}s during {where}; "
+            f"stuck ranks: {', '.join(map(str, stuck_ranks)) or '<unknown>'}"
+        )
 
 
 @dataclass
@@ -68,43 +87,71 @@ def _rank_worker(
     outboxes: dict[int, "queue.Queue[tuple[int, np.ndarray]]"],
     results: list,
     errors: list,
+    timeout: float,
+    ctx: "obs.SpanContext | None" = None,
 ) -> None:
     try:
-        # local gather + sends (Isend analogue: queues never block)
-        sent = 0
-        for dst, local_idx in plan.send_cols.items():
-            outboxes[dst].put((plan.rank, x_local[local_idx].copy()))
-            sent += 1
+        with obs.attach_context(ctx or obs.SpanContext(None)):
+            _rank_body(plan, x_local, inbox, outboxes, results, timeout)
+    except Exception as exc:
+        errors.append((plan.rank, exc))
 
-        # receive until the halo buffer is complete (Irecv + Waitall)
-        pending = set(plan.recv_cols)
-        segments: dict[int, np.ndarray] = {}
+
+def _rank_body(plan, x_local, inbox, outboxes, results, timeout) -> None:
+    r = plan.rank
+    # local gather + sends (Isend analogue: queues never block)
+    with obs.span("rank.gather", rank=r):
+        buffers = {
+            dst: x_local[local_idx].copy()
+            for dst, local_idx in plan.send_cols.items()
+        }
+    sent = 0
+    with obs.span("rank.send", rank=r):
+        for dst, buf in buffers.items():
+            outboxes[dst].put((r, buf))
+            sent += 1
+            obs.inc("halo_bytes_sent", buf.nbytes, rank=str(r), dst=str(dst))
+            obs.inc("halo_messages_sent", 1, rank=str(r))
+
+    # receive until the halo buffer is complete (Irecv + Waitall)
+    pending = set(plan.recv_cols)
+    segments: dict[int, np.ndarray] = {}
+    with obs.span("rank.waitall", rank=r):
         while pending:
-            src, buf = inbox.get(timeout=_TIMEOUT_S)
+            try:
+                src, buf = inbox.get(timeout=timeout)
+            except queue.Empty:
+                obs.inc("distributed_timeouts_total", 1, rank=str(r))
+                raise DistributedTimeout(
+                    [r], timeout, f"waitall (still expecting {sorted(pending)})"
+                ) from None
             if src not in pending:
-                raise RuntimeError(f"rank {plan.rank}: unexpected message from {src}")
+                raise RuntimeError(f"rank {r}: unexpected message from {src}")
             if buf.shape[0] != plan.recv_cols[src].shape[0]:
                 raise RuntimeError(
-                    f"rank {plan.rank}: bad message size from {src}: "
+                    f"rank {r}: bad message size from {src}: "
                     f"{buf.shape[0]} != {plan.recv_cols[src].shape[0]}"
                 )
             segments[src] = buf
             pending.discard(src)
 
-        # assemble the halo in plan order (ascending source rank)
-        if segments:
-            halo = np.concatenate([segments[s] for s in sorted(segments)])
-        else:
-            width = plan.nonlocal_matrix.ncols if plan.nonlocal_matrix else 1
-            halo = np.zeros(width, dtype=x_local.dtype)
+    # assemble the halo in plan order (ascending source rank)
+    if segments:
+        halo = np.concatenate([segments[s] for s in sorted(segments)])
+    else:
+        width = plan.nonlocal_matrix.ncols if plan.nonlocal_matrix else 1
+        halo = np.zeros(width, dtype=x_local.dtype)
+    with obs.span("rank.spmv", rank=r):
         y = rank_spmv(plan, x_local, halo)
-        results[plan.rank] = RankResult(plan.rank, y, sent, len(segments))
-    except Exception as exc:  # pragma: no cover - surfaced by the driver
-        errors.append((plan.rank, exc))
+    results[r] = RankResult(r, y, sent, len(segments))
 
 
 def distributed_spmv(
-    comm_plan: CommPlan, x: np.ndarray, *, backend: str = "threads"
+    comm_plan: CommPlan,
+    x: np.ndarray,
+    *,
+    backend: str = "threads",
+    timeout: float = _DEFAULT_TIMEOUT_S,
 ) -> np.ndarray:
     """Execute ``y = A @ x`` across one worker per rank.
 
@@ -116,47 +163,89 @@ def distributed_spmv(
     ``backend="processes"`` forks one OS process per rank, so every
     halo byte really crosses an address-space boundary — the closest
     a single host gets to the paper's distributed-memory setting.
+
+    ``timeout`` bounds both the per-rank halo wait and the final join;
+    on expiry a :class:`DistributedTimeout` names the stuck ranks (and
+    the ``distributed_timeouts_total`` counter is incremented when
+    :mod:`repro.obs` is enabled).  Workers run as daemon threads, so a
+    stuck exchange cannot hang interpreter shutdown.
     """
     if backend == "processes":
-        return _distributed_spmv_processes(comm_plan, x)
+        return _distributed_spmv_processes(comm_plan, x, timeout=timeout)
     if backend != "threads":
         raise ValueError(
             f"backend must be 'threads' or 'processes', got {backend!r}"
         )
+    if timeout <= 0:
+        raise ValueError(f"timeout must be > 0, got {timeout}")
     part = comm_plan.partition
+    # build_plan enforces square matrices, so the global RHS length
+    # (ncols) and the row-partitioned output length (nrows) coincide;
+    # keep the dimensions distinct anyway so the code documents which
+    # is which.
+    nrows = part.nrows
+    assert nrows == comm_plan.ncols, "distributed plans require square matrices"
     x = np.ascontiguousarray(x)
     if x.shape != (comm_plan.ncols,):
         raise ValueError(f"x must have shape ({comm_plan.ncols},), got {x.shape}")
 
-    inboxes = {r.rank: queue.Queue() for r in comm_plan.ranks}
-    results: list = [None] * part.nparts
-    errors: list = []
-    threads = []
-    for plan in comm_plan.ranks:
-        lo, hi = plan.row_range
-        t = threading.Thread(
-            target=_rank_worker,
-            args=(plan, x[lo:hi].copy(), inboxes[plan.rank], inboxes, results, errors),
-            name=f"rank-{plan.rank}",
-        )
-        threads.append(t)
-        t.start()
-    for t in threads:
-        t.join(timeout=_TIMEOUT_S)
-    if errors:
-        rank, exc = errors[0]
-        raise RuntimeError(f"rank {rank} failed: {exc}") from exc
-    if any(r is None for r in results):
-        raise RuntimeError("distributed spMVM deadlocked (missing rank results)")
+    with obs.span(
+        "distributed_spmv", nparts=part.nparts, backend="threads"
+    ) as root:
+        ctx = obs.capture_context()
+        inboxes = {r.rank: queue.Queue() for r in comm_plan.ranks}
+        results: list = [None] * part.nparts
+        errors: list = []
+        threads = []
+        for plan in comm_plan.ranks:
+            lo, hi = plan.row_range
+            t = threading.Thread(
+                target=_rank_worker,
+                args=(
+                    plan,
+                    x[lo:hi].copy(),
+                    inboxes[plan.rank],
+                    inboxes,
+                    results,
+                    errors,
+                    timeout,
+                    ctx,
+                ),
+                name=f"rank-{plan.rank}",
+                daemon=True,
+            )
+            threads.append(t)
+            t.start()
+        for t in threads:
+            t.join(timeout=timeout)
+        stuck = [
+            plan.rank
+            for plan, t in zip(comm_plan.ranks, threads)
+            if t.is_alive()
+        ]
+        if errors:
+            rank, exc = errors[0]
+            if isinstance(exc, DistributedTimeout):
+                raise exc
+            raise RuntimeError(f"rank {rank} failed: {exc}") from exc
+        if stuck:
+            obs.inc("distributed_timeouts_total", 1, rank="driver")
+            raise DistributedTimeout(stuck, timeout, "join")
+        if any(r is None for r in results):
+            raise RuntimeError(
+                "distributed spMVM deadlocked (missing rank results)"
+            )
 
-    y = np.empty(comm_plan.ncols, dtype=results[0].y_local.dtype)
-    for res, plan in zip(results, comm_plan.ranks):
-        lo, hi = plan.row_range
-        y[lo:hi] = res.y_local
+        # row-partitioned output: nrows entries, one block per rank
+        y = np.empty(nrows, dtype=results[0].y_local.dtype)
+        for res, plan in zip(results, comm_plan.ranks):
+            lo, hi = plan.row_range
+            y[lo:hi] = res.y_local
+        root.set_attr("nrows", nrows)
     return y
 
 
-def _process_worker(plan, x_local, inbox, outboxes, result_queue) -> None:
+def _process_worker(plan, x_local, inbox, outboxes, result_queue, timeout) -> None:
     """Per-rank body for the multiprocessing backend."""
     try:
         for dst, local_idx in plan.send_cols.items():
@@ -164,7 +253,14 @@ def _process_worker(plan, x_local, inbox, outboxes, result_queue) -> None:
         pending = set(plan.recv_cols)
         segments = {}
         while pending:
-            src, buf = inbox.get(timeout=_TIMEOUT_S)
+            try:
+                src, buf = inbox.get(timeout=timeout)
+            except queue.Empty:
+                raise DistributedTimeout(
+                    [plan.rank],
+                    timeout,
+                    f"waitall (still expecting {sorted(pending)})",
+                ) from None
             if src not in pending:
                 raise RuntimeError(f"rank {plan.rank}: unexpected sender {src}")
             segments[src] = buf
@@ -180,13 +276,19 @@ def _process_worker(plan, x_local, inbox, outboxes, result_queue) -> None:
         result_queue.put((plan.rank, None, repr(exc)))
 
 
-def _distributed_spmv_processes(comm_plan: CommPlan, x: np.ndarray) -> np.ndarray:
+def _distributed_spmv_processes(
+    comm_plan: CommPlan, x: np.ndarray, *, timeout: float = _DEFAULT_TIMEOUT_S
+) -> np.ndarray:
     """Fork one OS process per rank; halos travel through real pipes."""
     import multiprocessing as mp
 
+    if timeout <= 0:
+        raise ValueError(f"timeout must be > 0, got {timeout}")
     x = np.ascontiguousarray(x)
     if x.shape != (comm_plan.ncols,):
         raise ValueError(f"x must have shape ({comm_plan.ncols},), got {x.shape}")
+    nrows = comm_plan.partition.nrows
+    assert nrows == comm_plan.ncols, "distributed plans require square matrices"
     ctx = mp.get_context("fork")
     inboxes = {r.rank: ctx.Queue() for r in comm_plan.ranks}
     result_queue = ctx.Queue()
@@ -195,25 +297,39 @@ def _distributed_spmv_processes(comm_plan: CommPlan, x: np.ndarray) -> np.ndarra
         lo, hi = plan.row_range
         p = ctx.Process(
             target=_process_worker,
-            args=(plan, x[lo:hi].copy(), inboxes[plan.rank], inboxes, result_queue),
+            args=(
+                plan,
+                x[lo:hi].copy(),
+                inboxes[plan.rank],
+                inboxes,
+                result_queue,
+                timeout,
+            ),
             name=f"rank-{plan.rank}",
+            daemon=True,
         )
         procs.append(p)
         p.start()
     results: dict[int, np.ndarray] = {}
     error = None
     for _ in comm_plan.ranks:
-        rank, y, err = result_queue.get(timeout=_TIMEOUT_S)
+        try:
+            rank, y, err = result_queue.get(timeout=timeout)
+        except queue.Empty:
+            stuck = sorted(set(r.rank for r in comm_plan.ranks) - set(results))
+            obs.inc("distributed_timeouts_total", 1, rank="driver")
+            raise DistributedTimeout(stuck, timeout, "result gather") from None
         if err is not None:
             error = (rank, err)
         else:
             results[rank] = y
     for p in procs:
-        p.join(timeout=_TIMEOUT_S)
+        p.join(timeout=timeout)
     if error is not None:
         raise RuntimeError(f"rank {error[0]} failed: {error[1]}")
 
-    out = np.empty(comm_plan.ncols, dtype=next(iter(results.values())).dtype)
+    # row-partitioned output: nrows entries, one block per rank
+    out = np.empty(nrows, dtype=next(iter(results.values())).dtype)
     for plan in comm_plan.ranks:
         lo, hi = plan.row_range
         out[lo:hi] = results[plan.rank]

@@ -21,7 +21,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.formats.coo import COOMatrix
-from repro.formats.ellpack import ELLPACKMatrix, build_ell_arrays
+from repro.formats.ellpack import build_ell_arrays
 from repro.formats.ellpack_r import ELLPACKRMatrix
 from repro.utils.validation import check_positive_int
 

@@ -45,11 +45,11 @@ def dedupe_units(unit: np.ndarray, lines: np.ndarray) -> tuple[np.ndarray, np.nd
         return unit[:0], lines[:0]
     order = np.lexsort((lines, unit))
     u = unit[order]
-    l = lines[order]
+    ln = lines[order]
     first = np.empty(u.shape[0], dtype=bool)
     first[0] = True
-    first[1:] = (u[1:] != u[:-1]) | (l[1:] != l[:-1])
-    return u[first], l[first]
+    first[1:] = (u[1:] != u[:-1]) | (ln[1:] != ln[:-1])
+    return u[first], ln[first]
 
 
 def stack_distance_misses(
@@ -91,9 +91,9 @@ def gather_traffic(
     memory system sees), ``misses`` those the L2 cannot serve, and
     ``bytes`` the resulting device-memory traffic.
     """
-    u, l = dedupe_units(unit, lines)
-    transactions = int(l.shape[0])
-    misses = stack_distance_misses(u, l, capacity)
+    u, ln = dedupe_units(unit, lines)
+    transactions = int(ln.shape[0])
+    misses = stack_distance_misses(u, ln, capacity)
     return transactions, misses, misses * line_bytes
 
 

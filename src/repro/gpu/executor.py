@@ -32,8 +32,9 @@ from repro.formats.base import SparseMatrixFormat
 from repro.gpu.cache import CacheModel
 from repro.gpu.device import DeviceSpec, Precision
 from repro.gpu.trace import KernelTrace, extract_trace
+from repro.obs import metrics as _obs
 
-__all__ = ["KernelReport", "run_kernel", "simulate_spmv"]
+__all__ = ["KernelReport", "run_kernel", "simulate_spmv", "publish_report"]
 
 
 def _distinct_lines(lines: np.ndarray) -> int:
@@ -68,6 +69,9 @@ class KernelReport:
     issue_seconds: float
     effective_alpha: float
     transactions: int
+    # --- RHS gather cache behaviour (L2 reuse model) ---
+    rhs_transactions: int = 0
+    rhs_misses: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -102,6 +106,13 @@ class KernelReport:
         scalar-CSR signature)."""
         return self.fabric_seconds > self.memory_seconds
 
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of RHS gather transactions served by the L2."""
+        if self.rhs_transactions == 0:
+            return 0.0
+        return 1.0 - self.rhs_misses / self.rhs_transactions
+
     def row(self) -> dict[str, float | str | bool]:
         """Flat dict for tabular output in the benchmarks."""
         return {
@@ -126,7 +137,7 @@ def run_kernel(
     cache = CacheModel(
         device.l2_lines if cache_window is None else cache_window, line
     )
-    rhs_transactions, _, rhs_bytes = cache.gather_traffic(
+    rhs_transactions, rhs_misses, rhs_bytes = cache.gather_traffic(
         trace.unit, trace.rhs_line
     )
     itemsize = 4 if trace.precision == "SP" else 8
@@ -153,7 +164,7 @@ def run_kernel(
     t_issue = cycles / (device.num_sms * device.clock_ghz * 1e9)
     kernel = max(t_mem, t_fabric, t_issue) + device.launch_latency_s
 
-    return KernelReport(
+    report = KernelReport(
         format_name=trace.format_name,
         precision=trace.precision,
         device_name=device.name,
@@ -173,7 +184,65 @@ def run_kernel(
         issue_seconds=t_issue,
         effective_alpha=alpha,
         transactions=transactions,
+        rhs_transactions=rhs_transactions,
+        rhs_misses=rhs_misses,
     )
+    if _obs.enabled():
+        publish_report(report)
+    return report
+
+
+def publish_report(report: KernelReport) -> None:
+    """Publish every :class:`KernelReport` field into the obs registry.
+
+    Byte counters are labeled per source so a dashboard can recover
+    the Eq. (1) split (``val``/``idx``/``rhs``/``lhs``/``aux``);
+    derived figures (GF/s, code balance, cache hit ratio, effective
+    alpha) become gauges, and kernel time feeds a log-bucketed
+    histogram per format.
+    """
+    fmt = report.format_name
+    labels = {"format": fmt, "precision": str(report.precision)}
+    _obs.counter(
+        "spmv_total", "Modelled spMVM kernel executions"
+    ).inc(1, **labels)
+    bytes_fam = _obs.counter(
+        "spmv_bytes_total", "Modelled device-memory traffic per source"
+    )
+    for source in ("val", "idx", "rhs", "lhs", "aux"):
+        bytes_fam.inc(getattr(report, f"{source}_bytes"), source=source, **labels)
+    _obs.counter(
+        "spmv_flops_total", "Floating-point operations (2 per stored nnz)"
+    ).inc(report.flops, **labels)
+    _obs.counter(
+        "spmv_transactions_total", "128-byte cache-fabric transactions"
+    ).inc(report.transactions, **labels)
+    _obs.counter(
+        "spmv_reserved_steps_total", "Reserved warp-iterations (Fig. 2 boxes)"
+    ).inc(report.reserved_steps, **labels)
+    _obs.counter(
+        "spmv_active_steps_total", "Warp-iterations with at least one active lane"
+    ).inc(report.active_steps, **labels)
+
+    gauges = {
+        "spmv_gflops": report.gflops,
+        "spmv_code_balance_bytes_per_flop": report.code_balance,
+        "spmv_effective_alpha": report.effective_alpha,
+        "cache_hit_ratio": report.cache_hit_ratio,
+        "spmv_rows": report.nrows,
+        "spmv_nnz": report.nnz,
+        "spmv_memory_seconds": report.memory_seconds,
+        "spmv_fabric_seconds": report.fabric_seconds,
+        "spmv_issue_seconds": report.issue_seconds,
+        "spmv_memory_bound": float(report.memory_bound),
+        "spmv_fabric_bound": float(report.fabric_bound),
+    }
+    dev_labels = {**labels, "device": report.device_name, "ecc": str(report.ecc)}
+    for name, value in gauges.items():
+        _obs.gauge(name).set(value, **dev_labels)
+    _obs.histogram(
+        "spmv_kernel_seconds", "Modelled kernel wall-clock per execution"
+    ).observe(report.kernel_seconds, **labels)
 
 
 def simulate_spmv(

@@ -1,0 +1,106 @@
+"""repro.obs — unified observability: metrics, spans, exporters.
+
+One substrate for every layer of the repro to publish what it
+measures — the Eq. (1) byte accounting of the GPU model, per-iteration
+solver residuals, and the Fig. 4 per-rank/per-resource timelines of
+the distributed runtime — plus exporters that turn the recorded state
+into Chrome-trace JSON (Perfetto), Prometheus text, or JSONL.
+
+Instrumentation is **off by default** and zero-cost while off: every
+hook guards on :func:`enabled`, so `simulate_spmv`/`distributed_spmv`
+results and timings are bit-identical to an uninstrumented build.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    ...  # run workloads; layers publish as a side effect
+    with open("trace.json", "w") as fh:
+        obs.write_chrome_trace(fh)
+    print(obs.prometheus_text())
+    obs.disable()
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    parse_prometheus_text,
+    prometheus_text,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    counter,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    get_registry,
+    histogram,
+    inc,
+    observe,
+    reset,
+    set_gauge,
+)
+from repro.obs.spans import (
+    Span,
+    SpanContext,
+    Tracer,
+    attach_context,
+    capture_context,
+    current_span,
+    get_tracer,
+    record_timeline,
+    reset_spans,
+    span,
+)
+
+__all__ = [
+    # state
+    "enabled",
+    "enable",
+    "disable",
+    "reset",
+    "reset_all",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "get_registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "inc",
+    "set_gauge",
+    "observe",
+    # spans
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "get_tracer",
+    "span",
+    "current_span",
+    "capture_context",
+    "attach_context",
+    "record_timeline",
+    "reset_spans",
+    # export
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+    "parse_prometheus_text",
+    "write_jsonl",
+]
+
+
+def reset_all() -> None:
+    """Drop all recorded metrics *and* spans (enable flag untouched)."""
+    reset()
+    reset_spans()

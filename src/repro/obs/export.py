@@ -1,0 +1,342 @@
+"""Exporters: Chrome trace-event JSON, Prometheus text, and JSONL.
+
+Three sinks for the one observability substrate:
+
+* :func:`chrome_trace` — the Trace Event Format consumed by
+  ``chrome://tracing`` and https://ui.perfetto.dev: each span becomes a
+  complete (``"ph": "X"``) event; ``pid`` is the rank and ``tid`` the
+  resource/thread, so a 4-rank task-mode run renders as four process
+  groups with one track per resource, exactly the Fig. 4 picture.
+* :func:`prometheus_text` — the text exposition format
+  (``# HELP`` / ``# TYPE`` + samples; histograms expand into
+  cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``).
+  :func:`parse_prometheus_text` reads it back for round-trip tests
+  and ad-hoc diffing of two runs.
+* :func:`write_jsonl` — one JSON object per line (spans then metric
+  samples), the lowest-common-denominator feed for external pipelines.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import IO, Iterable
+
+from repro.obs.metrics import Histogram, MetricsRegistry, get_registry
+from repro.obs.spans import Span, Tracer, get_tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+    "parse_prometheus_text",
+    "write_jsonl",
+]
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event JSON
+# ---------------------------------------------------------------------------
+
+
+def _span_pid_tid(sp: Span) -> tuple[int | str, str]:
+    """Track placement: rank attribute -> pid, resource/thread -> tid."""
+    pid = sp.attrs.get("rank", 0)
+    tid = str(sp.attrs.get("resource") or sp.thread or "main")
+    return pid, tid
+
+
+def chrome_trace(
+    spans: Iterable[Span] | None = None, *, tracer: Tracer | None = None
+) -> dict:
+    """Spans as a Chrome/Perfetto trace-event document.
+
+    Returns ``{"traceEvents": [...], "displayTimeUnit": "ms"}``.  Load
+    the JSON dump in ``chrome://tracing`` or Perfetto.  Timestamps are
+    microseconds rebased so the earliest span starts at 0.
+    """
+    if spans is None:
+        spans = (tracer or get_tracer()).finished()
+    spans = list(spans)
+    base = min((s.start for s in spans), default=0.0)
+    events: list[dict] = []
+    seen_tracks: set[tuple[int | str, str]] = set()
+    for sp in spans:
+        pid, tid = _span_pid_tid(sp)
+        if (pid, tid) not in seen_tracks:
+            seen_tracks.add((pid, tid))
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"rank {pid}" if pid != 0 else "main"},
+                }
+            )
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": tid},
+                }
+            )
+        args = {
+            k: v
+            for k, v in sp.attrs.items()
+            if isinstance(v, (int, float, str, bool))
+        }
+        args["span_id"] = sp.span_id
+        if sp.parent_id is not None:
+            args["parent_id"] = sp.parent_id
+        events.append(
+            {
+                "name": sp.name,
+                "cat": str(sp.attrs.get("resource", "span")),
+                "ph": "X",
+                "ts": (sp.start - base) * 1e6,
+                "dur": max(sp.duration, 0.0) * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path_or_file, spans: Iterable[Span] | None = None, *, tracer: Tracer | None = None
+) -> int:
+    """Dump :func:`chrome_trace` as JSON; returns the event count."""
+    doc = chrome_trace(spans, tracer=tracer)
+    if hasattr(path_or_file, "write"):
+        json.dump(doc, path_or_file, indent=1)
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1)
+    return len(doc["traceEvents"])
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label_value(str(v))}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    f = float(value)
+    if f.is_integer() and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def prometheus_text(registry: MetricsRegistry | None = None) -> str:
+    """The registry in Prometheus text exposition format (v0.0.4)."""
+    registry = registry or get_registry()
+    lines: list[str] = []
+    for fam in registry.families():
+        if fam.help:
+            lines.append(f"# HELP {fam.name} {fam.help}")
+        lines.append(f"# TYPE {fam.name} {fam.kind}")
+        for labels, child in fam.samples():
+            if isinstance(child, Histogram):
+                for bound, cum in child.buckets():
+                    ll = dict(labels)
+                    ll["le"] = _format_value(bound)
+                    lines.append(
+                        f"{fam.name}_bucket{_format_labels(ll)} {cum}"
+                    )
+                lines.append(
+                    f"{fam.name}_sum{_format_labels(labels)} "
+                    f"{_format_value(child.sum)}"
+                )
+                lines.append(
+                    f"{fam.name}_count{_format_labels(labels)} {child.count}"
+                )
+            else:
+                lines.append(
+                    f"{fam.name}{_format_labels(labels)} "
+                    f"{_format_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prometheus_text(text: str) -> dict[str, dict]:
+    """Parse text exposition back into plain data (round-trip helper).
+
+    Returns ``{family_name: {"kind": str, "help": str,
+    "samples": {(sample_name, label_key): value}}}`` where
+    ``label_key`` is a sorted tuple of ``(label, value)`` pairs.
+    Histogram series are folded into their base family name.
+    """
+    out: dict[str, dict] = {}
+
+    def family_for(sample_name: str) -> dict:
+        base = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+            if trimmed and out.get(trimmed, {}).get("kind") == "histogram":
+                base = trimmed
+                break
+        return out.setdefault(
+            base, {"kind": "untyped", "help": "", "samples": {}}
+        )
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            out.setdefault(name, {"kind": "untyped", "help": "", "samples": {}})
+            out[name]["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            out.setdefault(name, {"kind": "untyped", "help": "", "samples": {}})
+            out[name]["kind"] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        # sample line: name{l1="v1",...} value
+        if "{" in line:
+            name, _, rest = line.partition("{")
+            label_str, _, value_str = rest.rpartition("} ")
+            labels = []
+            for item in _split_labels(label_str):
+                k, _, v = item.partition("=")
+                labels.append((k, json.loads(v.replace(r"\n", "\\n"))))
+            key = tuple(sorted(labels))
+        else:
+            name, _, value_str = line.partition(" ")
+            key = ()
+        value_str = value_str.strip()
+        if value_str == "+Inf":
+            value = math.inf
+        elif value_str == "-Inf":
+            value = -math.inf
+        else:
+            value = float(value_str)
+        family_for(name)["samples"][(name, key)] = value
+    return out
+
+
+def _split_labels(label_str: str) -> list[str]:
+    """Split ``k1="v1",k2="v2"`` respecting quoted commas."""
+    items: list[str] = []
+    depth_quote = False
+    cur: list[str] = []
+    i = 0
+    while i < len(label_str):
+        c = label_str[i]
+        if c == "\\" and depth_quote:
+            cur.append(c)
+            if i + 1 < len(label_str):
+                cur.append(label_str[i + 1])
+                i += 2
+                continue
+        elif c == '"':
+            depth_quote = not depth_quote
+            cur.append(c)
+        elif c == "," and not depth_quote:
+            if cur:
+                items.append("".join(cur))
+            cur = []
+        else:
+            cur.append(c)
+        i += 1
+    if cur:
+        items.append("".join(cur))
+    return items
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+
+def _metric_records(registry: MetricsRegistry) -> Iterable[dict]:
+    for fam in registry.families():
+        for labels, child in fam.samples():
+            rec: dict = {
+                "type": "metric",
+                "name": fam.name,
+                "kind": fam.kind,
+                "labels": labels,
+            }
+            if isinstance(child, Histogram):
+                rec["sum"] = child.sum
+                rec["count"] = child.count
+                rec["buckets"] = [
+                    {"le": "+Inf" if b == math.inf else b, "count": c}
+                    for b, c in child.buckets()
+                ]
+            else:
+                rec["value"] = child.value
+            yield rec
+
+
+def _span_records(spans: Iterable[Span]) -> Iterable[dict]:
+    for sp in spans:
+        yield {
+            "type": "span",
+            "name": sp.name,
+            "span_id": sp.span_id,
+            "parent_id": sp.parent_id,
+            "start": sp.start,
+            "end": sp.end,
+            "thread": sp.thread,
+            "attrs": {
+                k: v
+                for k, v in sp.attrs.items()
+                if isinstance(v, (int, float, str, bool))
+            },
+        }
+
+
+def write_jsonl(
+    path_or_file,
+    *,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    spans: Iterable[Span] | None = None,
+) -> int:
+    """Write spans then metric samples as JSON lines; returns line count."""
+    registry = registry or get_registry()
+    if spans is None:
+        spans = (tracer or get_tracer()).finished()
+
+    def _dump(fh: IO[str]) -> int:
+        n = 0
+        for rec in _span_records(spans):
+            fh.write(json.dumps(rec) + "\n")
+            n += 1
+        for rec in _metric_records(registry):
+            fh.write(json.dumps(rec) + "\n")
+            n += 1
+        return n
+
+    if hasattr(path_or_file, "write"):
+        return _dump(path_or_file)
+    with open(path_or_file, "w", encoding="utf-8") as fh:
+        return _dump(fh)

@@ -1,0 +1,274 @@
+"""Lightweight span tracer with cross-thread context propagation.
+
+A *span* is one named, timed section of work with a parent — the unit
+Chrome's trace viewer and Perfetto draw as a box on a track.  The
+distributed runtime (:mod:`repro.distributed.runtime`) runs one Python
+thread per rank, so parenting must survive a thread hop: the driver
+captures a :class:`SpanContext` under its ``distributed_spmv`` root
+span and each rank worker *attaches* it before opening its own
+``rank.*`` child spans.  Thread-local stacks keep concurrent ranks
+from seeing each other's current span.
+
+The simulated execution modes (Fig. 4) don't run in real time; their
+:class:`~repro.distributed.events.Timeline` intervals are bridged into
+synthetic spans by :func:`record_timeline`, so simulated and real runs
+share one export path (:mod:`repro.obs.export`).
+
+Everything is a no-op while :func:`repro.obs.metrics.enabled` is
+false: :meth:`Tracer.span` then yields a shared null span without
+allocating or locking.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.obs import metrics as _metrics
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "get_tracer",
+    "span",
+    "current_span",
+    "capture_context",
+    "attach_context",
+    "record_timeline",
+    "reset_spans",
+]
+
+
+@dataclass
+class Span:
+    """One timed, named section of work."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float  # seconds on the tracer clock
+    end: float = 0.0
+    thread: str = ""
+    attrs: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def set_attr(self, key: str, value: object) -> "Span":
+        self.attrs[key] = value
+        return self
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """Immutable handle to a span, safe to hand to another thread."""
+
+    span_id: int | None
+
+
+class _NullSpan:
+    """Shared do-nothing span yielded while instrumentation is off."""
+
+    __slots__ = ()
+    name = ""
+    span_id = None
+    parent_id = None
+    attrs: dict[str, object] = {}
+
+    def set_attr(self, key: str, value: object) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects finished spans; one process-wide default exists."""
+
+    def __init__(self) -> None:
+        self._finished: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        self.clock = time.perf_counter
+
+    # -- thread-local current-span stack ----------------------------------
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> int | None:
+        """span_id of the innermost open span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    # -- recording --------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs: object):
+        """Open a child span of this thread's current span.
+
+        No-op (yields a shared null span) when instrumentation is
+        disabled — the fast path takes one global read and one branch.
+        """
+        if not _metrics.enabled():
+            yield _NULL_SPAN
+            return
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            sid = next(self._ids)
+        sp = Span(
+            name=name,
+            span_id=sid,
+            parent_id=parent,
+            start=self.clock(),
+            thread=threading.current_thread().name,
+            attrs=dict(attrs),
+        )
+        stack.append(sid)
+        try:
+            yield sp
+        finally:
+            sp.end = self.clock()
+            stack.pop()
+            with self._lock:
+                self._finished.append(sp)
+
+    @contextmanager
+    def attach(self, ctx: SpanContext):
+        """Adopt ``ctx`` as this thread's current span (cross-thread link).
+
+        Rank workers call this with the context captured by the driver
+        so their ``rank.*`` spans parent under the ``distributed_spmv``
+        root even though they run on different threads.
+        """
+        if not _metrics.enabled() or ctx.span_id is None:
+            yield
+            return
+        stack = self._stack()
+        stack.append(ctx.span_id)
+        try:
+            yield
+        finally:
+            stack.pop()
+
+    def context(self) -> SpanContext:
+        """Capture the current span as a handle for another thread."""
+        return SpanContext(self.current())
+
+    def add_finished(self, sp: Span) -> None:
+        """Record an externally built (e.g. synthetic) finished span."""
+        with self._lock:
+            self._finished.append(sp)
+
+    def next_id(self) -> int:
+        with self._lock:
+            return next(self._ids)
+
+    # -- inspection -------------------------------------------------------
+
+    def finished(self) -> list[Span]:
+        """Snapshot of all finished spans, in completion order."""
+        with self._lock:
+            return list(self._finished)
+
+    def find(self, name: str) -> list[Span]:
+        return [s for s in self.finished() if s.name == name]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+
+_default_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer used by all instrumentation."""
+    return _default_tracer
+
+
+def span(name: str, **attrs: object):
+    """``with obs.span("rank.spmv", rank=3): ...`` on the default tracer."""
+    return _default_tracer.span(name, **attrs)
+
+
+def current_span() -> int | None:
+    return _default_tracer.current()
+
+
+def capture_context() -> SpanContext:
+    return _default_tracer.context()
+
+
+def attach_context(ctx: SpanContext):
+    return _default_tracer.attach(ctx)
+
+
+def reset_spans() -> None:
+    _default_tracer.reset()
+
+
+# ---------------------------------------------------------------------------
+# Timeline -> spans bridge (simulated runs share the real export path)
+# ---------------------------------------------------------------------------
+
+
+def record_timeline(
+    timeline,
+    *,
+    root_name: str = "distributed_spmv",
+    tracer: Tracer | None = None,
+    **root_attrs: object,
+) -> Span | None:
+    """Convert a Fig. 4 :class:`~repro.distributed.events.Timeline` into spans.
+
+    Every :class:`~repro.distributed.events.Interval` becomes one span
+    carrying ``rank``/``resource``/``simulated=True`` attributes, all
+    parented under a single ``root_name`` span covering the makespan.
+    Interval times are simulated seconds from 0; they are rebased onto
+    the tracer clock so exports of mixed real + simulated runs stay
+    monotonic.
+
+    Returns the root span, or ``None`` when instrumentation is off.
+    """
+    if not _metrics.enabled():
+        return None
+    tracer = tracer or _default_tracer
+    base = tracer.clock()
+    root = Span(
+        name=root_name,
+        span_id=tracer.next_id(),
+        parent_id=tracer.current(),
+        start=base,
+        end=base + timeline.makespan,
+        thread=threading.current_thread().name,
+        attrs={"simulated": True, **root_attrs},
+    )
+    tracer.add_finished(root)
+    for iv in timeline.intervals:
+        tracer.add_finished(
+            Span(
+                name=iv.label,
+                span_id=tracer.next_id(),
+                parent_id=root.span_id,
+                start=base + iv.start,
+                end=base + iv.end,
+                thread=f"rank{iv.rank}/{iv.resource}",
+                attrs={
+                    "rank": iv.rank,
+                    "resource": iv.resource,
+                    "simulated": True,
+                },
+            )
+        )
+    return root

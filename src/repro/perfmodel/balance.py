@@ -17,8 +17,6 @@ sizes: B_SP = 4 + 2*alpha + 4/Nnzr.
 
 from __future__ import annotations
 
-import numpy as np
-
 __all__ = [
     "code_balance_dp",
     "code_balance_sp",

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.formats.base import SparseMatrixFormat
 from repro.solvers.permuted import as_operator
 from repro.utils.validation import check_dense_vector
@@ -20,6 +21,16 @@ from repro.utils.validation import check_dense_vector
 __all__ = ["BiCGSTABResult", "bicgstab"]
 
 _BREAKDOWN_EPS = 1e-30
+
+
+def _publish_iteration(res_norm: float, b_norm: float) -> None:
+    """Per-iteration convergence gauges (no-op while obs is disabled)."""
+    if obs.enabled():
+        obs.set_gauge("solver_residual", res_norm, solver="bicgstab")
+        obs.set_gauge(
+            "solver_relative_residual", res_norm / b_norm, solver="bicgstab"
+        )
+        obs.inc("solver_iterations_total", 1, solver="bicgstab")
 
 
 @dataclass(frozen=True)
@@ -104,6 +115,7 @@ def bicgstab(
             x = x + alpha * p
             res_norm = float(np.linalg.norm(s))
             iterations += 1
+            _publish_iteration(res_norm, b_norm)
             converged = True
             break
 
@@ -120,8 +132,12 @@ def bicgstab(
         r = s - omega * t
         res_norm = float(np.linalg.norm(r))
         iterations += 1
+        _publish_iteration(res_norm, b_norm)
         converged = res_norm <= threshold
 
+    if obs.enabled():
+        obs.set_gauge("solver_converged", float(converged), solver="bicgstab")
+        obs.inc("solver_spmv_total", spmv_count, solver="bicgstab")
     return BiCGSTABResult(
         x=op.leave(x.astype(op.dtype)),
         iterations=iterations,

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.formats.base import SparseMatrixFormat
 from repro.solvers.permuted import as_operator
 from repro.utils.validation import check_dense_vector
@@ -119,6 +120,12 @@ def conjugate_gradient(
         r = r - alpha * ap
         res_norm = float(np.linalg.norm(r))
         iterations += 1
+        if obs.enabled():
+            obs.set_gauge("solver_residual", res_norm, solver="cg")
+            obs.set_gauge(
+                "solver_relative_residual", res_norm / b_norm, solver="cg"
+            )
+            obs.inc("solver_iterations_total", 1, solver="cg")
         if res_norm <= threshold:
             converged = True
             break
@@ -127,6 +134,9 @@ def conjugate_gradient(
         p = z + (rz_new / rz) * p
         rz = rz_new
 
+    if obs.enabled():
+        obs.set_gauge("solver_converged", float(converged), solver="cg")
+        obs.inc("solver_spmv_total", spmv_count, solver="cg")
     return CGResult(
         x=op.leave(x.astype(op.dtype)),
         iterations=iterations,

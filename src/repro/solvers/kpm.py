@@ -92,9 +92,9 @@ def kpm_spectral_density(
         lo = np.inf
         hi = -np.inf
         for probe_seed in (seed, seed + 1):
-            l, h, used = _lanczos_bounds(op, seed=probe_seed, iters=50)
-            lo = min(lo, l)
-            hi = max(hi, h)
+            blo, bhi, used = _lanczos_bounds(op, seed=probe_seed, iters=50)
+            lo = min(lo, blo)
+            hi = max(hi, bhi)
             spmv_count += used
         bounds = (lo, hi)
     lo, hi = bounds

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.formats.base import SparseMatrixFormat
 from repro.solvers.permuted import as_operator
 from repro.utils.validation import check_positive_int
@@ -99,9 +100,16 @@ def lanczos(
         theta, S = np.linalg.eigh(T)
         if m >= k:
             resid = np.abs(b * S[-1, :k])
+            if obs.enabled():
+                obs.set_gauge(
+                    "solver_residual", float(resid.max()), solver="lanczos"
+                )
+                obs.inc("solver_iterations_total", 1, solver="lanczos")
             if np.all(resid <= tol * np.maximum(np.abs(theta[:k]), 1e-30)):
                 converged_at = m
                 break
+        elif obs.enabled():
+            obs.inc("solver_iterations_total", 1, solver="lanczos")
         if b <= 1e-14:  # invariant subspace found
             converged_at = m
             break
@@ -123,6 +131,8 @@ def lanczos(
         residuals[i] = float(np.linalg.norm(au - ritz_vals[i] * u))
         vecs[:, i] = op.leave(u.astype(op.dtype))
 
+    if obs.enabled():
+        obs.inc("solver_spmv_total", spmv_count, solver="lanczos")
     return LanczosResult(
         eigenvalues=ritz_vals.copy(),
         eigenvectors=vecs,

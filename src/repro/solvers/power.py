@@ -10,6 +10,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.formats.base import SparseMatrixFormat
 from repro.solvers.permuted import as_operator
 from repro.utils.validation import check_positive_int
@@ -72,12 +73,23 @@ def power_iteration(
             v = w
             break
         v = w / norm
+        if obs.enabled():
+            # convergence gauge: relative Rayleigh-quotient change
+            obs.set_gauge(
+                "solver_residual",
+                abs(lam_new - lam) / max(abs(lam_new), 1e-30),
+                solver="power",
+            )
+            obs.inc("solver_iterations_total", 1, solver="power")
         if abs(lam_new - lam) <= tol * max(abs(lam_new), 1e-30):
             lam = lam_new
             converged = True
             break
         lam = lam_new
 
+    if obs.enabled():
+        obs.set_gauge("solver_converged", float(converged), solver="power")
+        obs.inc("solver_spmv_total", spmv_count, solver="power")
     return PowerResult(
         eigenvalue=lam,
         eigenvector=op.leave(v),

@@ -56,7 +56,9 @@ class TestCommands:
         assert "worthwhile" in text
         assert "sAMG" in text
         # sAMG must be ruled out
-        samg_line = next(l for l in text.splitlines() if l.startswith("sAMG"))
+        samg_line = next(
+            line for line in text.splitlines() if line.startswith("sAMG")
+        )
         assert "False" in samg_line
 
     def test_fig5(self):
@@ -110,3 +112,82 @@ class TestCommands:
         write_matrix_market(poisson2d(8, 8), path)
         text = run_cli("spmv", str(path), "--format", "CRS")
         assert "GF/s" in text
+
+
+class TestObsCommand:
+    def _run(self, tmp_path, *extra):
+        trace = tmp_path / "trace.json"
+        prom = tmp_path / "metrics.prom"
+        text = run_cli(
+            "obs",
+            "--format",
+            "pjds",
+            "--scale",
+            "512",
+            "--out",
+            str(trace),
+            "--metrics-out",
+            str(prom),
+            *extra,
+        )
+        return text, trace, prom
+
+    def test_writes_both_artifacts(self, tmp_path):
+        text, trace, prom = self._run(tmp_path)
+        assert trace.exists() and prom.exists()
+        assert "trace events" in text
+        assert "metric lines" in text
+
+    def test_chrome_trace_schema_and_rank_coverage(self, tmp_path):
+        import json
+
+        _, trace, _ = self._run(tmp_path, "--nodes", "4", "--mode", "task")
+        doc = json.loads(trace.read_text())
+        events = doc["traceEvents"]
+        assert events
+        for e in events:
+            assert e["ph"] in ("X", "M")
+            assert "pid" in e and "tid" in e and "name" in e
+            if e["ph"] == "X":
+                assert e["ts"] >= 0.0 and e["dur"] >= 0.0
+        # >= 1 span per rank per resource for the 4-rank task-mode run
+        tracks = {}
+        for e in events:
+            if e["ph"] == "X" and e.get("args", {}).get("simulated"):
+                tracks.setdefault(e["pid"], set()).add(e["tid"])
+        for rank in range(4):
+            assert {"gpu", "pcie", "thread0"} <= tracks[rank], rank
+
+    def test_prometheus_contains_required_series(self, tmp_path):
+        _, _, prom = self._run(tmp_path)
+        text = prom.read_text()
+        for name in ("spmv_bytes_total", "cache_hit_ratio", "halo_bytes_sent"):
+            assert name in text, name
+        from repro.obs import parse_prometheus_text
+
+        parsed = parse_prometheus_text(text)
+        assert parsed["spmv_bytes_total"]["kind"] == "counter"
+        assert parsed["cache_hit_ratio"]["kind"] == "gauge"
+
+    def test_obs_flag_restored_and_summary_printed(self, tmp_path):
+        from repro import obs
+
+        assert not obs.enabled()
+        text, _, _ = self._run(tmp_path)
+        assert not obs.enabled()
+        assert "recorded" in text and "spans" in text
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            run_cli("obs", "--format", "nonsense", "--scale", "512")
+
+    def test_jsonl_output(self, tmp_path):
+        import json
+
+        jl = tmp_path / "obs.jsonl"
+        run_cli(
+            "obs", "--format", "pjds", "--scale", "512",
+            "--jsonl-out", str(jl),
+        )
+        lines = [json.loads(line) for line in jl.read_text().splitlines()]
+        assert {"span", "metric"} <= {rec["type"] for rec in lines}

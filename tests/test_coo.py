@@ -128,8 +128,6 @@ class TestConverters:
             COOMatrix.from_dense(np.ones(4))
 
     def test_scipy_roundtrip(self):
-        import scipy.sparse as sp
-
         m = random_coo(15, seed=12)
         back = COOMatrix.from_scipy(m.to_scipy())
         assert np.allclose(back.todense(), m.todense())

@@ -16,13 +16,13 @@ class TestDedupe:
     def test_removes_within_unit_repeats(self):
         unit = np.array([0, 0, 0, 1, 1])
         lines = np.array([5, 5, 6, 5, 5])
-        u, l = dedupe_units(unit, lines)
+        u, ln = dedupe_units(unit, lines)
         assert u.tolist() == [0, 0, 1]
-        assert l.tolist() == [5, 6, 5]
+        assert ln.tolist() == [5, 6, 5]
 
     def test_empty(self):
-        u, l = dedupe_units(np.empty(0, np.int64), np.empty(0, np.int64))
-        assert u.size == 0 and l.size == 0
+        u, ln = dedupe_units(np.empty(0, np.int64), np.empty(0, np.int64))
+        assert u.size == 0 and ln.size == 0
 
     def test_shape_mismatch(self):
         with pytest.raises(ValueError):
@@ -31,38 +31,38 @@ class TestDedupe:
     def test_unsorted_input_handled(self):
         unit = np.array([1, 0, 1, 0])
         lines = np.array([9, 9, 9, 8])
-        u, l = dedupe_units(unit, lines)
+        u, ln = dedupe_units(unit, lines)
         assert u.tolist() == [0, 0, 1]
-        assert sorted(l[:2].tolist()) == [8, 9]
+        assert sorted(ln[:2].tolist()) == [8, 9]
 
 
 class TestStackDistance:
     def test_first_touch_misses(self):
         u = np.array([0, 1, 2])
-        l = np.array([1, 2, 3])
-        assert stack_distance_misses(u, l, capacity=100) == 3
+        ln = np.array([1, 2, 3])
+        assert stack_distance_misses(u, ln, capacity=100) == 3
 
     def test_immediate_reuse_hits(self):
         u = np.array([0, 1])
-        l = np.array([7, 7])
-        assert stack_distance_misses(u, l, capacity=1) == 1
+        ln = np.array([7, 7])
+        assert stack_distance_misses(u, ln, capacity=1) == 1
 
     def test_capacity_eviction(self):
         # line 0 reused after 2 units touching 4 distinct lines total
         u = np.array([0, 1, 1, 2, 2, 3])
-        l = np.array([0, 1, 2, 3, 4, 0])
+        ln = np.array([0, 1, 2, 3, 4, 0])
         # intervening distinct = 4 (units 1 and 2); LRU needs capacity 5
         # to keep line 0 alive (itself + the four interlopers)
-        assert stack_distance_misses(u, l, capacity=5) == 5
-        assert stack_distance_misses(u, l, capacity=4) == 6
+        assert stack_distance_misses(u, ln, capacity=5) == 5
+        assert stack_distance_misses(u, ln, capacity=4) == 6
 
     def test_adjacent_unit_reuse_hits(self):
         u = np.array([0, 1, 2])
-        l = np.array([5, 5, 5])
+        ln = np.array([5, 5, 5])
         # consecutive units with nothing in between: intervening = 0 < 1
-        assert stack_distance_misses(u, l, capacity=1) == 1
+        assert stack_distance_misses(u, ln, capacity=1) == 1
         # zero capacity: everything misses
-        assert stack_distance_misses(u, l, capacity=0) == 3
+        assert stack_distance_misses(u, ln, capacity=0) == 3
 
     def test_empty_stream(self):
         assert stack_distance_misses(np.empty(0, np.int64), np.empty(0, np.int64), 4) == 0

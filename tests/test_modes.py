@@ -1,6 +1,5 @@
 """Tests for the execution-mode simulator (vector / naive / task)."""
 
-import numpy as np
 import pytest
 
 from repro.distributed import (

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import PJDSMatrix, block_padded_lengths
-from repro.formats import COOMatrix, ELLPACKMatrix, convert
+from repro.formats import COOMatrix, ELLPACKMatrix
 
 from _test_common import random_coo
 

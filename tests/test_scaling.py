@@ -10,8 +10,6 @@ from repro.distributed import (
 )
 from repro.gpu import C2050
 
-from _test_common import random_coo
-
 
 @pytest.fixture(scope="module")
 def series():

@@ -6,7 +6,6 @@ import pytest
 from repro.formats import COOMatrix, convert
 from repro.matrices import poisson2d
 from repro.solvers import (
-    PermutedOperator,
     as_operator,
     conjugate_gradient,
     lanczos,

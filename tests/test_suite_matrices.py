@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.formats import convert
-from repro.matrices import SUITE, SUITE_KEYS, generate, paper_statistics, structure_stats
+from repro.matrices import SUITE, SUITE_KEYS, generate, paper_statistics
 
 #: smaller-than-default scale keeps this module fast
 SCALE = 256

@@ -115,3 +115,54 @@ class TestTiming:
             _ = empty.mean
         with pytest.raises(RuntimeError):
             _ = empty.best
+
+    def test_stopwatch_lap_context_manager(self):
+        sw = Stopwatch()
+        with sw.lap():
+            time.sleep(0.002)
+        with sw.lap():
+            pass
+        assert len(sw.laps) == 2
+        assert sw.laps[0] >= 0.001
+        # misuse is still caught inside the context manager
+        sw.start()
+        with pytest.raises(RuntimeError):
+            with sw.lap():
+                pass
+        sw.stop()
+
+    def test_stopwatch_record_returns_value(self):
+        sw = Stopwatch()
+        result = sw.record(sum, range(10))
+        assert result == 45
+        assert len(sw.laps) == 1
+
+    def test_stopwatch_record_propagates_exception_but_laps(self):
+        sw = Stopwatch()
+
+        def boom():
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            sw.record(boom)
+        assert len(sw.laps) == 1  # the failed lap is still timed
+        assert sw._start is None  # and the watch is reusable
+
+    def test_stopwatch_publishes_to_obs_histogram(self):
+        from repro import obs
+
+        obs.disable()
+        obs.reset_all()
+        sw = Stopwatch(histogram="bench_seconds", labels={"bench": "t"})
+        sw.record(sum, range(4))  # disabled: nothing recorded
+        assert obs.get_registry().get("bench_seconds") is None
+        obs.enable()
+        try:
+            sw.record(sum, range(4))
+            fam = obs.get_registry().get("bench_seconds")
+            child = fam.labels(bench="t")
+            assert child.count == 1
+            assert child.sum == pytest.approx(sw.laps[-1])
+        finally:
+            obs.disable()
+            obs.reset_all()
