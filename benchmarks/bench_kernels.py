@@ -4,7 +4,16 @@ These are *host* measurements (the GPU numbers come from the device
 model), but the relative shape is informative: pJDS sweeps fewer
 padded slots than ELLPACK, so on strongly irregular matrices the
 column-sweep kernel family orders the same way as on the device.
+
+Run as a script (``python benchmarks/bench_kernels.py``) to produce
+``BENCH_kernels.json``: engine-bound (autotuned + workspace) kernels
+vs the seed kernels, and batched SpMM vs the per-column loop — the
+numbers the CI bench-smoke step uploads.  See
+``docs/performance.md`` for how to read the fields.
 """
+
+import json
+import time
 
 import numpy as np
 import pytest
@@ -79,3 +88,146 @@ def test_all_rates_positive(relative_table):
     for key in TABLE1_KEYS:
         for fmt in FORMATS:
             assert relative_table[key][fmt] > 0
+
+
+# ---------------------------------------------------------------------------
+# Engine-vs-seed comparison (the CI bench-smoke JSON artifact)
+# ---------------------------------------------------------------------------
+
+ENGINE_FORMATS = ("CRS", "pJDS", "ELLPACK-R", "SELL-C-sigma")
+
+
+def _seed_spmv_crs(m, x, out):
+    """The seed CRS kernel: float64 prefix-sum segments, per-call
+    allocations (the seed's default ``out=None`` path, which is how the
+    seed solver loops exercised it)."""
+    prod = m.data.astype(np.float64) * x[m.indices].astype(np.float64)
+    csum = np.concatenate(([0.0], np.cumsum(prod)))
+    y = np.zeros(m.nrows, dtype=m.dtype)  # seed alloc_result
+    y[:] = (csum[m.indptr[1:]] - csum[m.indptr[:-1]]).astype(m.dtype)
+    return y
+
+
+def _seed_spmv_jagged(m, x, out):
+    """The seed jagged kernel: float64 column sweep, astype copies and a
+    freshly allocated, scattered result every call."""
+    acc = np.zeros(m.nrows, dtype=np.float64)
+    xf = x.astype(np.float64, copy=False)
+    cs = m.col_start
+    val = m.val
+    col_idx = m.col_idx
+    for j in range(m.width):
+        s = cs[j]
+        e = cs[j + 1]
+        acc[: e - s] += val[s:e].astype(np.float64) * xf[col_idx[s:e]]
+    y = np.zeros(m.nrows, dtype=m.dtype)  # seed alloc_result
+    y[m.permutation.perm] = acc.astype(m.dtype)
+    return y
+
+
+def _seed_kernel_for(m):
+    """Pre-engine kernel for ``m`` (historical transcription where the
+    seed differed; the format's own allocating spmv otherwise)."""
+    from repro.core.jds import JaggedDiagonalsBase
+    from repro.formats.csr import CSRMatrix
+
+    if isinstance(m, CSRMatrix):
+        return _seed_spmv_crs
+    if isinstance(m, JaggedDiagonalsBase):
+        return _seed_spmv_jagged
+    return lambda mm, x, out: mm.spmv(x)  # allocates the result per call
+
+
+def _best_seconds(fn, reps):
+    fn()  # warmup
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_engine_bench(scale=64, *, keys=TABLE1_KEYS, reps=5, spmm_rhs=8):
+    """Measure engine vs seed kernels; return one record per (matrix, fmt).
+
+    Fields per record: ``seed_gflops`` / ``engine_gflops`` /
+    ``engine_speedup`` (same 2*nnz flop count), the autotuned
+    ``variant``, and ``spmm_percolumn_gflops`` / ``spmm_batched_gflops``
+    / ``spmm_speedup`` at ``spmm_rhs`` right-hand sides.
+    """
+    from repro.engine import bind
+    from repro.formats import convert
+    from repro.matrices import generate
+    from repro.matrices.cache import TunerCache
+
+    cache = TunerCache(persist=False)  # rank fresh on this machine
+    records = []
+    for key in keys:
+        coo = generate(key, scale=scale)
+        x = np.random.default_rng(0).standard_normal(coo.ncols)
+        X = np.ascontiguousarray(
+            np.random.default_rng(1).standard_normal((coo.ncols, spmm_rhs))
+        )
+        for fmt in ENGINE_FORMATS:
+            m = convert(coo, fmt)
+            out = np.zeros(m.nrows)
+            seed_kernel = _seed_kernel_for(m)
+            t_seed = _best_seconds(lambda: seed_kernel(m, x, out), reps)
+            b = bind(m, reps=max(1, reps // 2), cache=cache)
+            t_engine = _best_seconds(lambda: b.spmv(x, out=out), reps)
+            Yout = np.zeros((m.nrows, spmm_rhs))
+            t_col = _best_seconds(lambda: m.spmm_percolumn(X, out=Yout), reps)
+            t_blk = _best_seconds(lambda: b.spmm(X, out=Yout), reps)
+            records.append(
+                {
+                    "matrix": key,
+                    "format": fmt,
+                    "scale": scale,
+                    "nnz": m.nnz,
+                    "variant": b.variant_name,
+                    "seed_gflops": round(gflops(m.nnz, t_seed), 4),
+                    "engine_gflops": round(gflops(m.nnz, t_engine), 4),
+                    "engine_speedup": round(t_seed / t_engine, 3),
+                    "spmm_rhs": spmm_rhs,
+                    "spmm_percolumn_gflops": round(
+                        gflops(m.nnz * spmm_rhs, t_col), 4
+                    ),
+                    "spmm_batched_gflops": round(
+                        gflops(m.nnz * spmm_rhs, t_blk), 4
+                    ),
+                    "spmm_speedup": round(t_col / t_blk, 3),
+                }
+            )
+    return records
+
+
+def main(argv=None):
+    import argparse
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--scale", type=int, default=64)
+    ap.add_argument("--reps", type=int, default=5)
+    ap.add_argument("--rhs", type=int, default=8)
+    ap.add_argument("--out", default="BENCH_kernels.json")
+    args = ap.parse_args(argv)
+    records = run_engine_bench(args.scale, reps=args.reps, spmm_rhs=args.rhs)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(records, fh, indent=2)
+    hdr = (
+        f"{'matrix':6s} {'format':12s} {'variant':16s} "
+        f"{'seed':>8s} {'engine':>8s} {'x':>6s} {'spmm':>6s}"
+    )
+    print(hdr)
+    for r in records:
+        print(
+            f"{r['matrix']:6s} {r['format']:12s} {r['variant']:16s} "
+            f"{r['seed_gflops']:8.3f} {r['engine_gflops']:8.3f} "
+            f"{r['engine_speedup']:6.2f} {r['spmm_speedup']:6.2f}"
+        )
+    print(f"wrote {args.out} ({len(records)} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,8 @@ Examples
     python -m repro fig5 --matrix UHBR    # strong-scaling series
     python -m repro timeline --nodes 8    # Fig. 4 ASCII timeline
     python -m repro spmv matrix.mtx --format pJDS
+    python -m repro spmv matrix.mtx --parallel 4   # shared-memory backend
+    python -m repro engine tune sAMG --format pjds # autotuner decision
     python -m repro obs --format pjds --out trace.json \
         --metrics-out metrics.prom        # instrumented run + artifacts
 
@@ -212,10 +214,20 @@ def cmd_spmv(args, out) -> int:
         f"Nnzr = {st.nnzr:.1f}",
         file=out,
     )
-    m = convert(coo, args.format)
+    m = convert(coo, _resolve_format(args.format))
     print(f"{m.name}: {m.nbytes} bytes device storage", file=out)
     x = np.random.default_rng(args.seed).normal(size=coo.ncols).astype(m.dtype)
-    y = m.spmv(x)
+    if args.parallel:
+        from repro.engine import parallel_spmv
+
+        y = parallel_spmv(m, x, nworkers=args.parallel, mode=args.parallel_mode)
+        print(
+            f"parallel backend: {args.parallel} row-block workers "
+            f"({args.parallel_mode} mode)",
+            file=out,
+        )
+    else:
+        y = m.spmv(x)
     print(f"spMVM done; ||y|| = {float(np.linalg.norm(y)):.6g}", file=out)
     if st.nrows == st.ncols:
         try:
@@ -227,6 +239,49 @@ def cmd_spmv(args, out) -> int:
             )
         except TypeError:
             print("(no GPU model for this format)", file=out)
+    return 0
+
+
+def cmd_engine(args, out) -> int:
+    """``repro engine tune <matrix>``: run (or replay) the autotuner."""
+    from repro import obs
+    from repro.engine import autotune, fingerprint, variants_for
+    from repro.engine.workspace import Workspace
+    from repro.formats import convert
+    from repro.matrices import generate
+    from repro.matrices.cache import TunerCache
+
+    fmt = _resolve_format(args.format)
+    coo = generate(args.matrix, scale=args.scale, seed=args.seed)
+    m = convert(coo, fmt)
+    cache = TunerCache(persist=False) if args.no_cache else None
+    with obs.span("cli.engine_tune", format=fmt, matrix=args.matrix):
+        tr = autotune(
+            m,
+            Workspace(),
+            reps=args.reps,
+            seed=args.seed,
+            cache=cache,
+            use_cache=not args.no_cache,
+        )
+    print(
+        f"{args.matrix} (1/{args.scale} scale) as {m.name}: "
+        f"{m.nrows} x {m.ncols}, nnz = {m.nnz}",
+        file=out,
+    )
+    print(f"fingerprint : {fingerprint(m)}", file=out)
+    print(f"cache       : {'hit' if tr.cache_hit else 'miss'}", file=out)
+    print(f"candidates  : {[v.name for v in variants_for(m)]}", file=out)
+    if tr.timings:
+        best = min(tr.timings.values())
+        for name, secs in sorted(tr.timings.items(), key=lambda kv: kv[1]):
+            mark = "  <- chosen" if name == tr.variant else ""
+            print(
+                f"  {name:16s} {secs * 1e6:10.1f} us "
+                f"({secs / best:5.2f}x){mark}",
+                file=out,
+            )
+    print(f"chosen      : {tr.variant}", file=out)
     return 0
 
 
@@ -391,6 +446,31 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("matrix_file")
     ps.add_argument("--format", default="pJDS")
     ps.add_argument("--seed", type=int, default=0)
+    ps.add_argument(
+        "--parallel", type=int, default=0, metavar="N",
+        help="run through the shared-memory backend with N row-block workers",
+    )
+    ps.add_argument(
+        "--parallel-mode", choices=("vector", "task"), default="vector",
+        help="worker kernel split (vector = bitwise-matches serial)",
+    )
+
+    pe = sub.add_parser("engine", help="execution-engine utilities")
+    esub = pe.add_subparsers(dest="engine_command", required=True)
+    pet = esub.add_parser(
+        "tune", help="autotune kernel variants for a generator matrix"
+    )
+    common(pet)
+    pet.add_argument(
+        "matrix", choices=("DLR1", "DLR2", "HMEp", "sAMG", "UHBR"),
+        help="generator matrix to tune on",
+    )
+    pet.add_argument("--format", default="pJDS",
+                     help="storage format (case-insensitive, e.g. pjds)")
+    pet.add_argument("--reps", type=int, default=5,
+                     help="timing repetitions per candidate")
+    pet.add_argument("--no-cache", action="store_true",
+                     help="ignore and do not write the tuner cache")
 
     po = sub.add_parser(
         "obs", help="instrumented run: dump Chrome trace + Prometheus metrics"
@@ -422,6 +502,7 @@ _COMMANDS = {
     "fig5": cmd_fig5,
     "timeline": cmd_timeline,
     "spmv": cmd_spmv,
+    "engine": cmd_engine,
     "obs": cmd_obs,
 }
 

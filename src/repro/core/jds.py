@@ -168,11 +168,11 @@ class JaggedDiagonalsBase(SparseMatrixFormat):
     def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """``y = A @ x`` in the *original* basis (permutation undone)."""
         x = self.check_rhs(x)
-        y = self.alloc_result(out)
+        y = self.alloc_result(out, x)
         # stored col_idx refer to original column numbers: gather from x
         # directly, then scatter the stored-order result back.
         acc = self._column_sweep(x, self._col_idx)
-        y[self._perm.perm] = acc.astype(self._dtype)
+        y[self._perm.perm] = acc
         return y
 
     def spmv_permuted(self, x_perm: np.ndarray) -> np.ndarray:
@@ -186,8 +186,7 @@ class JaggedDiagonalsBase(SparseMatrixFormat):
         if self.nrows != self.ncols:
             raise ValueError("permuted-basis spmv requires a square matrix")
         x_perm = self.check_rhs(x_perm)
-        acc = self._column_sweep(x_perm, self._permuted_col_idx())
-        return acc.astype(self._dtype)
+        return self._column_sweep(x_perm, self._permuted_col_idx())
 
     def _permuted_col_idx(self) -> np.ndarray:
         """Column indices rewritten into the permuted basis (cached)."""
@@ -203,18 +202,79 @@ class JaggedDiagonalsBase(SparseMatrixFormat):
     def _column_sweep(self, x: np.ndarray, col_idx: np.ndarray) -> np.ndarray:
         """Listing-2 kernel, one vectorised pass per jagged column.
 
-        Returns the accumulator in *stored* row order, computed in
-        float64 so SP and DP matrices agree with the COO/CSR oracles.
+        Returns the accumulator in *stored* row order, in the matrix's
+        native dtype (no per-column float64 upcast copies).
         """
-        acc = np.zeros(self.nrows, dtype=np.float64)
-        xf = x.astype(np.float64, copy=False)
+        acc = np.zeros(self.nrows, dtype=self._dtype)
         cs = self._col_start
         val = self._val
         for j in range(self.width):
             s = cs[j]
             e = cs[j + 1]
-            acc[: e - s] += val[s:e].astype(np.float64) * xf[col_idx[s:e]]
+            acc[: e - s] += val[s:e] * x[col_idx[s:e]]
         return acc
+
+    def _row_groups(self):
+        """Stored rows grouped by padded length, entries re-permuted row-major.
+
+        Returns ``(entry_perm, groups)``: ``groups`` is a list of
+        ``(L, r0, r1)`` — padded lengths are non-increasing, so stored
+        rows of padded length ``L`` form the contiguous range
+        ``[r0, r1)`` — and ``entry_perm`` re-permutes the flat
+        column-major jagged arrays so each group's slots become a dense
+        row-major ``(r1 - r0, L)`` rectangle.  This is the dual of the
+        jagged layout the engine's grouped kernels reduce with one
+        fused pass per distinct length.  Cached per matrix.
+        """
+        cached = getattr(self, "_row_groups_cache", None)
+        if cached is None:
+            pl = self._padded_lengths
+            n = self.nrows
+            cs = self._col_start
+            if n == 0:
+                cached = (np.empty(0, dtype=INDEX_DTYPE), [])
+                self._row_groups_cache = cached
+                return cached
+            bnd = np.flatnonzero(np.diff(pl)) + 1
+            starts = np.concatenate(([0], bnd))
+            ends = np.concatenate((bnd, [n]))
+            parts = []
+            groups = []
+            for r0, r1 in zip(starts, ends):
+                L = int(pl[r0])
+                if L == 0:
+                    continue
+                ks = np.arange(r0, r1, dtype=INDEX_DTYPE)
+                parts.append((cs[:L][None, :] + ks[:, None]).ravel())
+                groups.append((L, int(r0), int(r1)))
+            entry_perm = (
+                np.concatenate(parts) if parts else np.empty(0, dtype=INDEX_DTYPE)
+            )
+            cached = (entry_perm, groups)
+            self._row_groups_cache = cached
+        return cached
+
+    def _grouped_entries(self, permuted: bool = False):
+        """``(idx_g, data_g, groups)`` of the row-grouped view (cached).
+
+        ``idx_g`` holds column indices in the requested basis
+        (original, or permuted for the stored-basis solver path);
+        ``data_g`` the matching values.  Padding slots carry value 0 /
+        column 0, so they contribute nothing to the fused reductions.
+        """
+        key = "_grouped_perm_cache" if permuted else "_grouped_orig_cache"
+        cached = getattr(self, key, None)
+        if cached is None:
+            entry_perm, groups = self._row_groups()
+            data_g = getattr(self, "_grouped_data_cache", None)
+            if data_g is None:
+                data_g = np.ascontiguousarray(self._val[entry_perm])
+                self._grouped_data_cache = data_g
+            src = self._permuted_col_idx() if permuted else self._col_idx
+            idx_g = np.ascontiguousarray(src[entry_perm])
+            cached = (idx_g, data_g, groups)
+            setattr(self, key, cached)
+        return cached
 
     # ------------------------------------------------------------------
     def to_coo(self) -> COOMatrix:

@@ -174,12 +174,11 @@ class SELLMatrix(SparseMatrixFormat):
     # ------------------------------------------------------------------
     def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         x = self.check_rhs(x)
-        y = self.alloc_result(out)
+        y = self.alloc_result(out, x)
         if self.total_slots == 0:
             return y
         C = self._chunk_rows
-        xf = x.astype(np.float64, copy=False)
-        acc = np.zeros(self.padded_rows, dtype=np.float64)
+        acc = np.zeros(self.padded_rows, dtype=self._dtype)
         widths = self._chunk_width
         max_width = int(widths.max())
         lane = np.arange(C, dtype=INDEX_DTYPE)
@@ -189,8 +188,8 @@ class SELLMatrix(SparseMatrixFormat):
             base = self._chunk_ptr[active] + j * C
             pos = (base[:, None] + lane).ravel()
             rows = (active[:, None] * C + lane).ravel()
-            acc[rows] += self._val[pos].astype(np.float64) * xf[self._col_idx[pos]]
-        y[self._perm.perm] = acc[: self.nrows].astype(self._dtype)
+            acc[rows] += self._val[pos] * x[self._col_idx[pos]]
+        y[self._perm.perm] = acc[: self.nrows]
         return y
 
     def to_coo(self) -> COOMatrix:

@@ -1,0 +1,53 @@
+"""Zero-allocation autotuned SpMV/SpMM execution engine.
+
+The engine layer turns a *storage format* (the :mod:`repro.formats` /
+:mod:`repro.core` classes, which describe how nonzeros are laid out)
+into an *execution state*: a matrix **bound** to a persistent
+workspace and the kernel variant that the autotuner measured to be
+fastest for its structure.
+
+* :mod:`repro.engine.workspace` — named, reusable scratch buffers so
+  steady-state kernel calls perform no allocation.
+* :mod:`repro.engine.variants` — 2-3 candidate NumPy kernels per
+  format (reduceat vs cumsum vs bincount for CRS/COO, column-sweep vs
+  fused-gather for the ELLPACK/jagged family, width-grouped vs
+  per-chunk for SELL-C-sigma).
+* :mod:`repro.engine.tuner` — times candidates on the live matrix and
+  caches the decision under a structural fingerprint.
+* :mod:`repro.engine.bound` — :class:`BoundMatrix` + the
+  :func:`make_spmv_operator` closure solvers consume.
+* :mod:`repro.engine.spmm` — batched block-of-vectors kernels.
+* :mod:`repro.engine.parallel` — shared-memory multiprocessing
+  row-block backend mirroring the distributed vector/task modes.
+"""
+
+from repro.engine.bound import BoundMatrix, bind, make_spmv_operator
+from repro.engine.parallel import PARALLEL_MODES, ParallelSpMV, parallel_spmv
+from repro.engine.spmm import spmm_dispatch, spmm_permuted
+from repro.engine.tuner import (
+    TuneResult,
+    autotune,
+    default_tuner_cache,
+    fingerprint,
+)
+from repro.engine.variants import KernelVariant, get_variant, variants_for
+from repro.engine.workspace import Workspace
+
+__all__ = [
+    "BoundMatrix",
+    "KernelVariant",
+    "PARALLEL_MODES",
+    "ParallelSpMV",
+    "parallel_spmv",
+    "TuneResult",
+    "Workspace",
+    "autotune",
+    "bind",
+    "default_tuner_cache",
+    "fingerprint",
+    "get_variant",
+    "make_spmv_operator",
+    "spmm_dispatch",
+    "spmm_permuted",
+    "variants_for",
+]

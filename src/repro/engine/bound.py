@@ -1,0 +1,207 @@
+"""Binding a matrix to a tuned, zero-allocation execution state.
+
+``bind(matrix)`` packages a format instance with
+
+* a persistent :class:`~repro.engine.workspace.Workspace` (gather /
+  product / accumulator scratch created on first call, reused after),
+* the autotuned kernel variant for this matrix's structure,
+* preallocated output staging,
+
+so iterative solvers can run allocation-free inner loops.  The bound
+kernels compute in the matrix's native dtype (the Eq. (1) code-balance
+argument: fewer bytes moved per flop) and expose the same stored-basis
+``spmv_permuted`` shortcut as the jagged formats themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro import obs
+from repro.core.jds import JaggedDiagonalsBase
+from repro.engine.tuner import TuneResult, autotune
+from repro.engine.variants import KernelVariant, get_variant, variants_for
+from repro.engine.workspace import Workspace
+from repro.formats.base import SparseMatrixFormat
+
+__all__ = ["BoundMatrix", "bind", "make_spmv_operator"]
+
+
+class BoundMatrix:
+    """A format instance bound to a workspace and a chosen kernel variant."""
+
+    def __init__(
+        self,
+        matrix: SparseMatrixFormat,
+        variant: KernelVariant,
+        workspace: Workspace,
+        tune_result: TuneResult | None = None,
+    ):
+        self.matrix = matrix
+        self.variant = variant
+        self.workspace = workspace
+        self.tune_result = tune_result
+        self._is_jagged = isinstance(matrix, JaggedDiagonalsBase)
+        perm = getattr(matrix, "permutation", None)
+        self._permutes = perm is not None and not perm.is_identity
+        # stored-order staging for permuting formats
+        self._acc = (
+            np.zeros(matrix.nrows, dtype=matrix.dtype) if self._permutes else None
+        )
+        self.calls = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.matrix.shape
+
+    @property
+    def nrows(self) -> int:
+        return self.matrix.nrows
+
+    @property
+    def ncols(self) -> int:
+        return self.matrix.ncols
+
+    @property
+    def nnz(self) -> int:
+        return self.matrix.nnz
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.matrix.dtype
+
+    @property
+    def variant_name(self) -> str:
+        return self.variant.name
+
+    # ------------------------------------------------------------------
+    def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``y = A @ x`` through the bound (tuned, workspace) kernel.
+
+        With a caller-provided ``out`` the steady state performs no
+        allocation at all.
+        """
+        m = self.matrix
+        x = m.check_rhs(x)
+        # variants fully write y (their contract), so skip the zero-fill
+        y = m.alloc_result(out, x, zero=False)
+        self.calls += 1
+        if self._permutes:
+            self.variant.run(m, self.workspace, x, self._acc)
+            # gather through the inverse permutation rather than fancy
+            # scatter: np.take's contiguous write path is faster
+            inv = self.workspace.const(
+                "perm_inverse", lambda: m.permutation.inverse
+            )
+            np.take(self._acc, inv, out=y, mode="clip")
+        else:
+            self.variant.run(m, self.workspace, x, y)
+        if obs.enabled():
+            obs.inc(
+                "engine_spmv_total", 1, format=m.name, variant=self.variant.name
+            )
+        return y
+
+    def spmv_permuted(self, x_perm: np.ndarray) -> np.ndarray:
+        """Stored-basis product for the Sect. II-A Krylov workflow.
+
+        Only jagged formats (whose variants understand the permuted
+        column indices) support this; the result is written into a
+        persistent staging buffer — copy it if you need it to survive
+        the next call.
+        """
+        m = self.matrix
+        if not self.variant.supports_permuted:
+            raise TypeError(
+                f"variant {self.variant.name!r} has no permuted-basis kernel"
+            )
+        if m.nrows != m.ncols:
+            raise ValueError("permuted-basis spmv requires a square matrix")
+        x_perm = m.check_rhs(x_perm)
+        y = self.workspace.buf("bound_yperm", m.nrows, m.dtype)
+        self.calls += 1
+        self.variant.run(m, self.workspace, x_perm, y, permuted=True)
+        return y
+
+    def spmm(self, X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Batched multi-vector product through the engine SpMM kernels."""
+        from repro.engine.spmm import spmm_dispatch
+
+        X, out = self.matrix.check_rhs_block(X, out)
+        return spmm_dispatch(self.matrix, X, out, ws=self.workspace)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<BoundMatrix {self.matrix.name} {self.nrows}x{self.ncols} "
+            f"variant={self.variant.name} calls={self.calls}>"
+        )
+
+
+def bind(
+    matrix: SparseMatrixFormat,
+    *,
+    tune: bool = True,
+    variant: str | None = None,
+    reps: int = 3,
+    seed: int = 0,
+    cache=None,
+    use_cache: bool = True,
+) -> BoundMatrix:
+    """Bind ``matrix`` to a workspace and a kernel variant.
+
+    ``variant`` forces a specific kernel by name; otherwise the
+    autotuner runs (``tune=True``, cached per fingerprint) or the
+    format's first-listed variant is taken (``tune=False``).
+    """
+    ws = Workspace()
+    tr = None
+    if variant is not None:
+        chosen = get_variant(matrix, variant)
+    elif tune:
+        with obs.span("engine.bind", format=matrix.name):
+            tr = autotune(
+                matrix, ws, reps=reps, seed=seed, cache=cache, use_cache=use_cache
+            )
+        chosen = get_variant(matrix, tr.variant)
+    else:
+        chosen = variants_for(matrix)[0]
+    return BoundMatrix(matrix, chosen, ws, tr)
+
+
+def make_spmv_operator(
+    matrix: SparseMatrixFormat | BoundMatrix,
+    *,
+    permuted: bool = False,
+    tune: bool = True,
+    num_buffers: int = 2,
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Allocation-free ``A @ x`` closure over a bound matrix.
+
+    Output buffers are ping-ponged (``num_buffers`` of them), so the
+    classic three-term recurrences (CG, Lanczos, KPM, power iteration)
+    can hold the previous result while the next one is computed without
+    any per-iteration allocation.  Results are only valid until the
+    buffer cycles back — callers needing longer-lived results must
+    copy.
+    """
+    bound = matrix if isinstance(matrix, BoundMatrix) else bind(matrix, tune=tune)
+    if permuted:
+        return bound.spmv_permuted
+    if num_buffers < 1:
+        raise ValueError(f"num_buffers must be >= 1, got {num_buffers}")
+    buffers = [
+        np.zeros(bound.nrows, dtype=bound.dtype) for _ in range(num_buffers)
+    ]
+    state = {"i": 0}
+
+    def apply(x: np.ndarray) -> np.ndarray:
+        i = state["i"]
+        state["i"] = (i + 1) % num_buffers
+        return bound.spmv(x, out=buffers[i])
+
+    apply.bound = bound  # type: ignore[attr-defined] - introspection hook
+    return apply

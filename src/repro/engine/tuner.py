@@ -1,0 +1,174 @@
+"""Per-matrix kernel-variant autotuning (the CMRS lesson).
+
+For each bound matrix the tuner times every candidate kernel variant of
+its format (2-3 NumPy kernels, see :mod:`repro.engine.variants`) on the
+live data and picks the fastest.  Decisions are cached under a *matrix
+fingerprint* — shape, nnz, dtype and a row-length histogram digest — in
+:class:`repro.matrices.cache.TunerCache`, so binding a structurally
+identical matrix later (another solver run, another process) skips the
+timing phase: the decision is deterministic once cached.
+
+Everything is instrumented through :mod:`repro.obs` when enabled:
+``engine_tune_total`` / ``engine_tune_cache_hits_total`` counters, an
+``engine_variant_seconds`` histogram per candidate, and one
+``engine.tune`` span per tuning run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.engine.variants import KernelVariant, get_variant, variants_for
+from repro.engine.workspace import Workspace
+from repro.formats.base import SparseMatrixFormat
+
+__all__ = ["fingerprint", "TuneResult", "autotune", "default_tuner_cache"]
+
+_DEFAULT_CACHE = None
+
+
+def default_tuner_cache():
+    """Process-wide :class:`~repro.matrices.cache.TunerCache` singleton."""
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        from repro.matrices.cache import TunerCache
+
+        _DEFAULT_CACHE = TunerCache()
+    return _DEFAULT_CACHE
+
+
+def fingerprint(matrix: SparseMatrixFormat) -> str:
+    """Structural fingerprint of a matrix instance.
+
+    Captures what the kernel-variant choice actually depends on — the
+    format, dimensions, nnz, dtype and the row-length *distribution*
+    (a 64-bin histogram) — while ignoring the values, so re-assembled
+    matrices with identical sparsity structure share a cache entry.
+    """
+    lengths = matrix.row_lengths()
+    hist = np.bincount(
+        np.minimum(np.asarray(lengths, dtype=np.int64), 4095), minlength=1
+    )
+    # compress to 64 bins so the digest is stable and small
+    pad = -(-hist.shape[0] // 64) * 64
+    h = np.zeros(pad, dtype=np.int64)
+    h[: hist.shape[0]] = hist
+    binned = h.reshape(64, -1).sum(axis=1)
+    digest = hashlib.sha1(binned.tobytes()).hexdigest()[:16]
+    # fold in the candidate roster: a cached decision must not outlive
+    # the variant set it was ranked against (e.g. the optional compiled
+    # delegates registering on one machine but not another)
+    roster = ",".join(v.name for v in variants_for(matrix))
+    vdigest = hashlib.sha1(roster.encode()).hexdigest()[:8]
+    return (
+        f"{matrix.name}:{matrix.nrows}x{matrix.ncols}:nnz{matrix.nnz}:"
+        f"{matrix.dtype.name}:rl{digest}:vs{vdigest}"
+    )
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Outcome of one autotuning run."""
+
+    fingerprint: str
+    variant: str
+    #: best wall-clock seconds per call for each candidate
+    timings: dict[str, float] = field(default_factory=dict)
+    cache_hit: bool = False
+
+    @property
+    def best_seconds(self) -> float:
+        return self.timings.get(self.variant, float("nan"))
+
+
+def _time_variant(
+    variant: KernelVariant,
+    matrix: SparseMatrixFormat,
+    ws: Workspace,
+    x: np.ndarray,
+    y: np.ndarray,
+    reps: int,
+) -> float:
+    """Best-of-``reps`` wall-clock seconds of one variant (after warmup)."""
+    variant.run(matrix, ws, x, y)  # warmup: builds workspace buffers
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        variant.run(matrix, ws, x, y)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def autotune(
+    matrix: SparseMatrixFormat,
+    ws: Workspace | None = None,
+    *,
+    reps: int = 3,
+    seed: int = 0,
+    cache=None,
+    use_cache: bool = True,
+) -> TuneResult:
+    """Pick the fastest kernel variant for ``matrix``.
+
+    A cached decision for the matrix's fingerprint is returned
+    immediately (``cache_hit=True``, no timings).  Otherwise each
+    candidate runs ``reps`` times on a seeded random RHS and the
+    fastest wins; the decision is persisted.
+
+    Determinism: for a given fingerprint the decision is stable once
+    recorded — repeated binds resolve from the cache, never re-race.
+    """
+    if ws is None:
+        ws = Workspace()
+    fp = fingerprint(matrix)
+    cache = cache if cache is not None else default_tuner_cache()
+
+    if obs.enabled():
+        obs.inc("engine_tune_total", 1, format=matrix.name)
+
+    if use_cache:
+        rec = cache.get(fp)
+        if rec is not None:
+            try:
+                get_variant(matrix, rec["variant"])
+            except KeyError:
+                rec = None  # stale entry from an older variant set
+        if rec is not None:
+            if obs.enabled():
+                obs.inc("engine_tune_cache_hits_total", 1, format=matrix.name)
+            return TuneResult(
+                fingerprint=fp,
+                variant=rec["variant"],
+                timings={k: float(v) for k, v in rec.get("timings", {}).items()},
+                cache_hit=True,
+            )
+
+    candidates = variants_for(matrix)
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(matrix.ncols).astype(matrix.dtype)
+    y = np.zeros(matrix.nrows, dtype=matrix.dtype)
+
+    timings: dict[str, float] = {}
+    with obs.span("engine.tune", format=matrix.name, fingerprint=fp):
+        for v in candidates:
+            dt = _time_variant(v, matrix, ws, x, y, reps)
+            timings[v.name] = dt
+            if obs.enabled():
+                obs.observe(
+                    "engine_variant_seconds", dt, variant=v.name,
+                    format=matrix.name,
+                )
+    best = min(timings, key=timings.get)
+    if use_cache:
+        cache.put(fp, {"variant": best, "timings": timings, "format": matrix.name})
+    if obs.enabled():
+        obs.set_gauge(
+            "engine_tuned_variant_seconds", timings[best],
+            format=matrix.name, variant=best,
+        )
+    return TuneResult(fingerprint=fp, variant=best, timings=timings)

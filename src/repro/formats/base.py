@@ -167,8 +167,27 @@ class SparseMatrixFormat(abc.ABC):
         """Validate an RHS vector and coerce it to the value dtype."""
         return check_dense_vector(x, self.ncols, dtype=self._dtype, name="x")
 
-    def alloc_result(self, out: np.ndarray | None) -> np.ndarray:
-        """Return a zeroed result vector, reusing ``out`` when provided."""
+    def alloc_result(
+        self,
+        out: np.ndarray | None,
+        x: np.ndarray | None = None,
+        *,
+        zero: bool = True,
+    ) -> np.ndarray:
+        """Return a zeroed result vector, reusing ``out`` when provided.
+
+        When ``x`` (the already-coerced RHS) is passed, an explicit
+        aliasing check rejects ``spmv(x, out=x)``-style calls: every
+        kernel zeroes/overwrites ``out`` before it has finished reading
+        ``x``, so an aliased output would silently corrupt the result.
+        Callers that want in-place semantics must go through a distinct
+        buffer (e.g. the ping-pong operator of :mod:`repro.engine`).
+
+        ``zero=False`` skips the zero-fill of a caller-provided ``out``;
+        it is reserved for kernels that provably write every element
+        (the engine's bound path) — the format kernels themselves rely
+        on the zeroing.
+        """
         if out is None:
             return np.zeros(self.nrows, dtype=self._dtype)
         result = check_dense_vector(out, self.nrows, name="out")
@@ -178,25 +197,30 @@ class SparseMatrixFormat(abc.ABC):
             )
         if result is not out or not out.flags.c_contiguous:
             raise ValueError("out must be a C-contiguous ndarray")
-        result[:] = 0.0
+        if x is not None and np.may_share_memory(result, x):
+            raise ValueError(
+                "out aliases the input vector x; kernels overwrite out "
+                "while still reading x — pass a separate output buffer"
+            )
+        if zero:
+            result[:] = 0.0
         return result
 
     def todense(self) -> np.ndarray:
         """Materialise as a dense ndarray (small matrices / tests only)."""
         return self.to_coo().todense()
 
-    def spmm(self, X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        """Multi-vector product ``Y = A @ X`` for ``X`` of shape (ncols, k).
-
-        Block Krylov methods and KPM batches use this; the generic
-        implementation loops :meth:`spmv` per column (formats may
-        override with a fused kernel).
-        """
-        X = np.ascontiguousarray(X, dtype=self._dtype)
+    def check_rhs_block(
+        self, X: np.ndarray, out: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Validate an (ncols, k) RHS block and its (nrows, k) output."""
+        X = np.asarray(X)
         if X.ndim != 2 or X.shape[0] != self.ncols:
             raise ValueError(
                 f"X must have shape ({self.ncols}, k), got {X.shape}"
             )
+        if X.dtype != self._dtype:
+            X = X.astype(self._dtype)
         k = X.shape[1]
         if out is None:
             out = np.empty((self.nrows, k), dtype=self._dtype)
@@ -204,9 +228,42 @@ class SparseMatrixFormat(abc.ABC):
             raise ValueError(
                 f"out must be a ({self.nrows}, {k}) array of {self._dtype}"
             )
+        elif np.may_share_memory(out, X):
+            raise ValueError(
+                "out aliases the input block X; pass a separate buffer"
+            )
+        return X, out
+
+    def spmm(self, X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Multi-vector product ``Y = A @ X`` for ``X`` of shape (ncols, k).
+
+        Block Krylov methods and KPM batches use this.  Dispatch goes
+        through the batched block-of-vectors kernels of
+        :mod:`repro.engine.spmm` (one fused sweep over the stored
+        entries per format); unknown formats fall back to
+        :meth:`spmm_percolumn`.
+        """
+        X, out = self.check_rhs_block(X, out)
+        from repro.engine.spmm import spmm_dispatch  # late: avoid cycle
+
+        return spmm_dispatch(self, X, out)
+
+    def spmm_percolumn(
+        self, X: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Reference multi-vector product looping :meth:`spmv` per column.
+
+        Kept as the oracle the batched kernels are tested against.  For
+        Fortran-ordered ``X`` the column views are already contiguous,
+        so no per-column copy happens.
+        """
+        X, out = self.check_rhs_block(X, out)
         col_buf = np.zeros(self.nrows, dtype=self._dtype)
-        for j in range(k):
-            out[:, j] = self.spmv(np.ascontiguousarray(X[:, j]), out=col_buf)
+        for j in range(X.shape[1]):
+            xj = X[:, j]
+            if not xj.flags.c_contiguous:
+                xj = np.ascontiguousarray(xj)
+            out[:, j] = self.spmv(xj, out=col_buf)
         return out
 
     def diagonal(self) -> np.ndarray:

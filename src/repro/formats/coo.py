@@ -121,15 +121,28 @@ class COOMatrix(SparseMatrixFormat):
     # ------------------------------------------------------------------
     def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         x = self.check_rhs(x)
-        y = self.alloc_result(out)
+        y = self.alloc_result(out, x)
         if self._nnz:
-            # scatter-add of the elementwise products; float64 accumulation
-            # keeps SP results reproducible across formats.
-            prod = self._values.astype(np.float64) * x[self._cols].astype(np.float64)
-            acc = np.zeros(self.nrows, dtype=np.float64)
-            np.add.at(acc, self._rows, prod)
-            y[:] = acc.astype(self._dtype)
+            # canonical form is row-major sorted: entries of one row are
+            # consecutive, so row sums are independent ``reduceat``
+            # segments — native dtype end-to-end, no scatter-add and no
+            # float64 upcast/downcast copies.
+            prod = self._values * x[self._cols]
+            starts, urows = self._row_runs()
+            y[urows] = np.add.reduceat(prod, starts)
         return y
+
+    def _row_runs(self) -> tuple[np.ndarray, np.ndarray]:
+        """(run start offsets, row index per run) of the sorted rows."""
+        cached = getattr(self, "_row_runs_cache", None)
+        if cached is None:
+            new_run = np.empty(self._rows.size, dtype=bool)
+            new_run[0] = True
+            np.not_equal(self._rows[1:], self._rows[:-1], out=new_run[1:])
+            starts = np.flatnonzero(new_run)
+            cached = (starts, self._rows[starts])
+            self._row_runs_cache = cached
+        return cached
 
     def to_coo(self) -> "COOMatrix":
         return self

@@ -81,14 +81,69 @@ class CSRMatrix(SparseMatrixFormat):
     # ------------------------------------------------------------------
     def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         x = self.check_rhs(x)
-        y = self.alloc_result(out)
+        y = self.alloc_result(out, x)
         if self._nnz == 0:
             return y
-        # segment sum via prefix sums: robust to empty rows, fully vectorised
-        prod = self._data.astype(np.float64) * x[self._indices].astype(np.float64)
-        csum = np.concatenate(([0.0], np.cumsum(prod)))
-        y[:] = (csum[self._indptr[1:]] - csum[self._indptr[:-1]]).astype(self._dtype)
+        # row-local segment sums via ``np.add.reduceat`` over the rows
+        # that hold entries: honors the matrix dtype end-to-end (no
+        # float64 upcast/downcast copies) and each row's sum is
+        # independent of every other row, so row-block partitions of
+        # the parallel backend reproduce serial results bit-for-bit.
+        prod = self._data * x[self._indices]
+        starts = self._nonempty_starts()
+        y[self._nonempty_rows()] = np.add.reduceat(prod, starts)
         return y
+
+    def _nonempty_rows(self) -> np.ndarray:
+        """Indices of rows holding at least one entry (cached)."""
+        cached = getattr(self, "_nonempty_rows_cache", None)
+        if cached is None:
+            cached = np.flatnonzero(np.diff(self._indptr) > 0)
+            self._nonempty_rows_cache = cached
+        return cached
+
+    def _nonempty_starts(self) -> np.ndarray:
+        """``indptr`` offsets of the non-empty rows (cached)."""
+        cached = getattr(self, "_nonempty_starts_cache", None)
+        if cached is None:
+            cached = np.ascontiguousarray(self._indptr[self._nonempty_rows()])
+            self._nonempty_starts_cache = cached
+        return cached
+
+    def _length_groups(self):
+        """Rows bucketed by row length, entries re-permuted accordingly.
+
+        Returns ``(idx_g, data_g, groups)`` where ``groups`` is a list
+        of ``(L, rows_L)`` and ``idx_g``/``data_g`` hold the entries of
+        all length-``L`` rows contiguously (each group a dense
+        ``(len(rows_L), L)`` rectangle when reshaped).  This is the
+        quasi-ELLPACK view the batched SpMM kernel reduces with one
+        BLAS batched-GEMV per group instead of one ``reduceat`` segment
+        per row.  Cached — costs one ``argsort``-free pass per matrix.
+        """
+        cached = getattr(self, "_length_groups_cache", None)
+        if cached is None:
+            lengths = np.diff(self._indptr)
+            groups = []
+            parts = []
+            for L in np.unique(lengths):
+                L = int(L)
+                if L == 0:
+                    continue
+                rows_l = np.flatnonzero(lengths == L)
+                pos = (self._indptr[rows_l][:, None] + np.arange(L)).ravel()
+                parts.append(pos)
+                groups.append((L, rows_l))
+            if parts:
+                entry_perm = np.concatenate(parts)
+                idx_g = np.ascontiguousarray(self._indices[entry_perm])
+                data_g = np.ascontiguousarray(self._data[entry_perm])
+            else:
+                idx_g = self._indices[:0]
+                data_g = self._data[:0]
+            cached = (idx_g, data_g, groups)
+            self._length_groups_cache = cached
+        return cached
 
     def to_coo(self) -> COOMatrix:
         rows = np.repeat(

@@ -108,17 +108,35 @@ class ELLPACKMatrix(SparseMatrixFormat):
     # ------------------------------------------------------------------
     def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         x = self.check_rhs(x)
-        y = self.alloc_result(out)
+        y = self.alloc_result(out, x)
         if self.width == 0:
             return y
-        acc = np.zeros(self.padded_rows, dtype=np.float64)
+        # native-dtype column sweep: x was coerced to the matrix dtype by
+        # check_rhs, so no per-column astype copies happen.
+        acc = np.zeros(self.padded_rows, dtype=self._dtype)
         for j in range(self.width):
             # one jagged column: contiguous val/col rows, gathered RHS
-            acc += self._val[j].astype(np.float64) * x[self._col[j]].astype(
-                np.float64
-            )
-        y[:] = acc[: self.nrows].astype(self._dtype)
+            acc += self._val[j] * x[self._col[j]]
+        y[:] = acc[: self.nrows]
         return y
+
+    def _row_major_entries(self):
+        """The padded rectangle in row-major order (cached).
+
+        Returns ``(col_rm, val_rm)`` where ``col_rm`` is the flat
+        column-index array with row ``r``'s slots at
+        ``[r * width, (r + 1) * width)`` and ``val_rm`` the matching
+        ``(padded_rows, width)`` value rectangle.  Padding slots hold
+        value 0 / column 0.  The engine's blocked SpMM kernel reduces
+        this view with per-row-chunk batched GEMVs.
+        """
+        cached = getattr(self, "_row_major_cache", None)
+        if cached is None:
+            val_rm = np.ascontiguousarray(self._val.T)
+            col_rm = np.ascontiguousarray(self._col.T).ravel()
+            cached = (col_rm, val_rm)
+            self._row_major_cache = cached
+        return cached
 
     def to_coo(self) -> COOMatrix:
         rows_ = []

@@ -25,7 +25,7 @@ def spmv(
 
 
 def make_spmv_operator(
-    matrix: SparseMatrixFormat, *, permuted: bool = False
+    matrix: SparseMatrixFormat, *, permuted: bool = False, engine: bool = False
 ) -> Callable[[np.ndarray], np.ndarray]:
     """Return a closure computing ``A @ x``.
 
@@ -33,7 +33,15 @@ def make_spmv_operator(
     the stored basis — the Sect. II-A Krylov workflow: permute the
     start vector once with ``matrix.permutation.to_permuted``, iterate,
     and map the final result back with ``to_original``.
+
+    With ``engine=True`` the closure goes through the autotuned
+    zero-allocation :func:`repro.engine.make_spmv_operator` (ping-pong
+    output buffers; results are only valid until the buffer cycles).
     """
+    if engine:
+        from repro.engine import make_spmv_operator as _engine_operator
+
+        return _engine_operator(matrix, permuted=permuted)
     if permuted:
         op = getattr(matrix, "spmv_permuted", None)
         if op is None:

@@ -46,14 +46,17 @@ def lanczos(
     tol: float = 1e-8,
     seed: int = 0,
     v0: np.ndarray | None = None,
+    engine: bool = False,
 ) -> LanczosResult:
     """Compute the smallest ``num_eigenvalues`` of a symmetric matrix.
 
     Full reorthogonalisation keeps the basis numerically orthogonal;
     convergence is declared when every requested Ritz pair's residual
     ``|beta * s_last|`` falls below ``tol * |theta|``.
+    ``engine=True`` runs the iteration through the autotuned
+    :mod:`repro.engine` kernels.
     """
-    op = as_operator(matrix)
+    op = as_operator(matrix, engine=engine)
     n = op.size
     k = check_positive_int(num_eigenvalues, "num_eigenvalues")
     max_iter = min(check_positive_int(max_iter, "max_iter"), n)

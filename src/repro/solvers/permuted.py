@@ -5,6 +5,12 @@ paper's answer: for Krylov-type iterative methods, permute once before
 the iteration, run every iteration on permuted vectors, and permute
 back once at the end.  :class:`PermutedOperator` packages exactly that
 contract so the solvers below never gather/scatter inside their loops.
+
+With ``engine=True`` the operator applies through a
+:class:`repro.engine.BoundMatrix` — the autotuned kernel variant plus
+a persistent workspace, so the solver inner loop is allocation-free on
+the matrix side — and block (multi-vector) applications route to the
+batched :mod:`repro.engine.spmm` kernels instead of a per-column loop.
 """
 
 from __future__ import annotations
@@ -25,7 +31,9 @@ class PermutedOperator:
 
     For jagged formats the ``apply`` closure is the zero-copy
     ``spmv_permuted`` kernel; for permutation-free formats it is plain
-    ``spmv`` and the basis maps are identities.
+    ``spmv`` and the basis maps are identities.  ``apply_block`` is
+    the multi-vector analogue (stored-basis SpMM); when no batched
+    closure is supplied it degrades to a per-column loop.
     """
 
     def __init__(
@@ -33,8 +41,10 @@ class PermutedOperator:
         apply_: Callable[[np.ndarray], np.ndarray],
         permutation: Permutation,
         dtype: np.dtype,
+        apply_block: Callable[[np.ndarray], np.ndarray] | None = None,
     ):
         self._apply = apply_
+        self._apply_block = apply_block
         self._perm = permutation
         self._dtype = np.dtype(dtype)
 
@@ -56,6 +66,19 @@ class PermutedOperator:
 
     __call__ = apply
 
+    def apply_block(self, X_perm: np.ndarray) -> np.ndarray:
+        """Batched stored-basis application, ``Y~ = (P A P^T) X~``.
+
+        Always returns a freshly owned ``(n, k)`` array (safe to keep
+        across subsequent applications).
+        """
+        if self._apply_block is not None:
+            return np.array(self._apply_block(X_perm), copy=True)
+        out = np.empty_like(X_perm)
+        for j in range(X_perm.shape[1]):
+            out[:, j] = self._apply(np.ascontiguousarray(X_perm[:, j]))
+        return out
+
     def enter(self, x: np.ndarray) -> np.ndarray:
         """Map a vector from the original into the stored basis."""
         return np.ascontiguousarray(self._perm.to_permuted(x), dtype=self._dtype)
@@ -65,16 +88,62 @@ class PermutedOperator:
         return self._perm.to_original(x_perm)
 
 
-def as_operator(matrix: SparseMatrixFormat) -> PermutedOperator:
-    """Wrap any square format as a :class:`PermutedOperator`."""
+def _from_bound(bound) -> PermutedOperator:
+    """Operator over an engine-bound matrix (tuned kernel + workspace)."""
+    from repro.engine.spmm import spmm_permuted
+
+    m = bound.matrix
+    if bound.variant.supports_permuted and isinstance(m, JaggedDiagonalsBase):
+        return PermutedOperator(
+            bound.spmv_permuted,
+            m.permutation,
+            m.dtype,
+            apply_block=lambda X: spmm_permuted(m, X, ws=bound.workspace),
+        )
+    return PermutedOperator(
+        lambda x: bound.spmv(x),
+        Permutation.identity(m.nrows),
+        m.dtype,
+        apply_block=lambda X: bound.spmm(X),
+    )
+
+
+def as_operator(
+    matrix: SparseMatrixFormat,
+    *,
+    engine: bool = False,
+    tune: bool = True,
+) -> PermutedOperator:
+    """Wrap any square format (or a ``BoundMatrix``) as an operator.
+
+    ``engine=True`` binds the matrix through :func:`repro.engine.bind`
+    first (autotuned variant + persistent workspace); passing an
+    already-bound matrix uses it as-is.
+    """
+    from repro.engine.bound import BoundMatrix
+
+    if isinstance(matrix, BoundMatrix):
+        if matrix.nrows != matrix.ncols:
+            raise ValueError("solvers require a square matrix")
+        return _from_bound(matrix)
     if matrix.nrows != matrix.ncols:
         raise ValueError("solvers require a square matrix")
+    if engine:
+        from repro.engine.bound import bind
+
+        return _from_bound(bind(matrix, tune=tune))
     if isinstance(matrix, JaggedDiagonalsBase):
+        from repro.engine.spmm import spmm_permuted
+
         return PermutedOperator(
-            matrix.spmv_permuted, matrix.permutation, matrix.dtype
+            matrix.spmv_permuted,
+            matrix.permutation,
+            matrix.dtype,
+            apply_block=lambda X: spmm_permuted(matrix, X),
         )
     return PermutedOperator(
         lambda x: matrix.spmv(x),
         Permutation.identity(matrix.nrows),
         matrix.dtype,
+        apply_block=lambda X: matrix.spmm(X),
     )

@@ -113,6 +113,43 @@ class TestCommands:
         text = run_cli("spmv", str(path), "--format", "CRS")
         assert "GF/s" in text
 
+    def test_spmv_parallel_backend(self, tmp_path):
+        from repro.matrices import poisson2d, write_matrix_market
+
+        path = tmp_path / "m.mtx"
+        write_matrix_market(poisson2d(12, 12), path)
+        serial = run_cli("spmv", str(path), "--format", "CRS")
+        par = run_cli("spmv", str(path), "--format", "CRS", "--parallel", "2")
+        assert "2 row-block workers" in par
+        assert "vector mode" in par
+        # vector mode bit-matches serial, so the printed norms agree
+        norm = [ln for ln in serial.splitlines() if "||y||" in ln]
+        assert norm and norm[0] in par
+
+    def test_spmv_format_case_insensitive(self, tmp_path):
+        from repro.matrices import poisson2d, write_matrix_market
+
+        path = tmp_path / "m.mtx"
+        write_matrix_market(poisson2d(8, 8), path)
+        text = run_cli("spmv", str(path), "--format", "pjds")
+        assert "pJDS" in text
+
+
+class TestEngineTune:
+    def test_prints_decision_and_timings(self):
+        text = run_cli(
+            "engine", "tune", "sAMG", "--format", "pjds",
+            "--scale", "512", "--no-cache",
+        )
+        assert "fingerprint : pJDS:" in text
+        assert "cache       : miss" in text
+        assert "<- chosen" in text
+        assert "chosen      : jds_" in text
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["engine"])
+
 
 class TestObsCommand:
     def _run(self, tmp_path, *extra):

@@ -1,0 +1,349 @@
+"""Tests for the zero-allocation autotuned execution engine."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    BoundMatrix,
+    ParallelSpMV,
+    Workspace,
+    autotune,
+    bind,
+    fingerprint,
+    get_variant,
+    make_spmv_operator,
+    parallel_spmv,
+    spmm_permuted,
+    variants_for,
+)
+from repro.engine.variants import _HAVE_CSR_MATVEC, stored_csr_triplet
+from repro.formats import convert
+from repro.formats.csr import CSRMatrix
+from repro.matrices.cache import TunerCache
+
+from _test_common import ALL_FORMATS, PERMUTING_FORMATS, random_coo
+
+
+@pytest.fixture(scope="module")
+def coo():
+    return random_coo(90, seed=11, max_row=16)
+
+
+@pytest.fixture(scope="module")
+def x(coo):
+    return np.random.default_rng(7).standard_normal(coo.ncols)
+
+
+@pytest.fixture(scope="module")
+def y_ref(coo, x):
+    return coo.spmv(x)
+
+
+# ---------------------------------------------------------------------------
+class TestWorkspace:
+    def test_buffers_are_persistent(self):
+        ws = Workspace()
+        a = ws.buf("a", 16, np.float64)
+        b = ws.buf("a", 16, np.float64)
+        assert a is b
+        assert ws.allocations == 1
+
+    def test_shape_mismatch_raises(self):
+        ws = Workspace()
+        ws.buf("a", 16, np.float64)
+        with pytest.raises(ValueError, match="requested"):
+            ws.buf("a", 17, np.float64)
+
+    def test_const_factory_called_once(self):
+        ws = Workspace()
+        calls = []
+        ws.const("c", lambda: calls.append(1) or np.arange(3))
+        ws.const("c", lambda: calls.append(1) or np.arange(3))
+        assert len(calls) == 1
+
+
+# ---------------------------------------------------------------------------
+class TestVariants:
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_every_variant_matches_reference(self, fmt, coo, x, y_ref):
+        m = convert(coo, fmt)
+        for v in variants_for(m):
+            b = bind(m, variant=v.name)
+            assert np.allclose(b.spmv(x), y_ref, atol=1e-12), v.name
+
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_warm_calls_match_cold(self, fmt, coo, x, y_ref):
+        """Workspace reuse must not change results (satellite check)."""
+        m = convert(coo, fmt)
+        for v in variants_for(m):
+            cold = bind(m, variant=v.name).spmv(x)
+            b = bind(m, variant=v.name)
+            for _ in range(3):
+                warm = b.spmv(x)
+            assert np.array_equal(cold, warm), v.name
+            assert b.calls == 3
+
+    @pytest.mark.parametrize("fmt", PERMUTING_FORMATS)
+    def test_permuted_variants(self, fmt, coo, x, y_ref):
+        m = convert(coo, fmt)
+        for v in variants_for(m):
+            if not v.supports_permuted:
+                continue
+            b = bind(m, variant=v.name)
+            xp = m.permutation.to_permuted(x)
+            yp = b.spmv_permuted(xp)
+            assert np.allclose(
+                m.permutation.to_original(yp.copy()), y_ref, atol=1e-12
+            ), v.name
+
+    def test_unknown_variant_raises(self, coo):
+        m = convert(coo, "CRS")
+        with pytest.raises(KeyError):
+            get_variant(m, "nonexistent")
+
+    def test_out_parameter_zero_alloc(self, coo, x, y_ref):
+        m = convert(coo, "CRS")
+        b = bind(m, tune=False)
+        out = np.empty(m.nrows)
+        y = b.spmv(x, out=out)
+        assert y is out
+        assert np.allclose(y, y_ref, atol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+class TestTuner:
+    def test_fingerprint_structure_sensitive(self, coo):
+        a = convert(coo, "CRS")
+        b = convert(random_coo(90, seed=12, max_row=16), "CRS")
+        same = convert(coo, "CRS")
+        assert fingerprint(a) == fingerprint(same)
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_autotune_deterministic(self, coo):
+        """Same seed + no cache -> timings may differ but the decision
+        must be a valid variant; with a cache the decision replays."""
+        m = convert(coo, "pJDS")
+        cache = TunerCache(persist=False)
+        r1 = autotune(m, reps=1, seed=0, cache=cache)
+        r2 = autotune(m, reps=1, seed=0, cache=cache)
+        assert not r1.cache_hit
+        assert r2.cache_hit
+        assert r1.variant == r2.variant
+        assert r1.variant in {v.name for v in variants_for(m)}
+        assert r1.timings  # measured candidates recorded
+
+    def test_cache_round_trip(self, coo, tmp_path):
+        m = convert(coo, "CRS")
+        path = tmp_path / "tuner.json"
+        c1 = TunerCache(path)
+        r1 = autotune(m, reps=1, cache=c1)
+        c2 = TunerCache(path)  # fresh instance, same file
+        r2 = autotune(m, reps=1, cache=c2)
+        assert r2.cache_hit
+        assert r2.variant == r1.variant
+        assert len(c2) == 1
+
+    def test_stale_cache_entry_retunes(self, coo, tmp_path):
+        m = convert(coo, "CRS")
+        cache = TunerCache(tmp_path / "tuner.json")
+        cache.put(fingerprint(m), {"variant": "deleted_kernel"})
+        r = autotune(m, reps=1, cache=cache)
+        assert not r.cache_hit
+        assert r.variant in {v.name for v in variants_for(m)}
+
+    def test_bind_uses_tuned_variant(self, coo):
+        m = convert(coo, "pJDS")
+        cache = TunerCache(persist=False)
+        b = bind(m, reps=1, cache=cache)
+        assert isinstance(b, BoundMatrix)
+        assert b.tune_result is not None
+        assert b.variant_name == b.tune_result.variant
+
+
+# ---------------------------------------------------------------------------
+class TestOperator:
+    def test_ping_pong_buffers(self, coo, x, y_ref):
+        m = convert(coo, "CRS")
+        op = make_spmv_operator(m, tune=False, num_buffers=2)
+        y1 = op(x)
+        y2 = op(x)
+        y3 = op(x)
+        assert y1 is y3  # cycled back
+        assert y1 is not y2
+        assert np.allclose(y1, y_ref, atol=1e-12)
+
+    def test_permuted_operator(self, coo, x, y_ref):
+        m = convert(coo, "pJDS")
+        op = make_spmv_operator(m, permuted=True, tune=False)
+        xp = m.permutation.to_permuted(x)
+        yp = op(xp)
+        assert np.allclose(m.permutation.to_original(yp.copy()), y_ref, atol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+class TestSpMM:
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    @pytest.mark.parametrize("order", ["C", "F"])
+    def test_matches_percolumn(self, fmt, order, coo):
+        """Batched kernels must agree with the per-column reference."""
+        m = convert(coo, fmt)
+        X = np.asarray(
+            np.random.default_rng(3).standard_normal((coo.ncols, 6)), order=order
+        )
+        ref = np.column_stack(
+            [coo.spmv(np.ascontiguousarray(X[:, j])) for j in range(6)]
+        )
+        assert np.allclose(m.spmm(X), ref, atol=1e-12)
+        assert np.allclose(m.spmm_percolumn(X), ref, atol=1e-12)
+
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_bound_spmm_with_workspace(self, fmt, coo):
+        m = convert(coo, fmt)
+        b = bind(m, tune=False)
+        X = np.random.default_rng(4).standard_normal((coo.ncols, 4))
+        ref = m.spmm_percolumn(X)
+        Y1 = b.spmm(X)
+        Y2 = b.spmm(X)  # workspace-warm call
+        assert np.allclose(Y1, ref, atol=1e-12)
+        assert np.array_equal(Y1, Y2)
+
+    @pytest.mark.parametrize("fmt", PERMUTING_FORMATS)
+    def test_spmm_permuted(self, fmt, coo):
+        m = convert(coo, fmt)
+        if not hasattr(m, "spmv_permuted"):
+            pytest.skip("no stored-basis kernel")
+        P = m.permutation
+        X = np.random.default_rng(5).standard_normal((coo.ncols, 3))
+        Xp = np.column_stack([P.to_permuted(X[:, j].copy()) for j in range(3)])
+        Yp = spmm_permuted(m, np.ascontiguousarray(Xp))
+        Y = np.column_stack([P.to_original(Yp[:, j].copy()) for j in range(3)])
+        assert np.allclose(Y, m.spmm_percolumn(X), atol=1e-12)
+
+    def test_float32_native(self, coo):
+        m = convert(coo.astype(np.float32), "CRS")
+        X = np.random.default_rng(6).standard_normal((coo.ncols, 3)).astype(
+            np.float32
+        )
+        Y = m.spmm(X)
+        assert Y.dtype == np.float32
+        assert np.allclose(Y, m.spmm_percolumn(X), atol=1e-4)
+
+
+# ---------------------------------------------------------------------------
+_scipy_only = pytest.mark.skipif(
+    not _HAVE_CSR_MATVEC, reason="scipy sparsetools unavailable"
+)
+
+
+class TestCompiledDelegates:
+    """The optional scipy-backed stored-CSR delegate kernels."""
+
+    @_scipy_only
+    @pytest.mark.parametrize(
+        "fmt", ["CRS", "ELLPACK", "ELLPACK-R", "JDS", "pJDS", "SELL-C-sigma"]
+    )
+    def test_scipy_variant_registered(self, fmt, coo):
+        m = convert(coo, fmt)
+        names = {v.name for v in variants_for(m)}
+        assert any(n.endswith("_scipy") for n in names), names
+
+    @_scipy_only
+    @pytest.mark.parametrize("fmt", ["CRS", "pJDS", "SELL-C-sigma"])
+    def test_stored_csr_triplet_cached(self, fmt, coo):
+        m = convert(coo, fmt)
+        t1 = stored_csr_triplet(m)
+        t2 = stored_csr_triplet(m)
+        assert all(a is b for a, b in zip(t1, t2))
+        # indices stay inside the column space (padding points at col 0)
+        indptr, indices, _ = t1
+        assert indptr[0] == 0 and np.all(np.diff(indptr) >= 0)
+        if indices.size:
+            assert 0 <= indices.min() and indices.max() < m.ncols
+
+    @_scipy_only
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_numpy_fallback_matches_delegate(self, fmt, coo, monkeypatch):
+        """The pure-NumPy spmm path must agree with the compiled one."""
+        m = convert(coo, fmt)
+        X = np.ascontiguousarray(
+            np.random.default_rng(8).standard_normal((coo.ncols, 5))
+        )
+        Y_sp = m.spmm(X)
+        monkeypatch.setattr("repro.engine.spmm._HAVE_CSR_MATVEC", False)
+        Y_np = m.spmm(X)
+        assert np.allclose(Y_np, Y_sp, atol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+class TestAliasing:
+    def test_spmv_out_aliases_input_raises(self, coo):
+        m = convert(coo, "CRS")
+        x = np.random.default_rng(0).standard_normal(coo.ncols)
+        with pytest.raises(ValueError, match="alias"):
+            m.spmv(x, out=x)
+
+    def test_spmm_out_aliases_input_raises(self, coo):
+        m = convert(coo, "CRS")
+        X = np.random.default_rng(0).standard_normal((coo.ncols, 2))
+        with pytest.raises(ValueError, match="alias"):
+            m.spmm(X, out=X)
+
+
+# ---------------------------------------------------------------------------
+class TestParallel:
+    @pytest.mark.parametrize("nworkers", [1, 3])
+    def test_vector_mode_bitwise_matches_serial(self, coo, x, nworkers):
+        csr = CSRMatrix.from_coo(coo)
+        y_serial = csr.spmv(x)
+        with ParallelSpMV(csr, nworkers, mode="vector") as pool:
+            y1 = pool.spmv(x)
+            y2 = pool.spmv(x)
+        assert np.array_equal(y1, y_serial)  # bitwise, any worker count
+        assert np.array_equal(y2, y_serial)
+
+    def test_task_mode_matches_to_rounding(self, coo, x):
+        csr = CSRMatrix.from_coo(coo)
+        y_serial = csr.spmv(x)
+        with ParallelSpMV(csr, 3, mode="task") as pool:
+            y = pool.spmv(x)
+        assert np.allclose(y, y_serial, atol=1e-12)
+
+    def test_accepts_any_format(self, coo, x):
+        y = parallel_spmv(convert(coo, "pJDS"), x, nworkers=2)
+        assert np.array_equal(y, CSRMatrix.from_coo(coo).spmv(x))
+
+    def test_out_parameter_and_validation(self, coo, x):
+        with ParallelSpMV(CSRMatrix.from_coo(coo), 2) as pool:
+            out = np.empty(coo.nrows)
+            y = pool.spmv(x, out=out)
+            assert y is out
+            with pytest.raises(ValueError, match="shape"):
+                pool.spmv(x[:-1])
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.spmv(x)
+
+    def test_invalid_mode(self, coo):
+        with pytest.raises(ValueError, match="mode"):
+            ParallelSpMV(CSRMatrix.from_coo(coo), 2, mode="warp")
+
+
+# ---------------------------------------------------------------------------
+class TestSolverIntegration:
+    def test_engine_cg_matches_plain(self, spd_coo):
+        from repro.solvers import conjugate_gradient
+
+        p = convert(spd_coo, "pJDS")
+        b = np.random.default_rng(0).standard_normal(spd_coo.nrows)
+        r_plain = conjugate_gradient(p, b)
+        r_engine = conjugate_gradient(p, b, engine=True)
+        assert r_engine.converged
+        assert np.allclose(r_plain.x, r_engine.x, atol=1e-6)
+
+    def test_engine_kpm_preserves_spmv_count(self, spd_coo):
+        from repro.solvers import kpm_spectral_density
+
+        p = convert(spd_coo, "pJDS")
+        r = kpm_spectral_density(
+            p, num_moments=16, num_vectors=3, bounds=(0.0, 8.0), engine=True
+        )
+        assert r.spmv_count == 3 * 15
