@@ -1,0 +1,233 @@
+"""Closed-loop load benchmark of the repro.serve micro-batcher.
+
+The serving claim is the paper's Eq. (1) argument applied to traffic:
+SpMV is bandwidth-bound, so *k* concurrent requests coalesced into one
+``spmm`` cost nearly the same memory traffic as a single request.  This
+benchmark measures it end to end — a pool of closed-loop clients (each
+issues its next request only after the previous one returned) hammers
+one :class:`~repro.serve.scheduler.SpMVServer`, once with coalescing
+disabled (``max_batch=1``, the per-request baseline) and once with the
+micro-batcher on.
+
+Run as a script (``python benchmarks/bench_serve.py``) to produce
+``BENCH_serve.json``: one record per configuration with throughput,
+latency quantiles (p50/p95/p99), achieved batch sizes and spmm-call
+counts, plus a ``summary`` record with the batched-vs-baseline
+throughput ratio — the number the CI serve-smoke step asserts on.
+"""
+
+import json
+import threading
+import time
+
+import numpy as np
+
+
+def _closed_loop(server, name, n, *, clients, requests_per_client, seed=0):
+    """Run the closed loop; returns (elapsed_s, per-request latencies)."""
+    start = threading.Barrier(clients + 1)
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    errors: list[Exception] = []
+
+    def client(cid: int) -> None:
+        rng = np.random.default_rng(seed + cid)
+        x = rng.standard_normal(n)
+        start.wait()
+        try:
+            for _ in range(requests_per_client):
+                t0 = time.perf_counter()
+                server.spmv(name, x, timeout=120)
+                latencies[cid].append(time.perf_counter() - t0)
+        except Exception as exc:  # noqa: BLE001 - surfaced to the caller
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(c,), daemon=True)
+        for c in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    start.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    if errors:
+        raise errors[0]
+    return elapsed, [v for lat in latencies for v in lat]
+
+
+def _quantiles_ms(latencies) -> dict:
+    data = np.sort(np.asarray(latencies))
+    if data.size == 0:
+        return {"p50": None, "p95": None, "p99": None}
+    pick = lambda q: float(data[min(int(np.ceil(q * data.size)) - 1, data.size - 1)])  # noqa: E731
+    return {
+        "p50": round(pick(0.50) * 1e3, 4),
+        "p95": round(pick(0.95) * 1e3, 4),
+        "p99": round(pick(0.99) * 1e3, 4),
+    }
+
+
+def run_serve_bench(
+    scale=64,
+    *,
+    matrix="sAMG",
+    fmt="pJDS",
+    clients=8,
+    requests_per_client=50,
+    batch_sizes=(1, 16),
+    max_delay_ms=2.0,
+    workers=2,
+    seed=0,
+):
+    """Benchmark the server at each ``max_batch``; batch 1 is the baseline.
+
+    Every configuration serves the *same* bound matrix (loaded once,
+    outside the timed region) so the comparison isolates the scheduler.
+    """
+    from repro.formats import convert
+    from repro.matrices import generate
+    from repro.serve import MatrixRegistry, SpMVServer
+
+    mat = convert(generate(matrix, scale=scale, seed=seed), fmt)
+    n = mat.ncols
+    records = []
+    for max_batch in batch_sizes:
+        registry = MatrixRegistry(tune=False)
+        registry.register("bench", matrix=mat)
+        server = SpMVServer(
+            registry,
+            max_batch=max_batch,
+            # batch-1 has nothing to wait for: dispatch immediately
+            max_delay_ms=0.0 if max_batch == 1 else max_delay_ms,
+            max_queue=max(256, clients * 4),
+            workers=workers,
+        )
+        try:
+            # warm up: load + bind the matrix and the worker clones
+            server.spmv("bench", np.ones(n), timeout=120)
+            elapsed, latencies = _closed_loop(
+                server,
+                "bench",
+                n,
+                clients=clients,
+                requests_per_client=requests_per_client,
+                seed=seed,
+            )
+            stats = server.stats()
+        finally:
+            server.close()
+        total = clients * requests_per_client
+        records.append(
+            {
+                "matrix": matrix,
+                "format": fmt,
+                "scale": scale,
+                "nrows": mat.nrows,
+                "nnz": mat.nnz,
+                "max_batch": max_batch,
+                "max_delay_ms": 0.0 if max_batch == 1 else max_delay_ms,
+                "clients": clients,
+                "workers": workers,
+                "requests": total,
+                "seconds": round(elapsed, 6),
+                "throughput_rps": round(total / elapsed, 3),
+                "spmm_calls": stats["spmm_calls"],
+                "mean_batch_size": stats["mean_batch_size"],
+                "latency_ms": _quantiles_ms(latencies),
+            }
+        )
+    base = next(r for r in records if r["max_batch"] == 1)
+    batched = [r for r in records if r["max_batch"] > 1] or [base]
+    best = max(batched, key=lambda r: r["throughput_rps"])
+    summary = {
+        "summary": True,
+        "baseline_rps": base["throughput_rps"],
+        "best_rps": best["throughput_rps"],
+        "best_max_batch": best["max_batch"],
+        "batched_speedup": round(
+            best["throughput_rps"] / base["throughput_rps"], 4
+        ),
+    }
+    return records + [summary]
+
+
+# ---------------------------------------------------------------------------
+# pytest smoke (collected because pytest python_files includes bench_*.py)
+# ---------------------------------------------------------------------------
+def test_bench_serve_smoke():
+    """Tiny closed loop: records well-formed, batching actually happened."""
+    records = run_serve_bench(
+        scale=512, clients=4, requests_per_client=10, batch_sizes=(1, 8)
+    )
+    rows = [r for r in records if not r.get("summary")]
+    assert {r["max_batch"] for r in rows} == {1, 8}
+    for r in rows:
+        assert r["requests"] == 40
+        assert r["throughput_rps"] > 0
+        assert r["latency_ms"]["p50"] is not None
+    base = next(r for r in rows if r["max_batch"] == 1)
+    batched = next(r for r in rows if r["max_batch"] == 8)
+    # baseline executes one spmm per request; batched coalesces
+    assert base["spmm_calls"] >= base["requests"]
+    assert batched["spmm_calls"] <= batched["requests"]
+    assert records[-1]["summary"] and records[-1]["batched_speedup"] > 0
+
+
+def main(argv=None):
+    import argparse
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--scale", type=int, default=64)
+    ap.add_argument("--matrix", default="sAMG")
+    ap.add_argument("--format", default="pJDS")
+    ap.add_argument("--clients", type=int, default=8)
+    ap.add_argument("--requests", type=int, default=50,
+                    help="requests per client")
+    ap.add_argument("--batches", type=int, nargs="+", default=[1, 4, 16],
+                    help="max_batch values to sweep (include 1 as baseline)")
+    ap.add_argument("--max-delay-ms", type=float, default=2.0)
+    ap.add_argument("--workers", type=int, default=2)
+    ap.add_argument("--out", default="BENCH_serve.json")
+    args = ap.parse_args(argv)
+    if 1 not in args.batches:
+        args.batches = [1, *args.batches]
+    records = run_serve_bench(
+        args.scale,
+        matrix=args.matrix,
+        fmt=args.format,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        batch_sizes=tuple(args.batches),
+        max_delay_ms=args.max_delay_ms,
+        workers=args.workers,
+    )
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(records, fh, indent=2)
+    hdr = (
+        f"{'max_batch':>9s} {'rps':>10s} {'mean_bs':>8s} "
+        f"{'spmm':>6s} {'p50ms':>8s} {'p95ms':>8s} {'p99ms':>8s}"
+    )
+    print(hdr)
+    for r in records:
+        if r.get("summary"):
+            continue
+        lat = r["latency_ms"]
+        print(
+            f"{r['max_batch']:9d} {r['throughput_rps']:10.1f} "
+            f"{r['mean_batch_size']:8.2f} {r['spmm_calls']:6d} "
+            f"{lat['p50']:8.3f} {lat['p95']:8.3f} {lat['p99']:8.3f}"
+        )
+    summary = records[-1]
+    print(
+        f"batched speedup: {summary['batched_speedup']:.2f}x "
+        f"(max_batch={summary['best_max_batch']}, "
+        f"{summary['best_rps']:.1f} vs {summary['baseline_rps']:.1f} rps)"
+    )
+    print(f"wrote {args.out} ({len(records)} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,8 @@ Examples
     python -m repro engine tune sAMG --format pjds # autotuner decision
     python -m repro obs --format pjds --out trace.json \
         --metrics-out metrics.prom        # instrumented run + artifacts
+    python -m repro serve --port 8080 --matrix sAMG --max-batch 32
+                                          # micro-batching HTTP server
 
 Heavy experiments accept ``--scale`` (matrix shrink factor relative to
 the paper dimensions; larger = faster).
@@ -298,6 +300,54 @@ def _resolve_format(name: str) -> str:
     return canon[key]
 
 
+def cmd_serve(args, out) -> int:
+    """``repro serve --port N``: boot the HTTP serving front-end.
+
+    Registers the requested suite matrices (lazy: assembled + autotuned
+    on first request), builds the micro-batching scheduler with the
+    given admission-control policy, and serves ``/v1/spmv``,
+    ``/v1/solve``, ``/healthz`` and ``/statz`` until interrupted.
+    """
+    from repro import obs
+    from repro.serve import Client, MatrixRegistry, SpMVServer, run_http_server
+
+    if args.obs:
+        obs.enable()
+    budget = None if args.budget_mb is None else int(args.budget_mb * 2**20)
+    registry = MatrixRegistry(budget_bytes=budget)
+    for spec in args.matrix or ["sAMG"]:
+        name, _, key = spec.partition("=")
+        registry.register_suite(
+            name, key or name, fmt=_resolve_format(args.format),
+            scale=args.scale, seed=args.seed,
+        )
+    for path in args.mtx:
+        from pathlib import Path
+
+        from repro.formats import convert
+        from repro.matrices import read_matrix_market
+
+        coo = read_matrix_market(path)
+        registry.register(
+            Path(path).stem, matrix=convert(coo, _resolve_format(args.format))
+        )
+    server = SpMVServer(
+        registry,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        max_queue=args.max_queue,
+        policy=args.policy,
+        workers=args.workers,
+    )
+    print(
+        f"serving {registry.names()} as {args.format} "
+        f"(max_batch={args.max_batch}, window={args.max_delay_ms}ms, "
+        f"policy={args.policy}, {args.workers} workers)",
+        file=out,
+    )
+    return run_http_server(Client(server), args.host, args.port, out=out)
+
+
 def cmd_obs(args, out) -> int:
     """Run an instrumented workload; dump trace + metrics artifacts.
 
@@ -472,6 +522,37 @@ def build_parser() -> argparse.ArgumentParser:
     pet.add_argument("--no-cache", action="store_true",
                      help="ignore and do not write the tuner cache")
 
+    pv = sub.add_parser(
+        "serve", help="HTTP SpMV/solver server with micro-batching"
+    )
+    common(pv)
+    pv.add_argument("--host", default="127.0.0.1")
+    pv.add_argument("--port", type=int, default=8000,
+                    help="listen port (0 picks a free one)")
+    pv.add_argument(
+        "--matrix", action="append", default=None, metavar="NAME[=KEY]",
+        help="suite matrix to serve (repeatable; default: sAMG). "
+             "NAME=KEY serves generator KEY under the name NAME",
+    )
+    pv.add_argument("--mtx", action="append", default=[], metavar="PATH",
+                    help="MatrixMarket file to serve under its stem name")
+    pv.add_argument("--format", default="pJDS",
+                    help="storage format (case-insensitive, e.g. pjds)")
+    pv.add_argument("--max-batch", type=int, default=16,
+                    help="most vectors coalesced into one spmm call")
+    pv.add_argument("--max-delay-ms", type=float, default=1.0,
+                    help="batching window: longest wait for batch-mates")
+    pv.add_argument("--max-queue", type=int, default=256,
+                    help="admission bound on queued requests")
+    pv.add_argument("--policy", choices=("block", "reject", "shed-oldest"),
+                    default="block", help="backpressure policy at the bound")
+    pv.add_argument("--workers", type=int, default=2,
+                    help="batch-executing worker threads")
+    pv.add_argument("--budget-mb", type=float, default=None,
+                    help="registry byte budget (LRU-evicts idle matrices)")
+    pv.add_argument("--obs", action="store_true",
+                    help="enable repro.obs (spans + /statz?format=prometheus)")
+
     po = sub.add_parser(
         "obs", help="instrumented run: dump Chrome trace + Prometheus metrics"
     )
@@ -504,6 +585,7 @@ _COMMANDS = {
     "spmv": cmd_spmv,
     "engine": cmd_engine,
     "obs": cmd_obs,
+    "serve": cmd_serve,
 }
 
 

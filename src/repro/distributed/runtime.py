@@ -36,11 +36,19 @@ _DEFAULT_TIMEOUT_S = 60.0
 
 
 class DistributedTimeout(RuntimeError):
-    """A rank (or several) did not finish within the timeout."""
+    """A rank (or several) did not finish within the timeout.
+
+    Carries structured fields for programmatic handling: ``stuck_ranks``
+    (which ranks were still running), ``timeout`` (the configured bound)
+    and ``where`` (the phase that timed out — ``"waitall (...)"`` from a
+    rank still expecting halo messages, ``"join"`` from the driver, or
+    ``"result gather"`` from the multiprocessing backend).
+    """
 
     def __init__(self, stuck_ranks: list[int], timeout: float, where: str):
         self.stuck_ranks = list(stuck_ranks)
         self.timeout = timeout
+        self.where = where
         super().__init__(
             f"distributed spMVM timed out after {timeout:g}s during {where}; "
             f"stuck ranks: {', '.join(map(str, stuck_ranks)) or '<unknown>'}"

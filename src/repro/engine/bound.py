@@ -131,7 +131,25 @@ class BoundMatrix:
         from repro.engine.spmm import spmm_dispatch
 
         X, out = self.matrix.check_rhs_block(X, out)
+        self.calls += 1
         return spmm_dispatch(self.matrix, X, out, ws=self.workspace)
+
+    def clone(self) -> "BoundMatrix":
+        """A new handle sharing the matrix + tune decision, fresh workspace.
+
+        A :class:`BoundMatrix` is **not** safe to call from two threads
+        at once: ``spmv``/``spmm`` scribble into the handle's named
+        :class:`~repro.engine.workspace.Workspace` buffers (and the
+        permuting formats' staging accumulator), so concurrent calls
+        corrupt each other's scratch.  ``clone()`` is the supported way
+        to share one tuned matrix across workers — the (read-only)
+        matrix data and the autotuner's variant decision are shared,
+        while every clone owns private scratch.  The matrix registry of
+        :mod:`repro.serve` hands each worker its own clone.
+        """
+        return BoundMatrix(
+            self.matrix, self.variant, Workspace(), self.tune_result
+        )
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -17,6 +17,7 @@ Everything is instrumented through :mod:`repro.obs` when enabled:
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -30,15 +31,24 @@ from repro.formats.base import SparseMatrixFormat
 __all__ = ["fingerprint", "TuneResult", "autotune", "default_tuner_cache"]
 
 _DEFAULT_CACHE = None
+_DEFAULT_CACHE_LOCK = threading.Lock()
 
 
 def default_tuner_cache():
-    """Process-wide :class:`~repro.matrices.cache.TunerCache` singleton."""
+    """Process-wide :class:`~repro.matrices.cache.TunerCache` singleton.
+
+    Safe to call from concurrent ``bind()`` paths (e.g. the
+    :mod:`repro.serve` worker pool): the double-checked lock guarantees
+    exactly one cache is ever created, so decisions recorded by one
+    thread are visible to all others.
+    """
     global _DEFAULT_CACHE
     if _DEFAULT_CACHE is None:
-        from repro.matrices.cache import TunerCache
+        with _DEFAULT_CACHE_LOCK:
+            if _DEFAULT_CACHE is None:
+                from repro.matrices.cache import TunerCache
 
-        _DEFAULT_CACHE = TunerCache()
+                _DEFAULT_CACHE = TunerCache()
     return _DEFAULT_CACHE
 
 

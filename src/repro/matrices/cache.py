@@ -16,6 +16,7 @@ skips the timing phase entirely.
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -111,6 +112,11 @@ class TunerCache:
     ``<cache_dir>/tuner_cache.json``.  Disk I/O is best-effort: a
     corrupt or unwritable file silently degrades to memory-only
     operation (tuning again is always safe, just slower).
+
+    All public methods are thread-safe: concurrent ``bind()`` calls
+    from a worker pool (see :mod:`repro.serve`) race on the lazy load
+    and on ``put`` otherwise, losing updates or double-reading the
+    mirror file.
     """
 
     def __init__(self, path: Path | str | None = None, *, persist: bool = True):
@@ -120,6 +126,7 @@ class TunerCache:
         self._persist = persist
         self._entries: dict[str, dict] = {}
         self._loaded = False
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     @property
@@ -162,24 +169,28 @@ class TunerCache:
     # ------------------------------------------------------------------
     def get(self, fingerprint: str) -> dict | None:
         """Return the cached decision record or None."""
-        self._load()
-        return self._entries.get(fingerprint)
+        with self._lock:
+            self._load()
+            return self._entries.get(fingerprint)
 
     def put(self, fingerprint: str, record: dict) -> None:
         """Store a decision record and mirror it to disk."""
-        self._load()
-        self._entries[fingerprint] = dict(record)
-        self._flush()
+        with self._lock:
+            self._load()
+            self._entries[fingerprint] = dict(record)
+            self._flush()
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._loaded = True
-        if self._persist:
-            try:
-                self._path.unlink()
-            except OSError:
-                pass
+        with self._lock:
+            self._entries.clear()
+            self._loaded = True
+            if self._persist:
+                try:
+                    self._path.unlink()
+                except OSError:
+                    pass
 
     def __len__(self) -> int:
-        self._load()
-        return len(self._entries)
+        with self._lock:
+            self._load()
+            return len(self._entries)

@@ -35,6 +35,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricFamily,
     MetricsRegistry,
+    Summary,
     counter,
     disable,
     enable,
@@ -44,8 +45,10 @@ from repro.obs.metrics import (
     histogram,
     inc,
     observe,
+    observe_summary,
     reset,
     set_gauge,
+    summary,
 )
 from repro.obs.spans import (
     Span,
@@ -71,15 +74,18 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Summary",
     "MetricFamily",
     "MetricsRegistry",
     "get_registry",
     "counter",
     "gauge",
     "histogram",
+    "summary",
     "inc",
     "set_gauge",
     "observe",
+    "observe_summary",
     # spans
     "Span",
     "SpanContext",

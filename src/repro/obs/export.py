@@ -22,7 +22,7 @@ import json
 import math
 from typing import IO, Iterable
 
-from repro.obs.metrics import Histogram, MetricsRegistry, get_registry
+from repro.obs.metrics import Histogram, MetricsRegistry, Summary, get_registry
 from repro.obs.spans import Span, Tracer, get_tracer
 
 __all__ = [
@@ -171,6 +171,19 @@ def prometheus_text(registry: MetricsRegistry | None = None) -> str:
                 lines.append(
                     f"{fam.name}_count{_format_labels(labels)} {child.count}"
                 )
+            elif isinstance(child, Summary):
+                for q, v in child.snapshot().items():
+                    ll = dict(labels)
+                    ll["quantile"] = _format_value(q)
+                    val = "NaN" if math.isnan(v) else _format_value(v)
+                    lines.append(f"{fam.name}{_format_labels(ll)} {val}")
+                lines.append(
+                    f"{fam.name}_sum{_format_labels(labels)} "
+                    f"{_format_value(child.sum)}"
+                )
+                lines.append(
+                    f"{fam.name}_count{_format_labels(labels)} {child.count}"
+                )
             else:
                 lines.append(
                     f"{fam.name}{_format_labels(labels)} "
@@ -193,7 +206,7 @@ def parse_prometheus_text(text: str) -> dict[str, dict]:
         base = sample_name
         for suffix in ("_bucket", "_sum", "_count"):
             trimmed = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
-            if trimmed and out.get(trimmed, {}).get("kind") == "histogram":
+            if trimmed and out.get(trimmed, {}).get("kind") in ("histogram", "summary"):
                 base = trimmed
                 break
         return out.setdefault(
@@ -235,6 +248,8 @@ def parse_prometheus_text(text: str) -> dict[str, dict]:
             value = math.inf
         elif value_str == "-Inf":
             value = -math.inf
+        elif value_str == "NaN":
+            value = math.nan
         else:
             value = float(value_str)
         family_for(name)["samples"][(name, key)] = value
@@ -291,6 +306,13 @@ def _metric_records(registry: MetricsRegistry) -> Iterable[dict]:
                     {"le": "+Inf" if b == math.inf else b, "count": c}
                     for b, c in child.buckets()
                 ]
+            elif isinstance(child, Summary):
+                rec["sum"] = child.sum
+                rec["count"] = child.count
+                rec["quantiles"] = {
+                    str(q): (None if math.isnan(v) else v)
+                    for q, v in child.snapshot().items()
+                }
             else:
                 rec["value"] = child.value
             yield rec

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import math
 import threading
+from collections import deque
 from dataclasses import dataclass, field
 
 __all__ = [
@@ -39,15 +40,18 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Summary",
     "MetricFamily",
     "MetricsRegistry",
     "get_registry",
     "counter",
     "gauge",
     "histogram",
+    "summary",
     "inc",
     "set_gauge",
     "observe",
+    "observe_summary",
 ]
 
 # ---------------------------------------------------------------------------
@@ -181,7 +185,84 @@ class Histogram:
         return self.sum / self.count
 
 
-_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+#: default quantiles exposed by :class:`Summary` (the /statz trio)
+DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
+
+
+class Summary:
+    """Sliding-window quantile summary (p50/p95/p99 over recent values).
+
+    Unlike :class:`Histogram` (cumulative log buckets, unbounded
+    history), a summary answers "what is the p99 request latency *right
+    now*": quantiles are computed over the last ``window`` observations
+    only, so a traffic spike ages out instead of being diluted forever.
+    ``sum``/``count`` stay cumulative (Prometheus summary semantics).
+
+    ``quantile(q)`` uses the nearest-rank method on a snapshot of the
+    window — O(window log window) per call, intended for scrape/statz
+    cadence, not hot loops.  Thread-safe: observations append to a
+    bounded deque; readers sort a snapshot.
+    """
+
+    def __init__(
+        self,
+        labels: dict[str, str] | None = None,
+        *,
+        window: int = 1024,
+        quantiles: tuple[float, ...] = DEFAULT_QUANTILES,
+    ):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        for q in quantiles:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"quantiles must be in [0, 1], got {q}")
+        self.labels = labels or {}
+        self.window = window
+        self.quantiles = tuple(quantiles)
+        self._recent: deque[float] = deque(maxlen=window)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        self._recent.append(value)
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the current window (NaN when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        data = sorted(self._recent)
+        if not data:
+            return math.nan
+        rank = max(int(math.ceil(q * len(data))) - 1, 0)
+        return data[rank]
+
+    def snapshot(self) -> dict[float, float]:
+        """All configured quantiles in one sorted pass."""
+        data = sorted(self._recent)
+        out: dict[float, float] = {}
+        for q in self.quantiles:
+            if not data:
+                out[q] = math.nan
+            else:
+                out[q] = data[max(int(math.ceil(q * len(data))) - 1, 0)]
+        return out
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise RuntimeError("no observations recorded")
+        return self.sum / self.count
+
+
+_KINDS = {
+    "counter": Counter,
+    "gauge": Gauge,
+    "histogram": Histogram,
+    "summary": Summary,
+}
 
 
 # ---------------------------------------------------------------------------
@@ -192,7 +273,15 @@ _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 class MetricFamily:
     """One metric name with help text, a kind, and labeled children."""
 
-    def __init__(self, name: str, kind: str, help: str = "", growth: float = 2.0):
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        growth: float = 2.0,
+        window: int = 1024,
+        quantiles: tuple[float, ...] = DEFAULT_QUANTILES,
+    ):
         if kind not in _KINDS:
             raise ValueError(f"kind must be one of {sorted(_KINDS)}, got {kind!r}")
         _validate_name(name)
@@ -200,7 +289,9 @@ class MetricFamily:
         self.kind = kind
         self.help = help
         self.growth = growth
-        self._children: dict[LabelKey, Counter | Gauge | Histogram] = {}
+        self.window = window
+        self.quantiles = tuple(quantiles)
+        self._children: dict[LabelKey, Counter | Gauge | Histogram | Summary] = {}
         self._lock = threading.Lock()
 
     def labels(self, **labels: str):
@@ -214,12 +305,18 @@ class MetricFamily:
                     kw = dict(key)
                     if self.kind == "histogram":
                         child = Histogram(kw, growth=self.growth)
+                    elif self.kind == "summary":
+                        child = Summary(
+                            kw, window=self.window, quantiles=self.quantiles
+                        )
                     else:
                         child = _KINDS[self.kind](kw)
                     self._children[key] = child
         return child
 
-    def samples(self) -> list[tuple[dict[str, str], "Counter | Gauge | Histogram"]]:
+    def samples(
+        self,
+    ) -> list[tuple[dict[str, str], "Counter | Gauge | Histogram | Summary"]]:
         """``(labels, child)`` pairs in deterministic (sorted-key) order."""
         with self._lock:
             return [(dict(k), c) for k, c in sorted(self._children.items())]
@@ -276,6 +373,18 @@ class MetricsRegistry:
     ) -> MetricFamily:
         return self._family(name, "histogram", help, growth=growth)
 
+    def summary(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        window: int = 1024,
+        quantiles: tuple[float, ...] = DEFAULT_QUANTILES,
+    ) -> MetricFamily:
+        return self._family(
+            name, "summary", help, window=window, quantiles=quantiles
+        )
+
     def families(self) -> list[MetricFamily]:
         with self._lock:
             return [self._families[n] for n in sorted(self._families)]
@@ -316,6 +425,18 @@ def histogram(name: str, help: str = "", *, growth: float = 2.0) -> MetricFamily
     return _default_registry.histogram(name, help, growth=growth)
 
 
+def summary(
+    name: str,
+    help: str = "",
+    *,
+    window: int = 1024,
+    quantiles: tuple[float, ...] = DEFAULT_QUANTILES,
+) -> MetricFamily:
+    return _default_registry.summary(
+        name, help, window=window, quantiles=quantiles
+    )
+
+
 def inc(name: str, amount: float = 1.0, **labels: str) -> None:
     """Increment a counter in the default registry (no-op when disabled)."""
     if _enabled:
@@ -332,3 +453,9 @@ def observe(name: str, value: float, **labels: str) -> None:
     """Observe into a histogram in the default registry (no-op when disabled)."""
     if _enabled:
         _default_registry.histogram(name).observe(value, **labels)
+
+
+def observe_summary(name: str, value: float, **labels: str) -> None:
+    """Observe into a summary in the default registry (no-op when disabled)."""
+    if _enabled:
+        _default_registry.summary(name).observe(value, **labels)

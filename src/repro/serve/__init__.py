@@ -1,0 +1,54 @@
+"""repro.serve — concurrent SpMV serving: registry, batching, admission.
+
+The serving subsystem turns the repo's batch primitives into a
+long-lived process that can take heavy concurrent traffic:
+
+* :mod:`repro.serve.registry` — named pool of resident, autotuned
+  :class:`~repro.engine.bound.BoundMatrix` handles; refcounted leases
+  and byte-budget LRU eviction (in-use matrices are never evicted).
+* :mod:`repro.serve.scheduler` — the micro-batcher: concurrent
+  ``spmv(name, x)`` requests per matrix coalesce (``max_batch`` /
+  ``max_delay_ms`` window) into single ``spmm`` calls on a worker pool
+  — the Eq. (1) bandwidth argument applied to serving.  Admission
+  control bounds the queue with ``block`` / ``reject`` / ``shed-oldest``
+  backpressure and enforces per-request deadlines before work reaches
+  a worker.
+* :mod:`repro.serve.client` — the in-process API (``spmv``, ``solve``,
+  ``eigsh``, ``stats``).
+* :mod:`repro.serve.http` — stdlib JSON endpoint (``repro serve
+  --port N``): ``/v1/spmv``, ``/v1/solve``, ``/healthz``, ``/statz``.
+* :mod:`repro.serve.errors` — the error taxonomy
+  (:class:`ServerOverloaded`, :class:`DeadlineExceeded`, ...), each
+  mapped to one HTTP status.
+
+See ``docs/serving.md`` for architecture, window semantics and the
+metrics table.
+"""
+
+from repro.serve.client import Client
+from repro.serve.errors import (
+    DeadlineExceeded,
+    MatrixNotFound,
+    ServeError,
+    ServerClosed,
+    ServerOverloaded,
+)
+from repro.serve.http import make_http_server, run_http_server
+from repro.serve.registry import MatrixLease, MatrixRegistry, MatrixSpec
+from repro.serve.scheduler import POLICIES, SpMVServer
+
+__all__ = [
+    "Client",
+    "DeadlineExceeded",
+    "MatrixLease",
+    "MatrixNotFound",
+    "MatrixRegistry",
+    "MatrixSpec",
+    "POLICIES",
+    "ServeError",
+    "ServerClosed",
+    "ServerOverloaded",
+    "SpMVServer",
+    "make_http_server",
+    "run_http_server",
+]

@@ -1,0 +1,139 @@
+"""In-process client API for the serving subsystem.
+
+The :class:`Client` is the programmatic front-end the HTTP endpoint is
+a thin JSON shim over: ``spmv`` goes through the micro-batching
+scheduler (so concurrent in-process callers coalesce exactly like HTTP
+traffic), ``solve`` runs the iterative solvers against a leased,
+worker-private clone of the registered matrix.
+
+Solves are *not* micro-batched: a CG run is thousands of dependent
+SpMVs, so there is nothing to coalesce across requests — instead each
+solve leases the matrix (pinning it against eviction for the whole
+run) and iterates through the allocation-free
+:func:`~repro.engine.bound.make_spmv_operator` machinery the solvers
+already use for bound matrices.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.serve.scheduler import SpMVServer
+
+__all__ = ["Client"]
+
+
+class Client:
+    """Typed convenience wrapper around one :class:`SpMVServer`."""
+
+    def __init__(self, server: SpMVServer):
+        self.server = server
+
+    # -- matvec ------------------------------------------------------------
+    def spmv(
+        self,
+        matrix: str,
+        x,
+        *,
+        deadline_ms: float | None = None,
+        timeout: float | None = None,
+    ) -> np.ndarray:
+        """Blocking ``y = A @ x`` through the batching scheduler."""
+        return self.server.spmv(
+            matrix, x, deadline_ms=deadline_ms, timeout=timeout
+        )
+
+    def spmv_async(self, matrix: str, x, *, deadline_ms: float | None = None):
+        """Fire-and-collect variant; returns a ``concurrent.futures.Future``."""
+        return self.server.submit(matrix, x, deadline_ms=deadline_ms)
+
+    # -- solvers -----------------------------------------------------------
+    def solve(
+        self,
+        matrix: str,
+        b,
+        *,
+        method: str = "cg",
+        tol: float = 1e-8,
+        max_iter: int | None = None,
+    ) -> dict:
+        """Solve ``A x = b`` (``method="cg"``) on a leased matrix clone.
+
+        Returns a JSON-friendly dict (``x`` as a list through the HTTP
+        shim stays an ndarray here).
+        """
+        if method != "cg":
+            raise ValueError(f"unknown solve method {method!r}; use 'cg'")
+        from repro.solvers import conjugate_gradient
+
+        b = np.asarray(b)
+        t0 = time.perf_counter()
+        with obs.span("serve.solve", matrix=matrix, method=method):
+            with self.server.registry.acquire(matrix) as lease:
+                bound = lease.clone_for(("solve", threading.get_ident()))
+                res = conjugate_gradient(
+                    bound, b, tol=tol, max_iter=max_iter
+                )
+        dt = time.perf_counter() - t0
+        if obs.enabled():
+            obs.observe_summary("serve_solve_seconds", dt, matrix=matrix)
+            obs.inc("serve_solves_total", 1, matrix=matrix, method=method)
+        return {
+            "x": res.x,
+            "iterations": res.iterations,
+            "residual_norm": float(res.residual_norm),
+            "converged": bool(res.converged),
+            "spmv_count": res.spmv_count,
+            "seconds": dt,
+        }
+
+    def eigsh(
+        self,
+        matrix: str,
+        *,
+        num_eigenvalues: int = 1,
+        tol: float = 1e-8,
+        max_iter: int = 200,
+        seed: int = 0,
+    ) -> dict:
+        """Smallest eigenvalues via Lanczos on a leased matrix clone."""
+        from repro.solvers import lanczos
+
+        t0 = time.perf_counter()
+        with obs.span("serve.solve", matrix=matrix, method="lanczos"):
+            with self.server.registry.acquire(matrix) as lease:
+                bound = lease.clone_for(("solve", threading.get_ident()))
+                res = lanczos(
+                    bound,
+                    num_eigenvalues=num_eigenvalues,
+                    tol=tol,
+                    max_iter=max_iter,
+                    seed=seed,
+                )
+        dt = time.perf_counter() - t0
+        if obs.enabled():
+            obs.observe_summary("serve_solve_seconds", dt, matrix=matrix)
+            obs.inc("serve_solves_total", 1, matrix=matrix, method="lanczos")
+        return {
+            "eigenvalues": res.eigenvalues,
+            "iterations": res.iterations,
+            "residual_norms": res.residual_norms,
+            "spmv_count": res.spmv_count,
+            "seconds": dt,
+        }
+
+    # -- introspection -----------------------------------------------------
+    def stats(self) -> dict:
+        return self.server.stats()
+
+    def health(self) -> dict:
+        s = self.server
+        return {
+            "status": "closing" if s.stats()["closing"] else "ok",
+            "queue_depth": s.queue_depth,
+            "resident": s.registry.resident(),
+        }

@@ -1,0 +1,88 @@
+"""Error taxonomy of the serving subsystem.
+
+Every failure a client can observe maps to exactly one exception type
+(and, through the HTTP front-end, one status code):
+
+============================  ======  =====================================
+exception                     HTTP    meaning
+============================  ======  =====================================
+:class:`MatrixNotFound`       404     no registered matrix under that name
+:class:`ServerOverloaded`     503     admission control refused the request
+:class:`DeadlineExceeded`     504     the request's deadline expired queued
+:class:`ServerClosed`         503     the server is shutting down
+============================  ======  =====================================
+
+All inherit :class:`ServeError`, so front-ends can catch the whole
+family with one handler while tests assert the precise subtype.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServeError",
+    "MatrixNotFound",
+    "ServerOverloaded",
+    "DeadlineExceeded",
+    "ServerClosed",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class for all serving-layer failures."""
+
+    #: HTTP status the front-end maps this error family to
+    http_status = 500
+
+
+class MatrixNotFound(ServeError):
+    """The named matrix is not registered (and no loader can produce it)."""
+
+    http_status = 404
+
+    def __init__(self, name: str, available: list[str] | None = None):
+        self.name = name
+        self.available = list(available or [])
+        hint = f"; registered: {self.available}" if self.available else ""
+        super().__init__(f"no matrix registered under {name!r}{hint}")
+
+
+class ServerOverloaded(ServeError):
+    """Admission control rejected (or shed) the request.
+
+    ``reason`` distinguishes a fast-fail rejection (``"queue full"``,
+    the *reject* policy) from a victim of the *shed-oldest* policy
+    (``"shed"``) and a bounded *block* wait that timed out.
+    """
+
+    http_status = 503
+
+    def __init__(self, reason: str, depth: int, limit: int):
+        self.reason = reason
+        self.depth = depth
+        self.limit = limit
+        super().__init__(
+            f"server overloaded ({reason}): queue depth {depth} >= limit {limit}"
+        )
+
+
+class DeadlineExceeded(ServeError):
+    """The request's deadline expired before a worker picked it up."""
+
+    http_status = 504
+
+    def __init__(self, waited_s: float, deadline_s: float):
+        self.waited_s = waited_s
+        self.deadline_s = deadline_s
+        super().__init__(
+            f"deadline exceeded: waited {waited_s * 1e3:.2f} ms, "
+            f"deadline was {deadline_s * 1e3:.2f} ms"
+        )
+
+
+class ServerClosed(ServeError):
+    """Submit was called on (or a request was pending in) a closed server."""
+
+    http_status = 503
+
+    def __init__(self, what: str = "server is closed"):
+        super().__init__(what)

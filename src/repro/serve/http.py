@@ -1,0 +1,198 @@
+"""Stdlib JSON-over-HTTP front-end for the serving subsystem.
+
+A deliberately dependency-free shim over :class:`~repro.serve.client.Client`
+built on ``http.server.ThreadingHTTPServer`` — one OS thread per
+connection, which is exactly what the micro-batcher wants: concurrent
+handler threads all block in ``server.spmv(...)`` and their vectors
+coalesce into shared ``spmm`` batches.
+
+Endpoints
+---------
+``GET /healthz``
+    Liveness: ``{"status": "ok", "uptime_s": ..., "queue_depth": ...}``.
+``GET /statz``
+    Full scheduler + registry snapshot (see ``SpMVServer.stats``);
+    ``GET /statz?format=prometheus`` returns the
+    :mod:`repro.obs` text exposition instead (requires ``obs.enable()``).
+``POST /v1/spmv``
+    Body ``{"matrix": name, "x": [...], "deadline_ms"?: float}`` →
+    ``{"y": [...]}``.  Errors map to the taxonomy's status codes
+    (404 unknown matrix, 503 overloaded, 504 deadline).
+``POST /v1/solve``
+    Body ``{"matrix": name, "b": [...], "method"?: "cg"|"lanczos",
+    "tol"?: float, "max_iter"?: int, "num_eigenvalues"?: int}``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlparse
+
+import numpy as np
+
+from repro import obs
+from repro.serve.client import Client
+from repro.serve.errors import ServeError
+
+__all__ = ["make_http_server", "run_http_server"]
+
+_MAX_BODY = 64 * 2**20  # 64 MiB: a ~4M-row float64 vector
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # injected by make_http_server via the server instance
+    @property
+    def client(self) -> Client:
+        return self.server.serve_client  # type: ignore[attr-defined]
+
+    # -- plumbing ----------------------------------------------------------
+    def log_message(self, fmt, *args):  # noqa: D102 - stdlib signature
+        if obs.enabled():
+            obs.inc("serve_http_log_lines_total", 1)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        if obs.enabled():
+            obs.inc(
+                "serve_http_requests_total",
+                1,
+                path=urlparse(self.path).path,
+                status=str(status),
+            )
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ValueError("request body required")
+        if length > _MAX_BODY:
+            raise ValueError(f"request body too large ({length} bytes)")
+        blob = json.loads(self.rfile.read(length))
+        if not isinstance(blob, dict):
+            raise ValueError("request body must be a JSON object")
+        return blob
+
+    # -- routes ------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = urlparse(self.path)
+        if path.path == "/healthz":
+            health = self.client.health()
+            health["uptime_s"] = round(
+                time.monotonic() - self.server.started_at, 3  # type: ignore[attr-defined]
+            )
+            self._send_json(200, health)
+        elif path.path == "/statz":
+            if "format=prometheus" in (path.query or ""):
+                text = obs.prometheus_text()
+                body = text.encode()
+                self.send_response(200)
+                self.send_header("Content-Type", "text/plain; version=0.0.4")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            else:
+                self._send_json(200, self.client.stats())
+        else:
+            self._send_json(404, {"error": f"no such endpoint {path.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        path = urlparse(self.path).path
+        try:
+            if path == "/v1/spmv":
+                self._spmv()
+            elif path == "/v1/solve":
+                self._solve()
+            else:
+                self._send_json(404, {"error": f"no such endpoint {path!r}"})
+        except ServeError as exc:
+            self._send_json(
+                exc.http_status,
+                {"error": str(exc), "type": type(exc).__name__},
+            )
+        except (ValueError, TypeError, KeyError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": str(exc), "type": type(exc).__name__})
+
+    def _spmv(self) -> None:
+        req = self._read_json()
+        name = req["matrix"]
+        x = np.asarray(req["x"], dtype=np.float64)
+        deadline_ms = req.get("deadline_ms")
+        t0 = time.perf_counter()
+        y = self.client.spmv(name, x, deadline_ms=deadline_ms)
+        self._send_json(
+            200,
+            {
+                "matrix": name,
+                "y": y.tolist(),
+                "n": int(y.shape[0]),
+                "seconds": round(time.perf_counter() - t0, 6),
+            },
+        )
+
+    def _solve(self) -> None:
+        req = self._read_json()
+        name = req["matrix"]
+        method = req.get("method", "cg")
+        if method == "cg":
+            res = self.client.solve(
+                name,
+                np.asarray(req["b"], dtype=np.float64),
+                tol=float(req.get("tol", 1e-8)),
+                max_iter=req.get("max_iter"),
+            )
+            res["x"] = np.asarray(res["x"]).tolist()
+        elif method == "lanczos":
+            res = self.client.eigsh(
+                name,
+                num_eigenvalues=int(req.get("num_eigenvalues", 1)),
+                tol=float(req.get("tol", 1e-8)),
+                max_iter=int(req.get("max_iter", 200)),
+            )
+            res["eigenvalues"] = np.asarray(res["eigenvalues"]).tolist()
+            res["residual_norms"] = np.asarray(res["residual_norms"]).tolist()
+        else:
+            raise ValueError(f"unknown method {method!r}; use 'cg' or 'lanczos'")
+        res["matrix"] = name
+        res["method"] = method
+        self._send_json(200, res)
+
+
+def make_http_server(
+    client: Client, host: str = "127.0.0.1", port: int = 8000
+) -> ThreadingHTTPServer:
+    """Build (but do not run) the HTTP front-end; ``port=0`` auto-picks."""
+    httpd = ThreadingHTTPServer((host, port), _Handler)
+    httpd.daemon_threads = True
+    httpd.serve_client = client  # type: ignore[attr-defined]
+    httpd.started_at = time.monotonic()  # type: ignore[attr-defined]
+    return httpd
+
+
+def run_http_server(
+    client: Client, host: str = "127.0.0.1", port: int = 8000, out=None
+):
+    """Blocking serve loop (the ``repro serve`` CLI entry point)."""
+    httpd = make_http_server(client, host, port)
+    if out is not None:
+        print(
+            f"repro serve listening on http://{host}:{httpd.server_address[1]} "
+            f"(matrices: {', '.join(client.server.registry.names()) or '<none>'})",
+            file=out,
+        )
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        httpd.shutdown()
+        client.server.close()
+    return 0

@@ -1,0 +1,566 @@
+"""Micro-batching SpMV scheduler with admission control.
+
+The serving argument is the paper's Eq. (1) argument run backwards:
+SpMV is bandwidth-bound, so *k* concurrent ``A @ x`` requests against
+the same matrix cost nearly the same memory traffic as one — if they
+are executed as a single block product ``A @ [x_1 .. x_k]``.  The
+scheduler therefore coalesces concurrent requests per matrix into
+micro-batches (up to ``max_batch`` vectors or a ``max_delay_ms``
+deadline, whichever comes first) and runs each batch as **one**
+:meth:`~repro.engine.bound.BoundMatrix.spmm` call on a worker-private
+clone, scattering the result columns back to per-request futures.
+
+Admission control in front of the batcher keeps overload from turning
+into unbounded queueing: the pending-request count is capped at
+``max_queue`` with three backpressure policies —
+
+* ``block``   — the submitting thread waits for space (optionally
+  bounded by ``admission_timeout_s``),
+* ``reject``  — fail fast with :class:`~repro.serve.errors.ServerOverloaded`,
+* ``shed-oldest`` — admit the newcomer, fail the oldest queued request
+  (freshest-work-wins, the classic head-drop queue).
+
+Per-request deadlines are enforced *before* work reaches a worker: an
+expired request is completed with
+:class:`~repro.serve.errors.DeadlineExceeded` at pop time and never
+stacked into a batch.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+
+import numpy as np
+
+from repro import obs
+from repro.obs.metrics import Summary
+from repro.serve.errors import (
+    DeadlineExceeded,
+    MatrixNotFound,
+    ServerClosed,
+    ServerOverloaded,
+)
+from repro.serve.registry import MatrixRegistry
+
+__all__ = ["SpMVServer", "POLICIES"]
+
+POLICIES = ("block", "reject", "shed-oldest")
+
+_STATUSES = ("ok", "rejected", "shed", "expired", "error")
+
+
+class _Request:
+    __slots__ = ("matrix", "x", "future", "t_submit", "t_deadline")
+
+    def __init__(
+        self,
+        matrix: str,
+        x: np.ndarray,
+        t_submit: float,
+        t_deadline: float | None,
+    ):
+        self.matrix = matrix
+        self.x = x
+        self.future: "Future[np.ndarray]" = Future()
+        self.t_submit = t_submit
+        self.t_deadline = t_deadline
+
+
+class SpMVServer:
+    """Concurrent SpMV front door: admission → micro-batches → workers.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.serve.registry.MatrixRegistry` requests are
+        resolved against.
+    max_batch:
+        Most vectors coalesced into one ``spmm`` call.
+    max_delay_ms:
+        Longest a request waits for batch-mates before the partial
+        batch is dispatched anyway (the batching window).
+    max_queue:
+        Admission bound on *queued* (not yet dispatched) requests.
+    policy:
+        Backpressure policy: ``block`` / ``reject`` / ``shed-oldest``.
+    workers:
+        Worker threads executing batches (each uses a private
+        :meth:`~repro.engine.bound.BoundMatrix.clone`).
+    autostart:
+        ``False`` leaves the workers unstarted (requests queue up)
+        until :meth:`start` — deterministic batch formation for tests.
+    """
+
+    def __init__(
+        self,
+        registry: MatrixRegistry,
+        *,
+        max_batch: int = 16,
+        max_delay_ms: float = 1.0,
+        max_queue: int = 256,
+        policy: str = "block",
+        workers: int = 2,
+        autostart: bool = True,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay_ms < 0:
+            raise ValueError(f"max_delay_ms must be >= 0, got {max_delay_ms}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.registry = registry
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_ms / 1e3
+        self.max_queue = max_queue
+        self.policy = policy
+        self.num_workers = workers
+
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._pending: "OrderedDict[str, deque[_Request]]" = OrderedDict()
+        self._depth = 0
+        self._closing = False
+        self._threads: list[threading.Thread] = []
+        self._started = False
+
+        # own (obs-independent) accounting so /statz works with obs off
+        self._status_counts = dict.fromkeys(_STATUSES, 0)
+        self._batches = 0
+        self._spmm_calls = 0
+        self._batched_vectors = 0
+        self._latency = Summary(window=4096)
+        self._per_matrix: dict[str, dict] = {}
+
+        self._clock = time.perf_counter
+        if autostart:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "SpMVServer":
+        """Start the worker pool (idempotent)."""
+        with self._lock:
+            if self._closing:
+                raise ServerClosed("cannot start a closed server")
+            if self._started:
+                return self
+            self._started = True
+        for i in range(self.num_workers):
+            t = threading.Thread(
+                target=self._worker, args=(i,), name=f"serve-worker-{i}",
+                daemon=True,
+            )
+            self._threads.append(t)
+            t.start()
+        return self
+
+    def close(self, *, drain: bool = True, timeout: float | None = 10.0) -> None:
+        """Stop accepting requests; drain (default) or fail the queue."""
+        with self._lock:
+            self._closing = True
+            if not drain:
+                self._fail_all_pending_locked(ServerClosed("server closed"))
+            self._ready.notify_all()
+            self._not_full.notify_all()
+        started = self._started
+        for t in self._threads:
+            t.join(timeout=timeout)
+        with self._lock:
+            # workers gone (or never started): nothing will serve leftovers
+            if not started or drain:
+                self._fail_all_pending_locked(ServerClosed("server closed"))
+
+    def _fail_all_pending_locked(self, exc: Exception) -> None:
+        for dq in self._pending.values():
+            while dq:
+                req = dq.popleft()
+                self._depth -= 1
+                req.future.set_exception(exc)
+                self._count_locked(req.matrix, "error")
+        self._publish_depth_locked()
+
+    def __enter__(self) -> "SpMVServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # submission / admission control
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        matrix: str,
+        x,
+        *,
+        deadline_ms: float | None = None,
+        admission_timeout_s: float | None = None,
+    ) -> "Future[np.ndarray]":
+        """Queue one ``y = A @ x`` request; returns a future for ``y``.
+
+        ``deadline_ms`` bounds total queueing time: a request still
+        queued when it expires completes exceptionally with
+        :class:`DeadlineExceeded` and is never executed.
+        ``admission_timeout_s`` bounds the wait under the ``block``
+        policy (``None`` = wait until space or close).
+        """
+        if not self.registry.has(matrix):
+            raise MatrixNotFound(matrix, self.registry.names())
+        x = np.asarray(x)
+        if x.ndim != 1:
+            raise ValueError(f"x must be 1-D, got shape {x.shape}")
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {deadline_ms}")
+        now = self._clock()
+        req = _Request(
+            matrix,
+            x,
+            now,
+            None if deadline_ms is None else now + deadline_ms / 1e3,
+        )
+        with self._lock:
+            self._admit_locked(req, admission_timeout_s)
+            self._pending.setdefault(matrix, deque()).append(req)
+            self._depth += 1
+            self._publish_depth_locked()
+            self._ready.notify()
+        return req.future
+
+    def spmv(self, matrix: str, x, *, deadline_ms: float | None = None,
+             timeout: float | None = None) -> np.ndarray:
+        """Synchronous convenience: submit and wait for the result."""
+        return self.submit(matrix, x, deadline_ms=deadline_ms).result(timeout)
+
+    def _admit_locked(
+        self, req: _Request, admission_timeout_s: float | None
+    ) -> None:
+        if self._closing:
+            raise ServerClosed()
+        if self._depth < self.max_queue:
+            return
+        if self.policy == "reject":
+            self._count_locked(req.matrix, "rejected")
+            raise ServerOverloaded("queue full", self._depth, self.max_queue)
+        if self.policy == "shed-oldest":
+            while self._depth >= self.max_queue:
+                victim = self._pop_oldest_locked()
+                if victim is None:  # pragma: no cover - depth implies one
+                    break
+                victim.future.set_exception(
+                    ServerOverloaded("shed", self._depth + 1, self.max_queue)
+                )
+                self._count_locked(victim.matrix, "shed")
+            self._publish_depth_locked()
+            return
+        # block
+        limit = (
+            None
+            if admission_timeout_s is None
+            else self._clock() + admission_timeout_s
+        )
+        while self._depth >= self.max_queue:
+            if self._closing:
+                raise ServerClosed()
+            remaining = None if limit is None else limit - self._clock()
+            if remaining is not None and remaining <= 0:
+                self._count_locked(req.matrix, "rejected")
+                raise ServerOverloaded(
+                    "block timeout", self._depth, self.max_queue
+                )
+            self._not_full.wait(timeout=remaining)
+
+    def _pop_oldest_locked(self) -> _Request | None:
+        victim_dq = None
+        for dq in self._pending.values():
+            if dq and (victim_dq is None or dq[0].t_submit < victim_dq[0].t_submit):
+                victim_dq = dq
+        if victim_dq is None:
+            return None
+        self._depth -= 1
+        return victim_dq.popleft()
+
+    # ------------------------------------------------------------------
+    # batch formation
+    # ------------------------------------------------------------------
+    def _expire_locked(self, now: float) -> None:
+        """Fail queued requests whose deadline passed (never executed)."""
+        for dq in self._pending.values():
+            alive: deque[_Request] = deque()
+            while dq:
+                req = dq.popleft()
+                if req.t_deadline is not None and now >= req.t_deadline:
+                    self._depth -= 1
+                    waited = now - req.t_submit
+                    req.future.set_exception(
+                        DeadlineExceeded(waited, req.t_deadline - req.t_submit)
+                    )
+                    self._count_locked(req.matrix, "expired")
+                    if obs.enabled():
+                        obs.inc(
+                            "serve_deadline_expired_total", 1, matrix=req.matrix
+                        )
+                else:
+                    alive.append(req)
+            dq.extend(alive)
+        self._publish_depth_locked()
+        self._not_full.notify_all()
+
+    def _take_batch(self) -> tuple[str, list[_Request]] | None:
+        """Block until a batch is ripe (or the server drains); pop it.
+
+        A matrix's queue is ripe when it holds ``max_batch`` requests,
+        when its oldest request has waited ``max_delay_ms``, or when
+        the server is closing (drain mode).  Among ripe queues the one
+        with the oldest head wins (FIFO across matrices).
+        """
+        with self._lock:
+            while True:
+                now = self._clock()
+                self._expire_locked(now)
+                if self._closing and self._depth == 0:
+                    self._ready.notify_all()  # wake sibling workers to exit
+                    return None
+                best: str | None = None
+                best_t = math.inf
+                next_event = math.inf
+                for name, dq in self._pending.items():
+                    if not dq:
+                        continue
+                    head = dq[0]
+                    ripe_at = head.t_submit + self.max_delay_s
+                    if (
+                        len(dq) >= self.max_batch
+                        or now >= ripe_at
+                        or self._closing
+                    ):
+                        if head.t_submit < best_t:
+                            best, best_t = name, head.t_submit
+                    else:
+                        next_event = min(next_event, ripe_at)
+                    if head.t_deadline is not None:
+                        next_event = min(next_event, head.t_deadline)
+                if best is not None:
+                    dq = self._pending[best]
+                    reqs = [
+                        dq.popleft()
+                        for _ in range(min(self.max_batch, len(dq)))
+                    ]
+                    self._depth -= len(reqs)
+                    self._publish_depth_locked()
+                    self._not_full.notify_all()
+                    if self._depth:
+                        self._ready.notify()  # more work may be ripe
+                    return best, reqs
+                timeout = None if next_event is math.inf else max(
+                    next_event - now, 0.0
+                )
+                self._ready.wait(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _worker(self, idx: int) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            name, reqs = batch
+            if reqs:
+                self._execute(idx, name, reqs)
+
+    def _execute(self, idx: int, name: str, reqs: list[_Request]) -> None:
+        t_start = self._clock()
+        with obs.span(
+            "serve.batch", matrix=name, size=len(reqs), worker=idx
+        ) as bsp:
+            try:
+                with self.registry.acquire(name) as lease:
+                    bound = lease.clone_for(idx)
+                    good: list[_Request] = []
+                    cols: list[np.ndarray] = []
+                    for req in reqs:
+                        try:
+                            cols.append(bound.matrix.check_rhs(req.x))
+                            good.append(req)
+                        except Exception as exc:
+                            req.future.set_exception(exc)
+                            self._count(name, "error")
+                    if not good:
+                        return
+                    X = np.stack(cols, axis=1)
+                    Y = bound.spmm(X)
+                    with self._lock:
+                        self._spmm_calls += 1
+            except Exception as exc:
+                for req in reqs:
+                    if not req.future.done():
+                        req.future.set_exception(exc)
+                        self._count(name, "error")
+                if obs.enabled():
+                    obs.inc("serve_batch_errors_total", 1, matrix=name)
+                return
+            t_end = self._clock()
+            k = len(good)
+            nnz_moved = bound.nnz * k
+            with self._lock:
+                self._batches += 1
+                self._batched_vectors += k
+                pm = self._per_matrix_locked(name)
+                pm["batches"] += 1
+                pm["vectors"] += k
+                pm["nnz"] += nnz_moved
+            if obs.enabled():
+                obs.observe("serve_batch_size", k, matrix=name)
+                obs.inc("serve_batches_total", 1, matrix=name)
+                obs.inc("serve_nnz_total", nnz_moved, matrix=name)
+                obs.observe(
+                    "serve_batch_seconds", t_end - t_start, matrix=name
+                )
+            for i, req in enumerate(good):
+                y = np.ascontiguousarray(Y[:, i])
+                latency = t_end - req.t_submit
+                queued = t_start - req.t_submit
+                with self._lock:
+                    self._latency.observe(latency)
+                    pm = self._per_matrix_locked(name)
+                    pm["latency"].observe(latency)
+                self._count(name, "ok")
+                if obs.enabled():
+                    obs.observe(
+                        "serve_time_in_queue_seconds", queued, matrix=name
+                    )
+                    obs.observe_summary(
+                        "serve_request_seconds", latency, matrix=name
+                    )
+                    obs.inc(
+                        "serve_requests_total", 1, matrix=name, status="ok"
+                    )
+                    self._record_request_span(bsp, req, name, t_end)
+                req.future.set_result(y)
+
+    @staticmethod
+    def _record_request_span(bsp, req: _Request, name: str, t_end: float) -> None:
+        """One span per request, parented under its batch span."""
+        if getattr(bsp, "span_id", None) is None:
+            return
+        from repro.obs.spans import Span, get_tracer
+
+        tracer = get_tracer()
+        tracer.add_finished(
+            Span(
+                name="serve.request",
+                span_id=tracer.next_id(),
+                parent_id=bsp.span_id,
+                start=req.t_submit,
+                end=t_end,
+                thread=threading.current_thread().name,
+                attrs={"matrix": name},
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def _per_matrix_locked(self, name: str) -> dict:
+        pm = self._per_matrix.get(name)
+        if pm is None:
+            pm = self._per_matrix[name] = {
+                "batches": 0,
+                "vectors": 0,
+                "nnz": 0,
+                "latency": Summary(window=2048),
+                "status": dict.fromkeys(_STATUSES, 0),
+            }
+        return pm
+
+    def _count_locked(self, name: str, status: str) -> None:
+        self._status_counts[status] += 1
+        self._per_matrix_locked(name)["status"][status] += 1
+        if status != "ok" and obs.enabled():
+            obs.inc("serve_requests_total", 1, matrix=name, status=status)
+
+    def _count(self, name: str, status: str) -> None:
+        with self._lock:
+            self._count_locked(name, status)
+
+    def _publish_depth_locked(self) -> None:
+        if obs.enabled():
+            obs.set_gauge("serve_queue_depth", self._depth)
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+    @property
+    def batches_executed(self) -> int:
+        with self._lock:
+            return self._batches
+
+    @property
+    def spmm_calls(self) -> int:
+        with self._lock:
+            return self._spmm_calls
+
+    def stats(self) -> dict:
+        """JSON-friendly snapshot (the /statz payload)."""
+
+        def _quant(s: Summary) -> dict:
+            snap = s.snapshot()
+            return {
+                "count": s.count,
+                **{
+                    f"p{int(q * 100)}": (
+                        None if math.isnan(v) else round(v * 1e3, 4)
+                    )
+                    for q, v in snap.items()
+                },
+            }
+
+        with self._lock:
+            per_matrix = {
+                name: {
+                    "batches": pm["batches"],
+                    "vectors": pm["vectors"],
+                    "nnz": pm["nnz"],
+                    "status": dict(pm["status"]),
+                    "latency_ms": _quant(pm["latency"]),
+                }
+                for name, pm in sorted(self._per_matrix.items())
+            }
+            batches = self._batches
+            return {
+                "queue_depth": self._depth,
+                "policy": self.policy,
+                "max_batch": self.max_batch,
+                "max_delay_ms": self.max_delay_s * 1e3,
+                "max_queue": self.max_queue,
+                "workers": self.num_workers,
+                "closing": self._closing,
+                "requests": dict(self._status_counts),
+                "batches": batches,
+                "spmm_calls": self._spmm_calls,
+                "batched_vectors": self._batched_vectors,
+                "mean_batch_size": (
+                    round(self._batched_vectors / batches, 3) if batches else 0.0
+                ),
+                "latency_ms": _quant(self._latency),
+                "per_matrix": per_matrix,
+                "registry": self.registry.stats(),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<SpMVServer policy={self.policy} max_batch={self.max_batch} "
+            f"depth={self.queue_depth} batches={self.batches_executed}>"
+        )

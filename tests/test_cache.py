@@ -73,3 +73,56 @@ class TestCachedGenerate:
 
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         assert default_cache_dir() == tmp_path
+
+
+class TestTunerCacheThreadSafety:
+    def test_concurrent_put_get(self, tmp_path):
+        import threading
+
+        from repro.matrices.cache import TunerCache
+
+        cache = TunerCache(tmp_path / "tc.json")
+        errors = []
+
+        def work(tid):
+            try:
+                for i in range(50):
+                    key = f"fp-{tid}-{i}"
+                    cache.put(key, {"variant": f"v{tid}", "i": i})
+                    got = cache.get(key)
+                    if got is None or got["variant"] != f"v{tid}":
+                        errors.append((tid, i, got))
+            except Exception as exc:  # noqa: BLE001 - collect for assert
+                errors.append((tid, exc))
+
+        threads = [threading.Thread(target=work, args=(t,)) for t in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) == 6 * 50
+
+    def test_default_tuner_cache_is_singleton_across_threads(self):
+        import threading
+
+        from repro.engine import tuner
+
+        old = tuner._DEFAULT_CACHE
+        tuner._DEFAULT_CACHE = None
+        try:
+            seen = []
+            barrier = threading.Barrier(8)
+
+            def grab():
+                barrier.wait()
+                seen.append(tuner.default_tuner_cache())
+
+            threads = [threading.Thread(target=grab) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len({id(c) for c in seen}) == 1
+        finally:
+            tuner._DEFAULT_CACHE = old

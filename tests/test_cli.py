@@ -228,3 +228,67 @@ class TestObsCommand:
         )
         lines = [json.loads(line) for line in jl.read_text().splitlines()]
         assert {"span", "metric"} <= {rec["type"] for rec in lines}
+
+
+class TestServe:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1" and args.port == 8000
+        assert args.policy == "block" and args.max_batch == 16
+        assert args.max_delay_ms == 1.0 and args.max_queue == 256
+        assert args.workers == 2 and args.budget_mb is None
+        assert args.matrix is None and args.mtx == []
+        assert not args.obs
+
+    def test_policy_is_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--policy", "drop-newest"])
+
+    def test_matrix_flag_repeatable(self):
+        args = build_parser().parse_args(
+            ["serve", "--matrix", "amg=sAMG", "--matrix", "DLR1"]
+        )
+        assert args.matrix == ["amg=sAMG", "DLR1"]
+
+    def test_boots_and_serves_http(self):
+        import json
+        import re
+        import threading
+        import time
+        import urllib.request
+
+        out = io.StringIO()
+        t = threading.Thread(
+            target=main,
+            args=(["serve", "--port", "0", "--scale", "512", "--workers", "1"],),
+            kwargs={"out": out},
+            daemon=True,
+        )
+        t.start()
+        port = None
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline and port is None:
+            m = re.search(r"listening on http://127\.0\.0\.1:(\d+)", out.getvalue())
+            if m:
+                port = int(m.group(1))
+            else:
+                time.sleep(0.05)
+        assert port, f"server never announced a port: {out.getvalue()!r}"
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/healthz", timeout=30
+        ) as resp:
+            health = json.loads(resp.read())
+        assert health["status"] == "ok"
+        # default registration: the sAMG suite matrix, lazily assembled
+        from repro.matrices import generate
+
+        n = generate("sAMG", scale=512, seed=0).nrows
+        body = json.dumps({"matrix": "sAMG", "x": [1.0] * n}).encode()
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{port}/v1/spmv", data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            payload = json.loads(resp.read())
+        assert payload["n"] == n
+        assert len(payload["y"]) == n

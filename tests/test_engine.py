@@ -347,3 +347,51 @@ class TestSolverIntegration:
             p, num_moments=16, num_vectors=3, bounds=(0.0, 8.0), engine=True
         )
         assert r.spmv_count == 3 * 15
+
+
+class TestClone:
+    """BoundMatrix.clone(): shared data + decision, private scratch."""
+
+    def test_clone_shares_matrix_and_decision(self, coo):
+        b = bind(convert(coo, "CRS"), tune=False)
+        c = b.clone()
+        assert c is not b
+        assert c.matrix is b.matrix  # zero-copy matrix data
+        assert c.variant is b.variant
+        assert c.tune_result is b.tune_result
+        assert c.workspace is not b.workspace  # fresh scratch
+
+    def test_clone_matches_original_bitwise(self, coo, x):
+        b = bind(convert(coo, "CRS"), tune=False, variant="csr_scipy")
+        c = b.clone()
+        np.testing.assert_array_equal(c.spmv(x), b.spmv(x))
+
+    def test_clone_call_counters_independent(self, coo, x):
+        b = bind(convert(coo, "CRS"), tune=False)
+        c = b.clone()
+        b.spmv(x)
+        b.spmv(x)
+        c.spmv(x)
+        assert b.calls == 2
+        assert c.calls == 1
+
+    def test_clones_safe_across_threads(self, coo, x, y_ref):
+        """Concurrent spmv on per-thread clones never corrupts results."""
+        import threading
+
+        proto = bind(convert(coo, "pJDS"), tune=False)
+        errors = []
+
+        def work():
+            mine = proto.clone()
+            for _ in range(50):
+                if not np.allclose(mine.spmv(x), y_ref):
+                    errors.append(threading.current_thread().name)
+                    return
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors

@@ -440,3 +440,113 @@ class TestRuntimeSatellites:
         finally:
             threading.Thread.start = orig
         assert seen and all(seen)
+
+
+# ---------------------------------------------------------------------------
+# summary metric (p50/p95/p99 sliding window)
+# ---------------------------------------------------------------------------
+class TestSummary:
+    def test_nearest_rank_quantiles(self, enabled):
+        s = obs.summary("req_seconds").labels()
+        for v in range(1, 101):  # 1..100
+            s.observe(float(v))
+        assert s.quantile(0.5) == 50.0
+        assert s.quantile(0.95) == 95.0
+        assert s.quantile(0.99) == 99.0
+        assert s.quantile(1.0) == 100.0
+
+    def test_snapshot_covers_configured_quantiles(self, enabled):
+        fam = obs.get_registry().summary("lat", quantiles=(0.5, 0.9))
+        child = fam.labels(op="spmv")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            child.observe(v)
+        snap = child.snapshot()
+        assert set(snap) == {0.5, 0.9}
+        assert snap[0.5] == 2.0
+        assert snap[0.9] == 4.0
+
+    def test_empty_summary_is_nan(self, enabled):
+        s = obs.summary("empty_seconds").labels()
+        assert math.isnan(s.quantile(0.5))
+        assert all(math.isnan(v) for v in s.snapshot().values())
+        with pytest.raises(RuntimeError, match="no observations"):
+            s.mean
+
+    def test_sliding_window_forgets_old_values(self, enabled):
+        fam = obs.get_registry().summary("win_seconds", window=10)
+        s = fam.labels()
+        for _ in range(10):
+            s.observe(1000.0)  # ancient outliers
+        for _ in range(10):
+            s.observe(1.0)  # recent behaviour fills the window
+        assert s.quantile(0.99) == 1.0  # outliers aged out
+        # but cumulative sum/count keep full history (Prometheus semantics)
+        assert s.count == 20
+        assert s.sum == pytest.approx(10010.0)
+        assert s.mean == pytest.approx(500.5)
+
+    def test_module_shortcut_noop_when_disabled(self):
+        obs.observe_summary("off_seconds", 1.0, op="x")
+        assert obs.get_registry().get("off_seconds") is None
+
+    def test_kind_conflict_with_histogram(self, enabled):
+        obs.histogram("mixed_seconds").labels().observe(1.0)
+        with pytest.raises(ValueError, match="already registered"):
+            obs.summary("mixed_seconds")
+
+    def test_prometheus_exposition(self, enabled):
+        for v in (0.1, 0.2, 0.3):
+            obs.observe_summary("sz_seconds", v, op="spmv")
+        text = obs.prometheus_text()
+        assert "# TYPE sz_seconds summary" in text
+        assert 'sz_seconds{op="spmv",quantile="0.5"} 0.2' in text
+        assert 'sz_seconds{op="spmv",quantile="0.99"} 0.3' in text
+        assert 'sz_seconds_sum{op="spmv"}' in text
+        assert 'sz_seconds_count{op="spmv"} 3' in text
+
+    def test_prometheus_empty_summary_is_nan_line(self, enabled):
+        obs.summary("idle_seconds").labels()
+        text = obs.prometheus_text()
+        assert 'idle_seconds{quantile="0.5"} NaN' in text
+        assert "idle_seconds_count 0" in text
+
+    def test_prometheus_round_trip(self, enabled):
+        for v in (1.0, 2.0, 4.0):
+            obs.observe_summary("rt_seconds", v)
+        parsed = obs.parse_prometheus_text(obs.prometheus_text())
+        fam = parsed["rt_seconds"]
+        assert fam["kind"] == "summary"
+        assert fam["samples"][("rt_seconds_count", ())] == 3
+        assert fam["samples"][("rt_seconds_sum", ())] == pytest.approx(7.0)
+        q50 = (("quantile", "0.5"),)
+        assert fam["samples"][("rt_seconds", q50)] == 2.0
+
+    def test_jsonl_quantile_record(self, enabled):
+        obs.observe_summary("jl_seconds", 0.5, op="x")
+        buf = io.StringIO()
+        obs.write_jsonl(buf)
+        records = [json.loads(line) for line in buf.getvalue().splitlines()]
+        summaries = [
+            r for r in records
+            if r.get("type") == "metric" and r.get("name") == "jl_seconds"
+        ]
+        assert summaries, records
+        rec = summaries[0]
+        assert rec["kind"] == "summary"
+        assert rec["quantiles"]["0.5"] == 0.5
+        assert rec["count"] == 1
+
+    def test_thread_safety(self, enabled):
+        fam = obs.get_registry().summary("ts_seconds", window=4096)
+
+        def work():
+            child = fam.labels(t="x")
+            for _ in range(1000):
+                child.observe(1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert fam.labels(t="x").count == 4000

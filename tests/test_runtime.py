@@ -94,3 +94,77 @@ class TestRankSpmv:
         plan = build_plan(csr, partition_rows(20, 2), with_matrices=False)
         with pytest.raises(ValueError, match="with_matrices"):
             rank_spmv(plan.ranks[0], np.ones(plan.ranks[0].local_rows), np.ones(1))
+
+
+class TestDistributedTimeout:
+    """Satellite coverage for the DistributedTimeout taxonomy."""
+
+    @staticmethod
+    def _doctored_plan(nparts=2):
+        """A plan whose rank 0 expects a halo message nobody will send."""
+        import dataclasses
+
+        csr, plan = _setup(nparts=nparts)
+        phantom = max(r.rank for r in plan.ranks) + 7
+        doctored = dataclasses.replace(
+            plan.ranks[0],
+            recv_cols={**plan.ranks[0].recv_cols, phantom: np.array([0])},
+        )
+        return csr, dataclasses.replace(
+            plan, ranks=[doctored, *plan.ranks[1:]]
+        )
+
+    def test_message_carries_structured_fields(self):
+        from repro.distributed import DistributedTimeout
+
+        exc = DistributedTimeout([2, 0], 1.5, "waitall (still expecting [9])")
+        assert exc.stuck_ranks == [2, 0]
+        assert exc.timeout == 1.5
+        assert exc.where == "waitall (still expecting [9])"
+        msg = str(exc)
+        assert "timed out after 1.5s" in msg
+        assert "during waitall (still expecting [9])" in msg
+        assert "stuck ranks: 2, 0" in msg
+
+    def test_message_unknown_ranks_placeholder(self):
+        from repro.distributed import DistributedTimeout
+
+        assert "stuck ranks: <unknown>" in str(DistributedTimeout([], 2.0, "join"))
+
+    def test_identifies_stuck_rank_and_phase(self):
+        from repro.distributed import DistributedTimeout
+
+        csr, bad_plan = self._doctored_plan()
+        with pytest.raises(DistributedTimeout) as exc:
+            distributed_spmv(bad_plan, np.ones(csr.nrows), timeout=0.2)
+        # rank 0 is the one waiting on the phantom sender; depending on
+        # who notices first the failure surfaces from the rank's waitall
+        # or the driver's join -- both must name rank 0 and the phase.
+        assert exc.value.stuck_ranks == [0]
+        assert exc.value.where == "join" or exc.value.where.startswith("waitall")
+        assert "during" in str(exc.value)
+        assert "stuck ranks: 0" in str(exc.value)
+
+    def test_daemon_workers_do_not_leak(self):
+        import threading
+        import time
+
+        from repro.distributed import DistributedTimeout
+
+        csr, bad_plan = self._doctored_plan()
+        with pytest.raises(DistributedTimeout):
+            distributed_spmv(bad_plan, np.ones(csr.nrows), timeout=0.2)
+        # stuck rank threads are daemons blocked on inbox.get(timeout=...);
+        # they drain within one extra timeout period instead of leaking.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            alive = [
+                t
+                for t in threading.enumerate()
+                if t.name.startswith("rank-") and t.is_alive()
+            ]
+            if not alive:
+                break
+            assert all(t.daemon for t in alive)  # never non-daemon
+            time.sleep(0.05)
+        assert not alive

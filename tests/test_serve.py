@@ -1,0 +1,714 @@
+"""Tests for the repro.serve concurrent SpMV serving subsystem.
+
+Covers the acceptance criteria of the serving PR:
+
+(a) coalescing — N concurrent requests execute as <= ceil(N/max_batch)
+    spmm calls, responses bitwise-identical to serial BoundMatrix.spmv
+    (variant pinned to the stored-order scipy delegate);
+(b) the reject policy fails fast with ServerOverloaded while in-flight
+    work completes;
+(c) an expired request never reaches a worker;
+(d) LRU eviction never touches an in-use (leased) matrix;
+
+plus registry semantics, all three backpressure policies, lifecycle,
+the in-process Client (solve/eigsh), the HTTP front-end, and the obs
+integration (span parenting + serving metrics).
+"""
+
+import json
+import math
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.engine import bind
+from repro.formats import CSRMatrix, convert
+from repro.matrices import poisson2d
+from repro.serve import (
+    Client,
+    DeadlineExceeded,
+    MatrixNotFound,
+    MatrixRegistry,
+    ServerClosed,
+    ServerOverloaded,
+    SpMVServer,
+    make_http_server,
+)
+
+from _test_common import random_coo
+
+#: stored-order scipy delegate: spmv and spmm-by-columns are bitwise equal
+VARIANT = "csr_scipy"
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset_all()
+    yield
+    obs.disable()
+    obs.reset_all()
+
+
+def make_csr(n=60, seed=3, max_row=7):
+    return CSRMatrix.from_coo(random_coo(n, seed=seed, max_row=max_row))
+
+
+def make_registry(names=("A",), n=60, seed=3, **kw):
+    reg = MatrixRegistry(**kw)
+    for i, name in enumerate(names):
+        reg.register(name, matrix=make_csr(n, seed=seed + i), variant=VARIANT)
+    return reg
+
+
+def vectors(n, k, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(n) for _ in range(k)]
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+class TestRegistry:
+    def test_register_needs_exactly_one_source(self):
+        reg = MatrixRegistry()
+        with pytest.raises(ValueError, match="exactly one"):
+            reg.register("A")
+        with pytest.raises(ValueError, match="exactly one"):
+            reg.register("A", lambda: make_csr(), matrix=make_csr())
+
+    def test_lazy_load_and_hit_counting(self):
+        calls = []
+
+        def loader():
+            calls.append(1)
+            return make_csr()
+
+        reg = MatrixRegistry()
+        reg.register("A", loader, variant=VARIANT)
+        assert reg.resident() == [] and not calls
+        with reg.acquire("A") as lease:
+            assert lease.name == "A"
+            assert lease.nbytes > 0
+        with reg.acquire("A"):
+            pass
+        assert len(calls) == 1  # loaded once, second acquire is a hit
+        assert reg.loads == 1 and reg.hits == 1
+        assert reg.resident() == ["A"]
+
+    def test_unknown_matrix_raises_with_hint(self):
+        reg = make_registry(("A", "B"))
+        with pytest.raises(MatrixNotFound, match=r"'Z'.*'A', 'B'"):
+            reg.acquire("Z")
+
+    def test_has_and_names(self):
+        reg = make_registry(("B", "A"))
+        assert reg.names() == ["A", "B"]
+        assert reg.has("A") and not reg.has("Z")
+
+    def test_lru_eviction_under_budget(self):
+        reg = make_registry(("A", "B", "C"), n=60)
+        with reg.acquire("A") as la:
+            per = la.nbytes
+        budget = int(per * 2.2)  # room for ~2 matrices
+        reg.budget_bytes = budget
+        with reg.acquire("B"):
+            pass
+        with reg.acquire("C"):
+            pass
+        assert reg.evictions >= 1
+        assert reg.resident_bytes <= budget
+        assert "C" in reg.resident()  # newest survives
+
+    def test_eviction_never_touches_leased_matrix(self):
+        """Acceptance (d): an in-use matrix is never evicted."""
+        reg = make_registry(("A", "B", "C"), n=60)
+        with reg.acquire("A") as la:
+            reg.budget_bytes = int(la.nbytes * 2.2)
+            with reg.acquire("B"):
+                pass
+            with reg.acquire("C"):
+                pass
+            # A is leased: it must survive even though it is LRU-oldest
+            assert "A" in reg.resident()
+            assert "B" not in reg.resident()  # idle LRU victim
+        # after release, a further load may evict A normally
+        assert reg.evictions >= 1
+
+    def test_over_budget_when_everything_leased(self):
+        reg = make_registry(("A", "B"), n=60)
+        with reg.acquire("A") as la:
+            reg.budget_bytes = int(la.nbytes * 1.1)  # < 2 matrices
+            with reg.acquire("B"):
+                # both leased: correctness beats the bound
+                assert set(reg.resident()) == {"A", "B"}
+                assert reg.resident_bytes > reg.budget_bytes
+
+    def test_clone_for_caches_per_token(self):
+        reg = make_registry()
+        with reg.acquire("A") as lease:
+            c0 = lease.clone_for(0)
+            c0b = lease.clone_for(0)
+            c1 = lease.clone_for(1)
+        assert c0 is c0b
+        assert c0 is not c1
+        assert c0.matrix is c1.matrix  # matrix data shared
+        assert c0.workspace is not c1.workspace  # scratch private
+
+    def test_release_is_idempotent(self):
+        reg = make_registry()
+        lease = reg.acquire("A")
+        lease.release()
+        lease.release()  # no refcount underflow
+        with reg.acquire("A"):
+            pass
+
+    def test_register_suite_lazy(self):
+        reg = MatrixRegistry(tune=False)
+        reg.register_suite("amg", "sAMG", scale=48, seed=1)
+        assert reg.has("amg") and reg.resident() == []
+        with reg.acquire("amg") as lease:
+            assert lease.matrix.name == "pJDS"
+            assert lease.bound.shape[0] > 0
+
+    def test_stats_snapshot(self):
+        reg = make_registry(("A",))
+        with reg.acquire("A"):
+            s = reg.stats()
+        assert s["registered"] == ["A"]
+        assert s["resident"][0]["name"] == "A"
+        assert s["resident"][0]["refcount"] == 1
+        assert s["resident_bytes"] == s["resident"][0]["nbytes"]
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget_bytes"):
+            MatrixRegistry(budget_bytes=0)
+
+
+# ---------------------------------------------------------------------------
+# coalescing (acceptance a)
+# ---------------------------------------------------------------------------
+class TestCoalescing:
+    def test_batches_coalesce_and_match_serial_bitwise(self):
+        """24 queued requests, max_batch=8 -> <= 3 spmm calls, bitwise-equal."""
+        csr = make_csr(n=80, seed=11)
+        reg = MatrixRegistry()
+        reg.register("A", matrix=csr, variant=VARIANT)
+        xs = vectors(csr.ncols, 24, seed=2)
+        serial = bind(csr, tune=False, variant=VARIANT)
+        refs = [serial.spmv(x) for x in xs]
+
+        server = SpMVServer(
+            reg, max_batch=8, max_delay_ms=50.0, workers=1, autostart=False
+        )
+        futures = [server.submit("A", x) for x in xs]
+        assert server.queue_depth == 24
+        server.start()
+        results = [f.result(timeout=10) for f in futures]
+        server.close()
+
+        assert server.spmm_calls <= math.ceil(24 / 8)
+        assert server.batches_executed == server.spmm_calls
+        for got, ref in zip(results, refs):
+            assert got.dtype == ref.dtype
+            np.testing.assert_array_equal(got, ref)  # bitwise
+
+    def test_partial_batch_dispatches_on_delay_window(self):
+        reg = make_registry()
+        with SpMVServer(reg, max_batch=64, max_delay_ms=5.0, workers=1) as server:
+            y = server.spmv("A", np.ones(60), timeout=10)
+        assert y.shape == (60,)
+        assert server.spmm_calls == 1  # single under-full batch
+
+    def test_batches_are_per_matrix(self):
+        reg = make_registry(("A", "B"), n=50, seed=9)
+        server = SpMVServer(
+            reg, max_batch=16, max_delay_ms=50.0, workers=1, autostart=False
+        )
+        fa = [server.submit("A", x) for x in vectors(50, 3, seed=1)]
+        fb = [server.submit("B", x) for x in vectors(50, 3, seed=2)]
+        server.start()
+        for f in fa + fb:
+            assert f.result(timeout=10).shape == (50,)
+        server.close()
+        assert server.spmm_calls == 2  # one batch per matrix
+        stats = server.stats()
+        assert stats["per_matrix"]["A"]["vectors"] == 3
+        assert stats["per_matrix"]["B"]["vectors"] == 3
+
+    def test_stats_counts_and_mean_batch_size(self):
+        reg = make_registry()
+        server = SpMVServer(
+            reg, max_batch=4, max_delay_ms=50.0, workers=1, autostart=False
+        )
+        futures = [server.submit("A", x) for x in vectors(60, 8)]
+        server.start()
+        for f in futures:
+            f.result(timeout=10)
+        server.close()
+        s = server.stats()
+        assert s["requests"]["ok"] == 8
+        assert s["batched_vectors"] == 8
+        assert s["spmm_calls"] == 2
+        assert s["mean_batch_size"] == pytest.approx(4.0)
+        assert s["latency_ms"]["count"] == 8
+        assert s["latency_ms"]["p50"] is not None
+
+    def test_bad_vector_fails_alone_batch_survives(self):
+        reg = make_registry()
+        server = SpMVServer(
+            reg, max_batch=8, max_delay_ms=50.0, workers=1, autostart=False
+        )
+        good = [server.submit("A", x) for x in vectors(60, 3)]
+        bad = server.submit("A", np.ones(61))  # wrong length
+        server.start()
+        for f in good:
+            assert f.result(timeout=10).shape == (60,)
+        with pytest.raises(ValueError):
+            bad.result(timeout=10)
+        server.close()
+        assert server.stats()["requests"]["error"] == 1
+
+    def test_submit_validates_inputs(self):
+        reg = make_registry()
+        with SpMVServer(reg, autostart=False) as server:
+            with pytest.raises(MatrixNotFound):
+                server.submit("Z", np.ones(60))
+            with pytest.raises(ValueError, match="1-D"):
+                server.submit("A", np.ones((60, 2)))
+            with pytest.raises(ValueError, match="deadline_ms"):
+                server.submit("A", np.ones(60), deadline_ms=0)
+
+
+# ---------------------------------------------------------------------------
+# backpressure (acceptance b)
+# ---------------------------------------------------------------------------
+class TestBackpressure:
+    def test_reject_fails_fast_inflight_completes(self):
+        """Acceptance (b): reject raises; already-admitted work finishes."""
+        csr = make_csr()
+        reg = MatrixRegistry()
+        reg.register("A", matrix=csr, variant=VARIANT)
+        server = SpMVServer(
+            reg,
+            max_queue=2,
+            policy="reject",
+            max_batch=4,
+            max_delay_ms=50.0,
+            workers=1,
+            autostart=False,
+        )
+        xs = vectors(60, 2)
+        inflight = [server.submit("A", x) for x in xs]
+        with pytest.raises(ServerOverloaded, match="queue full"):
+            server.submit("A", np.ones(60))
+        server.start()
+        serial = bind(csr, tune=False, variant=VARIANT)
+        for f, x in zip(inflight, xs):
+            np.testing.assert_array_equal(f.result(timeout=10), serial.spmv(x))
+        server.close()
+        s = server.stats()
+        assert s["requests"] == {**s["requests"], "ok": 2, "rejected": 1}
+
+    def test_shed_oldest_drops_head_admits_newcomer(self):
+        reg = make_registry()
+        server = SpMVServer(
+            reg,
+            max_queue=2,
+            policy="shed-oldest",
+            max_delay_ms=50.0,
+            workers=1,
+            autostart=False,
+        )
+        f1 = server.submit("A", np.ones(60))
+        f2 = server.submit("A", np.ones(60))
+        f3 = server.submit("A", np.ones(60))  # sheds f1
+        with pytest.raises(ServerOverloaded, match="shed"):
+            f1.result(timeout=1)
+        assert server.queue_depth == 2
+        server.start()
+        assert f2.result(timeout=10).shape == (60,)
+        assert f3.result(timeout=10).shape == (60,)
+        server.close()
+        assert server.stats()["requests"]["shed"] == 1
+
+    def test_block_waits_for_space(self):
+        reg = make_registry()
+        server = SpMVServer(
+            reg,
+            max_queue=2,
+            policy="block",
+            max_delay_ms=1.0,
+            workers=1,
+            autostart=False,
+        )
+        server.submit("A", np.ones(60))
+        server.submit("A", np.ones(60))
+        admitted = []
+
+        def blocked_submit():
+            admitted.append(server.spmv("A", np.ones(60), timeout=10))
+
+        t = threading.Thread(target=blocked_submit, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        assert not admitted  # still blocked at admission
+        server.start()  # draining the queue unblocks the submitter
+        t.join(timeout=10)
+        assert len(admitted) == 1 and admitted[0].shape == (60,)
+        server.close()
+
+    def test_block_admission_timeout(self):
+        reg = make_registry()
+        server = SpMVServer(
+            reg, max_queue=1, policy="block", autostart=False
+        )
+        server.submit("A", np.ones(60))
+        t0 = time.perf_counter()
+        with pytest.raises(ServerOverloaded, match="block timeout"):
+            server.submit("A", np.ones(60), admission_timeout_s=0.05)
+        assert time.perf_counter() - t0 < 5.0
+        server.close(drain=False)
+
+    def test_invalid_policy_rejected(self):
+        reg = make_registry()
+        with pytest.raises(ValueError, match="policy"):
+            SpMVServer(reg, policy="drop-newest")
+
+
+# ---------------------------------------------------------------------------
+# deadlines (acceptance c)
+# ---------------------------------------------------------------------------
+class TestDeadline:
+    def test_expired_request_never_executes(self):
+        """Acceptance (c): a request whose deadline passed is never run."""
+        reg = make_registry()
+        server = SpMVServer(
+            reg, max_batch=4, max_delay_ms=1.0, workers=1, autostart=False
+        )
+        doomed = server.submit("A", np.ones(60), deadline_ms=10)
+        time.sleep(0.05)  # let the deadline lapse while workers are off
+        server.start()
+        with pytest.raises(DeadlineExceeded, match="deadline exceeded"):
+            doomed.result(timeout=10)
+        server.close()
+        assert server.spmm_calls == 0  # never reached a worker
+        assert server.stats()["requests"]["expired"] == 1
+
+    def test_expiry_is_per_request(self):
+        reg = make_registry()
+        server = SpMVServer(
+            reg, max_batch=8, max_delay_ms=1.0, workers=1, autostart=False
+        )
+        doomed = server.submit("A", np.ones(60), deadline_ms=10)
+        alive = server.submit("A", np.ones(60))
+        time.sleep(0.05)
+        server.start()
+        assert alive.result(timeout=10).shape == (60,)
+        with pytest.raises(DeadlineExceeded):
+            doomed.result(timeout=10)
+        server.close()
+        assert server.stats()["requests"]["ok"] == 1
+        assert server.stats()["requests"]["expired"] == 1
+
+    def test_generous_deadline_is_met(self):
+        reg = make_registry()
+        with SpMVServer(reg, max_delay_ms=1.0, workers=1) as server:
+            y = server.spmv("A", np.ones(60), deadline_ms=30_000, timeout=10)
+        assert y.shape == (60,)
+
+
+# ---------------------------------------------------------------------------
+# lifecycle + concurrency
+# ---------------------------------------------------------------------------
+class TestLifecycle:
+    def test_close_drains_pending(self):
+        csr = make_csr()
+        reg = MatrixRegistry()
+        reg.register("A", matrix=csr, variant=VARIANT)
+        server = SpMVServer(
+            reg, max_batch=4, max_delay_ms=10_000.0, workers=1, autostart=False
+        )
+        xs = vectors(60, 3)
+        futures = [server.submit("A", x) for x in xs]
+        server.start()
+        server.close(drain=True)  # forces under-full batch out
+        serial = bind(csr, tune=False, variant=VARIANT)
+        for f, x in zip(futures, xs):
+            np.testing.assert_array_equal(f.result(timeout=1), serial.spmv(x))
+
+    def test_close_without_drain_fails_pending(self):
+        reg = make_registry()
+        server = SpMVServer(reg, autostart=False)
+        f = server.submit("A", np.ones(60))
+        server.close(drain=False)
+        with pytest.raises(ServerClosed):
+            f.result(timeout=1)
+
+    def test_submit_after_close_raises(self):
+        reg = make_registry()
+        server = SpMVServer(reg, workers=1)
+        server.close()
+        with pytest.raises(ServerClosed):
+            server.submit("A", np.ones(60))
+        with pytest.raises(ServerClosed):
+            server.start()
+
+    def test_context_manager_closes(self):
+        reg = make_registry()
+        with SpMVServer(reg, workers=1) as server:
+            assert server.spmv("A", np.ones(60), timeout=10).shape == (60,)
+        with pytest.raises(ServerClosed):
+            server.submit("A", np.ones(60))
+
+    def test_concurrent_clients_all_correct(self):
+        """6 threads x 10 requests across 2 workers, all bitwise-correct."""
+        csr = make_csr(n=70, seed=21)
+        reg = MatrixRegistry()
+        reg.register("A", matrix=csr, variant=VARIANT)
+        serial = bind(csr, tune=False, variant=VARIANT)
+        errors = []
+
+        with SpMVServer(reg, max_batch=8, max_delay_ms=2.0, workers=2) as server:
+
+            def hammer(seed):
+                rng = np.random.default_rng(seed)
+                for _ in range(10):
+                    x = rng.standard_normal(70)
+                    y = server.spmv("A", x, timeout=30)
+                    if not np.array_equal(y, serial.spmv(x)):
+                        errors.append(seed)
+
+            threads = [
+                threading.Thread(target=hammer, args=(s,), daemon=True)
+                for s in range(6)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+        assert not errors
+        s = server.stats()
+        assert s["requests"]["ok"] == 60
+        assert s["batches"] <= 60  # at least some coalescing headroom
+
+
+# ---------------------------------------------------------------------------
+# client (solve / eigsh)
+# ---------------------------------------------------------------------------
+class TestClient:
+    @pytest.fixture()
+    def client(self):
+        reg = MatrixRegistry(tune=False)
+        reg.register("poisson", matrix=convert(poisson2d(7), "CRS"))
+        server = SpMVServer(reg, max_delay_ms=1.0, workers=1)
+        yield Client(server)
+        server.close()
+
+    def test_spmv_roundtrip(self, client):
+        y = client.spmv("poisson", np.ones(49))
+        np.testing.assert_allclose(y, poisson2d(7).spmv(np.ones(49)))
+
+    def test_spmv_async(self, client):
+        f = client.spmv_async("poisson", np.ones(49))
+        assert f.result(timeout=10).shape == (49,)
+
+    def test_solve_cg(self, client):
+        rng = np.random.default_rng(5)
+        b = rng.standard_normal(49)
+        res = client.solve("poisson", b, tol=1e-10)
+        assert res["converged"]
+        dense = poisson2d(7).todense()
+        np.testing.assert_allclose(res["x"], np.linalg.solve(dense, b), atol=1e-6)
+        assert res["iterations"] > 0 and res["seconds"] >= 0
+
+    def test_solve_unknown_method(self, client):
+        with pytest.raises(ValueError, match="unknown solve method"):
+            client.solve("poisson", np.ones(49), method="qr")
+
+    def test_eigsh_smallest(self, client):
+        res = client.eigsh("poisson", num_eigenvalues=2, tol=1e-8)
+        dense = poisson2d(7).todense()
+        expect = np.sort(np.linalg.eigvalsh(dense))[:2]
+        np.testing.assert_allclose(res["eigenvalues"], expect, atol=1e-6)
+
+    def test_health_and_stats(self, client):
+        h = client.health()
+        assert h["status"] == "ok"
+        assert "poisson" in h["resident"] or h["resident"] == []
+        assert client.stats()["policy"] == "block"
+
+    def test_solve_pins_matrix_against_eviction(self):
+        reg = MatrixRegistry(tune=False)
+        reg.register("poisson", matrix=convert(poisson2d(7), "CRS"))
+        server = SpMVServer(reg, workers=1)
+        client = Client(server)
+        res = client.solve("poisson", np.ones(49))
+        assert res["spmv_count"] > 0
+        # the lease was released: registry sees no dangling refcount
+        assert reg.stats()["resident"][0]["refcount"] == 0
+        server.close()
+
+
+# ---------------------------------------------------------------------------
+# HTTP front-end
+# ---------------------------------------------------------------------------
+class TestHTTP:
+    @pytest.fixture()
+    def endpoint(self):
+        reg = MatrixRegistry(tune=False)
+        reg.register("A", matrix=make_csr(), variant=VARIANT)
+        reg.register("poisson", matrix=convert(poisson2d(6), "CRS"))
+        server = SpMVServer(reg, max_delay_ms=1.0, workers=1)
+        httpd = make_http_server(Client(server), port=0)
+        t = threading.Thread(target=httpd.serve_forever, daemon=True)
+        t.start()
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        yield base
+        httpd.shutdown()
+        server.close()
+
+    @staticmethod
+    def _post(base, path, payload):
+        req = urllib.request.Request(
+            base + path,
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+
+    @staticmethod
+    def _get(base, path):
+        with urllib.request.urlopen(base + path, timeout=30) as resp:
+            return resp.status, resp.read()
+
+    def test_spmv_roundtrip(self, endpoint):
+        csr = make_csr()
+        x = np.arange(60, dtype=np.float64)
+        status, body = self._post(endpoint, "/v1/spmv", {"matrix": "A", "x": x.tolist()})
+        assert status == 200
+        assert body["matrix"] == "A" and body["n"] == 60
+        serial = bind(csr, tune=False, variant=VARIANT)
+        np.testing.assert_array_equal(np.asarray(body["y"]), serial.spmv(x))
+
+    def test_unknown_matrix_is_404(self, endpoint):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            self._post(endpoint, "/v1/spmv", {"matrix": "Z", "x": [1.0]})
+        assert exc.value.code == 404
+        body = json.loads(exc.value.read())
+        assert body["type"] == "MatrixNotFound"
+
+    def test_bad_request_is_400(self, endpoint):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            self._post(endpoint, "/v1/spmv", {"matrix": "A"})  # no x
+        assert exc.value.code == 400
+
+    def test_solve_cg(self, endpoint):
+        status, body = self._post(
+            endpoint,
+            "/v1/solve",
+            {"matrix": "poisson", "b": [1.0] * 36, "tol": 1e-10},
+        )
+        assert status == 200
+        assert body["converged"] and body["method"] == "cg"
+        dense = poisson2d(6).todense()
+        np.testing.assert_allclose(
+            np.asarray(body["x"]), np.linalg.solve(dense, np.ones(36)), atol=1e-6
+        )
+
+    def test_solve_lanczos(self, endpoint):
+        status, body = self._post(
+            endpoint,
+            "/v1/solve",
+            {"matrix": "poisson", "method": "lanczos", "num_eigenvalues": 1},
+        )
+        assert status == 200
+        smallest = np.sort(np.linalg.eigvalsh(poisson2d(6).todense()))[0]
+        np.testing.assert_allclose(body["eigenvalues"][0], smallest, atol=1e-6)
+
+    def test_healthz(self, endpoint):
+        status, raw = self._get(endpoint, "/healthz")
+        body = json.loads(raw)
+        assert status == 200 and body["status"] == "ok"
+        assert body["uptime_s"] >= 0
+
+    def test_statz(self, endpoint):
+        self._post(endpoint, "/v1/spmv", {"matrix": "A", "x": [0.0] * 60})
+        status, raw = self._get(endpoint, "/statz")
+        body = json.loads(raw)
+        assert status == 200
+        assert body["requests"]["ok"] >= 1
+        assert "A" in body["registry"]["registered"]
+
+    def test_statz_prometheus(self, endpoint):
+        obs.enable()
+        self._post(endpoint, "/v1/spmv", {"matrix": "A", "x": [0.0] * 60})
+        status, raw = self._get(endpoint, "/statz?format=prometheus")
+        text = raw.decode()
+        assert status == 200
+        assert "serve_requests_total" in text
+        assert 'quantile="0.5"' in text  # the Summary exposition
+
+    def test_unknown_endpoint_404(self, endpoint):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            self._get(endpoint, "/v2/nothing")
+        assert exc.value.code == 404
+
+
+# ---------------------------------------------------------------------------
+# obs integration
+# ---------------------------------------------------------------------------
+class TestObsIntegration:
+    def test_metrics_and_span_parenting(self):
+        obs.enable()
+        reg = make_registry()
+        server = SpMVServer(
+            reg, max_batch=4, max_delay_ms=50.0, workers=1, autostart=False
+        )
+        futures = [server.submit("A", x) for x in vectors(60, 4)]
+        server.start()
+        for f in futures:
+            f.result(timeout=10)
+        server.close()
+
+        reg_metrics = obs.get_registry()
+        ok = reg_metrics.get("serve_requests_total").labels(matrix="A", status="ok")
+        assert ok.value == 4
+        assert reg_metrics.get("serve_batches_total").labels(matrix="A").value == 1
+        assert reg_metrics.get("serve_queue_depth").labels().value == 0
+
+        from repro.obs.spans import get_tracer
+
+        tracer = get_tracer()
+        batches = [s for s in tracer.finished() if s.name == "serve.batch"]
+        requests = [s for s in tracer.finished() if s.name == "serve.request"]
+        assert len(batches) == 1 and len(requests) == 4
+        batch_ids = {s.span_id for s in batches}
+        for s in requests:
+            assert s.parent_id in batch_ids  # parented under the batch span
+            assert s.start <= s.end
+            assert s.attrs["matrix"] == "A"
+
+    def test_latency_summary_in_prometheus_text(self):
+        obs.enable()
+        reg = make_registry()
+        with SpMVServer(reg, max_delay_ms=1.0, workers=1) as server:
+            server.spmv("A", np.ones(60), timeout=10)
+        text = obs.prometheus_text()
+        assert "serve_request_seconds" in text
+        assert "serve_request_seconds_count" in text
+        assert 'quantile="0.99"' in text
+
+    def test_server_stats_work_with_obs_disabled(self):
+        reg = make_registry()
+        with SpMVServer(reg, max_delay_ms=1.0, workers=1) as server:
+            server.spmv("A", np.ones(60), timeout=10)
+        s = server.stats()
+        assert s["requests"]["ok"] == 1
+        assert s["latency_ms"]["p95"] is not None
