@@ -202,6 +202,94 @@ def run_engine_bench(scale=64, *, keys=TABLE1_KEYS, reps=5, spmm_rhs=8):
     return records
 
 
+# ---------------------------------------------------------------------------
+# Registry dispatch overhead (the CI dispatch-smoke JSON artifact)
+# ---------------------------------------------------------------------------
+
+def run_dispatch_bench(scale=48, *, keys=TABLE1_KEYS, reps=7, inner=20):
+    """Cost of resolving a kernel through the central registry.
+
+    For each (matrix, format) the rank-0 spmv kernel runs ``inner``
+    times per timed batch three ways:
+
+    * ``direct``   — the kernel function captured in a local, called
+      straight (``fn(m, ws, x, y)``): the floor;
+    * ``registry`` — re-resolved through
+      ``repro.ops.get_variant(m, name).run(...)`` on every call: the
+      pure dispatch indirection the ISSUE-4 refactor added;
+    * ``engine``   — the full ``BoundMatrix.spmv`` path (validation,
+      dtype coercion, stored-order scatter) for context.
+
+    The *aggregate* overhead (total registry time over total direct
+    time, across all combinations) must stay ≤ 5 %: the registry is
+    one list scan against a ≥ 10 µs kernel, so anything above that is
+    measurement noise — per-record numbers are reported but jitter by
+    several percent either way on shared runners.  Returns one record
+    per combination plus a final ``{"summary": True}`` record.
+    """
+    from repro.engine import Workspace, bind
+    from repro.formats import convert
+    from repro.matrices import generate
+    from repro.ops import get_variant
+
+    records = []
+    for key in keys:
+        coo = generate(key, scale=scale)
+        for fmt in ENGINE_FORMATS:
+            m = convert(coo, fmt)
+            b = bind(m, tune=False)  # rank-0 (untuned default) kernel
+            name = b.variant_name
+            ws = Workspace()
+            x = np.random.default_rng(0).standard_normal(m.ncols).astype(m.dtype)
+            y = np.zeros(m.nrows, dtype=m.dtype)
+            fn = get_variant(m, name).run
+            out = np.zeros(m.nrows, dtype=m.dtype)
+
+            def direct():
+                for _ in range(inner):
+                    fn(m, ws, x, y)
+
+            def registry():
+                for _ in range(inner):
+                    get_variant(m, name).run(m, ws, x, y)
+
+            def engine():
+                for _ in range(inner):
+                    b.spmv(x, out=out)
+
+            t_direct = _best_seconds(direct, reps) / inner
+            t_registry = _best_seconds(registry, reps) / inner
+            t_engine = _best_seconds(engine, reps) / inner
+            records.append(
+                {
+                    "matrix": key,
+                    "format": fmt,
+                    "scale": scale,
+                    "variant": name,
+                    "nnz": m.nnz,
+                    "direct_us": round(1e6 * t_direct, 3),
+                    "registry_us": round(1e6 * t_registry, 3),
+                    "engine_us": round(1e6 * t_engine, 3),
+                    "overhead_registry": round(t_registry / t_direct - 1.0, 4),
+                    "overhead_engine": round(t_engine / t_direct - 1.0, 4),
+                }
+            )
+    total_direct = sum(r["direct_us"] for r in records)
+    total_registry = sum(r["registry_us"] for r in records)
+    total_engine = sum(r["engine_us"] for r in records)
+    records.append(
+        {
+            "summary": True,
+            "total_direct_us": round(total_direct, 3),
+            "total_registry_us": round(total_registry, 3),
+            "total_engine_us": round(total_engine, 3),
+            "overhead_registry": round(total_registry / total_direct - 1.0, 4),
+            "overhead_engine": round(total_engine / total_direct - 1.0, 4),
+        }
+    )
+    return records
+
+
 def main(argv=None):
     import argparse
 
@@ -210,7 +298,46 @@ def main(argv=None):
     ap.add_argument("--reps", type=int, default=5)
     ap.add_argument("--rhs", type=int, default=8)
     ap.add_argument("--out", default="BENCH_kernels.json")
+    ap.add_argument(
+        "--dispatch", action="store_true",
+        help="run the registry dispatch-overhead probe instead "
+        "(writes BENCH_dispatch.json unless --out is given)",
+    )
+    ap.add_argument(
+        "--max-overhead", type=float, default=0.05,
+        help="fail (exit 1) when the worst registry overhead exceeds "
+        "this fraction in --dispatch mode",
+    )
     args = ap.parse_args(argv)
+    if args.dispatch:
+        out = "BENCH_dispatch.json" if args.out == "BENCH_kernels.json" else args.out
+        records = run_dispatch_bench(args.scale, reps=args.reps)
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(records, fh, indent=2)
+        print(
+            f"{'matrix':6s} {'format':12s} {'variant':16s} "
+            f"{'direct':>9s} {'registry':>9s} {'engine':>9s} {'ovh%':>6s}"
+        )
+        rows = [r for r in records if not r.get("summary")]
+        summary = records[-1]
+        for r in rows:
+            print(
+                f"{r['matrix']:6s} {r['format']:12s} {r['variant']:16s} "
+                f"{r['direct_us']:9.2f} {r['registry_us']:9.2f} "
+                f"{r['engine_us']:9.2f} {100 * r['overhead_registry']:6.2f}"
+            )
+        print(
+            f"wrote {out} ({len(rows)} records); aggregate registry overhead "
+            f"{100 * summary['overhead_registry']:.2f}% "
+            f"(engine path {100 * summary['overhead_engine']:.2f}%)"
+        )
+        if summary["overhead_registry"] > args.max_overhead:
+            print(
+                f"FAIL: aggregate overhead {summary['overhead_registry']:.4f} "
+                f"> {args.max_overhead}"
+            )
+            return 1
+        return 0
     records = run_engine_bench(args.scale, reps=args.reps, spmm_rhs=args.rhs)
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(records, fh, indent=2)

@@ -287,6 +287,64 @@ def cmd_engine(args, out) -> int:
     return 0
 
 
+def cmd_ops(args, out) -> int:
+    """``repro ops list``: the central kernel registry, live.
+
+    Without ``--matrix`` the full registry snapshot is printed — one
+    row per registered ``(format, op, variant)``, rank 0 being the
+    untuned default.  With ``--matrix PATH`` (MatrixMarket) the file is
+    converted to ``--format`` and the rosters that resolve for *that
+    instance* are shown, followed by the autotuner's pick and timings.
+    """
+    from repro.ops import kernels_for, registry_rows
+
+    if args.ops_command != "list":  # pragma: no cover - argparse enforces
+        raise SystemExit(f"unknown ops command {args.ops_command!r}")
+
+    if args.matrix is None:
+        rows = registry_rows()
+        print(f"{'format':14s} {'op':5s} {'variant':18s} "
+              f"{'rank':>4s} {'perm':>5s} tags", file=out)
+        for r in rows:
+            print(
+                f"{r['format']:14s} {r['op']:5s} {r['variant']:18s} "
+                f"{r['rank']:4d} {'yes' if r['supports_permuted'] else '-':>5s} "
+                f"{','.join(r['tags']) or '-'}",
+                file=out,
+            )
+        print(f"{len(rows)} kernels registered "
+              f"(+ the 'generic' spmv fallback for unlisted formats)", file=out)
+        return 0
+
+    from repro.engine import autotune
+    from repro.engine.workspace import Workspace
+    from repro.formats import convert
+    from repro.matrices import read_matrix_market
+
+    coo = read_matrix_market(args.matrix)
+    m = convert(coo, _resolve_format(args.format))
+    print(
+        f"{args.matrix} as {m.name}: {m.nrows} x {m.ncols}, nnz = {m.nnz}",
+        file=out,
+    )
+    for op in ("spmv", "spmm"):
+        specs = kernels_for(m, op)
+        names = [s.name for s in specs] or ["(per-column spmv loop)"]
+        print(f"{op} candidates : {names}", file=out)
+    tr = autotune(m, Workspace(), use_cache=False)
+    if tr.timings:
+        best = tr.best_seconds
+        for name, secs in sorted(tr.timings.items(), key=lambda kv: kv[1]):
+            mark = "  <- chosen" if name == tr.variant else ""
+            print(
+                f"  {name:16s} {secs * 1e6:10.1f} us "
+                f"({secs / best:5.2f}x){mark}",
+                file=out,
+            )
+    print(f"tuned variant  : {tr.variant}", file=out)
+    return 0
+
+
 def _resolve_format(name: str) -> str:
     """Case/punctuation-insensitive format lookup (``pjds`` -> ``pJDS``)."""
     from repro.formats import available_formats
@@ -522,6 +580,21 @@ def build_parser() -> argparse.ArgumentParser:
     pet.add_argument("--no-cache", action="store_true",
                      help="ignore and do not write the tuner cache")
 
+    pop = sub.add_parser(
+        "ops", help="central kernel registry introspection"
+    )
+    osub = pop.add_subparsers(dest="ops_command", required=True)
+    pol = osub.add_parser(
+        "list", help="list registered (format, op, variant) kernels"
+    )
+    pol.add_argument(
+        "--matrix", default=None, metavar="PATH",
+        help="MatrixMarket file: show the rosters resolving for this "
+             "instance plus the autotuned pick",
+    )
+    pol.add_argument("--format", default="pJDS",
+                     help="storage format for --matrix (case-insensitive)")
+
     pv = sub.add_parser(
         "serve", help="HTTP SpMV/solver server with micro-batching"
     )
@@ -584,6 +657,7 @@ _COMMANDS = {
     "timeline": cmd_timeline,
     "spmv": cmd_spmv,
     "engine": cmd_engine,
+    "ops": cmd_ops,
     "obs": cmd_obs,
     "serve": cmd_serve,
 }

@@ -133,7 +133,7 @@ class SELLMatrix(SparseMatrixFormat):
         chunk_rows = check_positive_int(chunk_rows, "chunk_rows")
         n = coo.nrows
         if sigma is None:
-            sigma = n
+            sigma = max(n, 1)
         sigma = check_positive_int(sigma, "sigma")
         lengths = np.bincount(coo.rows, minlength=n)
         perm = Permutation(windowed_row_sort(lengths, sigma))

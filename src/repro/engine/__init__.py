@@ -8,30 +8,33 @@ fastest for its structure.
 
 * :mod:`repro.engine.workspace` — named, reusable scratch buffers so
   steady-state kernel calls perform no allocation.
-* :mod:`repro.engine.variants` — 2-3 candidate NumPy kernels per
-  format (reduceat vs cumsum vs bincount for CRS/COO, column-sweep vs
-  fused-gather for the ELLPACK/jagged family, width-grouped vs
-  per-chunk for SELL-C-sigma).
+* :mod:`repro.ops` — the central kernel registry the engine resolves
+  variants from (2-5 candidate NumPy kernels per format plus the
+  optional compiled scipy delegates, and the batched SpMM kernels).
 * :mod:`repro.engine.tuner` — times candidates on the live matrix and
   caches the decision under a structural fingerprint.
 * :mod:`repro.engine.bound` — :class:`BoundMatrix` + the
   :func:`make_spmv_operator` closure solvers consume.
-* :mod:`repro.engine.spmm` — batched block-of-vectors kernels.
 * :mod:`repro.engine.parallel` — shared-memory multiprocessing
   row-block backend mirroring the distributed vector/task modes.
+
+``variants_for``/``get_variant``/``spmm_dispatch``/``spmm_permuted``
+are canonical re-exports from :mod:`repro.ops` (the old deep-module
+paths ``repro.engine.variants`` and ``repro.engine.spmm`` still exist
+as warn-once deprecation shims).
 """
 
 from repro.engine.bound import BoundMatrix, bind, make_spmv_operator
 from repro.engine.parallel import PARALLEL_MODES, ParallelSpMV, parallel_spmv
-from repro.engine.spmm import spmm_dispatch, spmm_permuted
 from repro.engine.tuner import (
     TuneResult,
     autotune,
     default_tuner_cache,
     fingerprint,
 )
-from repro.engine.variants import KernelVariant, get_variant, variants_for
 from repro.engine.workspace import Workspace
+from repro.ops.registry import KernelVariant, get_variant, variants_for
+from repro.ops.spmm_kernels import spmm_dispatch, spmm_permuted
 
 __all__ = [
     "BoundMatrix",

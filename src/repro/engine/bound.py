@@ -22,8 +22,8 @@ import numpy as np
 from repro import obs
 from repro.core.jds import JaggedDiagonalsBase
 from repro.engine.tuner import TuneResult, autotune
-from repro.engine.variants import KernelVariant, get_variant, variants_for
 from repro.engine.workspace import Workspace
+from repro.ops.registry import KernelVariant, get_variant, variants_for
 from repro.formats.base import SparseMatrixFormat
 
 __all__ = ["BoundMatrix", "bind", "make_spmv_operator"]
@@ -128,7 +128,7 @@ class BoundMatrix:
 
     def spmm(self, X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Batched multi-vector product through the engine SpMM kernels."""
-        from repro.engine.spmm import spmm_dispatch
+        from repro.ops.spmm_kernels import spmm_dispatch
 
         X, out = self.matrix.check_rhs_block(X, out)
         self.calls += 1

@@ -1,7 +1,7 @@
 """Per-matrix kernel-variant autotuning (the CMRS lesson).
 
 For each bound matrix the tuner times every candidate kernel variant of
-its format (2-3 NumPy kernels, see :mod:`repro.engine.variants`) on the
+its format (2-5 NumPy/scipy kernels from the :mod:`repro.ops` registry) on the
 live data and picks the fastest.  Decisions are cached under a *matrix
 fingerprint* — shape, nnz, dtype and a row-length histogram digest — in
 :class:`repro.matrices.cache.TunerCache`, so binding a structurally
@@ -24,8 +24,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import obs
-from repro.engine.variants import KernelVariant, get_variant, variants_for
 from repro.engine.workspace import Workspace
+from repro.ops.registry import KernelVariant, get_variant, variants_for
 from repro.formats.base import SparseMatrixFormat
 
 __all__ = ["fingerprint", "TuneResult", "autotune", "default_tuner_cache"]

@@ -238,13 +238,14 @@ class SparseMatrixFormat(abc.ABC):
         """Multi-vector product ``Y = A @ X`` for ``X`` of shape (ncols, k).
 
         Block Krylov methods and KPM batches use this.  Dispatch goes
-        through the batched block-of-vectors kernels of
-        :mod:`repro.engine.spmm` (one fused sweep over the stored
-        entries per format); unknown formats fall back to
+        through the batched block-of-vectors kernels registered under
+        ``op="spmm"`` in the central registry (:mod:`repro.ops`, one
+        fused sweep over the stored entries per format); formats
+        without a registered kernel fall back to
         :meth:`spmm_percolumn`.
         """
         X, out = self.check_rhs_block(X, out)
-        from repro.engine.spmm import spmm_dispatch  # late: avoid cycle
+        from repro.ops.spmm_kernels import spmm_dispatch  # late: avoid cycle
 
         return spmm_dispatch(self, X, out)
 

@@ -55,7 +55,7 @@ class COOMatrix(SparseMatrixFormat):
         sum_duplicates: bool = True,
         drop_zeros: bool = False,
     ):
-        shape = check_shape(shape)
+        shape = check_shape(shape, allow_empty=True)
         rows = check_index_array(as_1d_array(rows, name="rows"), shape[0], "rows")
         cols = check_index_array(as_1d_array(cols, name="cols"), shape[1], "cols")
         values = as_1d_array(values, name="values")

@@ -34,7 +34,7 @@ class CSRMatrix(SparseMatrixFormat):
         data: np.ndarray,
         shape: tuple[int, int],
     ):
-        shape = check_shape(shape)
+        shape = check_shape(shape, allow_empty=True)
         indptr = as_1d_array(indptr, dtype=INDEX_DTYPE, name="indptr")
         if indptr.shape[0] != shape[0] + 1:
             raise ValueError(

@@ -68,7 +68,10 @@ class ELLRTMatrix(ELLPACKRMatrix):
         padded = -(-coo.nrows // row_pad) * row_pad
         lengths = np.bincount(coo.rows, minlength=coo.nrows)
         width = int(lengths.max()) if coo.nnz else 0
-        width = -(-max(width, 1) // T) * T  # pad the width to a multiple of T
+        if coo.ncols:
+            # pad the width to a multiple of T (padding points at column
+            # 0, which only exists when there is at least one column)
+            width = -(-max(width, 1) // T) * T
         val, col, row_lengths = build_ell_arrays(coo, padded, width)
         return cls(val, col, row_lengths, coo.shape, threads_per_row=T)
 

@@ -1,9 +1,16 @@
-"""Vectorised spMVM entry points and repetition helpers.
+"""Deprecated shim — vectorised dispatch moved to :mod:`repro.ops`.
 
-The per-format vectorised kernels live on the format classes
-(``spmv``); this module provides the uniform dispatch the benchmarks
-and solvers use, plus an allocation-free repeated-application helper
-for iterative algorithms.
+The uniform ``spmv``/operator-closure/``power_apply`` helpers this
+module used to implement are now thin views over the
+:class:`~repro.ops.protocol.LinearOperator` protocol:
+
+* ``spmv(matrix, x)``  → ``as_linear_operator(matrix).apply(x)``
+* ``make_spmv_operator`` → operator ``apply`` closures
+* ``power_apply``      → :func:`repro.ops.apply_repeated`
+
+All three still work from here but emit one
+:class:`DeprecationWarning` per process; new code should use
+:mod:`repro.ops` directly.
 """
 
 from __future__ import annotations
@@ -13,11 +20,13 @@ from typing import Callable
 import numpy as np
 
 from repro.formats.base import SparseMatrixFormat
+from repro.ops.protocol import apply_repeated
+from repro.utils.deprecation import deprecated_alias, warn_once
 
 __all__ = ["spmv", "make_spmv_operator", "power_apply"]
 
 
-def spmv(
+def _spmv(
     matrix: SparseMatrixFormat, x: np.ndarray, out: np.ndarray | None = None
 ) -> np.ndarray:
     """``y = A @ x`` through the matrix's vectorised kernel."""
@@ -27,17 +36,19 @@ def spmv(
 def make_spmv_operator(
     matrix: SparseMatrixFormat, *, permuted: bool = False, engine: bool = False
 ) -> Callable[[np.ndarray], np.ndarray]:
-    """Return a closure computing ``A @ x``.
+    """Return a closure computing ``A @ x`` (deprecated).
 
     With ``permuted=True`` (jagged formats only) the operator works in
-    the stored basis — the Sect. II-A Krylov workflow: permute the
-    start vector once with ``matrix.permutation.to_permuted``, iterate,
-    and map the final result back with ``to_original``.
-
-    With ``engine=True`` the closure goes through the autotuned
-    zero-allocation :func:`repro.engine.make_spmv_operator` (ping-pong
-    output buffers; results are only valid until the buffer cycles).
+    the stored basis; with ``engine=True`` it goes through the
+    autotuned zero-allocation :func:`repro.engine.make_spmv_operator`.
+    New code should use :func:`repro.ops.as_linear_operator` (or
+    :func:`repro.ops.solver_operator` for the stored-basis workflow).
     """
+    warn_once(
+        "repro.kernels.vectorized.make_spmv_operator is deprecated; "
+        "use repro.ops.as_linear_operator instead",
+        key="repro.kernels.vectorized.make_spmv_operator",
+    )
     if engine:
         from repro.engine import make_spmv_operator as _engine_operator
 
@@ -52,15 +63,13 @@ def make_spmv_operator(
     return lambda x: matrix.spmv(x)
 
 
-def power_apply(
-    matrix: SparseMatrixFormat, x: np.ndarray, repetitions: int
-) -> np.ndarray:
-    """Apply ``A`` repeatedly (un-normalised); benchmark inner loop."""
-    if repetitions < 1:
-        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
-    y = matrix.spmv(x)
-    buf = np.empty_like(y)
-    for _ in range(repetitions - 1):
-        buf = matrix.spmv(y, out=buf)
-        y, buf = buf, y
-    return y
+spmv = deprecated_alias(
+    _spmv,
+    old="repro.kernels.vectorized.spmv",
+    new="repro.ops.as_linear_operator(matrix).apply",
+)
+power_apply = deprecated_alias(
+    apply_repeated,
+    old="repro.kernels.vectorized.power_apply",
+    new="repro.ops.apply_repeated",
+)

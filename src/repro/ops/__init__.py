@@ -1,0 +1,88 @@
+"""repro.ops — unified operator protocol and central kernel registry.
+
+One import point for the two cross-cutting abstractions of the
+package (the ISSUE-4 refactor):
+
+* the **kernel registry** — every (format, op) kernel table lives in
+  :mod:`repro.ops.registry`; formats register implementations with
+  :func:`register_kernel` and every consumer (autotuner, engine,
+  solvers, parallel/distributed backends, serving) resolves through
+  :func:`kernels_for` / :func:`get_kernel`;
+* the **LinearOperator protocol** — :mod:`repro.ops.protocol` defines
+  the minimal ``apply``/``apply_block``/``shape``/``dtype`` surface
+  the solvers code against, with adapters for raw formats, the tuned
+  engine, and (in :mod:`repro.ops.adapters`) the parallel, distributed
+  and serving backends.
+"""
+
+from repro.ops.adapters import (
+    DistributedOperator,
+    ParallelOperator,
+    ServeOperator,
+)
+from repro.ops.protocol import (
+    BoundOperator,
+    CountingOperator,
+    FormatOperator,
+    LinearOperator,
+    PermutedOperator,
+    apply_repeated,
+    as_linear_operator,
+    solver_operator,
+)
+from repro.ops.registry import (
+    OPS,
+    KernelSpec,
+    KernelVariant,
+    get_kernel,
+    get_variant,
+    kernel_names_for,
+    kernels_for,
+    register_kernel,
+    registry_rows,
+    variant_names_for,
+    variants_for,
+)
+from repro.ops.spmv_kernels import stored_csr_triplet
+
+__all__ = [
+    # registry
+    "OPS",
+    "KernelSpec",
+    "KernelVariant",
+    "register_kernel",
+    "kernels_for",
+    "kernel_names_for",
+    "get_kernel",
+    "registry_rows",
+    "variants_for",
+    "variant_names_for",
+    "get_variant",
+    "stored_csr_triplet",
+    "spmm_dispatch",
+    "spmm_permuted",
+    # protocol
+    "LinearOperator",
+    "FormatOperator",
+    "BoundOperator",
+    "PermutedOperator",
+    "CountingOperator",
+    "as_linear_operator",
+    "solver_operator",
+    "apply_repeated",
+    # backend adapters
+    "ParallelOperator",
+    "DistributedOperator",
+    "ServeOperator",
+]
+
+
+def __getattr__(name):
+    # spmm_dispatch/spmm_permuted import the format classes (and thus
+    # most of the package); resolve them lazily to keep ``import
+    # repro.ops`` cheap and cycle-free.
+    if name in ("spmm_dispatch", "spmm_permuted"):
+        from repro.ops import spmm_kernels
+
+        return getattr(spmm_kernels, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

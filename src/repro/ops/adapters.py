@@ -1,0 +1,185 @@
+"""Cross-backend :class:`~repro.ops.protocol.LinearOperator` adapters.
+
+The protocol module covers the single-process format/engine paths;
+this module adapts the three "big iron" execution backends so the
+solvers (and anything else coded against the protocol) can run
+unchanged on top of them:
+
+:class:`ParallelOperator`
+    Shared-memory multiprocessing row-block pool
+    (:class:`repro.engine.parallel.ParallelSpMV`).
+:class:`DistributedOperator`
+    The per-rank halo-exchange runtime
+    (:func:`repro.distributed.runtime.distributed_spmv`).
+:class:`ServeOperator`
+    A registered matrix behind a serving
+    :class:`~repro.serve.client.Client` — every ``apply`` goes through
+    the micro-batching scheduler, so concurrent solver instances
+    coalesce like HTTP traffic.
+
+All three present the identity permutation to the solver layer: the
+backends consume and produce original-order vectors, any storage
+permutation is an implementation detail behind the wire.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ops.protocol import LinearOperator
+
+__all__ = [
+    "ParallelOperator",
+    "DistributedOperator",
+    "ServeOperator",
+]
+
+
+class ParallelOperator(LinearOperator):
+    """Operator over a persistent shared-memory SpMV worker pool.
+
+    Owns-or-borrows: pass an existing
+    :class:`~repro.engine.parallel.ParallelSpMV` to borrow it, or a
+    format instance plus ``nworkers`` to own a freshly spawned pool
+    (closed by :meth:`close` / the context manager).
+    """
+
+    def __init__(
+        self,
+        pool_or_matrix,
+        nworkers: int | None = None,
+        *,
+        mode: str = "vector",
+    ):
+        from repro.engine.parallel import ParallelSpMV
+
+        if isinstance(pool_or_matrix, ParallelSpMV):
+            self.pool = pool_or_matrix
+            self._owned = False
+        else:
+            if nworkers is None:
+                raise ValueError(
+                    "nworkers is required when constructing from a matrix"
+                )
+            self.pool = ParallelSpMV(pool_or_matrix, nworkers, mode=mode)
+            self._owned = True
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.pool.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.pool.dtype
+
+    def apply(self, x, out=None):
+        return self.pool.spmv(x, out=out)
+
+    def close(self) -> None:
+        """Release the pool (only when this adapter created it)."""
+        if self._owned:
+            self.pool.close()
+
+    def __enter__(self) -> "ParallelOperator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        p = self.pool
+        return (
+            f"<ParallelOperator {p.nrows}x{p.ncols} workers={p.nworkers} "
+            f"mode={p.mode}>"
+        )
+
+
+class DistributedOperator(LinearOperator):
+    """Operator over the halo-exchange distributed runtime.
+
+    Each ``apply`` scatters the global RHS across the plan's ranks,
+    runs the exchange + compute round, and gathers the global result —
+    i.e. one full distributed spMVM per solver iteration, exactly the
+    execution the paper's strong-scaling experiments time.
+    """
+
+    def __init__(self, comm_plan, *, backend: str = "threads", timeout: float = 60.0):
+        self.comm_plan = comm_plan
+        self.backend = backend
+        self.timeout = timeout
+        local = comm_plan.ranks[0].local_matrix if comm_plan.ranks else None
+        self._dtype = np.dtype(local.dtype) if local is not None else np.dtype(
+            np.float64
+        )
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        # build_plan enforces square matrices (nrows == ncols)
+        return (self.comm_plan.partition.nrows, self.comm_plan.ncols)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    def apply(self, x, out=None):
+        from repro.distributed.runtime import distributed_spmv
+
+        y = distributed_spmv(
+            self.comm_plan, x, backend=self.backend, timeout=self.timeout
+        )
+        if out is not None:
+            out[:] = y
+            return out
+        return y
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<DistributedOperator {self.shape[0]}x{self.shape[1]} "
+            f"ranks={self.comm_plan.nparts} backend={self.backend}>"
+        )
+
+
+class ServeOperator(LinearOperator):
+    """A matrix registered with a serving client, viewed as an operator.
+
+    The shape/dtype are pinned once at construction (via a short
+    registry lease); every subsequent ``apply`` is an ordinary client
+    ``spmv`` call through the admission-controlled, micro-batching
+    scheduler.
+    """
+
+    def __init__(
+        self,
+        client,
+        name: str,
+        *,
+        deadline_ms: float | None = None,
+        timeout: float | None = None,
+    ):
+        self.client = client
+        self.name = name
+        self.deadline_ms = deadline_ms
+        self.timeout = timeout
+        with client.server.registry.acquire(name) as lease:
+            self._shape = lease.bound.shape
+            self._dtype = np.dtype(lease.bound.dtype)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    def apply(self, x, out=None):
+        y = self.client.spmv(
+            self.name, x, deadline_ms=self.deadline_ms, timeout=self.timeout
+        )
+        if out is not None:
+            out[:] = y
+            return out
+        return y
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ServeOperator {self.name!r} {self._shape[0]}x{self._shape[1]}>"

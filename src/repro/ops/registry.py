@@ -1,0 +1,254 @@
+"""Central kernel registry: (format class, op) -> ordered kernel specs.
+
+The paper's core claim (Sect. II) is that spMVM performance is a
+property of the *kernel chosen for a format*, not of the caller.
+Related GPU-format work (Kreutzer et al. 2012; Koza et al., CMRS)
+treats format<->kernel binding as a pluggable registry decision; this
+module is that registry.  Every kernel table that used to be
+hard-coded in ``repro.engine.variants`` (spmv) and
+``repro.engine.spmm`` (batched spmm) now lives here, and every
+consumer — the autotuner roster, :class:`~repro.engine.bound.BoundMatrix`,
+the solvers' operator layer, the parallel/distributed backends, and
+the serving registry — resolves kernels through the same tables, so
+one tuned decision flows everywhere.
+
+Kernels are declared with the :func:`register_kernel` decorator::
+
+    @register_kernel(CSRMatrix, "spmv", name="csr_reduceat", tags=("numpy",))
+    def _csr_reduceat(m, ws, x, y, permuted=False): ...
+
+Resolution walks the matrix class's MRO, so subclasses (ELLPACK-R,
+ELLR-T, pJDS, ...) inherit their base format's kernels unless they
+register their own.  Formats with no registered spmv kernel fall back
+to the ``generic`` wrapper around their own ``spmv`` method.
+
+Kernel contracts (per ``op``):
+
+``spmv``
+    ``run(matrix, ws, x, y_stored, permuted=False)`` fully writes
+    ``y_stored`` (length ``nrows``) in the format's *stored* row
+    order; ``x`` is already coerced to the matrix dtype.
+``spmm``
+    ``run(matrix, X, out, ws)`` with C-contiguous ``(ncols, k)`` X,
+    writing the *original*-order ``(nrows, k)`` result into ``out``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+__all__ = [
+    "KernelSpec",
+    "KernelVariant",
+    "OPS",
+    "register_kernel",
+    "kernels_for",
+    "kernel_names_for",
+    "get_kernel",
+    "registry_rows",
+    "variants_for",
+    "variant_names_for",
+    "get_variant",
+]
+
+#: operations the registry understands
+OPS = ("spmv", "spmm")
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One interchangeable kernel implementation for a (format, op) pair."""
+
+    name: str
+    run: Callable[..., None]
+    #: supports the permuted-basis (stored-order in, stored-order out)
+    #: solver path of jagged formats
+    supports_permuted: bool = False
+    #: free-form labels ("numpy", "compiled", "blocked", ...) surfaced
+    #: by ``repro ops list`` and usable for roster filtering
+    tags: tuple[str, ...] = ()
+
+
+#: historical name (``repro.engine.variants.KernelVariant``); the class
+#: is identical, only the module moved.
+KernelVariant = KernelSpec
+
+_REGISTRY: dict[tuple[type, str], list[KernelSpec]] = {}
+_LOCK = threading.RLock()
+_LOADED = False
+
+
+def register_kernel(
+    fmt_cls: type,
+    op: str = "spmv",
+    *,
+    name: str,
+    supports_permuted: bool = False,
+    tags: Iterable[str] = (),
+    first: bool = False,
+):
+    """Decorator registering a kernel for ``fmt_cls`` (and subclasses).
+
+    ``first=True`` prepends the kernel to the candidate list — it
+    becomes the best-guess default taken when tuning is off (the
+    compiled scipy delegates use this).  Registering the same name
+    twice for one (format, op) pair raises unless it is the identical
+    function (idempotent re-registration, e.g. module reloads).
+    """
+    if op not in OPS:
+        raise ValueError(f"op must be one of {OPS}, got {op!r}")
+    if not isinstance(fmt_cls, type):
+        raise TypeError(
+            f"register_kernel expects a format class, got {type(fmt_cls).__name__}"
+        )
+
+    def decorate(fn: Callable[..., None]) -> Callable[..., None]:
+        spec = KernelSpec(
+            name=name,
+            run=fn,
+            supports_permuted=supports_permuted,
+            tags=tuple(tags),
+        )
+        with _LOCK:
+            lst = _REGISTRY.setdefault((fmt_cls, op), [])
+            for existing in lst:
+                if existing.name == name:
+                    if existing.run is fn:
+                        return fn  # idempotent
+                    raise ValueError(
+                        f"kernel {name!r} already registered for "
+                        f"{fmt_cls.__name__}/{op} with a different function"
+                    )
+            if first:
+                lst.insert(0, spec)
+            else:
+                lst.append(spec)
+        return fn
+
+    return decorate
+
+
+# ---------------------------------------------------------------------------
+# generic fallback (spmv only): wraps the format's own vectorised method
+# ---------------------------------------------------------------------------
+
+def _generic_spmv(m, ws, x, y, permuted=False):
+    if permuted:
+        y[:] = m.spmv_permuted(x)
+    else:
+        m.spmv(x, out=y)
+
+
+GENERIC_SPMV = KernelSpec("generic", _generic_spmv, tags=("fallback",))
+
+
+def _ensure_loaded() -> None:
+    """Import the kernel modules once so their decorators have run."""
+    global _LOADED
+    if _LOADED:
+        return
+    with _LOCK:
+        if _LOADED:
+            return
+        from repro.ops import spmm_kernels, spmv_kernels  # noqa: F401
+
+        _LOADED = True
+
+
+def _resolve(cls: type, op: str) -> list[KernelSpec] | None:
+    for c in cls.__mro__:
+        lst = _REGISTRY.get((c, op))
+        if lst:
+            return lst
+    return None
+
+
+def kernels_for(matrix, op: str = "spmv") -> list[KernelSpec]:
+    """Candidate kernels for a matrix (or format class), best-guess first.
+
+    For ``op="spmv"`` an unknown format gets the ``generic`` fallback;
+    for ``op="spmm"`` the list may be empty (callers then degrade to a
+    per-column loop over spmv).
+    """
+    if op not in OPS:
+        raise ValueError(f"op must be one of {OPS}, got {op!r}")
+    _ensure_loaded()
+    cls = matrix if isinstance(matrix, type) else type(matrix)
+    lst = _resolve(cls, op)
+    if lst is not None:
+        return list(lst)
+    return [GENERIC_SPMV] if op == "spmv" else []
+
+
+def kernel_names_for(matrix, op: str = "spmv") -> list[str]:
+    return [k.name for k in kernels_for(matrix, op)]
+
+
+def get_kernel(matrix, name: str, op: str = "spmv") -> KernelSpec:
+    """Look up one kernel by name (raises ``KeyError`` when unknown)."""
+    for k in kernels_for(matrix, op):
+        if k.name == name:
+            return k
+    cls = matrix if isinstance(matrix, type) else type(matrix)
+    raise KeyError(
+        f"no variant {name!r} for {cls.__name__}; "
+        f"candidates: {kernel_names_for(matrix, op)}"
+    )
+
+
+def registry_rows() -> list[dict]:
+    """Flat, deterministic snapshot of the registry for introspection.
+
+    One dict per registered kernel:
+    ``{"format", "op", "variant", "supports_permuted", "tags", "rank"}``
+    where ``rank`` is the kernel's position in its candidate list
+    (rank 0 is the untuned default).
+    """
+    _ensure_loaded()
+
+    def _fmt_name(cls: type) -> str:
+        # abstract bases (JaggedDiagonalsBase.name == "abstract") read
+        # better under their class name
+        n = getattr(cls, "name", cls.__name__)
+        return cls.__name__ if n == "abstract" else n
+
+    rows = []
+    with _LOCK:
+        items = sorted(
+            _REGISTRY.items(),
+            key=lambda kv: (_fmt_name(kv[0][0]), kv[0][1]),
+        )
+        for (cls, op), specs in items:
+            fmt = _fmt_name(cls)
+            for rank, s in enumerate(specs):
+                rows.append(
+                    {
+                        "format": fmt,
+                        "op": op,
+                        "variant": s.name,
+                        "supports_permuted": s.supports_permuted,
+                        "tags": list(s.tags),
+                        "rank": rank,
+                    }
+                )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# canonical spellings of the historical engine.variants API
+# ---------------------------------------------------------------------------
+
+def variants_for(matrix) -> list[KernelSpec]:
+    """Candidate spmv kernels for a matrix, best-guess first."""
+    return kernels_for(matrix, "spmv")
+
+
+def variant_names_for(matrix) -> list[str]:
+    return kernel_names_for(matrix, "spmv")
+
+
+def get_variant(matrix, name: str) -> KernelSpec:
+    """Look up one spmv kernel by name (``KeyError`` when unknown)."""
+    return get_kernel(matrix, name, "spmv")

@@ -1,0 +1,640 @@
+"""Per-format spMVM kernels, registered with the central registry.
+
+The paper's Table I shows the winning format is matrix-dependent; Koza
+et al. (CMRS) show the winning *kernel variant within a format* is
+matrix-dependent too.  This module declares 2-5 interchangeable NumPy
+kernels per storage format, all writing into caller-provided buffers
+through a :class:`~repro.engine.workspace.Workspace` so the steady
+state allocates nothing:
+
+========  =====================================================
+format    variants
+========  =====================================================
+CRS       ``csr_reduceat`` (row-local segment sums),
+          ``csr_grouped`` (cache-blocked length-grouped einsum),
+          ``csr_cumsum`` (global prefix sums, float64 scratch),
+          ``csr_bincount`` (scatter via bincount),
+          ``csr_scipy`` (compiled csr_matvec delegate)
+COO       ``coo_reduceat`` (row-run segments), ``coo_bincount``
+ELLPACK*  ``ell_sweep`` (per jagged column),
+          ``ell_fused`` (one gather over the padded rectangle),
+          ``ell_scipy`` (unpadded-rows CSR view, compiled sweep)
+JDS/pJDS  ``jds_grouped`` (cache-blocked grouped einsum),
+          ``jds_sweep`` (Listing-2 column sweep),
+          ``jds_fused_runs`` (equal-length column runs fused into
+          rectangles — pJDS's block padding makes runs long),
+          ``jds_scipy`` (stored-order CSR view, compiled sweep)
+SELL      ``sell_fused`` (width-grouped chunk rectangles),
+          ``sell_chunks`` (per-chunk loop),
+          ``sell_scipy`` (padded-rows CSR view, compiled sweep)
+========  =====================================================
+
+The ``*_scipy`` delegates only register when :mod:`scipy` is
+importable (the same optional dependency that gates RCM reordering);
+the autotuner decides per matrix whether they beat the NumPy kernels.
+
+Kernel contract: ``run(matrix, ws, x, y_stored, permuted=False)``
+fully writes ``y_stored`` (length ``nrows``) with the result in the
+format's *stored* row order; ``x`` is already coerced to the matrix
+dtype.  Formats without a registered kernel fall back to the
+``generic`` wrapper around their own ``spmv``.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from repro.core.jds import JaggedDiagonalsBase
+from repro.core.sell import SELLMatrix
+from repro.formats.base import SparseMatrixFormat
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.ellpack import ELLPACKMatrix
+from repro.ops.registry import register_kernel
+
+try:  # optional compiled CSR matvec (scipy already gates RCM reordering)
+    from scipy.sparse import _sparsetools as _scipy_sparsetools
+except ImportError:  # pragma: no cover - scipy-less environment
+    _scipy_sparsetools = None
+
+#: scipy's C ``csr_matvec`` fuses gather + FMA + row reduction in one
+#: compiled pass — no NumPy kernel can avoid materialising the gathered
+#: product, so when it is importable it joins the candidate list and the
+#: autotuner decides per matrix whether it wins.
+_HAVE_CSR_MATVEC = _scipy_sparsetools is not None and hasattr(
+    _scipy_sparsetools, "csr_matvec"
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.engine.workspace import Workspace
+
+__all__ = ["stored_csr_triplet"]
+
+
+#: gathered elements per cache-blocked chunk of the grouped kernels
+#: (~256 KB at float64): the gather rectangle is reduced while still
+#: cache-resident instead of round-tripping through main memory.
+_SPMV_BLOCK = 32768
+
+
+def _take_mul(x, idx, val, gbuf):
+    """``gbuf[:] = x[idx] * val`` without temporaries.
+
+    ``mode="clip"`` skips NumPy's bounds-check pass (indices were
+    validated at construction); with an ``out=`` buffer the default
+    ``"raise"`` mode falls into a ~3x slower buffered path.
+    """
+    np.take(x, idx, out=gbuf, mode="clip")
+    np.multiply(gbuf, val, out=gbuf)
+    return gbuf
+
+
+# ---------------------------------------------------------------------------
+# CSR
+# ---------------------------------------------------------------------------
+
+@register_kernel(CSRMatrix, "spmv", name="csr_reduceat", tags=("numpy",))
+def _csr_reduceat(m: CSRMatrix, ws: Workspace, x, y, permuted=False):
+    if m.nnz == 0:
+        y.fill(0.0)
+        return
+    data = ws.const("data", lambda: m.data)
+    idx = ws.const("indices", lambda: m.indices)
+    g = _take_mul(x, idx, data, ws.buf("csr_g", m.nnz, m.dtype))
+    ne = ws.const("csr_nonempty", lambda: np.flatnonzero(np.diff(m.indptr) > 0))
+    starts = ws.const(
+        "csr_starts", lambda: np.ascontiguousarray(m.indptr[:-1][ne])
+    )
+    if ne.shape[0] == m.nrows:  # no empty rows: reduce straight into y
+        np.add.reduceat(g, starts, out=y)
+    else:
+        r = ws.buf("csr_r", ne.shape[0], m.dtype)
+        np.add.reduceat(g, starts, out=r)
+        y.fill(0.0)
+        y[ne] = r
+
+
+@register_kernel(CSRMatrix, "spmv", name="csr_grouped", tags=("numpy", "blocked"))
+def _csr_grouped(m: CSRMatrix, ws: Workspace, x, y, permuted=False):
+    """Row-length-grouped fused dot products (quasi-ELLPACK rectangles).
+
+    Replaces one reduceat segment per row with one fused
+    multiply-reduce (``einsum('il,il->i')``) per distinct length —
+    the gathered RHS block never round-trips through memory a second
+    time, and the per-segment dispatch overhead of ``reduceat``
+    disappears.  Wins when rows are short and lengths cluster, which
+    is exactly the structure pJDS exploits.
+    """
+    if m.nnz == 0:
+        y.fill(0.0)
+        return
+    idx_g, data_g, groups = ws.const(
+        "csr_groups", lambda: m._length_groups()  # noqa: SLF001
+    )
+    # longest row bounds a chunk when a single row exceeds the block
+    gmax = groups[-1][0] if groups else 1  # unique() sorts ascending
+    g = ws.buf("csr_gg", min(m.nnz, max(_SPMV_BLOCK, gmax)), m.dtype)
+    y.fill(0.0)
+    r = ws.buf("csr_gr", m.nrows, m.dtype)
+    off = 0
+    for length, rows_l in groups:
+        nl = rows_l.shape[0]
+        step = max(1, _SPMV_BLOCK // length)
+        for c0 in range(0, nl, step):
+            c1 = min(c0 + step, nl)
+            cnt = (c1 - c0) * length
+            sl = slice(off + c0 * length, off + c1 * length)
+            gv = g[:cnt]
+            np.take(x, idx_g[sl], out=gv, mode="clip")
+            np.einsum(
+                "il,il->i",
+                gv.reshape(c1 - c0, length),
+                data_g[sl].reshape(c1 - c0, length),
+                out=r[: c1 - c0],
+            )
+            y[rows_l[c0:c1]] = r[: c1 - c0]
+        off += nl * length
+
+
+@register_kernel(CSRMatrix, "spmv", name="csr_cumsum", tags=("numpy",))
+def _csr_cumsum(m: CSRMatrix, ws: Workspace, x, y, permuted=False):
+    if m.nnz == 0:
+        y.fill(0.0)
+        return
+    data = ws.const("data", lambda: m.data)
+    idx = ws.const("indices", lambda: m.indices)
+    indptr = ws.const("indptr", lambda: m.indptr)
+    # global prefix sums want a wide accumulator: float64 scratch,
+    # allocated once, regardless of the matrix dtype
+    g64 = ws.buf("csr_g64", m.nnz, np.float64)
+    if m.dtype == np.float64:
+        np.take(x, idx, out=g64, mode="clip")
+        np.multiply(g64, data, out=g64)
+    else:
+        g32 = _take_mul(x, idx, data, ws.buf("csr_g", m.nnz, m.dtype))
+        g64[:] = g32
+    cs = ws.buf("csr_cs", m.nnz + 1, np.float64)
+    cs[0] = 0.0
+    np.cumsum(g64, out=cs[1:])
+    e = ws.buf("csr_end", m.nrows, np.float64)
+    s = ws.buf("csr_beg", m.nrows, np.float64)
+    np.take(cs, indptr[1:], out=e, mode="clip")
+    np.take(cs, indptr[:-1], out=s, mode="clip")
+    np.subtract(e, s, out=y, casting="same_kind")
+
+
+@register_kernel(CSRMatrix, "spmv", name="csr_bincount", tags=("numpy",))
+def _csr_bincount(m: CSRMatrix, ws: Workspace, x, y, permuted=False):
+    if m.nnz == 0:
+        y.fill(0.0)
+        return
+    data = ws.const("data", lambda: m.data)
+    idx = ws.const("indices", lambda: m.indices)
+    row_of = ws.const(
+        "csr_row_of",
+        lambda: np.repeat(
+            np.arange(m.nrows, dtype=np.int64), np.diff(m.indptr)
+        ),
+    )
+    g = _take_mul(x, idx, data, ws.buf("csr_g", m.nnz, m.dtype))
+    acc = np.bincount(row_of, weights=g, minlength=m.nrows)
+    np.copyto(y, acc, casting="same_kind")
+
+
+# ---------------------------------------------------------------------------
+# COO
+# ---------------------------------------------------------------------------
+
+@register_kernel(COOMatrix, "spmv", name="coo_reduceat", tags=("numpy",))
+def _coo_reduceat(m: COOMatrix, ws: Workspace, x, y, permuted=False):
+    if m.nnz == 0:
+        y.fill(0.0)
+        return
+    vals = ws.const("values", lambda: m.values)
+    cols = ws.const("cols", lambda: m.cols)
+    starts, urows = ws.const("coo_runs", lambda: m._row_runs())  # noqa: SLF001
+    g = _take_mul(x, cols, vals, ws.buf("coo_g", m.nnz, m.dtype))
+    r = ws.buf("coo_r", starts.shape[0], m.dtype)
+    np.add.reduceat(g, starts, out=r)
+    y.fill(0.0)
+    y[urows] = r
+
+
+@register_kernel(COOMatrix, "spmv", name="coo_bincount", tags=("numpy",))
+def _coo_bincount(m: COOMatrix, ws: Workspace, x, y, permuted=False):
+    if m.nnz == 0:
+        y.fill(0.0)
+        return
+    vals = ws.const("values", lambda: m.values)
+    cols = ws.const("cols", lambda: m.cols)
+    rows = ws.const("rows", lambda: m.rows)
+    g = _take_mul(x, cols, vals, ws.buf("coo_g", m.nnz, m.dtype))
+    acc = np.bincount(rows, weights=g, minlength=m.nrows)
+    np.copyto(y, acc, casting="same_kind")
+
+
+# ---------------------------------------------------------------------------
+# ELLPACK family (plain, -R, ELLR-T share the padded rectangle)
+# ---------------------------------------------------------------------------
+
+@register_kernel(ELLPACKMatrix, "spmv", name="ell_sweep", tags=("numpy",))
+def _ell_sweep(m: ELLPACKMatrix, ws: Workspace, x, y, permuted=False):
+    if m.width == 0:
+        y.fill(0.0)
+        return
+    val = ws.const("val", lambda: m.val)
+    col = ws.const("col", lambda: m.col)
+    acc = ws.buf("ell_acc", m.padded_rows, m.dtype)
+    acc.fill(0.0)
+    g = ws.buf("ell_g", m.padded_rows, m.dtype)
+    for j in range(m.width):
+        np.take(x, col[j], out=g, mode="clip")
+        np.multiply(g, val[j], out=g)
+        acc += g
+    y[:] = acc[: m.nrows]
+
+
+@register_kernel(ELLPACKMatrix, "spmv", name="ell_fused", tags=("numpy", "fused"))
+def _ell_fused(m: ELLPACKMatrix, ws: Workspace, x, y, permuted=False):
+    if m.width == 0:
+        y.fill(0.0)
+        return
+    val = ws.const("val", lambda: m.val)
+    colflat = ws.const("ell_colflat", lambda: np.ascontiguousarray(m.col).ravel())
+    G = ws.buf("ell_G", (m.width, m.padded_rows), m.dtype)
+    np.take(x, colflat, out=G.reshape(-1), mode="clip")
+    np.multiply(G, val, out=G)
+    acc = ws.buf("ell_acc", m.padded_rows, m.dtype)
+    np.add.reduce(G, axis=0, out=acc)
+    y[:] = acc[: m.nrows]
+
+
+# ---------------------------------------------------------------------------
+# JDS / pJDS
+# ---------------------------------------------------------------------------
+
+def _jds_cols(m: JaggedDiagonalsBase, ws: Workspace, permuted: bool):
+    if permuted:
+        return ws.const("jds_colperm", lambda: m._permuted_col_idx())  # noqa: SLF001
+    return ws.const("col_idx", lambda: m.col_idx)
+
+
+@register_kernel(
+    JaggedDiagonalsBase, "spmv", name="jds_grouped",
+    supports_permuted=True, tags=("numpy", "blocked"),
+)
+def _jds_grouped(m: JaggedDiagonalsBase, ws: Workspace, x, y, permuted=False):
+    """Padded-length-grouped fused dot products on the jagged arrays.
+
+    Stored rows are sorted by padded length, so rows of equal padded
+    length occupy a contiguous stored range; re-permuting the flat
+    column-major slots once (cached) turns each range into a dense
+    row-major rectangle that a single ``einsum('il,il->i')`` reduces
+    straight into the stored-order accumulator — each output row is
+    written exactly once, with no per-column accumulator re-reads.
+    """
+    if m.total_slots == 0:
+        y.fill(0.0)
+        return
+    idx_g, data_g, groups = m._grouped_entries(permuted)  # noqa: SLF001
+    # padded lengths are non-increasing: the first group is the widest
+    gmax = groups[0][0] if groups else 1
+    G = ws.buf(
+        "jds_Gg", min(idx_g.shape[0], max(_SPMV_BLOCK, gmax)), m.dtype
+    )
+    # groups tile the stored rows [0, tail); only zero the empty tail
+    tail = groups[-1][2] if groups else 0
+    if tail < y.shape[0]:
+        y[tail:] = 0.0
+    off = 0
+    for L, r0, r1 in groups:
+        nL = r1 - r0
+        step = max(1, _SPMV_BLOCK // L)
+        for c0 in range(0, nL, step):
+            c1 = min(c0 + step, nL)
+            cnt = (c1 - c0) * L
+            sl = slice(off + c0 * L, off + c1 * L)
+            gv = G[:cnt]
+            np.take(x, idx_g[sl], out=gv, mode="clip")
+            np.einsum(
+                "il,il->i",
+                gv.reshape(c1 - c0, L),
+                data_g[sl].reshape(c1 - c0, L),
+                out=y[r0 + c0 : r0 + c1],
+            )
+        off += nL * L
+
+
+def _jds_runs(m: JaggedDiagonalsBase):
+    """Runs of consecutive jagged columns of equal length.
+
+    Returns a list of ``(flat_start, column_length, n_columns)``.  With
+    pJDS's block-granular padding, long stretches of columns share a
+    length, so the per-call Python loop collapses from ``width`` to a
+    handful of fused rectangles.
+    """
+    col_len = np.diff(m.col_start)
+    runs = []
+    j = 0
+    width = col_len.shape[0]
+    while j < width:
+        L = int(col_len[j])
+        j2 = j
+        while j2 + 1 < width and col_len[j2 + 1] == L:
+            j2 += 1
+        if L > 0:
+            runs.append((int(m.col_start[j]), L, j2 - j + 1))
+        j = j2 + 1
+    return runs
+
+
+@register_kernel(
+    JaggedDiagonalsBase, "spmv", name="jds_fused_runs",
+    supports_permuted=True, tags=("numpy", "fused"),
+)
+def _jds_fused_runs(m: JaggedDiagonalsBase, ws: Workspace, x, y, permuted=False):
+    y.fill(0.0)
+    if m.total_slots == 0:
+        return
+    col_idx = _jds_cols(m, ws, permuted)
+    val = ws.const("val", lambda: m.val)
+    runs = ws.const("jds_runs", lambda: _jds_runs(m))
+    G = ws.buf("jds_G", m.total_slots, m.dtype)
+    np.take(x, col_idx, out=G, mode="clip")
+    np.multiply(G, val, out=G)
+    r = ws.buf("jds_r", m.nrows, m.dtype)
+    for s, L, k in runs:
+        if k == 1:
+            y[:L] += G[s : s + L]
+        else:
+            block = G[s : s + L * k].reshape(k, L)
+            np.add.reduce(block, axis=0, out=r[:L])
+            y[:L] += r[:L]
+
+
+@register_kernel(
+    JaggedDiagonalsBase, "spmv", name="jds_sweep",
+    supports_permuted=True, tags=("numpy",),
+)
+def _jds_sweep(m: JaggedDiagonalsBase, ws: Workspace, x, y, permuted=False):
+    y.fill(0.0)
+    if m.total_slots == 0:
+        return
+    col_idx = _jds_cols(m, ws, permuted)
+    val = ws.const("val", lambda: m.val)
+    cs = ws.const("col_start", lambda: m.col_start)
+    g = ws.buf("jds_g", m.nrows, m.dtype)
+    for j in range(m.width):
+        s = cs[j]
+        e = cs[j + 1]
+        gv = g[: e - s]
+        np.take(x, col_idx[s:e], out=gv, mode="clip")
+        np.multiply(gv, val[s:e], out=gv)
+        y[: e - s] += gv
+
+
+# ---------------------------------------------------------------------------
+# SELL-C-sigma
+# ---------------------------------------------------------------------------
+
+def _sell_gather(m: SELLMatrix, ws: Workspace, x):
+    col_idx = ws.const("col_idx", lambda: m.col_idx)
+    val = ws.const("val", lambda: m.val)
+    G = ws.buf("sell_G", m.total_slots, m.dtype)
+    np.take(x, col_idx, out=G, mode="clip")
+    np.multiply(G, val, out=G)
+    return G
+
+
+def _sell_width_groups(m: SELLMatrix):
+    """Per distinct chunk width: (width, slot positions, target rows)."""
+    widths = np.asarray(m.chunk_widths)
+    C = m.chunk_rows
+    ptr = np.asarray(m.chunk_ptr)
+    groups = []
+    for w in np.unique(widths):
+        w = int(w)
+        if w == 0:
+            continue
+        chunks = np.flatnonzero(widths == w)
+        # all slots of each chunk are contiguous: ptr[c] .. ptr[c] + w*C
+        pos = (ptr[chunks][:, None] + np.arange(w * C)).ravel()
+        rows = (chunks[:, None] * C + np.arange(C)).ravel()
+        groups.append((w, chunks.shape[0], pos, rows))
+    return groups
+
+
+@register_kernel(SELLMatrix, "spmv", name="sell_fused", tags=("numpy", "fused"))
+def _sell_fused(m: SELLMatrix, ws: Workspace, x, y, permuted=False):
+    if m.total_slots == 0:
+        y.fill(0.0)
+        return
+    G = _sell_gather(m, ws, x)
+    groups = ws.const("sell_groups", lambda: _sell_width_groups(m))
+    acc = ws.buf("sell_acc", m.padded_rows, m.dtype)
+    acc.fill(0.0)
+    C = m.chunk_rows
+    for i, (w, nc, pos, rows) in enumerate(groups):
+        B = ws.buf(f"sell_B{i}", nc * w * C, m.dtype)
+        np.take(G, pos, out=B, mode="clip")
+        R = ws.buf(f"sell_R{i}", (nc, C), m.dtype)
+        np.add.reduce(B.reshape(nc, w, C), axis=1, out=R)
+        acc[rows] = R.reshape(-1)
+    y[:] = acc[: m.nrows]
+
+
+@register_kernel(SELLMatrix, "spmv", name="sell_chunks", tags=("numpy",))
+def _sell_chunks(m: SELLMatrix, ws: Workspace, x, y, permuted=False):
+    if m.total_slots == 0:
+        y.fill(0.0)
+        return
+    G = _sell_gather(m, ws, x)
+    ptr = ws.const("chunk_ptr", lambda: m.chunk_ptr)
+    widths = ws.const("chunk_widths", lambda: m.chunk_widths)
+    C = m.chunk_rows
+    acc = ws.buf("sell_acc", m.padded_rows, m.dtype)
+    acc.fill(0.0)
+    for c in range(m.nchunks):
+        w = int(widths[c])
+        if w == 0:
+            continue
+        seg = G[ptr[c] : ptr[c + 1]].reshape(w, C)
+        np.add.reduce(seg, axis=0, out=acc[c * C : (c + 1) * C])
+    y[:] = acc[: m.nrows]
+
+
+# ---------------------------------------------------------------------------
+# compiled csr_matvec delegates (optional; only registered when scipy's
+# private sparsetools module is importable)
+# ---------------------------------------------------------------------------
+
+def _sp_index_dtype(count: int):
+    """Narrowest index dtype scipy's sparsetools accepts for ``count``."""
+    return np.int32 if count < np.iinfo(np.int32).max else np.int64
+
+
+def _sp_matvec(nrows, ncols, indptr, indices, data, x, y):
+    """``y = A x`` via scipy's C kernel (it *accumulates*, so zero first)."""
+    y.fill(0.0)
+    _scipy_sparsetools.csr_matvec(nrows, ncols, indptr, indices, data, x, y)
+
+
+def _jds_stored_csr(m: JaggedDiagonalsBase, permuted: bool):
+    """CSR triplet of the stored-order (row-permuted) matrix.
+
+    The grouped row-major entry order of :meth:`_grouped_entries` *is*
+    a CSR layout whose rows are the stored rows and whose row lengths
+    are the padded lengths — padding slots carry a 0.0 value and an
+    in-bounds column index, so the compiled kernel may sweep them.
+    """
+    idx_g, data_g, groups = m._grouped_entries(permuted)  # noqa: SLF001
+    it = _sp_index_dtype(max(idx_g.shape[0], m.ncols))
+    indptr = np.zeros(m.nrows + 1, dtype=np.int64)
+    for length, r0, r1 in groups:
+        indptr[r0 + 1 : r1 + 1] = length
+    np.cumsum(indptr, out=indptr)
+    return indptr.astype(it), idx_g.astype(it), data_g
+
+
+def _ell_true_csr(m: ELLPACKMatrix):
+    """CSR triplet of the unpadded entries of the ELLPACK rectangle.
+
+    Uses the true row lengths (the ELLPACK-R descriptor), so the
+    compiled sweep skips the padding arithmetic entirely.
+    """
+    col_rm, val_rm = m._row_major_entries()  # noqa: SLF001
+    w = m.width
+    lens = np.asarray(m.row_lengths(), dtype=np.int64)
+    keep = (np.arange(w, dtype=np.int64)[None, :] < lens[:, None]).ravel()
+    it = _sp_index_dtype(max(int(lens.sum()), m.ncols))
+    indices = col_rm[: m.nrows * w][keep].astype(it)
+    data = np.ascontiguousarray(val_rm[: m.nrows].reshape(-1)[keep])
+    indptr = np.zeros(m.nrows + 1, dtype=np.int64)
+    np.cumsum(lens, out=indptr[1:])
+    return indptr.astype(it), indices, data
+
+
+def _sell_stored_csr(m: SELLMatrix):
+    """CSR triplet over the *padded* stored rows of a SELL-C-sigma matrix.
+
+    Chunk slots are column-major within each chunk; one transpose per
+    chunk at build time converts them to row-major runs.  Row ``i`` of
+    the triplet is padded stored row ``i`` (chunk ``i // C``), so the
+    matvec result needs the same ``acc[:nrows]`` trim + scatter as the
+    NumPy SELL kernels.  Padding slots are 0.0-valued with in-bounds
+    column indices.
+    """
+    C = m.chunk_rows
+    it = _sp_index_dtype(max(m.total_slots, m.ncols))
+    lens = np.repeat(m.chunk_widths, C)
+    indptr = np.zeros(m.padded_rows + 1, dtype=np.int64)
+    np.cumsum(lens, out=indptr[1:])
+    indices = np.empty(m.total_slots, dtype=it)
+    data = np.empty(m.total_slots, dtype=m.dtype)
+    ptr = m.chunk_ptr
+    for c in range(m.nchunks):
+        s, e = int(ptr[c]), int(ptr[c + 1])
+        w = int(m.chunk_widths[c])
+        if w == 0:
+            continue
+        indices[s:e] = m.col_idx[s:e].reshape(w, C).T.reshape(-1)
+        data[s:e] = m.val[s:e].reshape(w, C).T.reshape(-1)
+    return indptr.astype(it), indices, data
+
+
+#: per-matrix cache of stored-order CSR triplets, shared by the spmv
+#: kernels and the batched SpMM delegates (weak keys: the triplet dies
+#: with its matrix)
+_STORED_CSR: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def stored_csr_triplet(m: SparseMatrixFormat, permuted: bool = False):
+    """Cached ``(indptr, indices, data)`` stored-order CSR view of ``m``.
+
+    For :class:`CSRMatrix` the triplet aliases the matrix arrays (no
+    copy); the other formats build and cache one.  Raises ``TypeError``
+    for formats without a CSR view.
+    """
+    key = "perm" if permuted else "orig"
+    per_m = _STORED_CSR.get(m)
+    if per_m is None:
+        per_m = _STORED_CSR[m] = {}
+    if key not in per_m:
+        if isinstance(m, CSRMatrix):
+            it = _sp_index_dtype(max(m.nnz, m.ncols))
+            per_m[key] = (
+                m.indptr.astype(it, copy=False),
+                m.indices.astype(it, copy=False),
+                m.data,
+            )
+        elif isinstance(m, JaggedDiagonalsBase):
+            per_m[key] = _jds_stored_csr(m, permuted)
+        elif isinstance(m, SELLMatrix):
+            per_m[key] = _sell_stored_csr(m)
+        elif isinstance(m, ELLPACKMatrix):
+            per_m[key] = _ell_true_csr(m)
+        else:
+            raise TypeError(f"no stored-CSR view for {type(m).__name__}")
+    return per_m[key]
+
+
+def _csr_scipy(m: CSRMatrix, ws: Workspace, x, y, permuted=False):
+    """Delegate to the compiled fused gather-FMA-reduce CSR matvec.
+
+    Every pure-NumPy kernel must materialise the gathered product
+    (one extra write+read pass per stored entry); the C kernel fuses
+    the whole row reduction, so on latency-bound gathers (small
+    ``Nnzr``) it is the variant to beat.
+    """
+    indptr, indices, data = stored_csr_triplet(m)
+    _sp_matvec(m.nrows, m.ncols, indptr, indices, data, x, y)
+
+
+def _jds_scipy(m: JaggedDiagonalsBase, ws: Workspace, x, y, permuted=False):
+    """Stored-order grouped layout viewed as CSR, swept by the C kernel."""
+    indptr, indices, data = stored_csr_triplet(m, permuted)
+    _sp_matvec(m.nrows, m.ncols, indptr, indices, data, x, y)
+
+
+def _ell_scipy(m: ELLPACKMatrix, ws: Workspace, x, y, permuted=False):
+    """Unpadded-rows CSR view of the rectangle, swept by the C kernel."""
+    if m.width == 0:
+        y.fill(0.0)
+        return
+    indptr, indices, data = stored_csr_triplet(m)
+    _sp_matvec(m.nrows, m.ncols, indptr, indices, data, x, y)
+
+
+def _sell_scipy(m: SELLMatrix, ws: Workspace, x, y, permuted=False):
+    """Padded-stored-rows CSR view of the chunks, swept by the C kernel."""
+    if m.total_slots == 0:
+        y.fill(0.0)
+        return
+    indptr, indices, data = stored_csr_triplet(m)
+    acc = ws.buf("sell_sp_acc", m.padded_rows, m.dtype)
+    _sp_matvec(m.padded_rows, m.ncols, indptr, indices, data, x, acc)
+    y[:] = acc[: m.nrows]
+
+
+if _HAVE_CSR_MATVEC:
+    # compiled delegates lead their candidate lists (``first=True``):
+    # they are the best guess when tuning is off, and the autotuner
+    # re-ranks them against the NumPy kernels per matrix anyway.
+    _sp_tags = ("scipy", "compiled")
+    register_kernel(
+        CSRMatrix, "spmv", name="csr_scipy", tags=_sp_tags, first=True
+    )(_csr_scipy)
+    register_kernel(
+        ELLPACKMatrix, "spmv", name="ell_scipy", tags=_sp_tags, first=True
+    )(_ell_scipy)
+    register_kernel(
+        JaggedDiagonalsBase, "spmv", name="jds_scipy",
+        supports_permuted=True, tags=_sp_tags, first=True,
+    )(_jds_scipy)
+    register_kernel(
+        SELLMatrix, "spmv", name="sell_scipy", tags=_sp_tags, first=True
+    )(_sell_scipy)

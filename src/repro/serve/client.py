@@ -126,6 +126,28 @@ class Client:
             "seconds": dt,
         }
 
+    # -- operator protocol -------------------------------------------------
+    def operator(
+        self,
+        matrix: str,
+        *,
+        deadline_ms: float | None = None,
+        timeout: float | None = None,
+    ):
+        """View a registered matrix as a :class:`repro.ops.LinearOperator`.
+
+        Every ``apply`` of the returned operator goes through the
+        micro-batching scheduler, so solver iterations from concurrent
+        clients coalesce exactly like HTTP traffic — and any code
+        written against the operator protocol (including the package's
+        own solvers) runs against the served matrix unchanged.
+        """
+        from repro.ops.adapters import ServeOperator
+
+        return ServeOperator(
+            self, matrix, deadline_ms=deadline_ms, timeout=timeout
+        )
+
     # -- introspection -----------------------------------------------------
     def stats(self) -> dict:
         return self.server.stats()

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro import obs
 from repro.formats.base import SparseMatrixFormat
-from repro.solvers.permuted import as_operator
+from repro.ops.protocol import CountingOperator, solver_operator
 from repro.utils.validation import check_dense_vector
 
 __all__ = ["BiCGSTABResult", "bicgstab"]
@@ -60,7 +60,7 @@ def bicgstab(
     (``rho`` or ``omega`` collapsing to zero).  ``engine=True`` runs
     the iteration through the autotuned :mod:`repro.engine` kernels.
     """
-    op = as_operator(matrix, engine=engine)
+    op = CountingOperator(solver_operator(matrix, engine=engine))
     n = op.size
     b = check_dense_vector(b, n, dtype=op.dtype, name="b")
     if tol <= 0:
@@ -79,13 +79,11 @@ def bicgstab(
     if x0 is None:
         x = np.zeros(n, dtype=np.float64)
         r = bp.copy()
-        spmv_count = 0
     else:
         x = op.enter(check_dense_vector(x0, n, dtype=op.dtype, name="x0")).astype(
             np.float64
         )
         r = bp - op.apply(x.astype(op.dtype)).astype(np.float64)
-        spmv_count = 1
     r_hat = r.copy()
     rho = alpha = omega = 1.0
     v = np.zeros(n)
@@ -106,7 +104,6 @@ def bicgstab(
         rho = rho_new
 
         v = op.apply(p.astype(op.dtype)).astype(np.float64)
-        spmv_count += 1
         denom = float(r_hat @ v)
         if abs(denom) < _BREAKDOWN_EPS:
             raise np.linalg.LinAlgError("BiCGSTAB breakdown: r_hat . v ~ 0")
@@ -122,7 +119,6 @@ def bicgstab(
             break
 
         t = op.apply(s.astype(op.dtype)).astype(np.float64)
-        spmv_count += 1
         tt = float(t @ t)
         if tt < _BREAKDOWN_EPS:
             raise np.linalg.LinAlgError("BiCGSTAB breakdown: ||t|| ~ 0")
@@ -139,11 +135,11 @@ def bicgstab(
 
     if obs.enabled():
         obs.set_gauge("solver_converged", float(converged), solver="bicgstab")
-        obs.inc("solver_spmv_total", spmv_count, solver="bicgstab")
+    op.publish("bicgstab")
     return BiCGSTABResult(
         x=op.leave(x.astype(op.dtype)),
         iterations=iterations,
         residual_norm=res_norm,
         converged=bool(converged),
-        spmv_count=spmv_count,
+        spmv_count=op.count,
     )

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro import obs
 from repro.formats.base import SparseMatrixFormat
-from repro.solvers.permuted import as_operator
+from repro.ops.protocol import CountingOperator, solver_operator
 from repro.utils.validation import check_dense_vector
 
 __all__ = ["CGResult", "conjugate_gradient"]
@@ -32,9 +32,9 @@ class CGResult:
     spmv_count: int
 
 
-def _jacobi_inverse(matrix: SparseMatrixFormat) -> np.ndarray:
+def _jacobi_inverse(op) -> np.ndarray:
     """Inverse-diagonal preconditioner M^{-1} = diag(A)^{-1}."""
-    diag = matrix.diagonal().astype(np.float64)
+    diag = op.diagonal().astype(np.float64)
     if np.any(diag == 0.0):
         raise np.linalg.LinAlgError(
             "Jacobi preconditioner requires a zero-free diagonal"
@@ -63,7 +63,7 @@ def conjugate_gradient(
     the *original* row ordering.  ``engine=True`` runs the iteration
     through the autotuned :mod:`repro.engine` kernels.
     """
-    op = as_operator(matrix, engine=engine)
+    op = CountingOperator(solver_operator(matrix, engine=engine))
     n = op.size
     b = check_dense_vector(b, n, dtype=op.dtype, name="b")
     if max_iter is None:
@@ -80,7 +80,7 @@ def conjugate_gradient(
             raise ValueError(
                 f"unknown preconditioner {preconditioner!r}; use 'jacobi'"
             )
-        minv = op.enter(_jacobi_inverse(matrix).astype(op.dtype)).astype(np.float64)
+        minv = op.enter(_jacobi_inverse(op).astype(op.dtype)).astype(np.float64)
     else:
         arr = check_dense_vector(preconditioner, n, name="preconditioner")
         minv = op.enter(arr.astype(op.dtype)).astype(np.float64)
@@ -94,13 +94,11 @@ def conjugate_gradient(
     if x0 is None:
         x = np.zeros(n, dtype=np.float64)
         r = bp.copy()
-        spmv_count = 0
     else:
         x = op.enter(check_dense_vector(x0, n, dtype=op.dtype, name="x0")).astype(
             np.float64
         )
         r = bp - op.apply(x.astype(op.dtype)).astype(np.float64)
-        spmv_count = 1
 
     z = r * minv if minv is not None else r
     p = z.copy()
@@ -111,7 +109,6 @@ def conjugate_gradient(
     converged = res_norm <= threshold
     while not converged and iterations < max_iter:
         ap = op.apply(p.astype(op.dtype)).astype(np.float64)
-        spmv_count += 1
         pap = float(p @ ap)
         if pap <= 0.0:
             raise np.linalg.LinAlgError(
@@ -138,11 +135,11 @@ def conjugate_gradient(
 
     if obs.enabled():
         obs.set_gauge("solver_converged", float(converged), solver="cg")
-        obs.inc("solver_spmv_total", spmv_count, solver="cg")
+    op.publish("cg")
     return CGResult(
         x=op.leave(x.astype(op.dtype)),
         iterations=iterations,
         residual_norm=res_norm,
         converged=bool(converged),
-        spmv_count=spmv_count,
+        spmv_count=op.count,
     )

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.formats.base import SparseMatrixFormat
-from repro.solvers.permuted import as_operator
+from repro.ops.protocol import CountingOperator, solver_operator
 from repro.utils.validation import check_positive_int
 
 __all__ = ["KPMResult", "jackson_kernel", "kpm_spectral_density"]
@@ -88,24 +88,24 @@ def kpm_spectral_density(
     once per moment instead of once per (moment, vector) pair — the
     code-balance win block Krylov methods get on real hardware.
     """
-    op = as_operator(matrix, engine=engine)
+    op = CountingOperator(solver_operator(matrix, engine=engine))
     n = op.size
     M = check_positive_int(num_moments, "num_moments")
     R = check_positive_int(num_vectors, "num_vectors")
     P = check_positive_int(num_points, "num_points")
 
-    spmv_count = 0
     if bounds is None:
         # extremal Ritz values of a short Lanczos run approach both
         # spectrum ends simultaneously (power iteration fails when the
-        # spectrum is nearly symmetric, as for hopping Hamiltonians)
+        # spectrum is nearly symmetric, as for hopping Hamiltonians);
+        # the probe applications go through the same CountingOperator,
+        # so they land in the spmv accounting automatically
         lo = np.inf
         hi = -np.inf
         for probe_seed in (seed, seed + 1):
-            blo, bhi, used = _lanczos_bounds(op, seed=probe_seed, iters=50)
+            blo, bhi = _lanczos_bounds(op, seed=probe_seed, iters=50)
             lo = min(lo, blo)
             hi = max(hi, bhi)
-            spmv_count += used
         bounds = (lo, hi)
     lo, hi = bounds
     if not hi > lo:
@@ -118,8 +118,6 @@ def kpm_spectral_density(
 
     def apply_scaled_block(V: np.ndarray) -> np.ndarray:
         """Scaled operator on an (n, k) block; one SpMM, k spmv-equivalents."""
-        nonlocal spmv_count
-        spmv_count += V.shape[1]
         AV = op.apply_block(np.ascontiguousarray(V, dtype=op.dtype))
         return (AV.astype(np.float64) - centre * V) / half_width
 
@@ -153,17 +151,18 @@ def kpm_spectral_density(
     energies = energies[order]
     density = density_x[order] / half_width  # change of variables
 
+    op.publish("kpm")
     return KPMResult(
         energies=energies,
         density=density,
         moments=damped,
         spectrum_bounds=(lo, hi),
-        spmv_count=spmv_count,
+        spmv_count=op.count,
     )
 
 
-def _lanczos_bounds(op, *, seed: int, iters: int) -> tuple[float, float, int]:
-    """(min Ritz, max Ritz, spmv count) of a short plain Lanczos run.
+def _lanczos_bounds(op, *, seed: int, iters: int) -> tuple[float, float]:
+    """(min Ritz, max Ritz) of a short plain Lanczos run.
 
     No reorthogonalisation — extremal Ritz values are robust to the
     resulting ghost eigenvalues, which only duplicate converged ends.
@@ -176,10 +175,8 @@ def _lanczos_bounds(op, *, seed: int, iters: int) -> tuple[float, float, int]:
     beta = 0.0
     alphas: list[float] = []
     betas: list[float] = []
-    used = 0
     for _ in range(min(iters, n)):
         w = op.apply(v.astype(op.dtype)).astype(np.float64)
-        used += 1
         a = float(v @ w)
         alphas.append(a)
         w = w - a * v - beta * v_prev
@@ -196,4 +193,4 @@ def _lanczos_bounds(op, *, seed: int, iters: int) -> tuple[float, float, int]:
         off = np.asarray(betas)
         T += np.diag(off, 1) + np.diag(off, -1)
     theta = np.linalg.eigvalsh(T)
-    return float(theta[0]), float(theta[-1]), used
+    return float(theta[0]), float(theta[-1])

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro import obs
 from repro.formats.base import SparseMatrixFormat
-from repro.solvers.permuted import as_operator
+from repro.ops.protocol import CountingOperator, solver_operator
 from repro.utils.validation import check_positive_int
 
 __all__ = ["LanczosResult", "lanczos"]
@@ -56,7 +56,7 @@ def lanczos(
     ``engine=True`` runs the iteration through the autotuned
     :mod:`repro.engine` kernels.
     """
-    op = as_operator(matrix, engine=engine)
+    op = CountingOperator(solver_operator(matrix, engine=engine))
     n = op.size
     k = check_positive_int(num_eigenvalues, "num_eigenvalues")
     max_iter = min(check_positive_int(max_iter, "max_iter"), n)
@@ -78,14 +78,12 @@ def lanczos(
     V[0] = v
     alphas: list[float] = []
     betas: list[float] = []
-    spmv_count = 0
     theta = np.empty(0)
     S = np.empty((0, 0))
     converged_at = max_iter
 
     for j in range(max_iter):
         w = op.apply(V[j].astype(op.dtype)).astype(np.float64)
-        spmv_count += 1
         a = float(V[j] @ w)
         alphas.append(a)
         w -= a * V[j]
@@ -130,16 +128,14 @@ def lanczos(
         u = ritz_vecs_perm[:, i]
         u = u / np.linalg.norm(u)
         au = op.apply(u.astype(op.dtype)).astype(np.float64)
-        spmv_count += 1
         residuals[i] = float(np.linalg.norm(au - ritz_vals[i] * u))
         vecs[:, i] = op.leave(u.astype(op.dtype))
 
-    if obs.enabled():
-        obs.inc("solver_spmv_total", spmv_count, solver="lanczos")
+    op.publish("lanczos")
     return LanczosResult(
         eigenvalues=ritz_vals.copy(),
         eigenvectors=vecs,
         iterations=m,
         residual_norms=residuals,
-        spmv_count=spmv_count,
+        spmv_count=op.count,
     )

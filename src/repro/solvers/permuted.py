@@ -1,149 +1,34 @@
-"""Permuted-basis solver workflow (Sect. II-A).
+"""Permuted-basis solver workflow (Sect. II-A) — protocol re-exports.
 
 The pJDS drawback is that spMVM happens in a permuted basis.  The
 paper's answer: for Krylov-type iterative methods, permute once before
 the iteration, run every iteration on permuted vectors, and permute
-back once at the end.  :class:`PermutedOperator` packages exactly that
-contract so the solvers below never gather/scatter inside their loops.
+back once at the end.  :class:`~repro.ops.protocol.PermutedOperator`
+packages exactly that contract; since the ISSUE-4 refactor it lives in
+:mod:`repro.ops` (together with the rest of the operator protocol) and
+this module re-exports it for the historical import path.
 
-With ``engine=True`` the operator applies through a
-:class:`repro.engine.BoundMatrix` — the autotuned kernel variant plus
-a persistent workspace, so the solver inner loop is allocation-free on
-the matrix side — and block (multi-vector) applications route to the
-batched :mod:`repro.engine.spmm` kernels instead of a per-column loop.
+``as_operator`` remains the solver-facing spelling of
+:func:`repro.ops.solver_operator`: wrap any square format, engine
+``BoundMatrix`` or :class:`~repro.ops.protocol.LinearOperator` for the
+stored-basis iteration.  The old per-consumer isinstance dispatch is
+gone — everything resolves through the shared adapters.
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
-import numpy as np
-
-from repro.core.jds import JaggedDiagonalsBase
-from repro.core.sorting import Permutation
-from repro.formats.base import SparseMatrixFormat
+from repro.ops.protocol import PermutedOperator, solver_operator
 
 __all__ = ["PermutedOperator", "as_operator"]
 
 
-class PermutedOperator:
-    """Square linear operator working in a format's stored basis.
+def as_operator(matrix, *, engine: bool = False, tune: bool = True) -> PermutedOperator:
+    """Wrap any square operator source for the permuted-basis workflow.
 
-    For jagged formats the ``apply`` closure is the zero-copy
-    ``spmv_permuted`` kernel; for permutation-free formats it is plain
-    ``spmv`` and the basis maps are identities.  ``apply_block`` is
-    the multi-vector analogue (stored-basis SpMM); when no batched
-    closure is supplied it degrades to a per-column loop.
+    Canonical alias of :func:`repro.ops.solver_operator` (kept as the
+    historical solver-facing name).  ``engine=True`` binds the matrix
+    through :func:`repro.engine.bind` first (autotuned variant +
+    persistent workspace); passing an already-bound matrix — or any
+    :class:`~repro.ops.protocol.LinearOperator` — uses it as-is.
     """
-
-    def __init__(
-        self,
-        apply_: Callable[[np.ndarray], np.ndarray],
-        permutation: Permutation,
-        dtype: np.dtype,
-        apply_block: Callable[[np.ndarray], np.ndarray] | None = None,
-    ):
-        self._apply = apply_
-        self._apply_block = apply_block
-        self._perm = permutation
-        self._dtype = np.dtype(dtype)
-
-    @property
-    def size(self) -> int:
-        return self._perm.size
-
-    @property
-    def dtype(self) -> np.dtype:
-        return self._dtype
-
-    @property
-    def permutation(self) -> Permutation:
-        return self._perm
-
-    def apply(self, x_perm: np.ndarray) -> np.ndarray:
-        """One operator application in the stored basis."""
-        return self._apply(x_perm)
-
-    __call__ = apply
-
-    def apply_block(self, X_perm: np.ndarray) -> np.ndarray:
-        """Batched stored-basis application, ``Y~ = (P A P^T) X~``.
-
-        Always returns a freshly owned ``(n, k)`` array (safe to keep
-        across subsequent applications).
-        """
-        if self._apply_block is not None:
-            return np.array(self._apply_block(X_perm), copy=True)
-        out = np.empty_like(X_perm)
-        for j in range(X_perm.shape[1]):
-            out[:, j] = self._apply(np.ascontiguousarray(X_perm[:, j]))
-        return out
-
-    def enter(self, x: np.ndarray) -> np.ndarray:
-        """Map a vector from the original into the stored basis."""
-        return np.ascontiguousarray(self._perm.to_permuted(x), dtype=self._dtype)
-
-    def leave(self, x_perm: np.ndarray) -> np.ndarray:
-        """Map a stored-basis vector back to the original ordering."""
-        return self._perm.to_original(x_perm)
-
-
-def _from_bound(bound) -> PermutedOperator:
-    """Operator over an engine-bound matrix (tuned kernel + workspace)."""
-    from repro.engine.spmm import spmm_permuted
-
-    m = bound.matrix
-    if bound.variant.supports_permuted and isinstance(m, JaggedDiagonalsBase):
-        return PermutedOperator(
-            bound.spmv_permuted,
-            m.permutation,
-            m.dtype,
-            apply_block=lambda X: spmm_permuted(m, X, ws=bound.workspace),
-        )
-    return PermutedOperator(
-        lambda x: bound.spmv(x),
-        Permutation.identity(m.nrows),
-        m.dtype,
-        apply_block=lambda X: bound.spmm(X),
-    )
-
-
-def as_operator(
-    matrix: SparseMatrixFormat,
-    *,
-    engine: bool = False,
-    tune: bool = True,
-) -> PermutedOperator:
-    """Wrap any square format (or a ``BoundMatrix``) as an operator.
-
-    ``engine=True`` binds the matrix through :func:`repro.engine.bind`
-    first (autotuned variant + persistent workspace); passing an
-    already-bound matrix uses it as-is.
-    """
-    from repro.engine.bound import BoundMatrix
-
-    if isinstance(matrix, BoundMatrix):
-        if matrix.nrows != matrix.ncols:
-            raise ValueError("solvers require a square matrix")
-        return _from_bound(matrix)
-    if matrix.nrows != matrix.ncols:
-        raise ValueError("solvers require a square matrix")
-    if engine:
-        from repro.engine.bound import bind
-
-        return _from_bound(bind(matrix, tune=tune))
-    if isinstance(matrix, JaggedDiagonalsBase):
-        from repro.engine.spmm import spmm_permuted
-
-        return PermutedOperator(
-            matrix.spmv_permuted,
-            matrix.permutation,
-            matrix.dtype,
-            apply_block=lambda X: spmm_permuted(matrix, X),
-        )
-    return PermutedOperator(
-        lambda x: matrix.spmv(x),
-        Permutation.identity(matrix.nrows),
-        matrix.dtype,
-        apply_block=lambda X: matrix.spmm(X),
-    )
+    return solver_operator(matrix, engine=engine, tune=tune)

@@ -12,7 +12,7 @@ import numpy as np
 
 from repro import obs
 from repro.formats.base import SparseMatrixFormat
-from repro.solvers.permuted import as_operator
+from repro.ops.protocol import CountingOperator, solver_operator
 from repro.utils.validation import check_positive_int
 
 __all__ = ["PowerResult", "power_iteration"]
@@ -44,7 +44,7 @@ def power_iteration(
     ``engine=True`` runs the iteration through the autotuned
     :mod:`repro.engine` kernels.
     """
-    op = as_operator(matrix, engine=engine)
+    op = CountingOperator(solver_operator(matrix, engine=engine))
     n = op.size
     max_iter = check_positive_int(max_iter, "max_iter")
     if tol <= 0:
@@ -62,12 +62,10 @@ def power_iteration(
     v = v / norm
 
     lam = 0.0
-    spmv_count = 0
     converged = False
     it = 0
     for it in range(1, max_iter + 1):
         w = op.apply(v)
-        spmv_count += 1
         lam_new = float(v @ w)
         norm = float(np.linalg.norm(w))
         if norm == 0.0:
@@ -92,11 +90,11 @@ def power_iteration(
 
     if obs.enabled():
         obs.set_gauge("solver_converged", float(converged), solver="power")
-        obs.inc("solver_spmv_total", spmv_count, solver="power")
+    op.publish("power")
     return PowerResult(
         eigenvalue=lam,
         eigenvector=op.leave(v),
         iterations=it,
         converged=converged,
-        spmv_count=spmv_count,
+        spmv_count=op.count,
     )

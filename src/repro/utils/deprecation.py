@@ -1,0 +1,53 @@
+"""Warn-once deprecation helpers for the legacy import shims.
+
+The ISSUE-4 refactor moved the kernel tables into :mod:`repro.ops`;
+the historical entry points remain importable but emit one
+:class:`DeprecationWarning` per process for each distinct call site
+key, so long-running services are not flooded while test suites still
+see the warning.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import warnings
+from typing import Callable
+
+__all__ = ["warn_once", "deprecated_alias", "reset_warned"]
+
+_WARNED: set[str] = set()
+_LOCK = threading.Lock()
+
+
+def warn_once(message: str, *, key: str | None = None, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` once per process for ``key``."""
+    k = key if key is not None else message
+    with _LOCK:
+        if k in _WARNED:
+            return
+        _WARNED.add(k)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_warned() -> None:
+    """Forget which warnings fired (test helper)."""
+    with _LOCK:
+        _WARNED.clear()
+
+
+def deprecated_alias(
+    fn: Callable, *, old: str, new: str
+) -> Callable:
+    """Wrap ``fn`` so calls warn (once) that ``old`` moved to ``new``."""
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        warn_once(
+            f"{old} is deprecated; use {new} instead",
+            key=old,
+        )
+        return fn(*args, **kwargs)
+
+    wrapper.__wrapped_target__ = fn  # introspection hook for tests
+    return wrapper

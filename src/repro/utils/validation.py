@@ -95,10 +95,20 @@ def check_index_array(
     return arr
 
 
-def check_shape(shape: Sequence[int]) -> tuple[int, int]:
-    """Validate a 2-tuple matrix shape of positive integers."""
+def check_shape(
+    shape: Sequence[int], *, allow_empty: bool = False
+) -> tuple[int, int]:
+    """Validate a 2-tuple matrix shape of positive integers.
+
+    ``allow_empty=True`` additionally admits the fully degenerate
+    ``(0, 0)`` matrix (a pathological input the format kernels must
+    handle gracefully); half-empty shapes like ``(0, 2)`` stay
+    rejected, and the default keeps the strict contract.
+    """
     if len(shape) != 2:
         raise ValueError(f"shape must be (nrows, ncols), got {tuple(shape)}")
+    if allow_empty and shape[0] == 0 and shape[1] == 0:
+        return (0, 0)
     nrows = check_positive_int(shape[0], "nrows")
     ncols = check_positive_int(shape[1], "ncols")
     return (nrows, ncols)

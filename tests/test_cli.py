@@ -292,3 +292,27 @@ class TestServe:
             payload = json.loads(resp.read())
         assert payload["n"] == n
         assert len(payload["y"]) == n
+
+
+class TestOpsList:
+    def test_full_registry_listing(self):
+        text = run_cli("ops", "list")
+        assert "kernels registered" in text
+        for expected in ("csr_reduceat", "spmm_csr", "jds_scipy", "sell_fused"):
+            assert expected in text, expected
+        # header + the generic-fallback note
+        assert "variant" in text and "generic" in text
+
+    def test_matrix_roster_and_tuning(self, tmp_path):
+        from repro.matrices import poisson2d, write_matrix_market
+
+        path = tmp_path / "m.mtx"
+        write_matrix_market(poisson2d(10, 10), path)
+        text = run_cli("ops", "list", "--matrix", str(path), "--format", "pjds")
+        assert "100 x 100" in text
+        assert "spmv candidates" in text and "spmm candidates" in text
+        assert "tuned variant" in text
+
+    def test_list_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ops"])

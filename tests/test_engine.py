@@ -16,7 +16,8 @@ from repro.engine import (
     spmm_permuted,
     variants_for,
 )
-from repro.engine.variants import _HAVE_CSR_MATVEC, stored_csr_triplet
+from repro.ops.spmv_kernels import _HAVE_CSR_MATVEC
+from repro.ops import stored_csr_triplet
 from repro.formats import convert
 from repro.formats.csr import CSRMatrix
 from repro.matrices.cache import TunerCache
@@ -269,7 +270,7 @@ class TestCompiledDelegates:
             np.random.default_rng(8).standard_normal((coo.ncols, 5))
         )
         Y_sp = m.spmm(X)
-        monkeypatch.setattr("repro.engine.spmm._HAVE_CSR_MATVEC", False)
+        monkeypatch.setattr("repro.ops.spmm_kernels._HAVE_CSR_MATVEC", False)
         Y_np = m.spmm(X)
         assert np.allclose(Y_np, Y_sp, atol=1e-12)
 
