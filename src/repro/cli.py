@@ -515,6 +515,179 @@ def cmd_obs(args, out) -> int:
     return 0
 
 
+def cmd_chaos(args, out) -> int:
+    """Replay a named fault plan against the real runtime; report recovery.
+
+    Two drill phases, selected by the layers present in the plan:
+
+    * **distributed** — run ``distributed_spmv`` under injection with a
+      retry policy and assert the recovered result is bitwise identical
+      to a fault-free run of the same plan;
+    * **serve** — run an :class:`~repro.serve.scheduler.SpMVServer`
+      under worker/registry faults with a retrying client and assert
+      every request still gets the right answer (degraded mode counts
+      as success — that is its job).
+
+    Exit code 0 means every injected fault was recovered from.
+    """
+    import json as _json
+
+    from repro import obs
+    from repro.distributed import build_plan, distributed_spmv, partition_rows
+    from repro.faults import FaultPlan, RetryPolicy
+    from repro.formats import CSRMatrix
+    from repro.matrices import generate
+
+    try:
+        plan = FaultPlan.named(
+            args.plan, nranks=args.nodes, workers=args.workers,
+            delay_s=args.delay_ms / 1e3,
+        )
+    except ValueError:
+        try:
+            seed = int(args.plan)
+        except ValueError:
+            from repro.faults.plan import NAMED_PLANS
+
+            print(
+                f"unknown plan {args.plan!r}; known: {sorted(NAMED_PLANS)} "
+                "or an integer seed",
+                file=out,
+            )
+            return 2
+        plan = FaultPlan.generate(
+            seed, nranks=args.nodes, workers=args.workers,
+            delay_s=args.delay_ms / 1e3,
+        )
+    plan.validate()
+    print(plan.describe(), file=out)
+
+    was_enabled = obs.enabled()
+    obs.enable()
+    obs.reset_all()
+    injector = plan.injector()
+    retry = RetryPolicy(max_attempts=args.attempts, base_delay_s=0.0)
+    ok = True
+    try:
+        layers = {ev.layer for ev in plan.events}
+        coo = generate(args.matrix, scale=args.scale, seed=args.seed)
+        csr = CSRMatrix.from_coo(coo)
+
+        if layers & {"distributed", "sim", "engine"} or not layers:
+            part = partition_rows(
+                csr.nrows, args.nodes, row_weights=csr.row_lengths()
+            )
+            comm_plan = build_plan(csr, part)
+            x = np.random.default_rng(args.seed).normal(size=csr.nrows)
+            y_ref = distributed_spmv(
+                comm_plan, x, backend=args.backend, mode=args.mode,
+                timeout=args.timeout,
+            )
+            try:
+                y = distributed_spmv(
+                    comm_plan, x, backend=args.backend, mode=args.mode,
+                    timeout=args.timeout, faults=injector, retry=retry,
+                )
+                identical = bool(np.array_equal(y, y_ref))
+                print(
+                    f"distributed drill [{args.backend}/{args.mode}]: "
+                    + ("recovered, bitwise-identical result"
+                       if identical else "RESULT DIVERGED"),
+                    file=out,
+                )
+                ok &= identical
+            except Exception as exc:
+                print(
+                    f"distributed drill [{args.backend}/{args.mode}]: "
+                    f"UNRECOVERED {type(exc).__name__}: {exc}",
+                    file=out,
+                )
+                ok = False
+
+        if "serve" in layers:
+            from repro.serve import Client, MatrixRegistry, SpMVServer
+
+            registry = MatrixRegistry(faults=injector)
+            registry.register("chaos", matrix=csr, variant="csr_scipy")
+            server = SpMVServer(
+                registry, workers=args.workers, max_delay_ms=0.2,
+                faults=injector,
+            )
+            client = Client(server, retry=retry)
+            rng = np.random.default_rng(args.seed)
+            ref_reg = MatrixRegistry()
+            ref_reg.register("chaos", matrix=csr, variant="csr_scipy")
+            with ref_reg.acquire("chaos") as lease:
+                bound = lease.clone_for("cli")
+                served_ok = 0
+                for _ in range(args.requests):
+                    xs = rng.normal(size=csr.ncols)
+                    try:
+                        ys = client.spmv("chaos", xs, timeout=args.timeout)
+                        if np.array_equal(ys, bound.spmv(xs).copy()):
+                            served_ok += 1
+                    except Exception as exc:
+                        print(
+                            f"serve drill: request failed "
+                            f"{type(exc).__name__}: {exc}",
+                            file=out,
+                        )
+            stats = server.stats()
+            server.close()
+            degraded = " (degraded mode)" if stats["degraded"] else ""
+            print(
+                f"serve drill: {served_ok}/{args.requests} requests "
+                f"correct{degraded}, worker deaths: "
+                f"{len(stats['worker_deaths'])}",
+                file=out,
+            )
+            ok &= served_ok == args.requests
+
+        report = injector.report()
+        report["unfired"] = [ev.describe() for ev in injector.unfired()]
+        def _counter_total(name: str) -> float:
+            fam = obs.get_registry().get(name)
+            if fam is None:
+                return 0.0
+            return sum(child.value for _, child in fam.samples())
+
+        counters = {
+            name: _counter_total(name)
+            for name in (
+                "faults_injected_total",
+                "faults_retries_total",
+                "faults_recovered_total",
+            )
+        }
+        report["obs_counters"] = counters
+        report["recovered_all"] = ok
+        if args.json:
+            print(_json.dumps(report, indent=2), file=out)
+        else:
+            print(
+                f"injected {report['injected']} fault(s) "
+                f"({', '.join(f'{k} x{v}' for k, v in sorted(report['injected_by_kind'].items()))}); "
+                f"retried {report['retried']}, recovered {report['recovered']}",
+                file=out,
+            )
+            if report["unfired"]:
+                print(
+                    f"unfired events ({len(report['unfired'])}):", file=out
+                )
+                for line in report["unfired"]:
+                    print(f"  {line}", file=out)
+            print(f"obs counters: {counters}", file=out)
+            print(
+                "verdict: "
+                + ("all faults recovered" if ok else "UNRECOVERED FAULTS"),
+                file=out,
+            )
+    finally:
+        if not was_enabled:
+            obs.disable()
+    return 0 if ok else 1
+
+
 # ---------------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
@@ -626,6 +799,37 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--obs", action="store_true",
                     help="enable repro.obs (spans + /statz?format=prometheus)")
 
+    pc = sub.add_parser(
+        "chaos", help="replay a fault plan against the runtime; report recovery"
+    )
+    common(pc)
+    pc.add_argument(
+        "--plan", default="smoke",
+        help="named fault plan (smoke/exchange/crashes/stubborn/serve/soak) "
+             "or an integer seed for a generated plan",
+    )
+    pc.add_argument("--backend", choices=("threads", "processes"),
+                    default="threads", help="distributed runtime backend")
+    pc.add_argument("--mode", choices=("vector", "task"), default="vector",
+                    help="runtime schedule (task overlaps local kernel)")
+    pc.add_argument(
+        "--matrix", choices=("DLR1", "DLR2", "HMEp", "sAMG", "UHBR"),
+        default="sAMG",
+    )
+    pc.add_argument("--nodes", type=int, default=4, help="ranks in the drill")
+    pc.add_argument("--workers", type=int, default=2,
+                    help="serve workers (serve-layer plans)")
+    pc.add_argument("--requests", type=int, default=8,
+                    help="client requests in the serve drill")
+    pc.add_argument("--attempts", type=int, default=3,
+                    help="retry policy: attempts per failed unit")
+    pc.add_argument("--timeout", type=float, default=5.0,
+                    help="halo-exchange / request timeout (s)")
+    pc.add_argument("--delay-ms", type=float, default=20.0,
+                    help="injected delay for slow/late faults")
+    pc.add_argument("--json", action="store_true",
+                    help="print the recovery report as JSON")
+
     po = sub.add_parser(
         "obs", help="instrumented run: dump Chrome trace + Prometheus metrics"
     )
@@ -660,6 +864,7 @@ _COMMANDS = {
     "ops": cmd_ops,
     "obs": cmd_obs,
     "serve": cmd_serve,
+    "chaos": cmd_chaos,
 }
 
 

@@ -14,7 +14,9 @@ from repro.distributed.network import DIRAC_IB, NetworkModel
 from repro.distributed.partition import RowPartition, partition_rows
 from repro.distributed.plan import CommPlan, RankPlan, build_plan
 from repro.distributed.runtime import (
+    RUNTIME_MODES,
     DistributedTimeout,
+    HaloExchangeTimeout,
     RankResult,
     distributed_spmv,
     rank_spmv,
@@ -53,6 +55,8 @@ __all__ = [
     "RankPlan",
     "build_plan",
     "DistributedTimeout",
+    "HaloExchangeTimeout",
+    "RUNTIME_MODES",
     "RankResult",
     "distributed_spmv",
     "rank_spmv",

@@ -269,8 +269,17 @@ def simulate_mode(
     cost: KernelCost | None = None,
     *,
     async_progress_fraction: float = 0.35,
+    faults=None,
 ) -> ModeResult:
-    """Simulate one bulk-synchronous iteration of ``mode``."""
+    """Simulate one bulk-synchronous iteration of ``mode``.
+
+    ``faults`` (a :class:`~repro.faults.inject.FaultInjector`) perturbs
+    the per-rank workloads before simulation: ``slow_worker`` events
+    targeting a rank inflate its kernel workload, ``halo_delay`` events
+    its message volume, so injected faults appear as genuinely longer
+    intervals in the simulated Fig. 4 timeline.  Perturbed ranks get a
+    zero-length ``fault:<kinds>`` marker on a dedicated timeline lane.
+    """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
     if not stats:
@@ -279,6 +288,14 @@ def simulate_mode(
         raise ValueError("async_progress_fraction must be in [0, 1]")
     cost = cost or KernelCost()
     tl = Timeline()
+    if faults is not None:
+        perturbed: list[NodeStats] = []
+        for s in stats:
+            s, kinds = faults.perturb_node(s)
+            if kinds:
+                tl.add(s.rank, "fault", "fault:" + "+".join(sorted(set(kinds))), 0.0, 0.0)
+            perturbed.append(s)
+        stats = perturbed
     if mode == "vector":
         per_rank = _vector_mode(stats, device, network, cost, tl)
     else:

@@ -9,30 +9,60 @@ wrong halo layout) breaks these results, not just a performance plot.
 The exchange mirrors the mpi4py buffer idiom: senders gather owned
 elements into contiguous buffers (the "local gather" of Fig. 4) and
 post them tagged with their rank; receivers assemble their halo buffer
-in plan order, then run ``y_local = A_local @ x_local + A_nonlocal @ halo``.
+in plan order.  Two execution modes mirror Sect. III-A *schedules*
+(the arithmetic — local product, then nonlocal add — is identical, so
+both are bitwise-equal):
+
+* ``mode="vector"`` — wait for the complete halo, then compute
+  (bulk-synchronous, the default);
+* ``mode="task"`` — compute the local part while halo messages are in
+  flight, add the nonlocal part after ``waitall`` (the overlap split).
+
+**Resilience** (see ``docs/resilience.md``): ``faults=`` threads a
+:class:`~repro.faults.FaultInjector` through the workers — the driver
+pulls one round of plain-data *directives* per rank (crash, message
+drop/delay, kernel exception, slow worker), so thread and process
+backends inject identically.  A halo wait that expires raises
+:class:`HaloExchangeTimeout` naming the exact missing edges (rank,
+neighbors, direction) instead of the whole step.  ``retry=`` enables
+recovery: failed ranks are re-executed from their immutable row-block
+inputs (``x`` is never mutated, and the halo equals ``x[halo_cols]``
+bitwise), so recovered runs match fault-free runs bit for bit.
 
 When :mod:`repro.obs` is enabled, every rank emits a span chain
 (``rank.gather`` → ``rank.send`` → ``rank.waitall`` → ``rank.spmv``)
-parented under a single ``distributed_spmv`` root span — the real-run
-counterpart of the simulated Fig. 4 timelines — plus
-``halo_bytes_sent{rank=...}`` counters.
+parented under a single ``distributed_spmv`` root span, plus
+``halo_bytes_sent{rank=...}`` counters; recoveries add ``rank.recover``
+spans and ``faults_retries_total`` / ``faults_recovered_total``.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro import obs
 from repro.distributed.plan import CommPlan, RankPlan
+from repro.faults.inject import FaultError, InjectedFault
+from repro.faults.retry import RetryExhausted
 from repro.utils.validation import check_dense_vector
 
-__all__ = ["distributed_spmv", "RankResult", "rank_spmv", "DistributedTimeout"]
+__all__ = [
+    "distributed_spmv",
+    "RankResult",
+    "rank_spmv",
+    "DistributedTimeout",
+    "HaloExchangeTimeout",
+    "RUNTIME_MODES",
+]
 
 _DEFAULT_TIMEOUT_S = 60.0
+
+RUNTIME_MODES = ("vector", "task")
 
 
 class DistributedTimeout(RuntimeError):
@@ -53,6 +83,32 @@ class DistributedTimeout(RuntimeError):
             f"distributed spMVM timed out after {timeout:g}s during {where}; "
             f"stuck ranks: {', '.join(map(str, stuck_ranks)) or '<unknown>'}"
         )
+
+
+class HaloExchangeTimeout(DistributedTimeout):
+    """One rank's halo wait expired — names the exact missing edges.
+
+    Instead of indicting the whole step, this narrows the failure to
+    (``rank``, ``neighbors``, ``direction``): rank ``rank`` was still
+    ``direction``-ing halo traffic for the listed neighbor ranks when
+    its wait expired.  Picklable, so the multiprocessing backend can
+    ship it from a child rank to the driver intact.
+    """
+
+    def __init__(self, rank: int, neighbors: list[int], timeout: float,
+                 direction: str = "recv"):
+        self.rank = int(rank)
+        self.neighbors = sorted(int(n) for n in neighbors)
+        self.direction = direction
+        super().__init__(
+            [self.rank],
+            timeout,
+            f"waitall (rank {self.rank} still expecting halo from "
+            f"{self.neighbors}, direction={direction})",
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.rank, self.neighbors, self.timeout, self.direction))
 
 
 @dataclass
@@ -88,6 +144,43 @@ def rank_spmv(
     return y
 
 
+# ---------------------------------------------------------------------------
+# fault directives (plain data produced by FaultInjector.rank_directives)
+# ---------------------------------------------------------------------------
+
+def _directive_crash(directives, rank: int, site: str) -> None:
+    for d in directives:
+        if d["kind"] == "rank_crash":
+            raise InjectedFault("rank_crash", site, {"rank": rank})
+
+
+def _directive_kernel(directives, rank: int, site: str) -> None:
+    for d in directives:
+        if d["kind"] == "kernel_exception":
+            raise InjectedFault("kernel_exception", site, {"rank": rank})
+
+
+def _directive_slow(directives) -> None:
+    for d in directives:
+        if d["kind"] == "slow_worker" and d.get("delay_s"):
+            time.sleep(d["delay_s"])
+
+
+def _message_faults(directives) -> tuple[set, dict]:
+    """(dropped destinations, {dst: delay_s}); ``None`` dst = every edge."""
+    drops = {d.get("dst") for d in directives if d["kind"] == "halo_drop"}
+    delays = {
+        d.get("dst"): d.get("delay_s", 0.0)
+        for d in directives
+        if d["kind"] == "halo_delay"
+    }
+    return drops, delays
+
+
+# ---------------------------------------------------------------------------
+# rank bodies (threads backend)
+# ---------------------------------------------------------------------------
+
 def _rank_worker(
     plan: RankPlan,
     x_local: np.ndarray,
@@ -96,17 +189,24 @@ def _rank_worker(
     results: list,
     errors: list,
     timeout: float,
+    mode: str,
+    directives: list,
     ctx: "obs.SpanContext | None" = None,
 ) -> None:
     try:
         with obs.attach_context(ctx or obs.SpanContext(None)):
-            _rank_body(plan, x_local, inbox, outboxes, results, timeout)
+            _rank_body(plan, x_local, inbox, outboxes, results, timeout, mode, directives)
     except Exception as exc:
         errors.append((plan.rank, exc))
 
 
-def _rank_body(plan, x_local, inbox, outboxes, results, timeout) -> None:
+def _rank_body(plan, x_local, inbox, outboxes, results, timeout, mode, directives) -> None:
     r = plan.rank
+    directives = directives or ()
+    _directive_crash(directives, r, "rank.start")
+    _directive_slow(directives)
+    drops, delays = _message_faults(directives)
+
     # local gather + sends (Isend analogue: queues never block)
     with obs.span("rank.gather", rank=r):
         buffers = {
@@ -116,10 +216,22 @@ def _rank_body(plan, x_local, inbox, outboxes, results, timeout) -> None:
     sent = 0
     with obs.span("rank.send", rank=r):
         for dst, buf in buffers.items():
+            if dst in drops or None in drops:
+                obs.inc("halo_messages_dropped", 1, rank=str(r), dst=str(dst))
+                continue
+            delay = delays.get(dst, delays.get(None, 0.0))
+            if delay:
+                time.sleep(delay)
             outboxes[dst].put((r, buf))
             sent += 1
             obs.inc("halo_bytes_sent", buf.nbytes, rank=str(r), dst=str(dst))
             obs.inc("halo_messages_sent", 1, rank=str(r))
+
+    # task mode: overlap the local kernel with the in-flight halo
+    y_partial = None
+    if mode == "task" and plan.local_matrix is not None:
+        with obs.span("rank.local_spmv", rank=r):
+            y_partial = plan.local_matrix.spmv(x_local)
 
     # receive until the halo buffer is complete (Irecv + Waitall)
     pending = set(plan.recv_cols)
@@ -130,9 +242,7 @@ def _rank_body(plan, x_local, inbox, outboxes, results, timeout) -> None:
                 src, buf = inbox.get(timeout=timeout)
             except queue.Empty:
                 obs.inc("distributed_timeouts_total", 1, rank=str(r))
-                raise DistributedTimeout(
-                    [r], timeout, f"waitall (still expecting {sorted(pending)})"
-                ) from None
+                raise HaloExchangeTimeout(r, sorted(pending), timeout) from None
             if src not in pending:
                 raise RuntimeError(f"rank {r}: unexpected message from {src}")
             if buf.shape[0] != plan.recv_cols[src].shape[0]:
@@ -149,10 +259,129 @@ def _rank_body(plan, x_local, inbox, outboxes, results, timeout) -> None:
     else:
         width = plan.nonlocal_matrix.ncols if plan.nonlocal_matrix else 1
         halo = np.zeros(width, dtype=x_local.dtype)
+    _directive_kernel(directives, r, "rank.spmv")
     with obs.span("rank.spmv", rank=r):
-        y = rank_spmv(plan, x_local, halo)
+        if mode == "task" and y_partial is not None:
+            y = y_partial
+            if plan.nnz_nonlocal:
+                y = y + plan.nonlocal_matrix.spmv(
+                    check_dense_vector(
+                        halo,
+                        plan.nonlocal_matrix.ncols,
+                        dtype=plan.nonlocal_matrix.dtype,
+                        name="halo",
+                    )
+                )
+        else:
+            y = rank_spmv(plan, x_local, halo)
     results[r] = RankResult(r, y, sent, len(segments))
 
+
+# ---------------------------------------------------------------------------
+# recovery: re-execute failed ranks from immutable inputs
+# ---------------------------------------------------------------------------
+
+def _recompute_rank(plan: RankPlan, x: np.ndarray, faults) -> np.ndarray:
+    """Serially re-execute one rank from its immutable inputs.
+
+    ``x`` was never mutated, and in a fault-free run the halo buffer is
+    exactly ``x[plan.halo_cols]`` (the per-source sorted column lists
+    concatenate to the globally sorted ``halo_cols``), so the recomputed
+    result is bitwise identical to what the rank would have produced.
+    Remaining scheduled faults for this rank still fire (rank crash /
+    kernel exception / slow worker; message faults are no-ops since no
+    exchange happens here).
+    """
+    r = plan.rank
+    directives = faults.rank_directives(r, site="rank.recover") if faults else ()
+    _directive_crash(directives, r, "rank.recover")
+    _directive_slow(directives)
+    lo, hi = plan.row_range
+    if plan.halo_cols is not None and plan.halo_cols.size:
+        halo = np.ascontiguousarray(x[plan.halo_cols])
+    else:
+        width = plan.nonlocal_matrix.ncols if plan.nonlocal_matrix else 1
+        halo = np.zeros(width, dtype=x.dtype)
+    _directive_kernel(directives, r, "rank.recover")
+    return rank_spmv(plan, x[lo:hi], halo)
+
+
+def _recover_failed_ranks(
+    comm_plan: CommPlan,
+    x: np.ndarray,
+    failures: dict,
+    faults,
+    retry,
+) -> dict:
+    """Retry every failed rank under ``retry``; returns {rank: y}.
+
+    Raises :class:`~repro.faults.RetryExhausted` (carrying the full
+    fault history) once a rank's attempts or the policy's shared retry
+    budget run out.
+    """
+    plans = {p.rank: p for p in comm_plan.ranks}
+    recovered: dict[int, np.ndarray] = {}
+    spent = 0
+    for rank in sorted(failures):
+        history: list[Exception] = [failures[rank]]
+        site = f"distributed.rank[{rank}]"
+        for attempt in range(1, retry.max_attempts):
+            if retry.budget is not None and spent >= retry.budget:
+                raise RetryExhausted(
+                    site, attempt, history,
+                    reason=f"shared retry budget ({retry.budget}) exhausted",
+                )
+            spent += 1
+            delay = retry.delay(attempt)
+            if delay:
+                time.sleep(delay)
+            if faults is not None:
+                faults.note_retry("distributed")
+            elif obs.enabled():
+                obs.inc("faults_retries_total", 1, layer="distributed")
+            try:
+                with obs.span("rank.recover", rank=rank, attempt=attempt):
+                    recovered[rank] = _recompute_rank(plans[rank], x, faults)
+            except FaultError as exc:
+                history.append(exc)
+                continue
+            if faults is not None:
+                faults.note_recovered("distributed")
+            elif obs.enabled():
+                obs.inc("faults_recovered_total", 1, layer="distributed")
+            break
+        else:
+            raise RetryExhausted(site, retry.max_attempts, history)
+    return recovered
+
+
+def _first_failure(failures: dict) -> Exception:
+    """Deterministic representative failure.
+
+    Root-cause faults win over their symptoms: an injected crash on one
+    rank starves its neighbours, so the neighbours report
+    :class:`HaloExchangeTimeout` — surfacing the timeout would hide the
+    actual fault.  Among same-class failures the lowest rank is chosen,
+    keeping the representative deterministic.
+    """
+    def pick(pred):
+        ranks = sorted(r for r, e in failures.items() if pred(e))
+        return ranks[0] if ranks else None
+
+    rank = pick(lambda e: isinstance(e, FaultError))
+    if rank is None:
+        rank = pick(lambda e: isinstance(e, DistributedTimeout))
+    if rank is None:
+        rank = min(failures)
+    exc = failures[rank]
+    if isinstance(exc, (DistributedTimeout, FaultError)):
+        return exc
+    return RuntimeError(f"rank {rank} failed: {exc}")
+
+
+# ---------------------------------------------------------------------------
+# driver (threads backend)
+# ---------------------------------------------------------------------------
 
 def distributed_spmv(
     comm_plan: CommPlan,
@@ -160,6 +389,9 @@ def distributed_spmv(
     *,
     backend: str = "threads",
     timeout: float = _DEFAULT_TIMEOUT_S,
+    mode: str = "vector",
+    faults=None,
+    retry=None,
 ) -> np.ndarray:
     """Execute ``y = A @ x`` across one worker per rank.
 
@@ -172,20 +404,32 @@ def distributed_spmv(
     halo byte really crosses an address-space boundary — the closest
     a single host gets to the paper's distributed-memory setting.
 
+    ``mode`` selects the per-rank schedule: ``"vector"`` computes after
+    the halo is complete, ``"task"`` overlaps the local kernel with the
+    exchange.  Both run identical arithmetic, so results are bitwise
+    equal across modes and backends.
+
     ``timeout`` bounds both the per-rank halo wait and the final join;
-    on expiry a :class:`DistributedTimeout` names the stuck ranks (and
-    the ``distributed_timeouts_total`` counter is incremented when
-    :mod:`repro.obs` is enabled).  Workers run as daemon threads, so a
-    stuck exchange cannot hang interpreter shutdown.
+    a per-rank expiry raises :class:`HaloExchangeTimeout` naming the
+    missing edges.  ``faults`` injects a seeded
+    :class:`~repro.faults.FaultPlan`; ``retry`` (a
+    :class:`~repro.faults.RetryPolicy`) recovers failed ranks by
+    re-executing them from their immutable inputs — recovered results
+    are bitwise identical to fault-free runs.  Without ``retry``,
+    failures raise typed errors naming the faulting rank or edge.
     """
     if backend == "processes":
-        return _distributed_spmv_processes(comm_plan, x, timeout=timeout)
+        return _distributed_spmv_processes(
+            comm_plan, x, timeout=timeout, mode=mode, faults=faults, retry=retry
+        )
     if backend != "threads":
         raise ValueError(
             f"backend must be 'threads' or 'processes', got {backend!r}"
         )
     if timeout <= 0:
         raise ValueError(f"timeout must be > 0, got {timeout}")
+    if mode not in RUNTIME_MODES:
+        raise ValueError(f"mode must be one of {RUNTIME_MODES}, got {mode!r}")
     part = comm_plan.partition
     # build_plan enforces square matrices, so the global RHS length
     # (ncols) and the row-partitioned output length (nrows) coincide;
@@ -198,9 +442,13 @@ def distributed_spmv(
         raise ValueError(f"x must have shape ({comm_plan.ncols},), got {x.shape}")
 
     with obs.span(
-        "distributed_spmv", nparts=part.nparts, backend="threads"
+        "distributed_spmv", nparts=part.nparts, backend="threads", mode=mode
     ) as root:
         ctx = obs.capture_context()
+        directives = {
+            p.rank: (faults.rank_directives(p.rank) if faults is not None else ())
+            for p in comm_plan.ranks
+        }
         inboxes = {r.rank: queue.Queue() for r in comm_plan.ranks}
         results: list = [None] * part.nparts
         errors: list = []
@@ -217,6 +465,8 @@ def distributed_spmv(
                     results,
                     errors,
                     timeout,
+                    mode,
+                    directives[plan.rank],
                     ctx,
                 ),
                 name=f"rank-{plan.rank}",
@@ -224,21 +474,35 @@ def distributed_spmv(
             )
             threads.append(t)
             t.start()
+        # workers self-timeout their waitall after ``timeout``; the
+        # driver joins against a single global deadline with a small
+        # grace so a rank that times itself out is reported through its
+        # own (more precise) HaloExchangeTimeout rather than being
+        # misclassified as stuck by a join/waitall photo finish.
+        deadline = time.monotonic() + timeout + max(0.2, 0.25 * timeout)
         for t in threads:
-            t.join(timeout=timeout)
+            t.join(timeout=max(0.0, deadline - time.monotonic()))
         stuck = [
             plan.rank
             for plan, t in zip(comm_plan.ranks, threads)
             if t.is_alive()
         ]
-        if errors:
-            rank, exc = errors[0]
-            if isinstance(exc, DistributedTimeout):
-                raise exc
-            raise RuntimeError(f"rank {rank} failed: {exc}") from exc
-        if stuck:
+
+        failures: dict[int, Exception] = {}
+        for rank, exc in errors:
+            failures.setdefault(rank, exc)
+        for rank in stuck:
             obs.inc("distributed_timeouts_total", 1, rank="driver")
-            raise DistributedTimeout(stuck, timeout, "join")
+            failures.setdefault(rank, DistributedTimeout([rank], timeout, "join"))
+
+        if failures:
+            if retry is None:
+                exc = _first_failure(failures)
+                raise exc
+            for rank, y in _recover_failed_ranks(
+                comm_plan, x, failures, faults, retry
+            ).items():
+                results[rank] = RankResult(rank, y, 0, 0)
         if any(r is None for r in results):
             raise RuntimeError(
                 "distributed spMVM deadlocked (missing rank results)"
@@ -253,21 +517,37 @@ def distributed_spmv(
     return y
 
 
-def _process_worker(plan, x_local, inbox, outboxes, result_queue, timeout) -> None:
+# ---------------------------------------------------------------------------
+# processes backend
+# ---------------------------------------------------------------------------
+
+def _process_worker(
+    plan, x_local, inbox, outboxes, result_queue, timeout, mode, directives
+) -> None:
     """Per-rank body for the multiprocessing backend."""
     try:
+        directives = directives or ()
+        _directive_crash(directives, plan.rank, "rank.start")
+        _directive_slow(directives)
+        drops, delays = _message_faults(directives)
         for dst, local_idx in plan.send_cols.items():
+            if dst in drops or None in drops:
+                continue
+            delay = delays.get(dst, delays.get(None, 0.0))
+            if delay:
+                time.sleep(delay)
             outboxes[dst].put((plan.rank, x_local[local_idx].copy()))
+        y_partial = None
+        if mode == "task" and plan.local_matrix is not None:
+            y_partial = plan.local_matrix.spmv(x_local)
         pending = set(plan.recv_cols)
         segments = {}
         while pending:
             try:
                 src, buf = inbox.get(timeout=timeout)
             except queue.Empty:
-                raise DistributedTimeout(
-                    [plan.rank],
-                    timeout,
-                    f"waitall (still expecting {sorted(pending)})",
+                raise HaloExchangeTimeout(
+                    plan.rank, sorted(pending), timeout
                 ) from None
             if src not in pending:
                 raise RuntimeError(f"rank {plan.rank}: unexpected sender {src}")
@@ -278,67 +558,148 @@ def _process_worker(plan, x_local, inbox, outboxes, result_queue, timeout) -> No
         else:
             width = plan.nonlocal_matrix.ncols if plan.nonlocal_matrix else 1
             halo = np.zeros(width, dtype=x_local.dtype)
-        y = rank_spmv(plan, x_local, halo)
+        _directive_kernel(directives, plan.rank, "rank.spmv")
+        if mode == "task" and y_partial is not None:
+            y = y_partial
+            if plan.nnz_nonlocal:
+                y = y + plan.nonlocal_matrix.spmv(
+                    check_dense_vector(
+                        halo,
+                        plan.nonlocal_matrix.ncols,
+                        dtype=plan.nonlocal_matrix.dtype,
+                        name="halo",
+                    )
+                )
+        else:
+            y = rank_spmv(plan, x_local, halo)
         result_queue.put((plan.rank, y, None))
+    except (InjectedFault, HaloExchangeTimeout) as exc:
+        # typed + picklable: the driver re-raises or retries these
+        result_queue.put((plan.rank, None, exc))
     except Exception as exc:  # pragma: no cover - surfaced by the driver
         result_queue.put((plan.rank, None, repr(exc)))
 
 
 def _distributed_spmv_processes(
-    comm_plan: CommPlan, x: np.ndarray, *, timeout: float = _DEFAULT_TIMEOUT_S
+    comm_plan: CommPlan,
+    x: np.ndarray,
+    *,
+    timeout: float = _DEFAULT_TIMEOUT_S,
+    mode: str = "vector",
+    faults=None,
+    retry=None,
 ) -> np.ndarray:
-    """Fork one OS process per rank; halos travel through real pipes."""
+    """Fork one OS process per rank; halos travel through real pipes.
+
+    Worker lifecycle is fully owned here: whatever happens — crashed
+    ranks, halo timeouts, injected faults — every child is terminated
+    and joined and every queue closed before this function returns, so
+    a failing run never leaks live children or feeder threads
+    (``multiprocessing.active_children()`` is empty afterwards).
+    """
     import multiprocessing as mp
 
     if timeout <= 0:
         raise ValueError(f"timeout must be > 0, got {timeout}")
+    if mode not in RUNTIME_MODES:
+        raise ValueError(f"mode must be one of {RUNTIME_MODES}, got {mode!r}")
     x = np.ascontiguousarray(x)
     if x.shape != (comm_plan.ncols,):
         raise ValueError(f"x must have shape ({comm_plan.ncols},), got {x.shape}")
     nrows = comm_plan.partition.nrows
     assert nrows == comm_plan.ncols, "distributed plans require square matrices"
+    # directives are plain data resolved in the driver's address space:
+    # forked children obey them without sharing injector state
+    directives = {
+        p.rank: (faults.rank_directives(p.rank) if faults is not None else ())
+        for p in comm_plan.ranks
+    }
     ctx = mp.get_context("fork")
     inboxes = {r.rank: ctx.Queue() for r in comm_plan.ranks}
     result_queue = ctx.Queue()
     procs = []
-    for plan in comm_plan.ranks:
-        lo, hi = plan.row_range
-        p = ctx.Process(
-            target=_process_worker,
-            args=(
-                plan,
-                x[lo:hi].copy(),
-                inboxes[plan.rank],
-                inboxes,
-                result_queue,
-                timeout,
-            ),
-            name=f"rank-{plan.rank}",
-            daemon=True,
-        )
-        procs.append(p)
-        p.start()
     results: dict[int, np.ndarray] = {}
-    error = None
-    for _ in comm_plan.ranks:
-        try:
-            rank, y, err = result_queue.get(timeout=timeout)
-        except queue.Empty:
-            stuck = sorted(set(r.rank for r in comm_plan.ranks) - set(results))
-            obs.inc("distributed_timeouts_total", 1, rank="driver")
-            raise DistributedTimeout(stuck, timeout, "result gather") from None
-        if err is not None:
-            error = (rank, err)
-        else:
-            results[rank] = y
-    for p in procs:
-        p.join(timeout=timeout)
-    if error is not None:
-        raise RuntimeError(f"rank {error[0]} failed: {error[1]}")
+    failures: dict[int, Exception] = {}
+    try:
+        for plan in comm_plan.ranks:
+            lo, hi = plan.row_range
+            p = ctx.Process(
+                target=_process_worker,
+                args=(
+                    plan,
+                    x[lo:hi].copy(),
+                    inboxes[plan.rank],
+                    inboxes,
+                    result_queue,
+                    timeout,
+                    mode,
+                    directives[plan.rank],
+                ),
+                name=f"rank-{plan.rank}",
+                daemon=True,
+            )
+            procs.append(p)
+            p.start()
+        # children self-timeout their waitall after ``timeout``; gather
+        # against a global deadline with grace so a child that timed
+        # itself out ships its own HaloExchangeTimeout instead of being
+        # lumped into a driver-side "result gather" timeout.
+        deadline = time.monotonic() + timeout + max(0.2, 0.25 * timeout)
+        for _ in comm_plan.ranks:
+            try:
+                rank, y, err = result_queue.get(
+                    timeout=max(0.05, deadline - time.monotonic())
+                )
+            except queue.Empty:
+                stuck = sorted(
+                    set(r.rank for r in comm_plan.ranks)
+                    - set(results)
+                    - set(failures)
+                )
+                obs.inc("distributed_timeouts_total", 1, rank="driver")
+                if retry is None:
+                    raise DistributedTimeout(
+                        stuck, timeout, "result gather"
+                    ) from None
+                for r in stuck:
+                    failures.setdefault(
+                        r, DistributedTimeout([r], timeout, "result gather")
+                    )
+                break
+            if err is None:
+                results[rank] = y
+            elif isinstance(err, Exception):
+                failures[rank] = err
+            else:
+                failures[rank] = RuntimeError(f"rank {rank} failed: {err}")
+        for p in procs:
+            p.join(timeout=max(0.05, deadline - time.monotonic()))
+    finally:
+        # leak guard: no failure path may strand live children or
+        # unjoined queue feeder threads
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+            p.join(timeout=5.0)
+        for q in (*inboxes.values(), result_queue):
+            q.close()
+            q.cancel_join_thread()
+
+    if failures:
+        if retry is None:
+            raise _first_failure(failures)
+        results.update(
+            _recover_failed_ranks(comm_plan, x, failures, faults, retry)
+        )
+    missing = [r.rank for r in comm_plan.ranks if r.rank not in results]
+    if missing:
+        raise RuntimeError(
+            f"distributed spMVM deadlocked (missing rank results: {missing})"
+        )
 
     # row-partitioned output: nrows entries, one block per rank
     out = np.empty(nrows, dtype=next(iter(results.values())).dtype)
     for plan in comm_plan.ranks:
         lo, hi = plan.row_range
-        out[lo:hi] = results[plan.rank]
+        out[lo:hi] = np.asarray(results[plan.rank])
     return out

@@ -38,11 +38,15 @@ class BoundMatrix:
         variant: KernelVariant,
         workspace: Workspace,
         tune_result: TuneResult | None = None,
+        faults=None,
     ):
         self.matrix = matrix
         self.variant = variant
         self.workspace = workspace
         self.tune_result = tune_result
+        #: optional :class:`~repro.faults.inject.FaultInjector`; its
+        #: engine-layer events fire at the top of :meth:`spmv`
+        self.faults = faults
         self._is_jagged = isinstance(matrix, JaggedDiagonalsBase)
         perm = getattr(matrix, "permutation", None)
         self._permutes = perm is not None and not perm.is_identity
@@ -85,6 +89,9 @@ class BoundMatrix:
         allocation at all.
         """
         m = self.matrix
+        if self.faults is not None:
+            # chaos hook: kernel_exception raises, slow_worker sleeps
+            self.faults.engine_fault(format=m.name, variant=self.variant.name)
         x = m.check_rhs(x)
         # variants fully write y (their contract), so skip the zero-fill
         y = m.alloc_result(out, x, zero=False)
@@ -146,9 +153,14 @@ class BoundMatrix:
         matrix data and the autotuner's variant decision are shared,
         while every clone owns private scratch.  The matrix registry of
         :mod:`repro.serve` hands each worker its own clone.
+
+        The fault injector (when set) is shared by clones: its firing
+        state is thread-safe and per-event budgets are global, so a
+        ``times=1`` engine fault fires exactly once across all workers.
         """
         return BoundMatrix(
-            self.matrix, self.variant, Workspace(), self.tune_result
+            self.matrix, self.variant, Workspace(), self.tune_result,
+            faults=self.faults,
         )
 
     # ------------------------------------------------------------------
@@ -168,12 +180,15 @@ def bind(
     seed: int = 0,
     cache=None,
     use_cache: bool = True,
+    faults=None,
 ) -> BoundMatrix:
     """Bind ``matrix`` to a workspace and a kernel variant.
 
     ``variant`` forces a specific kernel by name; otherwise the
     autotuner runs (``tune=True``, cached per fingerprint) or the
     format's first-listed variant is taken (``tune=False``).
+    ``faults`` attaches a :class:`~repro.faults.inject.FaultInjector`
+    whose engine-layer events fire inside :meth:`BoundMatrix.spmv`.
     """
     ws = Workspace()
     tr = None
@@ -187,7 +202,7 @@ def bind(
         chosen = get_variant(matrix, tr.variant)
     else:
         chosen = variants_for(matrix)[0]
-    return BoundMatrix(matrix, chosen, ws, tr)
+    return BoundMatrix(matrix, chosen, ws, tr, faults=faults)
 
 
 def make_spmv_operator(

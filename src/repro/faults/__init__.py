@@ -1,0 +1,52 @@
+"""repro.faults — deterministic fault injection + resilience policies.
+
+The chaos harness for the distributed runtime and the SpMV server:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultEvent`:
+  seeded, immutable fault schedules (``same seed => same schedule``),
+  plus the curated named plans the ``repro chaos`` CLI replays.
+* :mod:`repro.faults.inject` — :class:`FaultInjector`: thread-safe
+  firing state threaded through ``distributed.runtime`` (thread and
+  process backends), ``distributed.modes`` (timing perturbation),
+  ``serve.scheduler`` / ``serve.registry`` and ``engine.bound``;
+  every injection emits ``faults_injected_total`` and a
+  ``fault.injected`` span through :mod:`repro.obs`.
+* :mod:`repro.faults.retry` — :class:`RetryPolicy` (capped exponential
+  backoff, deterministic jitter, per-call budgets) and
+  :class:`RetryExhausted` (typed, carries the full fault history).
+
+See ``docs/resilience.md`` for the fault taxonomy, the retry semantics
+of every layer, and how to write a plan.
+"""
+
+from repro.faults.inject import (
+    FaultError,
+    FaultInjector,
+    FaultRecord,
+    InjectedFault,
+)
+from repro.faults.plan import (
+    DISTRIBUTED_KINDS,
+    FAULT_KINDS,
+    FAULT_LAYERS,
+    NAMED_PLANS,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.faults.retry import RetryExhausted, RetryPolicy, call_with_retry
+
+__all__ = [
+    "DISTRIBUTED_KINDS",
+    "FAULT_KINDS",
+    "FAULT_LAYERS",
+    "NAMED_PLANS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultError",
+    "FaultInjector",
+    "FaultRecord",
+    "InjectedFault",
+    "RetryExhausted",
+    "RetryPolicy",
+    "call_with_retry",
+]

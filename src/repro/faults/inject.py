@@ -1,0 +1,309 @@
+"""The runtime half of the chaos harness: firing scheduled faults.
+
+A :class:`FaultInjector` wraps one :class:`~repro.faults.plan.FaultPlan`
+with mutable firing state (how many times each event has been
+consumed) plus the recovery bookkeeping the resilience layers report
+through — faults *injected*, *retried* and *recovered* — so the
+``repro chaos`` CLI and the chaos tests can read one coherent
+:meth:`report` after a run.
+
+Injection sites consume events in two styles:
+
+* **directives** — the distributed driver pulls one round of rank
+  directives (:meth:`rank_directives`) *before* launching workers, so
+  the workers (threads *or* forked processes) receive plain data and
+  the injector's state stays in exactly one address space.  This is
+  what makes the process backend's injections deterministic.
+* **points** — in-process layers (serve scheduler/registry, engine)
+  call the ``*_fault`` helpers at their sites; matching events raise
+  :class:`InjectedFault` or sleep, under the injector's lock.
+
+Every injection is recorded and, when :mod:`repro.obs` is enabled,
+published as a ``faults_injected_total{kind,layer}`` counter plus a
+zero-length ``fault.injected`` span so Chrome traces show the fault
+inline with the work it perturbed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, replace
+
+from repro import obs
+from repro.faults.plan import FaultEvent, FaultPlan
+
+__all__ = ["FaultError", "InjectedFault", "FaultRecord", "FaultInjector"]
+
+
+class FaultError(RuntimeError):
+    """Base class of the fault-injection error family."""
+
+
+class InjectedFault(FaultError):
+    """An injected fault fired at a site (picklable across processes)."""
+
+    def __init__(self, kind: str, site: str, labels: dict | None = None,
+                 message: str | None = None):
+        self.kind = kind
+        self.site = site
+        self.labels = dict(labels or {})
+        where = ", ".join(f"{k}={v}" for k, v in sorted(self.labels.items()))
+        super().__init__(
+            message or f"injected fault {kind!r} at {site}" + (f" ({where})" if where else "")
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.kind, self.site, self.labels, self.args[0]))
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One observed injection (for reports and assertions)."""
+
+    event: FaultEvent
+    site: str
+    t_wall: float
+
+
+class FaultInjector:
+    """Thread-safe firing state + recovery accounting over a plan."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._lock = threading.Lock()
+        # remaining fire budget per event; None = unlimited (times <= 0)
+        self._remaining: list[int | None] = [
+            (None if ev.times <= 0 else ev.times) for ev in plan.events
+        ]
+        self._records: list[FaultRecord] = []
+        self._retried: dict[str, int] = {}
+        self._recovered: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # consumption primitives
+    # ------------------------------------------------------------------
+    def _consume_locked(self, ev_idx: int, site: str) -> FaultEvent:
+        rem = self._remaining[ev_idx]
+        if rem is not None:
+            self._remaining[ev_idx] = rem - 1
+        ev = self.plan.events[ev_idx]
+        self._records.append(FaultRecord(ev, site, time.time()))
+        if obs.enabled():
+            obs.inc("faults_injected_total", 1, kind=ev.kind, layer=ev.layer)
+            with obs.span("fault.injected", kind=ev.kind, layer=ev.layer,
+                          site=site, **{str(k): str(v) for k, v in ev.target}):
+                pass
+        return ev
+
+    def take_one(self, kind: str, layer: str, site: str, **labels) -> FaultEvent | None:
+        """Consume the first live event matching ``(kind, layer, labels)``."""
+        with self._lock:
+            for i, ev in enumerate(self.plan.events):
+                if ev.kind != kind or not self._live_locked(i):
+                    continue
+                if ev.matches(layer, **labels):
+                    return self._consume_locked(i, site)
+        return None
+
+    def _live_locked(self, i: int) -> bool:
+        rem = self._remaining[i]
+        return rem is None or rem > 0
+
+    # ------------------------------------------------------------------
+    # distributed layer: one round of directives per rank execution
+    # ------------------------------------------------------------------
+    def rank_directives(self, rank: int, *, site: str = "distributed.rank") -> list[dict]:
+        """Consume one occurrence of every live distributed-layer event
+        targeting ``rank`` and return plain-data directives.
+
+        Directives are picklable dicts (``{"kind": ..., "dst": ...,
+        "delay_s": ...}``) applied by the rank worker — thread or
+        forked process — so injection state never leaves the driver.
+        """
+        out: list[dict] = []
+        with self._lock:
+            for i, ev in enumerate(self.plan.events):
+                if not self._live_locked(i):
+                    continue
+                if not ev.matches("distributed", rank=rank, dst=_ANY):
+                    continue
+                self._consume_locked(i, f"{site}[{rank}]")
+                d = {"kind": ev.kind, "delay_s": ev.delay_s}
+                dst = ev.labels.get("dst")
+                if dst is not None:
+                    d["dst"] = dst
+                out.append(d)
+        return out
+
+    # ------------------------------------------------------------------
+    # serve layer points
+    # ------------------------------------------------------------------
+    def worker_fault(self, worker: int) -> None:
+        """Batcher-worker site: crash (raise) or slow (sleep) the worker."""
+        ev = self.take_one("slow_worker", "serve", "serve.worker", worker=worker)
+        if ev is not None and ev.delay_s:
+            time.sleep(ev.delay_s)
+        ev = self.take_one("worker_crash", "serve", "serve.worker", worker=worker)
+        if ev is not None:
+            raise InjectedFault("worker_crash", "serve.worker", {"worker": worker})
+
+    def batch_fault(self, matrix: str, worker: int) -> None:
+        """Batch-execution site: fail the whole coalesced spmm call."""
+        ev = self.take_one(
+            "kernel_exception", "serve", "serve.batch", matrix=matrix, worker=worker
+        )
+        if ev is not None:
+            raise InjectedFault(
+                "kernel_exception", "serve.batch", {"matrix": matrix, "worker": worker}
+            )
+
+    def load_fault(self, matrix: str) -> None:
+        """Registry-load site: fail the loader for ``matrix``."""
+        ev = self.take_one(
+            "registry_load_failure", "serve", "serve.registry_load", matrix=matrix
+        )
+        if ev is not None:
+            raise InjectedFault(
+                "registry_load_failure", "serve.registry_load", {"matrix": matrix}
+            )
+
+    # ------------------------------------------------------------------
+    # engine layer point
+    # ------------------------------------------------------------------
+    def engine_fault(self, **labels) -> None:
+        """Bound-kernel site: raise or sleep inside ``BoundMatrix.spmv``."""
+        ev = self.take_one("slow_worker", "engine", "engine.spmv", **labels)
+        if ev is not None and ev.delay_s:
+            time.sleep(ev.delay_s)
+        ev = self.take_one("kernel_exception", "engine", "engine.spmv", **labels)
+        if ev is not None:
+            raise InjectedFault("kernel_exception", "engine.spmv", labels)
+
+    # ------------------------------------------------------------------
+    # timing-simulator perturbation (repro.distributed.modes)
+    # ------------------------------------------------------------------
+    def perturb_node(self, stats):
+        """Perturb one rank's :class:`~repro.distributed.modes.NodeStats`.
+
+        ``slow_worker`` inflates the rank's kernel workload and
+        ``halo_delay`` its message volume by ``1 + delay_s`` each, so
+        the injected fault shows up as genuinely longer intervals in
+        the simulated Fig. 4 timeline.  Returns ``(stats, kinds)``
+        where ``kinds`` lists what was injected.
+        """
+        kinds: list[str] = []
+        factor_kernel = 1.0
+        factor_comm = 1.0
+        while True:
+            ev = self.take_one("slow_worker", "sim", "sim.kernel", rank=stats.rank)
+            if ev is None:
+                break
+            factor_kernel *= 1.0 + max(ev.delay_s, 0.1)
+            kinds.append("slow_worker")
+        while True:
+            ev = self.take_one("halo_delay", "sim", "sim.exchange", rank=stats.rank, dst=_ANY)
+            if ev is None:
+                break
+            factor_comm *= 1.0 + max(ev.delay_s, 0.1)
+            kinds.append("halo_delay")
+        if not kinds:
+            return stats, kinds
+        scale = lambda d, f: {k: int(round(v * f)) for k, v in d.items()}  # noqa: E731
+        stats = replace(
+            stats,
+            nnz_local=int(round(stats.nnz_local * factor_kernel)),
+            nnz_nonlocal=int(round(stats.nnz_nonlocal * factor_kernel)),
+            send_bytes=scale(stats.send_bytes, factor_comm),
+            recv_bytes=scale(stats.recv_bytes, factor_comm),
+        )
+        return stats, kinds
+
+    # ------------------------------------------------------------------
+    # recovery accounting
+    # ------------------------------------------------------------------
+    def note_retry(self, layer: str) -> None:
+        with self._lock:
+            self._retried[layer] = self._retried.get(layer, 0) + 1
+        if obs.enabled():
+            obs.inc("faults_retries_total", 1, layer=layer)
+
+    def note_recovered(self, layer: str) -> None:
+        with self._lock:
+            self._recovered[layer] = self._recovered.get(layer, 0) + 1
+        if obs.enabled():
+            obs.inc("faults_recovered_total", 1, layer=layer)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> list[FaultRecord]:
+        with self._lock:
+            return list(self._records)
+
+    @property
+    def injected(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def injected_by_kind(self) -> dict:
+        out: dict[str, int] = {}
+        for rec in self.records:
+            out[rec.event.kind] = out.get(rec.event.kind, 0) + 1
+        return out
+
+    def unfired(self) -> list[FaultEvent]:
+        """Events with remaining budget (never matched a site)."""
+        with self._lock:
+            return [
+                ev
+                for i, ev in enumerate(self.plan.events)
+                if self._remaining[i] is not None
+                and self._remaining[i] == self.plan.events[i].times
+            ]
+
+    def report(self) -> dict:
+        """JSON-friendly recovery report (the CLI's payload)."""
+        with self._lock:
+            records = list(self._records)
+            retried = dict(self._retried)
+            recovered = dict(self._recovered)
+        by_kind: dict[str, int] = {}
+        for rec in records:
+            by_kind[rec.event.kind] = by_kind.get(rec.event.kind, 0) + 1
+        return {
+            "plan": self.plan.name,
+            "events": len(self.plan.events),
+            "injected": len(records),
+            "injected_by_kind": by_kind,
+            "retried": sum(retried.values()),
+            "retried_by_layer": retried,
+            "recovered": sum(recovered.values()),
+            "recovered_by_layer": recovered,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<FaultInjector plan={self.plan.name!r} events={len(self.plan.events)} "
+            f"injected={self.injected}>"
+        )
+
+
+class _Any:
+    """Sentinel that equals anything (wildcard site label)."""
+
+    def __eq__(self, other) -> bool:
+        return True
+
+    def __ne__(self, other) -> bool:
+        return False
+
+    def __hash__(self) -> int:  # pragma: no cover - never keyed
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<any>"
+
+
+_ANY = _Any()

@@ -29,6 +29,7 @@ from repro.serve.client import Client
 from repro.serve.errors import (
     DeadlineExceeded,
     MatrixNotFound,
+    RegistryLoadFailed,
     ServeError,
     ServerClosed,
     ServerOverloaded,
@@ -45,6 +46,7 @@ __all__ = [
     "MatrixRegistry",
     "MatrixSpec",
     "POLICIES",
+    "RegistryLoadFailed",
     "ServeError",
     "ServerClosed",
     "ServerOverloaded",

@@ -18,20 +18,46 @@ from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import FIRST_COMPLETED, wait
 
 import numpy as np
 
 from repro import obs
 from repro.serve.scheduler import SpMVServer
 
-__all__ = ["Client"]
+__all__ = ["Client", "RETRYABLE"]
+
+
+def _retryable() -> tuple:
+    """Exception types a client may transparently resubmit on.
+
+    Transient by construction: injected faults (the chaos harness),
+    admission rejections/sheds, and registry load failures.  Deadline
+    expiry and closed servers are *not* retryable — resubmitting can
+    never help.
+    """
+    from repro.faults import FaultError
+    from repro.serve.errors import RegistryLoadFailed, ServerOverloaded
+
+    return (FaultError, ServerOverloaded, RegistryLoadFailed)
+
+
+RETRYABLE = _retryable()
 
 
 class Client:
-    """Typed convenience wrapper around one :class:`SpMVServer`."""
+    """Typed convenience wrapper around one :class:`SpMVServer`.
 
-    def __init__(self, server: SpMVServer):
+    ``retry`` (a :class:`~repro.faults.retry.RetryPolicy`) makes
+    :meth:`spmv` resubmit requests that failed with a transient error
+    (see :data:`RETRYABLE`); the exhausted case raises
+    :class:`~repro.faults.retry.RetryExhausted` with the full fault
+    history.
+    """
+
+    def __init__(self, server: SpMVServer, *, retry=None):
         self.server = server
+        self.retry = retry
 
     # -- matvec ------------------------------------------------------------
     def spmv(
@@ -42,14 +68,96 @@ class Client:
         deadline_ms: float | None = None,
         timeout: float | None = None,
     ) -> np.ndarray:
-        """Blocking ``y = A @ x`` through the batching scheduler."""
-        return self.server.spmv(
-            matrix, x, deadline_ms=deadline_ms, timeout=timeout
+        """Blocking ``y = A @ x`` through the batching scheduler.
+
+        With a ``retry`` policy, transiently failed requests are
+        resubmitted (fresh deadline per attempt) with the policy's
+        backoff between attempts.
+        """
+        if self.retry is None:
+            return self.server.spmv(
+                matrix, x, deadline_ms=deadline_ms, timeout=timeout
+            )
+        from repro.faults.retry import call_with_retry
+
+        def _on_retry(attempt: int, exc: Exception) -> None:
+            if obs.enabled():
+                obs.inc(
+                    "serve_client_retries_total",
+                    1,
+                    matrix=matrix,
+                    error=type(exc).__name__,
+                )
+
+        return call_with_retry(
+            lambda: self.server.spmv(
+                matrix, x, deadline_ms=deadline_ms, timeout=timeout
+            ),
+            self.retry,
+            site=f"client.spmv[{matrix}]",
+            retryable=RETRYABLE,
+            on_retry=_on_retry,
         )
 
     def spmv_async(self, matrix: str, x, *, deadline_ms: float | None = None):
         """Fire-and-collect variant; returns a ``concurrent.futures.Future``."""
         return self.server.submit(matrix, x, deadline_ms=deadline_ms)
+
+    def spmv_hedged(
+        self,
+        matrix: str,
+        x,
+        *,
+        hedges: int = 1,
+        hedge_delay_ms: float = 0.0,
+        deadline_ms: float | None = None,
+        timeout: float | None = None,
+    ) -> np.ndarray:
+        """Tail-latency hedging: race up to ``1 + hedges`` submissions.
+
+        The primary request is submitted immediately; each hedge after
+        ``hedge_delay_ms`` *if no earlier submission has completed*.
+        The first successful result wins.  Only when **every**
+        submission failed does the last error propagate — a lone slow
+        or faulted request never decides the call.
+        """
+        if hedges < 0:
+            raise ValueError(f"hedges must be >= 0, got {hedges}")
+        futures = [self.server.submit(matrix, x, deadline_ms=deadline_ms)]
+        deadline = None if timeout is None else time.monotonic() + timeout
+        errors: list[Exception] = []
+
+        def _remaining() -> float | None:
+            if deadline is None:
+                return None
+            return max(deadline - time.monotonic(), 0.0)
+
+        launched = 1
+        while True:
+            step = hedge_delay_ms / 1e3 if launched <= hedges else _remaining()
+            done, pending = wait(futures, timeout=step, return_when=FIRST_COMPLETED)
+            for f in done:
+                exc = f.exception()
+                if exc is None:
+                    if obs.enabled() and launched > 1:
+                        obs.inc("serve_client_hedges_total", launched - 1, matrix=matrix)
+                    return f.result()
+                errors.append(exc)
+                futures.remove(f)
+            if not futures and launched > hedges:
+                raise errors[-1]
+            if launched <= hedges:
+                futures.append(
+                    self.server.submit(matrix, x, deadline_ms=deadline_ms)
+                )
+                launched += 1
+            elif not done:
+                rem = _remaining()
+                if rem is not None and rem <= 0:
+                    raise TimeoutError(
+                        f"spmv_hedged({matrix!r}) timed out with "
+                        f"{len(futures)} submission(s) in flight"
+                    )
 
     # -- solvers -----------------------------------------------------------
     def solve(

@@ -10,6 +10,7 @@ exception                     HTTP    meaning
 :class:`ServerOverloaded`     503     admission control refused the request
 :class:`DeadlineExceeded`     504     the request's deadline expired queued
 :class:`ServerClosed`         503     the server is shutting down
+:class:`RegistryLoadFailed`   503     the matrix loader failed (retryable)
 ============================  ======  =====================================
 
 All inherit :class:`ServeError`, so front-ends can catch the whole
@@ -24,6 +25,7 @@ __all__ = [
     "ServerOverloaded",
     "DeadlineExceeded",
     "ServerClosed",
+    "RegistryLoadFailed",
 ]
 
 
@@ -86,3 +88,21 @@ class ServerClosed(ServeError):
 
     def __init__(self, what: str = "server is closed"):
         super().__init__(what)
+
+
+class RegistryLoadFailed(ServeError):
+    """The loader (or binder) for a registered matrix raised.
+
+    Transient by definition — the spec stays registered and the next
+    :meth:`~repro.serve.registry.MatrixRegistry.acquire` retries the
+    load — so clients with a :class:`~repro.faults.retry.RetryPolicy`
+    resubmit on it.  ``__cause__`` carries the original exception.
+    """
+
+    http_status = 503
+
+    def __init__(self, name: str, reason: str = ""):
+        self.name = name
+        self.reason = reason
+        tail = f": {reason}" if reason else ""
+        super().__init__(f"loading matrix {name!r} failed{tail}")

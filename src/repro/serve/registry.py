@@ -26,7 +26,7 @@ from typing import Callable
 from repro import obs
 from repro.engine.bound import BoundMatrix, bind
 from repro.formats.base import SparseMatrixFormat
-from repro.serve.errors import MatrixNotFound
+from repro.serve.errors import MatrixNotFound, RegistryLoadFailed
 
 __all__ = ["MatrixSpec", "MatrixLease", "MatrixRegistry"]
 
@@ -125,12 +125,16 @@ class MatrixRegistry:
         budget_bytes: int | None = None,
         tune: bool = True,
         tuner_cache=None,
+        faults=None,
     ):
         if budget_bytes is not None and budget_bytes <= 0:
             raise ValueError(f"budget_bytes must be > 0, got {budget_bytes}")
         self.budget_bytes = budget_bytes
         self._tune = tune
         self._tuner_cache = tuner_cache
+        #: optional :class:`~repro.faults.inject.FaultInjector`; its
+        #: ``registry_load_failure`` events fire at the load site below
+        self.faults = faults
         self._specs: dict[str, MatrixSpec] = {}
         #: LRU order: oldest first; move_to_end on every acquire
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
@@ -224,14 +228,24 @@ class MatrixRegistry:
             spec = self._specs.get(name)
             if spec is None:
                 raise MatrixNotFound(name, self.names())
-            with obs.span("serve.registry_load", matrix=name):
-                matrix = spec.loader()
-                bound = bind(
-                    matrix,
-                    tune=spec.tune,
-                    variant=spec.variant,
-                    cache=self._tuner_cache,
-                )
+            try:
+                with obs.span("serve.registry_load", matrix=name):
+                    if self.faults is not None:
+                        self.faults.load_fault(name)
+                    matrix = spec.loader()
+                    bound = bind(
+                        matrix,
+                        tune=spec.tune,
+                        variant=spec.variant,
+                        cache=self._tuner_cache,
+                    )
+            except Exception as exc:
+                # the spec stays registered: the next acquire retries
+                if obs.enabled():
+                    obs.inc("serve_registry_load_failures_total", 1, matrix=name)
+                raise RegistryLoadFailed(
+                    name, f"{type(exc).__name__}: {exc}"
+                ) from exc
             entry = _Entry(name, bound)
             entry.refcount = 1  # pin before eviction can see it
             self._entries[name] = entry

@@ -24,6 +24,16 @@ Per-request deadlines are enforced *before* work reaches a worker: an
 expired request is completed with
 :class:`~repro.serve.errors.DeadlineExceeded` at pop time and never
 stacked into a batch.
+
+**Degraded mode.**  When every batcher worker has died (chaos tests
+kill them with ``worker_crash`` faults; real deployments hit the same
+path on unexpected worker exceptions) the server sheds to a
+single-threaded, *unbatched* fallback loop instead of hanging the
+queue: requests are popped one at a time, oldest first, and executed
+as plain ``spmv`` calls on a dedicated clone.  Deadlines keep their
+exact semantics in degraded mode — an expired request maps to
+:class:`~repro.serve.errors.DeadlineExceeded` (504) at pop time, never
+to a generic :class:`~repro.serve.errors.ServeError`.
 """
 
 from __future__ import annotations
@@ -93,6 +103,11 @@ class SpMVServer:
     autostart:
         ``False`` leaves the workers unstarted (requests queue up)
         until :meth:`start` — deterministic batch formation for tests.
+    faults:
+        Optional :class:`~repro.faults.inject.FaultInjector`; its
+        serve-layer events fire at the worker loop (``worker_crash``,
+        ``slow_worker``) and batch-execution (``kernel_exception``)
+        sites.
     """
 
     def __init__(
@@ -105,6 +120,7 @@ class SpMVServer:
         policy: str = "block",
         workers: int = 2,
         autostart: bool = True,
+        faults=None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -123,6 +139,8 @@ class SpMVServer:
         self.policy = policy
         self.num_workers = workers
 
+        self.faults = faults
+
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
         self._not_full = threading.Condition(self._lock)
@@ -131,6 +149,13 @@ class SpMVServer:
         self._closing = False
         self._threads: list[threading.Thread] = []
         self._started = False
+
+        # resilience state: worker deaths and the degraded fallback
+        self._live_workers = 0
+        self._worker_deaths: list[tuple[int, str]] = []
+        self._degraded = False
+        self._degraded_thread: threading.Thread | None = None
+        self._degraded_requests = 0
 
         # own (obs-independent) accounting so /statz works with obs off
         self._status_counts = dict.fromkeys(_STATUSES, 0)
@@ -155,6 +180,7 @@ class SpMVServer:
             if self._started:
                 return self
             self._started = True
+            self._live_workers = self.num_workers
         for i in range(self.num_workers):
             t = threading.Thread(
                 target=self._worker, args=(i,), name=f"serve-worker-{i}",
@@ -175,9 +201,13 @@ class SpMVServer:
         started = self._started
         for t in self._threads:
             t.join(timeout=timeout)
+        dt = self._degraded_thread
+        if dt is not None:
+            dt.join(timeout=timeout)
         with self._lock:
             # workers gone (or never started): nothing will serve leftovers
-            if not started or drain:
+            alive = self._degraded and dt is not None and dt.is_alive()
+            if (not started or drain) and not alive:
                 self._fail_all_pending_locked(ServerClosed("server closed"))
 
     def _fail_all_pending_locked(self, exc: Exception) -> None:
@@ -370,13 +400,123 @@ class SpMVServer:
     # execution
     # ------------------------------------------------------------------
     def _worker(self, idx: int) -> None:
+        try:
+            while True:
+                if self.faults is not None:
+                    # slow_worker sleeps here; worker_crash raises
+                    self.faults.worker_fault(idx)
+                batch = self._take_batch()
+                if batch is None:
+                    break
+                name, reqs = batch
+                if reqs:
+                    self._execute(idx, name, reqs)
+        except Exception as exc:  # includes InjectedFault worker_crash
+            self._on_worker_death(idx, exc)
+            return
+        with self._lock:
+            self._live_workers -= 1  # clean drain exit
+
+    def _on_worker_death(self, idx: int, exc: Exception) -> None:
+        """Account a dead batcher worker; shed to degraded mode when the
+        pool is empty (the queue must never silently hang)."""
+        with self._lock:
+            self._live_workers -= 1
+            self._worker_deaths.append((idx, f"{type(exc).__name__}: {exc}"))
+            enter_degraded = (
+                self._live_workers <= 0 and not self._closing and not self._degraded
+            )
+            if enter_degraded:
+                self._degraded = True
+        if obs.enabled():
+            obs.inc("serve_worker_deaths_total", 1, worker=idx)
+        if enter_degraded:
+            if obs.enabled():
+                obs.inc("serve_degraded_entries_total", 1)
+                obs.set_gauge("serve_degraded", 1)
+            t = threading.Thread(
+                target=self._degraded_loop, name="serve-degraded", daemon=True
+            )
+            with self._lock:
+                self._degraded_thread = t
+            t.start()
+
+    # ------------------------------------------------------------------
+    # degraded mode: unbatched per-request fallback
+    # ------------------------------------------------------------------
+    def _take_one(self) -> tuple[str, _Request] | None:
+        """Pop the oldest queued request (degraded mode's batch former).
+
+        Deadlines keep their exact pop-time semantics: expired requests
+        are completed with :class:`DeadlineExceeded` here and never
+        executed — degraded mode must not downgrade a 504 to a generic
+        error.
+        """
+        with self._lock:
+            while True:
+                now = self._clock()
+                self._expire_locked(now)
+                if self._closing and self._depth == 0:
+                    return None
+                req = self._pop_oldest_locked()
+                if req is not None:
+                    self._publish_depth_locked()
+                    self._not_full.notify_all()
+                    return req.matrix, req
+                next_event = math.inf
+                for dq in self._pending.values():
+                    if dq and dq[0].t_deadline is not None:
+                        next_event = min(next_event, dq[0].t_deadline)
+                timeout = None if next_event is math.inf else max(next_event - now, 0.0)
+                self._ready.wait(timeout=timeout)
+
+    def _degraded_loop(self) -> None:
         while True:
-            batch = self._take_batch()
-            if batch is None:
+            item = self._take_one()
+            if item is None:
                 return
-            name, reqs = batch
-            if reqs:
-                self._execute(idx, name, reqs)
+            name, req = item
+            self._execute_one(name, req)
+
+    def _execute_one(self, name: str, req: _Request) -> None:
+        """Unbatched execution of one request (degraded mode)."""
+        t_start = self._clock()
+        try:
+            if req.t_deadline is not None and t_start >= req.t_deadline:
+                # raced past the pop-time check: still a 504, never generic
+                raise DeadlineExceeded(
+                    t_start - req.t_submit, req.t_deadline - req.t_submit
+                )
+            with obs.span("serve.degraded", matrix=name):
+                if self.faults is not None:
+                    self.faults.batch_fault(name, -1)
+                with self.registry.acquire(name) as lease:
+                    bound = lease.clone_for("degraded")
+                    x = bound.matrix.check_rhs(req.x)
+                    y = bound.spmv(x)
+        except DeadlineExceeded as exc:
+            req.future.set_exception(exc)
+            self._count(name, "expired")
+            if obs.enabled():
+                obs.inc("serve_deadline_expired_total", 1, matrix=name)
+            return
+        except Exception as exc:
+            req.future.set_exception(exc)
+            self._count(name, "error")
+            return
+        t_end = self._clock()
+        latency = t_end - req.t_submit
+        with self._lock:
+            self._degraded_requests += 1
+            self._latency.observe(latency)
+            pm = self._per_matrix_locked(name)
+            pm["latency"].observe(latency)
+        self._count(name, "ok")
+        if obs.enabled():
+            obs.inc("serve_degraded_requests_total", 1, matrix=name)
+            obs.observe_summary("serve_request_seconds", latency, matrix=name)
+            obs.inc("serve_requests_total", 1, matrix=name, status="ok")
+        req.future.set_result(y)
 
     def _execute(self, idx: int, name: str, reqs: list[_Request]) -> None:
         t_start = self._clock()
@@ -384,6 +524,8 @@ class SpMVServer:
             "serve.batch", matrix=name, size=len(reqs), worker=idx
         ) as bsp:
             try:
+                if self.faults is not None:
+                    self.faults.batch_fault(name, idx)
                 with self.registry.acquire(name) as lease:
                     bound = lease.clone_for(idx)
                     good: list[_Request] = []
@@ -512,6 +654,17 @@ class SpMVServer:
         with self._lock:
             return self._spmm_calls
 
+    @property
+    def degraded(self) -> bool:
+        """True once the server shed to the unbatched fallback loop."""
+        with self._lock:
+            return self._degraded
+
+    @property
+    def live_workers(self) -> int:
+        with self._lock:
+            return self._live_workers
+
     def stats(self) -> dict:
         """JSON-friendly snapshot (the /statz payload)."""
 
@@ -546,6 +699,10 @@ class SpMVServer:
                 "max_delay_ms": self.max_delay_s * 1e3,
                 "max_queue": self.max_queue,
                 "workers": self.num_workers,
+                "live_workers": self._live_workers,
+                "degraded": self._degraded,
+                "degraded_requests": self._degraded_requests,
+                "worker_deaths": list(self._worker_deaths),
                 "closing": self._closing,
                 "requests": dict(self._status_counts),
                 "batches": batches,

@@ -263,3 +263,174 @@ class TestOperatorProperties:
     @given(coo=coo_matrices(max_n=16))
     def test_diagonal_matches_dense(self, coo):
         assert np.allclose(coo.diagonal(), np.diag(coo.todense()))
+
+
+# ---------------------------------------------------------------------------
+# Sect. III halo-exchange invariants (distributed communication plan)
+# ---------------------------------------------------------------------------
+
+
+def _plan_for(coo, nparts):
+    from repro.distributed import build_plan, partition_rows
+    from repro.formats import CSRMatrix
+
+    csr = CSRMatrix.from_coo(coo)
+    nparts = max(1, min(nparts, csr.nrows))
+    part = partition_rows(csr.nrows, nparts, row_weights=csr.row_lengths())
+    return csr, build_plan(csr, part)
+
+
+class TestHaloExchangeProperties:
+    """The communication plan's exchange invariants, for arbitrary
+    matrices and partition counts:
+
+    * every nonlocal column a rank touches is covered by **exactly one**
+      incoming message (no gaps, no duplicate coverage),
+    * messages are symmetric (``src`` sends exactly what ``dst``
+      expects) and never self-directed,
+    * the per-source halo segments concatenate to the rank's sorted
+      halo layout,
+    * reassembling the per-rank products reproduces the serial result.
+    """
+
+    @settings(max_examples=30, deadline=None)
+    @given(coo=coo_matrices(max_n=24), nparts=st.integers(2, 4))
+    def test_every_nonlocal_column_covered_exactly_once(self, coo, nparts):
+        csr, plan = _plan_for(coo, nparts)
+        for p in plan.ranks:
+            lo, hi = p.row_range
+            # the columns this rank's rows reference remotely — taken
+            # from the *structure* (explicitly stored zeros still need
+            # their halo slot)
+            mine = (coo.rows >= lo) & (coo.rows < hi)
+            cols_touched = set(
+                int(c)
+                for c in coo.cols[mine]
+                if not (lo <= c < hi)
+            )
+            covered: list[int] = []
+            for src, cols in p.recv_cols.items():
+                assert src != p.rank, "self-directed halo message"
+                s_lo, s_hi = plan.ranks[src].row_range
+                assert np.all((cols >= s_lo) & (cols < s_hi)), (
+                    "halo columns outside the source rank's row range"
+                )
+                assert np.all(np.diff(cols) > 0), "per-source cols not sorted-unique"
+                covered.extend(int(c) for c in cols)
+            # exactly once: no duplicates across sources, no gaps
+            assert len(covered) == len(set(covered))
+            assert set(covered) == cols_touched
+
+    @settings(max_examples=30, deadline=None)
+    @given(coo=coo_matrices(max_n=24), nparts=st.integers(2, 4))
+    def test_send_recv_symmetry(self, coo, nparts):
+        _, plan = _plan_for(coo, nparts)
+        for p in plan.ranks:
+            for src, cols in p.recv_cols.items():
+                s_lo, _ = plan.ranks[src].row_range
+                sent = plan.ranks[src].send_cols.get(p.rank)
+                assert sent is not None, "source has no matching send"
+                # send_cols are local to the source's row offset
+                assert np.array_equal(sent + s_lo, cols)
+
+    @settings(max_examples=30, deadline=None)
+    @given(coo=coo_matrices(max_n=24), nparts=st.integers(2, 4))
+    def test_halo_layout_is_sorted_concatenation(self, coo, nparts):
+        _, plan = _plan_for(coo, nparts)
+        for p in plan.ranks:
+            if p.halo_cols is None:
+                assert p.halo_size == 0
+                continue
+            segments = [p.recv_cols[src] for src in sorted(p.recv_cols)]
+            concat = (
+                np.concatenate(segments)
+                if segments
+                else np.empty(0, dtype=np.int64)
+            )
+            assert np.array_equal(p.halo_cols, concat)
+            if p.halo_cols.size:
+                assert np.all(np.diff(p.halo_cols) > 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(coo=coo_matrices(max_n=24), nparts=st.integers(2, 4), seed=st.integers(0, 5))
+    def test_reassembled_result_matches_serial(self, coo, nparts, seed):
+        from repro.distributed import rank_spmv
+
+        csr, plan = _plan_for(coo, nparts)
+        x = np.random.default_rng(seed).normal(size=csr.ncols)
+        parts = []
+        for p in plan.ranks:
+            lo, hi = p.row_range
+            if p.halo_cols is not None and p.halo_cols.size:
+                halo = np.ascontiguousarray(x[p.halo_cols])
+            else:
+                width = p.nonlocal_matrix.ncols if p.nonlocal_matrix else 1
+                halo = np.zeros(width, dtype=x.dtype)
+            parts.append(rank_spmv(p, x[lo:hi], halo))
+        assert np.allclose(np.concatenate(parts), csr.spmv(x), atol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# fault-plan schedule invariants (chaos harness input)
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPlanProperties:
+    """Generated chaos schedules obey the plan contract for every seed:
+    sorted by schedule time, inside the horizon, targets within the
+    topology, and bit-for-bit stable under replay."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        nranks=st.integers(1, 8),
+        horizon=st.floats(0.05, 10.0, allow_nan=False),
+        mepk=st.integers(1, 4),
+        workers=st.integers(1, 4),
+    )
+    def test_generated_schedule_invariants(self, seed, nranks, horizon, mepk, workers):
+        from repro.faults import DISTRIBUTED_KINDS, FAULT_KINDS, FaultPlan
+
+        plan = FaultPlan.generate(
+            seed,
+            nranks=nranks,
+            kinds=FAULT_KINDS,
+            horizon=horizon,
+            max_events_per_kind=mepk,
+            workers=workers,
+        )
+        plan.validate()  # sorted + within horizon + replay-stable
+        whens = [ev.when for ev in plan]
+        assert whens == sorted(whens)
+        for ev in plan:
+            assert 0 <= ev.when < horizon
+            labels = ev.labels
+            if "rank" in labels:
+                assert 0 <= labels["rank"] < nranks
+            if "dst" in labels:
+                assert 0 <= labels["dst"] < nranks
+                assert labels["dst"] != labels["rank"]
+            if "worker" in labels:
+                assert 0 <= labels["worker"] < max(1, workers)
+            if ev.kind in DISTRIBUTED_KINDS:
+                assert ev.layer == "distributed"
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), nranks=st.integers(1, 6))
+    def test_same_seed_replays_identically(self, seed, nranks):
+        from repro.faults import FaultPlan
+
+        a = FaultPlan.generate(seed, nranks=nranks)
+        b = FaultPlan.generate(seed, nranks=nranks)
+        assert a.events == b.events
+        assert a.describe() == b.describe()
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_reconstruction_from_own_events_is_stable(self, seed):
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan.generate(seed)
+        again = FaultPlan(plan.events, name=plan.name, seed=plan.seed,
+                          horizon=plan.horizon)
+        assert again.events == plan.events

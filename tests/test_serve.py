@@ -422,6 +422,44 @@ class TestDeadline:
             y = server.spmv("A", np.ones(60), deadline_ms=30_000, timeout=10)
         assert y.shape == (60,)
 
+    def test_degraded_fallback_maps_expiry_to_deadline_exceeded(self):
+        """Regression: a request that expires while queued for the
+        degraded (all-workers-dead) fallback path must fail with
+        :class:`DeadlineExceeded` (504), not a generic ``ServeError``.
+        """
+        from repro.faults import FaultEvent, FaultPlan
+
+        inj = FaultPlan(
+            (FaultEvent("worker_crash", 0.1, layer="serve",
+                        target={"worker": 0}),)
+        ).injector()
+        reg = make_registry()
+        server = SpMVServer(
+            reg, max_batch=4, max_delay_ms=1.0, workers=1, faults=inj,
+            autostart=False,
+        )
+        try:
+            # enqueue, let the deadline lapse with the pool still off,
+            # then start: the lone worker dies to the injected crash and
+            # the degraded loop inherits an already-expired request
+            doomed = server.submit("A", np.ones(60), deadline_ms=10)
+            time.sleep(0.05)
+            server.start()
+            with pytest.raises(DeadlineExceeded, match="deadline exceeded"):
+                doomed.result(timeout=10)
+            deadline = time.monotonic() + 5.0
+            while not server.degraded and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert server.degraded and server.live_workers == 0
+            assert isinstance(doomed.exception(), DeadlineExceeded)
+            assert doomed.exception().http_status == 504
+            # a live request still completes through the fallback
+            y = server.spmv("A", np.ones(60), deadline_ms=30_000, timeout=10)
+            assert y.shape == (60,)
+            assert server.stats()["requests"]["expired"] >= 1
+        finally:
+            server.close()
+
 
 # ---------------------------------------------------------------------------
 # lifecycle + concurrency
