@@ -290,6 +290,97 @@ def run_dispatch_bench(scale=48, *, keys=TABLE1_KEYS, reps=7, inner=20):
     return records
 
 
+# ---------------------------------------------------------------------------
+# Observability overhead (the CI obs-smoke JSON artifact)
+# ---------------------------------------------------------------------------
+
+def run_obs_overhead_bench(scale=48, *, keys=TABLE1_KEYS, reps=7, inner=20):
+    """Cost of the obs instrumentation on the engine spmv hot path.
+
+    For each (matrix, format) the bound spmv runs ``inner`` times per
+    timed batch three ways:
+
+    * ``off``    — ``obs.disable()``: the uninstrumented floor;
+    * ``on``     — ``obs.enable()`` with the profiler sampling every
+      call but *no* enclosing span: the serving steady state outside a
+      traced request (counter bump + profiler sample + cached lookups);
+    * ``traced`` — the same loop under an open span, so every call
+      also records an ``engine.spmv`` span: the per-request tracing
+      cost, reported for context.
+
+    The *aggregate* ``on`` overhead (total on-time over total
+    off-time, across all combinations) must stay ≤ 5 % — that is the
+    instrumentation's zero-ish-cost contract; per-record numbers
+    jitter by several percent on shared runners.  ``traced`` is not
+    gated: a request that asked to be traced pays for its spans.
+    """
+    from repro import obs
+    from repro.engine import bind
+    from repro.formats import convert
+    from repro.matrices import generate
+
+    was_enabled = obs.enabled()
+    records = []
+    try:
+        for key in keys:
+            coo = generate(key, scale=scale)
+            for fmt in ENGINE_FORMATS:
+                m = convert(coo, fmt)
+                obs.disable()
+                b = bind(m, tune=False, label=key)
+                x = np.random.default_rng(0).standard_normal(m.ncols).astype(m.dtype)
+                out = np.zeros(m.nrows, dtype=m.dtype)
+
+                def loop():
+                    for _ in range(inner):
+                        b.spmv(x, out=out)
+
+                def traced_loop():
+                    with obs.span("bench.traced"):
+                        for _ in range(inner):
+                            b.spmv(x, out=out)
+
+                t_off = _best_seconds(loop, reps) / inner
+                obs.enable()
+                obs.reset_all()
+                t_on = _best_seconds(loop, reps) / inner
+                t_traced = _best_seconds(traced_loop, reps) / inner
+                records.append(
+                    {
+                        "matrix": key,
+                        "format": fmt,
+                        "scale": scale,
+                        "variant": b.variant_name,
+                        "nnz": m.nnz,
+                        "off_us": round(1e6 * t_off, 3),
+                        "on_us": round(1e6 * t_on, 3),
+                        "traced_us": round(1e6 * t_traced, 3),
+                        "overhead_on": round(t_on / t_off - 1.0, 4),
+                        "overhead_traced": round(t_traced / t_off - 1.0, 4),
+                    }
+                )
+    finally:
+        obs.reset_all()
+        if was_enabled:
+            obs.enable()
+        else:
+            obs.disable()
+    total_off = sum(r["off_us"] for r in records)
+    total_on = sum(r["on_us"] for r in records)
+    total_traced = sum(r["traced_us"] for r in records)
+    records.append(
+        {
+            "summary": True,
+            "total_off_us": round(total_off, 3),
+            "total_on_us": round(total_on, 3),
+            "total_traced_us": round(total_traced, 3),
+            "overhead_on": round(total_on / total_off - 1.0, 4),
+            "overhead_traced": round(total_traced / total_off - 1.0, 4),
+        }
+    )
+    return records
+
+
 def main(argv=None):
     import argparse
 
@@ -304,11 +395,45 @@ def main(argv=None):
         "(writes BENCH_dispatch.json unless --out is given)",
     )
     ap.add_argument(
+        "--obs-overhead", action="store_true",
+        help="run the obs instrumentation-overhead probe instead "
+        "(writes BENCH_obs.json unless --out is given)",
+    )
+    ap.add_argument(
         "--max-overhead", type=float, default=0.05,
-        help="fail (exit 1) when the worst registry overhead exceeds "
-        "this fraction in --dispatch mode",
+        help="fail (exit 1) when the aggregate overhead exceeds this "
+        "fraction in --dispatch / --obs-overhead mode",
     )
     args = ap.parse_args(argv)
+    if args.obs_overhead:
+        out = "BENCH_obs.json" if args.out == "BENCH_kernels.json" else args.out
+        records = run_obs_overhead_bench(args.scale, reps=args.reps)
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(records, fh, indent=2)
+        print(
+            f"{'matrix':6s} {'format':12s} {'variant':16s} "
+            f"{'off':>9s} {'on':>9s} {'traced':>9s} {'ovh%':>6s}"
+        )
+        rows = [r for r in records if not r.get("summary")]
+        summary = records[-1]
+        for r in rows:
+            print(
+                f"{r['matrix']:6s} {r['format']:12s} {r['variant']:16s} "
+                f"{r['off_us']:9.2f} {r['on_us']:9.2f} "
+                f"{r['traced_us']:9.2f} {100 * r['overhead_on']:6.2f}"
+            )
+        print(
+            f"wrote {out} ({len(rows)} records); aggregate obs-on overhead "
+            f"{100 * summary['overhead_on']:.2f}% "
+            f"(traced path {100 * summary['overhead_traced']:.2f}%)"
+        )
+        if summary["overhead_on"] > args.max_overhead:
+            print(
+                f"FAIL: aggregate overhead {summary['overhead_on']:.4f} "
+                f"> {args.max_overhead}"
+            )
+            return 1
+        return 0
     if args.dispatch:
         out = "BENCH_dispatch.json" if args.out == "BENCH_kernels.json" else args.out
         records = run_dispatch_bench(args.scale, reps=args.reps)

@@ -369,7 +369,7 @@ def cmd_serve(args, out) -> int:
     from repro import obs
     from repro.serve import Client, MatrixRegistry, SpMVServer, run_http_server
 
-    if args.obs:
+    if args.obs or args.slo:
         obs.enable()
     budget = None if args.budget_mb is None else int(args.budget_mb * 2**20)
     registry = MatrixRegistry(budget_bytes=budget)
@@ -397,13 +397,113 @@ def cmd_serve(args, out) -> int:
         policy=args.policy,
         workers=args.workers,
     )
+    slo = None
+    if args.slo:
+        from repro.obs.slo import SLOMonitor, default_serve_slos
+
+        slo = SLOMonitor(
+            default_serve_slos(p99_latency_s=args.slo_p99_ms / 1e3)
+        )
+        slo.start()
+        print(
+            f"SLO monitor on (p99 < {args.slo_p99_ms:g} ms): GET /sloz",
+            file=out,
+        )
     print(
         f"serving {registry.names()} as {args.format} "
         f"(max_batch={args.max_batch}, window={args.max_delay_ms}ms, "
         f"policy={args.policy}, {args.workers} workers)",
         file=out,
     )
-    return run_http_server(Client(server), args.host, args.port, out=out)
+    return run_http_server(Client(server), args.host, args.port, out=out, slo=slo)
+
+
+def _obs_trace(args, out) -> int:
+    """``repro obs trace [<id>] --in FILE``: reconstruct a causal tree.
+
+    Reads a span dump (the JSONL written by ``--jsonl-out``,
+    ``repro chaos --trace-out`` or an instrumented server) and renders
+    the requested trace; ``--list`` (or omitting the id) indexes every
+    trace in the dump instead.  Trace ids may be abbreviated to any
+    unique prefix.
+    """
+    from repro import obs
+
+    if not args.infile:
+        print(
+            "obs trace needs a span dump: pass --in FILE "
+            "(write one with 'repro obs --jsonl-out FILE' or "
+            "'repro chaos --trace-out FILE')",
+            file=out,
+        )
+        return 2
+    try:
+        spans = obs.read_spans_jsonl(args.infile)
+    except OSError as exc:
+        print(f"cannot read span dump {args.infile}: {exc.strerror or exc}", file=out)
+        return 2
+    if not spans:
+        print(f"no spans found in {args.infile}", file=out)
+        return 2
+    if args.list or not args.trace_id:
+        rows = obs.list_traces(spans)
+        print(f"{'trace':<18} {'root':<24} {'spans':>5} {'ms':>10} faults", file=out)
+        for r in rows:
+            print(
+                f"{r['trace_id']:<18} {r['root']:<24} {r['spans']:>5} "
+                f"{r['duration_s'] * 1e3:>10.3f} {r['faults'] or ''}",
+                file=out,
+            )
+        print(f"{len(rows)} trace(s), {len(spans)} span(s)", file=out)
+        return 0
+    try:
+        tid = obs.find_trace_id(args.trace_id, spans)
+    except (KeyError, ValueError) as exc:
+        print(str(exc.args[0] if exc.args else exc), file=out)
+        return 2
+    obs.render_trace(tid, spans, out=out)
+    return 0
+
+
+def _obs_top(args, out) -> int:
+    """``repro obs top``: roofline attribution table for the suite.
+
+    Runs instrumented SpMV over the requested generator matrices and
+    formats, then prints the per-(matrix, format, variant) attribution
+    table: achieved GF/s and GB/s against the Eq. (1) code-balance
+    prediction at the measured host bandwidth.
+    """
+    from repro import obs
+    from repro.engine import bind
+    from repro.formats import convert
+    from repro.matrices import generate
+
+    matrices = [m.strip() for m in args.matrices.split(",") if m.strip()]
+    formats = [f.strip() for f in args.formats.split(",") if f.strip()]
+    was_enabled = obs.enabled()
+    obs.enable()
+    obs.profile.reset_profile()
+    obs.profile.set_sample_every(1)
+    try:
+        rng = np.random.default_rng(args.seed)
+        for key in matrices:
+            coo = generate(key, scale=args.scale, seed=args.seed)
+            x = rng.normal(size=coo.ncols)
+            for fname in formats:
+                m = convert(coo, _resolve_format(fname))
+                b = bind(m, label=key, tune=not args.no_tune)
+                for _ in range(args.reps):
+                    b.spmv(x)
+        print(
+            obs.profile.render_table(
+                bandwidth_gbs=args.bandwidth, limit=args.limit
+            ),
+            file=out,
+        )
+    finally:
+        if not was_enabled:
+            obs.disable()
+    return 0
 
 
 def cmd_obs(args, out) -> int:
@@ -415,7 +515,16 @@ def cmd_obs(args, out) -> int:
     simulated Fig. 4 task-mode timeline (one span per rank/resource)
     and a CG solve (residual gauges) — then writes the Chrome
     trace-event JSON and Prometheus text artifacts.
+
+    ``repro obs trace`` and ``repro obs top`` dispatch to the trace
+    reconstructor and the attribution profiler instead.
     """
+    sub = getattr(args, "obs_command", None)
+    if sub == "trace":
+        return _obs_trace(args, out)
+    if sub == "top":
+        return _obs_top(args, out)
+
     from repro import obs
     from repro.distributed import (
         DIRAC_IB,
@@ -643,6 +752,31 @@ def cmd_chaos(args, out) -> int:
             )
             ok &= served_ok == args.requests
 
+        if args.trace_out:
+            n_lines = obs.write_jsonl(args.trace_out)
+            print(
+                f"wrote {n_lines} span/metric records to {args.trace_out}",
+                file=out,
+            )
+        faulted = sorted(
+            {
+                s.trace_id
+                for s in obs.get_tracer().finished()
+                if s.trace_id
+                and (s.name.startswith("fault.") or "fault" in s.attrs)
+            }
+        )
+        if faulted:
+            shown = ", ".join(faulted[:4])
+            more = f" (+{len(faulted) - 4} more)" if len(faulted) > 4 else ""
+            print(f"faulted trace(s): {shown}{more}", file=out)
+            if args.trace_out:
+                print(
+                    f"inspect: repro obs trace {faulted[0]} "
+                    f"--in {args.trace_out}",
+                    file=out,
+                )
+
         report = injector.report()
         report["unfired"] = [ev.describe() for ev in injector.unfired()]
         def _counter_total(name: str) -> float:
@@ -798,6 +932,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="registry byte budget (LRU-evicts idle matrices)")
     pv.add_argument("--obs", action="store_true",
                     help="enable repro.obs (spans + /statz?format=prometheus)")
+    pv.add_argument("--slo", action="store_true",
+                    help="run the SLO burn-rate monitor (implies --obs; "
+                         "adds GET /sloz and the slo section of /statz)")
+    pv.add_argument("--slo-p99-ms", type=float, default=500.0,
+                    help="p99 latency objective for the default serve SLOs")
 
     pc = sub.add_parser(
         "chaos", help="replay a fault plan against the runtime; report recovery"
@@ -829,6 +968,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="injected delay for slow/late faults")
     pc.add_argument("--json", action="store_true",
                     help="print the recovery report as JSON")
+    pc.add_argument("--trace-out", default=None, metavar="PATH",
+                    help="write the drill's spans as JSONL for "
+                         "'repro obs trace --in PATH'")
 
     po = sub.add_parser(
         "obs", help="instrumented run: dump Chrome trace + Prometheus metrics"
@@ -848,6 +990,33 @@ def build_parser() -> argparse.ArgumentParser:
                     help="Prometheus text exposition output path")
     po.add_argument("--jsonl-out", default=None,
                     help="JSONL (spans + metrics) output path")
+    # subcommands ride alongside the legacy flat flags: a bare
+    # ``repro obs --out ...`` still runs the instrumented workload
+    obsub = po.add_subparsers(dest="obs_command", required=False)
+    pot = obsub.add_parser(
+        "trace", help="reconstruct one request's causal tree from a span dump"
+    )
+    pot.add_argument("trace_id", nargs="?", default=None,
+                     help="trace id (any unique prefix); omit to list")
+    pot.add_argument("--in", dest="infile", default=None, metavar="FILE",
+                     help="JSONL span dump to read (required)")
+    pot.add_argument("--list", action="store_true",
+                     help="index every trace in the dump")
+    ptop = obsub.add_parser(
+        "top", help="roofline attribution table (achieved vs Eq. 1 model)"
+    )
+    ptop.add_argument("--matrices", default="DLR1,DLR2,HMEp,sAMG,UHBR",
+                      help="comma-separated generator matrices")
+    ptop.add_argument("--formats", default="CRS,pJDS",
+                      help="comma-separated storage formats")
+    ptop.add_argument("--reps", type=int, default=20,
+                      help="spmv repetitions per (matrix, format)")
+    ptop.add_argument("--limit", type=int, default=None,
+                      help="show only the top N rows by total time")
+    ptop.add_argument("--bandwidth", type=float, default=None,
+                      help="model bandwidth GB/s (default: measure host)")
+    ptop.add_argument("--no-tune", action="store_true",
+                      help="skip autotuning; use each format's default kernel")
     return parser
 
 

@@ -148,21 +148,43 @@ def rank_spmv(
 # fault directives (plain data produced by FaultInjector.rank_directives)
 # ---------------------------------------------------------------------------
 
+def _note_fault(kind: str, rank: int, site: str, **extra) -> None:
+    """Mark the victim at the point of impact.
+
+    The injector records a ``fault.injected`` span when a directive is
+    *scheduled* (driver side); this marks where it actually *fired*
+    (worker side): the enclosing rank span gets ``fault``/``fault_site``
+    attrs and a zero-length ``fault.applied`` span lands in the trace,
+    so ``repro obs trace`` shows the fault attached to the rank that
+    suffered it — in both backends, since the process workers ship
+    their spans home.
+    """
+    if not obs.enabled():
+        return
+    obs.annotate_current(fault=kind, fault_site=site)
+    with obs.span("fault.applied", kind=kind, rank=rank, site=site, **extra):
+        pass
+
+
 def _directive_crash(directives, rank: int, site: str) -> None:
     for d in directives:
         if d["kind"] == "rank_crash":
+            _note_fault("rank_crash", rank, site)
             raise InjectedFault("rank_crash", site, {"rank": rank})
 
 
 def _directive_kernel(directives, rank: int, site: str) -> None:
     for d in directives:
         if d["kind"] == "kernel_exception":
+            _note_fault("kernel_exception", rank, site)
             raise InjectedFault("kernel_exception", site, {"rank": rank})
 
 
-def _directive_slow(directives) -> None:
+def _directive_slow(directives, rank: int | None = None, site: str = "rank.start") -> None:
     for d in directives:
         if d["kind"] == "slow_worker" and d.get("delay_s"):
+            if rank is not None:
+                _note_fault("slow_worker", rank, site, delay_s=d["delay_s"])
             time.sleep(d["delay_s"])
 
 
@@ -204,7 +226,7 @@ def _rank_body(plan, x_local, inbox, outboxes, results, timeout, mode, directive
     r = plan.rank
     directives = directives or ()
     _directive_crash(directives, r, "rank.start")
-    _directive_slow(directives)
+    _directive_slow(directives, r, "rank.start")
     drops, delays = _message_faults(directives)
 
     # local gather + sends (Isend analogue: queues never block)
@@ -218,6 +240,7 @@ def _rank_body(plan, x_local, inbox, outboxes, results, timeout, mode, directive
         for dst, buf in buffers.items():
             if dst in drops or None in drops:
                 obs.inc("halo_messages_dropped", 1, rank=str(r), dst=str(dst))
+                _note_fault("halo_drop", r, "rank.send", dst=dst)
                 continue
             delay = delays.get(dst, delays.get(None, 0.0))
             if delay:
@@ -295,7 +318,7 @@ def _recompute_rank(plan: RankPlan, x: np.ndarray, faults) -> np.ndarray:
     r = plan.rank
     directives = faults.rank_directives(r, site="rank.recover") if faults else ()
     _directive_crash(directives, r, "rank.recover")
-    _directive_slow(directives)
+    _directive_slow(directives, r, "rank.recover")
     lo, hi = plan.row_range
     if plan.halo_cols is not None and plan.halo_cols.size:
         halo = np.ascontiguousarray(x[plan.halo_cols])
@@ -522,62 +545,41 @@ def distributed_spmv(
 # ---------------------------------------------------------------------------
 
 def _process_worker(
-    plan, x_local, inbox, outboxes, result_queue, timeout, mode, directives
+    plan, x_local, inbox, outboxes, result_queue, timeout, mode, directives,
+    ctx=None,
 ) -> None:
-    """Per-rank body for the multiprocessing backend."""
+    """Per-rank body for the multiprocessing backend.
+
+    Runs the *same* instrumented ``_rank_body`` as the threads backend,
+    so rank span chains exist in the child too.  Fork copies the
+    driver's span state, so the worker first resets its tracer, then
+    attaches the pickled driver :class:`~repro.obs.spans.SpanContext`
+    (``ctx``) — the trace id and parent span id survive the address
+    space boundary — and finally ships every span it finished home as
+    the 4th element of the result tuple.  The driver adopts them,
+    remapping worker-local span ids while keeping the cross-process
+    parent link to its own root span intact.
+    """
+    spans: list = []
     try:
-        directives = directives or ()
-        _directive_crash(directives, plan.rank, "rank.start")
-        _directive_slow(directives)
-        drops, delays = _message_faults(directives)
-        for dst, local_idx in plan.send_cols.items():
-            if dst in drops or None in drops:
-                continue
-            delay = delays.get(dst, delays.get(None, 0.0))
-            if delay:
-                time.sleep(delay)
-            outboxes[dst].put((plan.rank, x_local[local_idx].copy()))
-        y_partial = None
-        if mode == "task" and plan.local_matrix is not None:
-            y_partial = plan.local_matrix.spmv(x_local)
-        pending = set(plan.recv_cols)
-        segments = {}
-        while pending:
-            try:
-                src, buf = inbox.get(timeout=timeout)
-            except queue.Empty:
-                raise HaloExchangeTimeout(
-                    plan.rank, sorted(pending), timeout
-                ) from None
-            if src not in pending:
-                raise RuntimeError(f"rank {plan.rank}: unexpected sender {src}")
-            segments[src] = buf
-            pending.discard(src)
-        if segments:
-            halo = np.concatenate([segments[s] for s in sorted(segments)])
-        else:
-            width = plan.nonlocal_matrix.ncols if plan.nonlocal_matrix else 1
-            halo = np.zeros(width, dtype=x_local.dtype)
-        _directive_kernel(directives, plan.rank, "rank.spmv")
-        if mode == "task" and y_partial is not None:
-            y = y_partial
-            if plan.nnz_nonlocal:
-                y = y + plan.nonlocal_matrix.spmv(
-                    check_dense_vector(
-                        halo,
-                        plan.nonlocal_matrix.ncols,
-                        dtype=plan.nonlocal_matrix.dtype,
-                        name="halo",
-                    )
-                )
-        else:
-            y = rank_spmv(plan, x_local, halo)
-        result_queue.put((plan.rank, y, None))
+        if obs.enabled():
+            obs.get_tracer().isolate_forked()
+        results: dict = {}
+        with obs.attach_context(ctx or obs.SpanContext(None)):
+            _rank_body(
+                plan, x_local, inbox, outboxes, results, timeout, mode, directives
+            )
+        if obs.enabled():
+            spans = obs.get_tracer().finished()
+        result_queue.put((plan.rank, results[plan.rank].y_local, None, spans))
     except (InjectedFault, HaloExchangeTimeout) as exc:
-        # typed + picklable: the driver re-raises or retries these
-        result_queue.put((plan.rank, None, exc))
+        # typed + picklable: the driver re-raises or retries these;
+        # spans finished before the fault still travel home
+        if obs.enabled():
+            spans = obs.get_tracer().finished()
+        result_queue.put((plan.rank, None, exc, spans))
     except Exception as exc:  # pragma: no cover - surfaced by the driver
-        result_queue.put((plan.rank, None, repr(exc)))
+        result_queue.put((plan.rank, None, repr(exc), spans))
 
 
 def _distributed_spmv_processes(
@@ -620,86 +622,98 @@ def _distributed_spmv_processes(
     procs = []
     results: dict[int, np.ndarray] = {}
     failures: dict[int, Exception] = {}
-    try:
+    with obs.span(
+        "distributed_spmv",
+        nparts=comm_plan.partition.nparts,
+        backend="processes",
+        mode=mode,
+    ):
+        # pickled through the fork: the children parent their rank
+        # spans under this driver span, in the driver's trace
+        span_ctx = obs.capture_context()
+        try:
+            for plan in comm_plan.ranks:
+                lo, hi = plan.row_range
+                p = ctx.Process(
+                    target=_process_worker,
+                    args=(
+                        plan,
+                        x[lo:hi].copy(),
+                        inboxes[plan.rank],
+                        inboxes,
+                        result_queue,
+                        timeout,
+                        mode,
+                        directives[plan.rank],
+                        span_ctx,
+                    ),
+                    name=f"rank-{plan.rank}",
+                    daemon=True,
+                )
+                procs.append(p)
+                p.start()
+            # children self-timeout their waitall after ``timeout``; gather
+            # against a global deadline with grace so a child that timed
+            # itself out ships its own HaloExchangeTimeout instead of being
+            # lumped into a driver-side "result gather" timeout.
+            deadline = time.monotonic() + timeout + max(0.2, 0.25 * timeout)
+            for _ in comm_plan.ranks:
+                try:
+                    rank, y, err, spans = result_queue.get(
+                        timeout=max(0.05, deadline - time.monotonic())
+                    )
+                except queue.Empty:
+                    stuck = sorted(
+                        set(r.rank for r in comm_plan.ranks)
+                        - set(results)
+                        - set(failures)
+                    )
+                    obs.inc("distributed_timeouts_total", 1, rank="driver")
+                    if retry is None:
+                        raise DistributedTimeout(
+                            stuck, timeout, "result gather"
+                        ) from None
+                    for r in stuck:
+                        failures.setdefault(
+                            r, DistributedTimeout([r], timeout, "result gather")
+                        )
+                    break
+                if spans and obs.enabled():
+                    obs.adopt_spans(spans)
+                if err is None:
+                    results[rank] = y
+                elif isinstance(err, Exception):
+                    failures[rank] = err
+                else:
+                    failures[rank] = RuntimeError(f"rank {rank} failed: {err}")
+            for p in procs:
+                p.join(timeout=max(0.05, deadline - time.monotonic()))
+        finally:
+            # leak guard: no failure path may strand live children or
+            # unjoined queue feeder threads
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+                p.join(timeout=5.0)
+            for q in (*inboxes.values(), result_queue):
+                q.close()
+                q.cancel_join_thread()
+
+        if failures:
+            if retry is None:
+                raise _first_failure(failures)
+            results.update(
+                _recover_failed_ranks(comm_plan, x, failures, faults, retry)
+            )
+        missing = [r.rank for r in comm_plan.ranks if r.rank not in results]
+        if missing:
+            raise RuntimeError(
+                f"distributed spMVM deadlocked (missing rank results: {missing})"
+            )
+
+        # row-partitioned output: nrows entries, one block per rank
+        out = np.empty(nrows, dtype=next(iter(results.values())).dtype)
         for plan in comm_plan.ranks:
             lo, hi = plan.row_range
-            p = ctx.Process(
-                target=_process_worker,
-                args=(
-                    plan,
-                    x[lo:hi].copy(),
-                    inboxes[plan.rank],
-                    inboxes,
-                    result_queue,
-                    timeout,
-                    mode,
-                    directives[plan.rank],
-                ),
-                name=f"rank-{plan.rank}",
-                daemon=True,
-            )
-            procs.append(p)
-            p.start()
-        # children self-timeout their waitall after ``timeout``; gather
-        # against a global deadline with grace so a child that timed
-        # itself out ships its own HaloExchangeTimeout instead of being
-        # lumped into a driver-side "result gather" timeout.
-        deadline = time.monotonic() + timeout + max(0.2, 0.25 * timeout)
-        for _ in comm_plan.ranks:
-            try:
-                rank, y, err = result_queue.get(
-                    timeout=max(0.05, deadline - time.monotonic())
-                )
-            except queue.Empty:
-                stuck = sorted(
-                    set(r.rank for r in comm_plan.ranks)
-                    - set(results)
-                    - set(failures)
-                )
-                obs.inc("distributed_timeouts_total", 1, rank="driver")
-                if retry is None:
-                    raise DistributedTimeout(
-                        stuck, timeout, "result gather"
-                    ) from None
-                for r in stuck:
-                    failures.setdefault(
-                        r, DistributedTimeout([r], timeout, "result gather")
-                    )
-                break
-            if err is None:
-                results[rank] = y
-            elif isinstance(err, Exception):
-                failures[rank] = err
-            else:
-                failures[rank] = RuntimeError(f"rank {rank} failed: {err}")
-        for p in procs:
-            p.join(timeout=max(0.05, deadline - time.monotonic()))
-    finally:
-        # leak guard: no failure path may strand live children or
-        # unjoined queue feeder threads
-        for p in procs:
-            if p.is_alive():
-                p.terminate()
-            p.join(timeout=5.0)
-        for q in (*inboxes.values(), result_queue):
-            q.close()
-            q.cancel_join_thread()
-
-    if failures:
-        if retry is None:
-            raise _first_failure(failures)
-        results.update(
-            _recover_failed_ranks(comm_plan, x, failures, faults, retry)
-        )
-    missing = [r.rank for r in comm_plan.ranks if r.rank not in results]
-    if missing:
-        raise RuntimeError(
-            f"distributed spMVM deadlocked (missing rank results: {missing})"
-        )
-
-    # row-partitioned output: nrows entries, one block per rank
-    out = np.empty(nrows, dtype=next(iter(results.values())).dtype)
-    for plan in comm_plan.ranks:
-        lo, hi = plan.row_range
-        out[lo:hi] = np.asarray(results[plan.rank])
+            out[lo:hi] = np.asarray(results[plan.rank])
     return out

@@ -15,6 +15,7 @@ argument: fewer bytes moved per flop) and expose the same stored-basis
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 import numpy as np
@@ -23,6 +24,7 @@ from repro import obs
 from repro.core.jds import JaggedDiagonalsBase
 from repro.engine.tuner import TuneResult, autotune
 from repro.engine.workspace import Workspace
+from repro.obs import profile as _profile
 from repro.ops.registry import KernelVariant, get_variant, variants_for
 from repro.formats.base import SparseMatrixFormat
 
@@ -39,6 +41,7 @@ class BoundMatrix:
         workspace: Workspace,
         tune_result: TuneResult | None = None,
         faults=None,
+        label: str | None = None,
     ):
         self.matrix = matrix
         self.variant = variant
@@ -47,6 +50,10 @@ class BoundMatrix:
         #: optional :class:`~repro.faults.inject.FaultInjector`; its
         #: engine-layer events fire at the top of :meth:`spmv`
         self.faults = faults
+        #: attribution-table identity of the *matrix* (formats of the
+        #: same matrix share it); the serve registry sets the served
+        #: name here, anonymous handles get a shape-derived default
+        self.matrix_label = label or f"m{matrix.nrows}x{matrix.ncols}"
         self._is_jagged = isinstance(matrix, JaggedDiagonalsBase)
         perm = getattr(matrix, "permutation", None)
         self._permutes = perm is not None and not perm.is_identity
@@ -55,6 +62,13 @@ class BoundMatrix:
             np.zeros(matrix.nrows, dtype=matrix.dtype) if self._permutes else None
         )
         self.calls = 0
+        # per-handle instrumentation cache: (metrics generation,
+        # profiler generation, counter child, spmv slot, spmm slot,
+        # Eq.-1 balance).  Resolving the labeled counter child and the
+        # profiler slot once per handle keeps the instrumented hot
+        # path to an attribute read + a couple of float adds — the
+        # --obs-overhead gate budget.
+        self._obs_cache: tuple | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -82,20 +96,34 @@ class BoundMatrix:
         return self.variant.name
 
     # ------------------------------------------------------------------
-    def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        """``y = A @ x`` through the bound (tuned, workspace) kernel.
-
-        With a caller-provided ``out`` the steady state performs no
-        allocation at all.
-        """
+    def _obs_state(self) -> tuple:
+        """Cached instrumentation handles (valid for one obs generation)."""
+        reg = obs.get_registry()
+        prof = _profile.get_profiler()
+        cache = self._obs_cache
+        if (
+            cache is not None
+            and cache[0] == reg.generation
+            and cache[1] == prof.generation
+        ):
+            return cache
         m = self.matrix
-        if self.faults is not None:
-            # chaos hook: kernel_exception raises, slow_worker sleeps
-            self.faults.engine_fault(format=m.name, variant=self.variant.name)
-        x = m.check_rhs(x)
-        # variants fully write y (their contract), so skip the zero-fill
-        y = m.alloc_result(out, x, zero=False)
-        self.calls += 1
+        nnzr = m.nnz / max(m.nrows, 1)
+        cache = (
+            reg.generation,
+            prof.generation,
+            reg.counter("engine_spmv_total").labels(
+                format=m.name, variant=self.variant.name
+            ),
+            prof.slot(self.matrix_label, m.name, self.variant.name, "spmv"),
+            prof.slot(self.matrix_label, m.name, "spmm_dispatch", "spmm"),
+            _profile.model_bytes_per_flop(max(nnzr, 1e-9)),
+        )
+        self._obs_cache = cache
+        return cache
+
+    def _run_kernel(self, x: np.ndarray, y: np.ndarray) -> None:
+        m = self.matrix
         if self._permutes:
             self.variant.run(m, self.workspace, x, self._acc)
             # gather through the inverse permutation rather than fancy
@@ -106,9 +134,66 @@ class BoundMatrix:
             np.take(self._acc, inv, out=y, mode="clip")
         else:
             self.variant.run(m, self.workspace, x, y)
-        if obs.enabled():
-            obs.inc(
-                "engine_spmv_total", 1, format=m.name, variant=self.variant.name
+
+    def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``y = A @ x`` through the bound (tuned, workspace) kernel.
+
+        With a caller-provided ``out`` the steady state performs no
+        allocation at all.  Under instrumentation the call feeds the
+        attribution profiler and — when a span is open on this thread,
+        i.e. the call belongs to a trace — records an ``engine.spmv``
+        kernel span annotated with achieved vs Eq.-1 model bandwidth.
+        """
+        m = self.matrix
+        if self.faults is not None:
+            # chaos hook: kernel_exception raises, slow_worker sleeps
+            self.faults.engine_fault(format=m.name, variant=self.variant.name)
+        x = m.check_rhs(x)
+        # variants fully write y (their contract), so skip the zero-fill
+        y = m.alloc_result(out, x, zero=False)
+        self.calls += 1
+        if not obs.enabled():
+            self._run_kernel(x, y)
+            return y
+        _, _, counter, slot, _, balance = self._obs_state()
+        counter.inc()
+        tracer = obs.get_tracer()
+        traced = tracer.current() is not None
+        n = _profile.get_profiler().sample_every
+        slot.calls += 1
+        sampled = n > 0 and slot.calls % n == 1 % n
+        if not (traced or sampled):
+            self._run_kernel(x, y)
+            return y
+        if traced:
+            with tracer.span(
+                "engine.spmv",
+                matrix=self.matrix_label,
+                format=m.name,
+                variant=self.variant.name,
+            ) as sp:
+                t0 = time.perf_counter()
+                self._run_kernel(x, y)
+                dt = time.perf_counter() - t0
+                gflops = 2.0 * m.nnz / dt / 1e9 if dt > 0 else 0.0
+                sp.set_attr("gflops", gflops)
+                sp.set_attr("gbs", gflops * balance)
+                sp.set_attr("model_balance", balance)
+        else:
+            t0 = time.perf_counter()
+            self._run_kernel(x, y)
+            dt = time.perf_counter() - t0
+        if sampled:
+            slot.add(
+                _profile.KernelSample(
+                    matrix=self.matrix_label,
+                    fmt=m.name,
+                    variant=self.variant.name,
+                    op="spmv",
+                    seconds=dt,
+                    nnz=m.nnz,
+                    nnzr=m.nnz / max(m.nrows, 1),
+                )
             )
         return y
 
@@ -134,12 +219,55 @@ class BoundMatrix:
         return y
 
     def spmm(self, X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        """Batched multi-vector product through the engine SpMM kernels."""
+        """Batched multi-vector product through the engine SpMM kernels.
+
+        Instrumented like :meth:`spmv`: profiler sample per call (the
+        batch path is cold enough that thinning isn't needed) and an
+        ``engine.spmm`` kernel span when a trace is active — this is
+        the span a served batch's trace tree bottoms out in.
+        """
         from repro.ops.spmm_kernels import spmm_dispatch
 
         X, out = self.matrix.check_rhs_block(X, out)
         self.calls += 1
-        return spmm_dispatch(self.matrix, X, out, ws=self.workspace)
+        m = self.matrix
+        if not obs.enabled():
+            return spmm_dispatch(m, X, out, ws=self.workspace)
+        _, _, _, _, slot, balance = self._obs_state()
+        block = int(X.shape[1])
+        tracer = obs.get_tracer()
+        slot.calls += 1
+        if tracer.current() is not None:
+            with tracer.span(
+                "engine.spmm",
+                matrix=self.matrix_label,
+                format=m.name,
+                block=block,
+            ) as sp:
+                t0 = time.perf_counter()
+                y = spmm_dispatch(m, X, out, ws=self.workspace)
+                dt = time.perf_counter() - t0
+                gflops = 2.0 * m.nnz * block / dt / 1e9 if dt > 0 else 0.0
+                sp.set_attr("gflops", gflops)
+                sp.set_attr("gbs", gflops * balance)
+                sp.set_attr("model_balance", balance)
+        else:
+            t0 = time.perf_counter()
+            y = spmm_dispatch(m, X, out, ws=self.workspace)
+            dt = time.perf_counter() - t0
+        slot.add(
+            _profile.KernelSample(
+                matrix=self.matrix_label,
+                fmt=m.name,
+                variant="spmm_dispatch",
+                op="spmm",
+                seconds=dt,
+                nnz=m.nnz,
+                nnzr=m.nnz / max(m.nrows, 1),
+                block=block,
+            )
+        )
+        return y
 
     def clone(self) -> "BoundMatrix":
         """A new handle sharing the matrix + tune decision, fresh workspace.
@@ -160,7 +288,7 @@ class BoundMatrix:
         """
         return BoundMatrix(
             self.matrix, self.variant, Workspace(), self.tune_result,
-            faults=self.faults,
+            faults=self.faults, label=self.matrix_label,
         )
 
     # ------------------------------------------------------------------
@@ -181,6 +309,7 @@ def bind(
     cache=None,
     use_cache: bool = True,
     faults=None,
+    label: str | None = None,
 ) -> BoundMatrix:
     """Bind ``matrix`` to a workspace and a kernel variant.
 
@@ -189,6 +318,7 @@ def bind(
     format's first-listed variant is taken (``tune=False``).
     ``faults`` attaches a :class:`~repro.faults.inject.FaultInjector`
     whose engine-layer events fire inside :meth:`BoundMatrix.spmv`.
+    ``label`` names the matrix in profiler attribution tables.
     """
     ws = Workspace()
     tr = None
@@ -202,7 +332,7 @@ def bind(
         chosen = get_variant(matrix, tr.variant)
     else:
         chosen = variants_for(matrix)[0]
-    return BoundMatrix(matrix, chosen, ws, tr, faults=faults)
+    return BoundMatrix(matrix, chosen, ws, tr, faults=faults, label=label)
 
 
 def make_spmv_operator(

@@ -91,6 +91,10 @@ class FaultInjector:
         self._records.append(FaultRecord(ev, site, time.time()))
         if obs.enabled():
             obs.inc("faults_injected_total", 1, kind=ev.kind, layer=ev.layer)
+            # stamp the victim: whatever span encloses the injection
+            # point (a serve.batch, an engine.spmv, a rank chain)
+            # carries the fault so ``repro obs trace`` shows it in situ
+            obs.annotate_current(fault=ev.kind, fault_site=site)
             with obs.span("fault.injected", kind=ev.kind, layer=ev.layer,
                           site=site, **{str(k): str(v) for k, v in ev.target}):
                 pass

@@ -22,10 +22,12 @@ Typical use::
     obs.disable()
 """
 
+from repro.obs import profile, slo
 from repro.obs.export import (
     chrome_trace,
     parse_prometheus_text,
     prometheus_text,
+    read_spans_jsonl,
     write_chrome_trace,
     write_jsonl,
 )
@@ -54,13 +56,24 @@ from repro.obs.spans import (
     Span,
     SpanContext,
     Tracer,
+    adopt_spans,
+    annotate_current,
     attach_context,
     capture_context,
     current_span,
+    current_trace,
     get_tracer,
+    new_trace_id,
     record_timeline,
     reset_spans,
     span,
+    trace_root,
+)
+from repro.obs.trace import (
+    build_trace,
+    find_trace_id,
+    list_traces,
+    render_trace,
 )
 
 __all__ = [
@@ -86,27 +99,42 @@ __all__ = [
     "set_gauge",
     "observe",
     "observe_summary",
-    # spans
+    # spans / traces
     "Span",
     "SpanContext",
     "Tracer",
     "get_tracer",
     "span",
+    "trace_root",
     "current_span",
+    "current_trace",
+    "new_trace_id",
     "capture_context",
     "attach_context",
+    "adopt_spans",
+    "annotate_current",
     "record_timeline",
     "reset_spans",
+    "build_trace",
+    "render_trace",
+    "list_traces",
+    "find_trace_id",
+    # profiler / SLO submodules
+    "profile",
+    "slo",
     # export
     "chrome_trace",
     "write_chrome_trace",
     "prometheus_text",
     "parse_prometheus_text",
     "write_jsonl",
+    "read_spans_jsonl",
 ]
 
 
 def reset_all() -> None:
-    """Drop all recorded metrics *and* spans (enable flag untouched)."""
+    """Drop all recorded metrics, spans and profiler samples
+    (the enable flag is left untouched)."""
     reset()
     reset_spans()
+    profile.reset_profile()

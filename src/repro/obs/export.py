@@ -31,6 +31,7 @@ __all__ = [
     "prometheus_text",
     "parse_prometheus_text",
     "write_jsonl",
+    "read_spans_jsonl",
 ]
 
 
@@ -91,6 +92,10 @@ def chrome_trace(
         args["span_id"] = sp.span_id
         if sp.parent_id is not None:
             args["parent_id"] = sp.parent_id
+        if sp.trace_id:
+            args["trace_id"] = sp.trace_id
+        if sp.links:
+            args["links"] = len(sp.links)
         events.append(
             {
                 "name": sp.name,
@@ -128,6 +133,11 @@ def _escape_label_value(value: str) -> str:
     return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
 
 
+def _escape_help(text: str) -> str:
+    # HELP lines escape backslash and newline only (quotes stay literal)
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
 def _format_labels(labels: dict[str, str]) -> str:
     if not labels:
         return ""
@@ -154,7 +164,7 @@ def prometheus_text(registry: MetricsRegistry | None = None) -> str:
     lines: list[str] = []
     for fam in registry.families():
         if fam.help:
-            lines.append(f"# HELP {fam.name} {fam.help}")
+            lines.append(f"# HELP {fam.name} {_escape_help(fam.help)}")
         lines.append(f"# TYPE {fam.name} {fam.kind}")
         for labels, child in fam.samples():
             if isinstance(child, Histogram):
@@ -320,11 +330,12 @@ def _metric_records(registry: MetricsRegistry) -> Iterable[dict]:
 
 def _span_records(spans: Iterable[Span]) -> Iterable[dict]:
     for sp in spans:
-        yield {
+        rec = {
             "type": "span",
             "name": sp.name,
             "span_id": sp.span_id,
             "parent_id": sp.parent_id,
+            "trace_id": sp.trace_id,
             "start": sp.start,
             "end": sp.end,
             "thread": sp.thread,
@@ -334,6 +345,53 @@ def _span_records(spans: Iterable[Span]) -> Iterable[dict]:
                 if isinstance(v, (int, float, str, bool))
             },
         }
+        if sp.links:
+            rec["links"] = [[t, s] for t, s in sp.links]
+        yield rec
+
+
+def read_spans_jsonl(path_or_file) -> list[Span]:
+    """Read ``"type": "span"`` records from a JSONL file back into
+    :class:`Span` objects (metric and other records are skipped).
+
+    This is the persistence half of ``repro obs trace <id>``: a run
+    dumps its telemetry with :func:`write_jsonl`, and the trace viewer
+    rebuilds the causal tree offline from the span records.
+    """
+
+    def _load(fh) -> list[Span]:
+        spans: list[Span] = []
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("type") != "span":
+                continue
+            spans.append(
+                Span(
+                    name=rec["name"],
+                    span_id=int(rec["span_id"]),
+                    parent_id=(
+                        None if rec.get("parent_id") is None
+                        else int(rec["parent_id"])
+                    ),
+                    start=float(rec.get("start", 0.0)),
+                    end=float(rec.get("end", 0.0)),
+                    thread=rec.get("thread", ""),
+                    attrs=dict(rec.get("attrs") or {}),
+                    trace_id=rec.get("trace_id", "") or "",
+                    links=tuple(
+                        (t, int(s)) for t, s in rec.get("links") or []
+                    ),
+                )
+            )
+        return spans
+
+    if hasattr(path_or_file, "read"):
+        return _load(path_or_file)
+    with open(path_or_file, "r", encoding="utf-8") as fh:
+        return _load(fh)
 
 
 def write_jsonl(

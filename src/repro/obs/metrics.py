@@ -340,11 +340,19 @@ def _validate_name(name: str) -> None:
 
 
 class MetricsRegistry:
-    """Collection of metric families; one process-wide default exists."""
+    """Collection of metric families; one process-wide default exists.
+
+    ``generation`` counts :meth:`clear` calls.  Hot-path
+    instrumentation (e.g. the engine's per-handle cached counter
+    children) keys its cache on the generation so a ``reset()`` —
+    common in tests — invalidates the cache instead of leaving
+    increments flowing into orphaned children.
+    """
 
     def __init__(self) -> None:
         self._families: dict[str, MetricFamily] = {}
         self._lock = threading.Lock()
+        self.generation = 0
 
     def _family(self, name: str, kind: str, help: str, **kw) -> MetricFamily:
         fam = self._families.get(name)
@@ -395,6 +403,7 @@ class MetricsRegistry:
     def clear(self) -> None:
         with self._lock:
             self._families.clear()
+            self.generation += 1
 
 
 _default_registry = MetricsRegistry()

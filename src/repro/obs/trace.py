@@ -1,0 +1,261 @@
+"""Trace reconstruction: turn recorded spans back into causal trees.
+
+A *trace* is the set of spans sharing one ``trace_id`` — everything
+one request touched on its way through the stack — plus any spans it
+reached through **links**: the micro-batching scheduler coalesces N
+requests into one ``serve.batch`` span that lives in the *first*
+request's trace and links to every request span it served, so each of
+the N traces pulls the shared batch (and the kernel / rank spans
+under it) into its own tree.
+
+:func:`build_trace` assembles the tree for one id, :func:`render_trace`
+draws it as ASCII for ``repro obs trace <id>``, and
+:func:`list_traces` indexes every trace in a span dump (the
+``repro obs trace --list`` view).  Spans come either from the live
+tracer or from a JSONL artifact via
+:func:`repro.obs.export.read_spans_jsonl`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import IO, Iterable
+
+from repro.obs.spans import Span, get_tracer
+
+__all__ = [
+    "TraceNode",
+    "build_trace",
+    "render_trace",
+    "list_traces",
+    "find_trace_id",
+]
+
+#: attributes surfaced inline when rendering a span
+_RENDER_ATTRS = (
+    "matrix",
+    "format",
+    "variant",
+    "rank",
+    "size",
+    "status",
+    "degraded",
+    "fault",
+    "fault_site",
+    "kind",
+    "site",
+    "gbs",
+    "model_gbs",
+    "gflops",
+    "simulated",
+)
+
+
+@dataclass
+class TraceNode:
+    """One span plus its children in the reconstructed tree.
+
+    ``via_link`` marks nodes attached through a cross-trace link
+    (e.g. a shared batch span) rather than a parent id.
+    """
+
+    span: Span
+    children: list["TraceNode"] = field(default_factory=list)
+    via_link: bool = False
+
+
+def _sorted_children(nodes: list[TraceNode]) -> list[TraceNode]:
+    return sorted(nodes, key=lambda n: (n.span.start, n.span.span_id))
+
+
+def build_trace(
+    trace_id: str, spans: Iterable[Span] | None = None
+) -> list[TraceNode]:
+    """Reconstruct the causal tree(s) for ``trace_id``.
+
+    Selection is two-phase.  First every span whose ``trace_id``
+    matches is taken, parented by ``parent_id`` (a span whose parent
+    is missing from the dump becomes a root — partial dumps degrade to
+    a forest instead of failing).  Second, any span that *links* to a
+    selected span — a batch span recorded under a sibling trace — is
+    grafted under the linked span, and its whole descendant subtree
+    (kernel spans, rank spans, injected-fault markers, regardless of
+    their own trace id) comes with it.
+
+    Returns the list of root nodes sorted by start time (normally one).
+    """
+    if spans is None:
+        spans = get_tracer().finished()
+    spans = list(spans)
+    by_id: dict[int, Span] = {s.span_id: s for s in spans}
+    kids_of: dict[int | None, list[Span]] = defaultdict(list)
+    for s in spans:
+        kids_of[s.parent_id].append(s)
+
+    selected = [s for s in spans if s.trace_id == trace_id]
+    selected_ids = {s.span_id for s in selected}
+    nodes: dict[int, TraceNode] = {s.span_id: TraceNode(s) for s in selected}
+
+    def graft_subtree(root_span: Span, via_link: bool) -> TraceNode:
+        """Materialise root_span + all descendants (any trace id)."""
+        node = nodes.get(root_span.span_id)
+        if node is None:
+            node = nodes[root_span.span_id] = TraceNode(
+                root_span, via_link=via_link
+            )
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            for child in kids_of.get(cur.span.span_id, ()):
+                if child.span_id in {n.span.span_id for n in cur.children}:
+                    continue
+                cnode = nodes.get(child.span_id)
+                if cnode is None:
+                    cnode = nodes[child.span_id] = TraceNode(child)
+                if cnode not in cur.children:
+                    cur.children.append(cnode)
+                    stack.append(cnode)
+        return node
+
+    # linked spans (shared batches from sibling traces) graft under the
+    # span they link to; their descendants come along
+    for s in spans:
+        if s.span_id in selected_ids or not s.links:
+            continue
+        for t, linked_id in s.links:
+            if t == trace_id and linked_id in nodes:
+                sub = graft_subtree(s, via_link=True)
+                if sub not in nodes[linked_id].children:
+                    nodes[linked_id].children.append(sub)
+
+    # wire parent links among selected spans
+    roots: list[TraceNode] = []
+    for s in selected:
+        node = nodes[s.span_id]
+        parent = (
+            nodes.get(s.parent_id) if s.parent_id in selected_ids else None
+        )
+        if parent is not None:
+            if node not in parent.children:
+                parent.children.append(node)
+        elif s.parent_id in by_id and by_id[s.parent_id].trace_id == trace_id:
+            # parent selected but node list missed it: defensive, cannot
+            # happen with consistent input
+            roots.append(node)  # pragma: no cover
+        else:
+            roots.append(node)
+
+    def sort_rec(node: TraceNode) -> None:
+        node.children = _sorted_children(node.children)
+        for c in node.children:
+            sort_rec(c)
+
+    roots = _sorted_children(roots)
+    for r in roots:
+        sort_rec(r)
+    return roots
+
+
+def _describe(sp: Span) -> str:
+    bits = []
+    for key in _RENDER_ATTRS:
+        if key in sp.attrs:
+            v = sp.attrs[key]
+            if isinstance(v, float):
+                v = f"{v:.3g}"
+            bits.append(f"{key}={v}")
+    dur_ms = max(sp.end - sp.start, 0.0) * 1e3
+    desc = f"{sp.name}  [{dur_ms:.3f} ms]"
+    if bits:
+        desc += "  " + " ".join(bits)
+    return desc
+
+
+def render_trace(
+    trace_id: str,
+    spans: Iterable[Span] | None = None,
+    *,
+    out: IO[str] | None = None,
+) -> str:
+    """ASCII tree for one trace (the ``repro obs trace <id>`` view)."""
+    roots = build_trace(trace_id, spans)
+    lines = [f"trace {trace_id}"]
+    if not roots:
+        lines.append("  (no spans recorded for this trace)")
+
+    def walk(node: TraceNode, prefix: str, is_last: bool) -> None:
+        branch = "`-" if is_last else "|-"
+        marker = "~" if node.via_link else ""
+        lines.append(f"{prefix}{branch} {marker}{_describe(node.span)}")
+        child_prefix = prefix + ("   " if is_last else "|  ")
+        for i, child in enumerate(node.children):
+            walk(child, child_prefix, i == len(node.children) - 1)
+
+    for i, root in enumerate(roots):
+        walk(root, "", i == len(roots) - 1)
+    text = "\n".join(lines)
+    if out is not None:
+        out.write(text + "\n")
+    return text
+
+
+def list_traces(spans: Iterable[Span] | None = None) -> list[dict]:
+    """Index of every trace in a span set, newest first.
+
+    Each entry: ``{"trace_id", "root", "spans", "start", "duration_s",
+    "faults"}`` — enough for a one-line-per-trace listing.
+    """
+    if spans is None:
+        spans = get_tracer().finished()
+    groups: dict[str, list[Span]] = defaultdict(list)
+    for s in spans:
+        if s.trace_id:
+            groups[s.trace_id].append(s)
+    out = []
+    for tid, group in groups.items():
+        group.sort(key=lambda s: (s.start, s.span_id))
+        ids = {s.span_id for s in group}
+        roots = [s for s in group if s.parent_id not in ids]
+        root_name = roots[0].name if roots else group[0].name
+        start = min(s.start for s in group)
+        end = max(s.end for s in group)
+        faults = sum(
+            1 for s in group if s.name in ("fault.injected", "fault.applied")
+        )
+        out.append(
+            {
+                "trace_id": tid,
+                "root": root_name,
+                "spans": len(group),
+                "start": start,
+                "duration_s": max(end - start, 0.0),
+                "faults": faults,
+            }
+        )
+    out.sort(key=lambda e: e["start"], reverse=True)
+    return out
+
+
+def find_trace_id(
+    prefix: str, spans: Iterable[Span] | None = None
+) -> str:
+    """Resolve a (possibly abbreviated) trace id against a span set.
+
+    Accepts any unique prefix, so ``repro obs trace 3fa9`` works.
+    Raises ``KeyError`` when nothing matches, ``ValueError`` when the
+    prefix is ambiguous.
+    """
+    if spans is None:
+        spans = get_tracer().finished()
+    ids = {s.trace_id for s in spans if s.trace_id}
+    if prefix in ids:
+        return prefix
+    matches = sorted(t for t in ids if t.startswith(prefix))
+    if not matches:
+        raise KeyError(f"no trace with id (or prefix) {prefix!r}")
+    if len(matches) > 1:
+        raise ValueError(
+            f"trace id prefix {prefix!r} is ambiguous: {', '.join(matches)}"
+        )
+    return matches[0]

@@ -19,6 +19,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, wait
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -58,6 +59,19 @@ class Client:
     def __init__(self, server: SpMVServer, *, retry=None):
         self.server = server
         self.retry = retry
+        #: trace id of the most recent traced front-end call on this
+        #: client (best-effort under concurrency; a convenience for
+        #: ``repro obs trace`` and tests, not a correctness surface)
+        self.last_trace_id: str | None = None
+
+    @contextmanager
+    def _front_span(self, name: str, **attrs):
+        """Front-end span: the trace root when no caller span is open."""
+        with obs.span(name, **attrs) as sp:
+            tid = getattr(sp, "trace_id", "") or None
+            if tid:
+                self.last_trace_id = tid
+            yield sp
 
     # -- matvec ------------------------------------------------------------
     def spmv(
@@ -72,32 +86,38 @@ class Client:
 
         With a ``retry`` policy, transiently failed requests are
         resubmitted (fresh deadline per attempt) with the policy's
-        backoff between attempts.
+        backoff between attempts.  Under instrumentation the call is a
+        trace front-end: every submission (including retries) lands in
+        one trace rooted at ``client.spmv``.
         """
-        if self.retry is None:
-            return self.server.spmv(
-                matrix, x, deadline_ms=deadline_ms, timeout=timeout
-            )
-        from repro.faults.retry import call_with_retry
-
-        def _on_retry(attempt: int, exc: Exception) -> None:
-            if obs.enabled():
-                obs.inc(
-                    "serve_client_retries_total",
-                    1,
-                    matrix=matrix,
-                    error=type(exc).__name__,
+        with self._front_span("client.spmv", matrix=matrix):
+            if self.retry is None:
+                return self.server.spmv(
+                    matrix, x, deadline_ms=deadline_ms, timeout=timeout
                 )
+            from repro.faults.retry import call_with_retry
 
-        return call_with_retry(
-            lambda: self.server.spmv(
-                matrix, x, deadline_ms=deadline_ms, timeout=timeout
-            ),
-            self.retry,
-            site=f"client.spmv[{matrix}]",
-            retryable=RETRYABLE,
-            on_retry=_on_retry,
-        )
+            def _on_retry(attempt: int, exc: Exception) -> None:
+                if obs.enabled():
+                    obs.inc(
+                        "serve_client_retries_total",
+                        1,
+                        matrix=matrix,
+                        error=type(exc).__name__,
+                    )
+                    obs.annotate_current(
+                        retried=attempt, retry_error=type(exc).__name__
+                    )
+
+            return call_with_retry(
+                lambda: self.server.spmv(
+                    matrix, x, deadline_ms=deadline_ms, timeout=timeout
+                ),
+                self.retry,
+                site=f"client.spmv[{matrix}]",
+                retryable=RETRYABLE,
+                on_retry=_on_retry,
+            )
 
     def spmv_async(self, matrix: str, x, *, deadline_ms: float | None = None):
         """Fire-and-collect variant; returns a ``concurrent.futures.Future``."""
@@ -123,6 +143,14 @@ class Client:
         """
         if hedges < 0:
             raise ValueError(f"hedges must be >= 0, got {hedges}")
+        with self._front_span("client.spmv_hedged", matrix=matrix, hedges=hedges):
+            return self._spmv_hedged(
+                matrix, x, hedges, hedge_delay_ms, deadline_ms, timeout
+            )
+
+    def _spmv_hedged(
+        self, matrix, x, hedges, hedge_delay_ms, deadline_ms, timeout
+    ) -> np.ndarray:
         futures = [self.server.submit(matrix, x, deadline_ms=deadline_ms)]
         deadline = None if timeout is None else time.monotonic() + timeout
         errors: list[Exception] = []
@@ -180,7 +208,7 @@ class Client:
 
         b = np.asarray(b)
         t0 = time.perf_counter()
-        with obs.span("serve.solve", matrix=matrix, method=method):
+        with self._front_span("serve.solve", matrix=matrix, method=method):
             with self.server.registry.acquire(matrix) as lease:
                 bound = lease.clone_for(("solve", threading.get_ident()))
                 res = conjugate_gradient(
@@ -212,7 +240,7 @@ class Client:
         from repro.solvers import lanczos
 
         t0 = time.perf_counter()
-        with obs.span("serve.solve", matrix=matrix, method="lanczos"):
+        with self._front_span("serve.solve", matrix=matrix, method="lanczos"):
             with self.server.registry.acquire(matrix) as lease:
                 bound = lease.clone_for(("solve", threading.get_ident()))
                 res = lanczos(

@@ -35,6 +35,16 @@ class ServeError(RuntimeError):
     #: HTTP status the front-end maps this error family to
     http_status = 500
 
+    #: trace id of the request that failed, when it was traced — the
+    #: HTTP front-end stamps this before serialising so an error
+    #: response still points at its causal tree (``repro obs trace``)
+    trace_id: str | None = None
+
+    def with_trace(self, trace_id: str | None) -> "ServeError":
+        if trace_id:
+            self.trace_id = trace_id
+        return self
+
 
 class MatrixNotFound(ServeError):
     """The named matrix is not registered (and no loader can produce it)."""

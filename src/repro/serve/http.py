@@ -21,6 +21,15 @@ Endpoints
 ``POST /v1/solve``
     Body ``{"matrix": name, "b": [...], "method"?: "cg"|"lanczos",
     "tol"?: float, "max_iter"?: int, "num_eigenvalues"?: int}``.
+``GET /sloz``
+    Burn-rate state of the attached :class:`~repro.obs.slo.SLOMonitor`
+    (404 when the server runs without one).
+
+Tracing: with instrumentation enabled, each ``POST`` opens a trace
+root (honouring a caller-supplied ``X-Trace-Id`` header, minting a
+fresh id otherwise); the id is echoed in the ``X-Trace-Id`` response
+header and a ``trace_id`` payload field — success *and* error — so a
+caller can always ask ``repro obs trace <id>`` what happened.
 """
 
 from __future__ import annotations
@@ -45,10 +54,17 @@ class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-serve/1.0"
     protocol_version = "HTTP/1.1"
 
+    #: trace id of the in-flight request (set per-POST, echoed in replies)
+    _trace_id: str | None = None
+
     # injected by make_http_server via the server instance
     @property
     def client(self) -> Client:
         return self.server.serve_client  # type: ignore[attr-defined]
+
+    @property
+    def slo_monitor(self):
+        return getattr(self.server, "slo_monitor", None)
 
     # -- plumbing ----------------------------------------------------------
     def log_message(self, fmt, *args):  # noqa: D102 - stdlib signature
@@ -56,10 +72,14 @@ class _Handler(BaseHTTPRequestHandler):
             obs.inc("serve_http_log_lines_total", 1)
 
     def _send_json(self, status: int, payload: dict) -> None:
+        if self._trace_id and "trace_id" not in payload:
+            payload = {**payload, "trace_id": self._trace_id}
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self._trace_id:
+            self.send_header("X-Trace-Id", self._trace_id)
         self.end_headers()
         self.wfile.write(body)
         if obs.enabled():
@@ -100,20 +120,41 @@ class _Handler(BaseHTTPRequestHandler):
                 self.end_headers()
                 self.wfile.write(body)
             else:
-                self._send_json(200, self.client.stats())
+                stats = self.client.stats()
+                mon = self.slo_monitor
+                if mon is not None:
+                    stats["slo"] = mon.state()
+                self._send_json(200, stats)
+        elif path.path == "/sloz":
+            mon = self.slo_monitor
+            if mon is None:
+                self._send_json(
+                    404,
+                    {"error": "no SLO monitor attached; start with --slo"},
+                )
+            else:
+                self._send_json(200, mon.state())
         else:
             self._send_json(404, {"error": f"no such endpoint {path.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         path = urlparse(self.path).path
+        self._trace_id = None
+        root = {"/v1/spmv": "http.spmv", "/v1/solve": "http.solve"}.get(path)
         try:
-            if path == "/v1/spmv":
-                self._spmv()
-            elif path == "/v1/solve":
-                self._solve()
-            else:
+            if root is None:
                 self._send_json(404, {"error": f"no such endpoint {path!r}"})
+                return
+            with obs.trace_root(
+                root, trace_id=self.headers.get("X-Trace-Id") or None
+            ):
+                self._trace_id = obs.current_trace()
+                if path == "/v1/spmv":
+                    self._spmv()
+                else:
+                    self._solve()
         except ServeError as exc:
+            exc.with_trace(self._trace_id)
             self._send_json(
                 exc.http_status,
                 {"error": str(exc), "type": type(exc).__name__},
@@ -167,21 +208,36 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 def make_http_server(
-    client: Client, host: str = "127.0.0.1", port: int = 8000
+    client: Client,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    *,
+    slo=None,
 ) -> ThreadingHTTPServer:
-    """Build (but do not run) the HTTP front-end; ``port=0`` auto-picks."""
+    """Build (but do not run) the HTTP front-end; ``port=0`` auto-picks.
+
+    ``slo`` (a :class:`~repro.obs.slo.SLOMonitor`) wires ``/sloz`` and
+    the ``slo`` section of ``/statz``; the caller owns its lifecycle
+    (``start``/``stop``).
+    """
     httpd = ThreadingHTTPServer((host, port), _Handler)
     httpd.daemon_threads = True
     httpd.serve_client = client  # type: ignore[attr-defined]
+    httpd.slo_monitor = slo  # type: ignore[attr-defined]
     httpd.started_at = time.monotonic()  # type: ignore[attr-defined]
     return httpd
 
 
 def run_http_server(
-    client: Client, host: str = "127.0.0.1", port: int = 8000, out=None
+    client: Client,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    out=None,
+    *,
+    slo=None,
 ):
     """Blocking serve loop (the ``repro serve`` CLI entry point)."""
-    httpd = make_http_server(client, host, port)
+    httpd = make_http_server(client, host, port, slo=slo)
     if out is not None:
         print(
             f"repro serve listening on http://{host}:{httpd.server_address[1]} "
@@ -194,5 +250,7 @@ def run_http_server(
         pass
     finally:
         httpd.shutdown()
+        if slo is not None:
+            slo.stop()
         client.server.close()
     return 0

@@ -238,6 +238,7 @@ class MatrixRegistry:
                         tune=spec.tune,
                         variant=spec.variant,
                         cache=self._tuner_cache,
+                        label=name,  # attribution tables report the served name
                     )
             except Exception as exc:
                 # the spec stays registered: the next acquire retries

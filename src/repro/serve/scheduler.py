@@ -64,7 +64,7 @@ _STATUSES = ("ok", "rejected", "shed", "expired", "error")
 
 
 class _Request:
-    __slots__ = ("matrix", "x", "future", "t_submit", "t_deadline")
+    __slots__ = ("matrix", "x", "future", "t_submit", "t_deadline", "ctx")
 
     def __init__(
         self,
@@ -72,12 +72,16 @@ class _Request:
         x: np.ndarray,
         t_submit: float,
         t_deadline: float | None,
+        ctx=None,
     ):
         self.matrix = matrix
         self.x = x
         self.future: "Future[np.ndarray]" = Future()
         self.t_submit = t_submit
         self.t_deadline = t_deadline
+        #: :class:`~repro.obs.spans.SpanContext` captured at submit —
+        #: the front-end span + trace this request belongs to
+        self.ctx = ctx
 
 
 class SpMVServer:
@@ -163,6 +167,7 @@ class SpMVServer:
         self._spmm_calls = 0
         self._batched_vectors = 0
         self._latency = Summary(window=4096)
+        self._latency_degraded = Summary(window=4096)
         self._per_matrix: dict[str, dict] = {}
 
         self._clock = time.perf_counter
@@ -252,11 +257,20 @@ class SpMVServer:
         if deadline_ms is not None and deadline_ms <= 0:
             raise ValueError(f"deadline_ms must be > 0, got {deadline_ms}")
         now = self._clock()
+        ctx = None
+        if obs.enabled():
+            # capture the front-end span + trace; a bare submit (no
+            # span open) still gets a trace id so the batch span can
+            # link back to this request
+            ctx = obs.capture_context()
+            if ctx.trace_id is None:
+                ctx = obs.SpanContext(ctx.span_id, obs.new_trace_id())
         req = _Request(
             matrix,
             x,
             now,
             None if deadline_ms is None else now + deadline_ms / 1e3,
+            ctx,
         )
         with self._lock:
             self._admit_locked(req, admission_timeout_s)
@@ -479,21 +493,30 @@ class SpMVServer:
             self._execute_one(name, req)
 
     def _execute_one(self, name: str, req: _Request) -> None:
-        """Unbatched execution of one request (degraded mode)."""
+        """Unbatched execution of one request (degraded mode).
+
+        The degraded span attaches to the request's captured context,
+        so the request's trace shows front-end → ``serve.degraded`` →
+        ``engine.spmv`` — a degraded-served request is distinguishable
+        from a batched one in both the trace and (via the ``degraded``
+        latency label) in ``/statz``.
+        """
         t_start = self._clock()
+        dsp = None
         try:
             if req.t_deadline is not None and t_start >= req.t_deadline:
                 # raced past the pop-time check: still a 504, never generic
                 raise DeadlineExceeded(
                     t_start - req.t_submit, req.t_deadline - req.t_submit
                 )
-            with obs.span("serve.degraded", matrix=name):
-                if self.faults is not None:
-                    self.faults.batch_fault(name, -1)
-                with self.registry.acquire(name) as lease:
-                    bound = lease.clone_for("degraded")
-                    x = bound.matrix.check_rhs(req.x)
-                    y = bound.spmv(x)
+            with obs.attach_context(req.ctx or obs.SpanContext(None)):
+                with obs.span("serve.degraded", matrix=name) as dsp:
+                    if self.faults is not None:
+                        self.faults.batch_fault(name, -1)
+                    with self.registry.acquire(name) as lease:
+                        bound = lease.clone_for("degraded")
+                        x = bound.matrix.check_rhs(req.x)
+                        y = bound.spmv(x)
         except DeadlineExceeded as exc:
             req.future.set_exception(exc)
             self._count(name, "expired")
@@ -509,17 +532,30 @@ class SpMVServer:
         with self._lock:
             self._degraded_requests += 1
             self._latency.observe(latency)
+            self._latency_degraded.observe(latency)
             pm = self._per_matrix_locked(name)
             pm["latency"].observe(latency)
+            pm["degraded"] += 1
         self._count(name, "ok")
         if obs.enabled():
             obs.inc("serve_degraded_requests_total", 1, matrix=name)
-            obs.observe_summary("serve_request_seconds", latency, matrix=name)
+            obs.observe_summary(
+                "serve_request_seconds", latency, matrix=name, degraded="true"
+            )
             obs.inc("serve_requests_total", 1, matrix=name, status="ok")
+            self._record_request_span(
+                dsp, req, name, t_end, None, degraded=True
+            )
         req.future.set_result(y)
 
     def _execute(self, idx: int, name: str, reqs: list[_Request]) -> None:
         t_start = self._clock()
+        # the batch span is a root of its own trace: it belongs to N
+        # requests at once, so instead of picking one parent it *links*
+        # to every request span it served — each request's trace tree
+        # pulls the shared batch (and the kernel span under it) in
+        # through the link (see repro.obs.trace)
+        links: list[tuple[str, int]] = []
         with obs.span(
             "serve.batch", matrix=name, size=len(reqs), worker=idx
         ) as bsp:
@@ -537,6 +573,11 @@ class SpMVServer:
                         except Exception as exc:
                             req.future.set_exception(exc)
                             self._count(name, "error")
+                            if obs.enabled():
+                                self._record_request_span(
+                                    bsp, req, name, self._clock(), links,
+                                    status="error",
+                                )
                     if not good:
                         return
                     X = np.stack(cols, axis=1)
@@ -544,10 +585,15 @@ class SpMVServer:
                     with self._lock:
                         self._spmm_calls += 1
             except Exception as exc:
+                t_fail = self._clock()
                 for req in reqs:
                     if not req.future.done():
                         req.future.set_exception(exc)
                         self._count(name, "error")
+                        if obs.enabled():
+                            self._record_request_span(
+                                bsp, req, name, t_fail, links, status="error"
+                            )
                 if obs.enabled():
                     obs.inc("serve_batch_errors_total", 1, matrix=name)
                 return
@@ -582,33 +628,57 @@ class SpMVServer:
                         "serve_time_in_queue_seconds", queued, matrix=name
                     )
                     obs.observe_summary(
-                        "serve_request_seconds", latency, matrix=name
+                        "serve_request_seconds", latency, matrix=name,
+                        degraded="false",
                     )
                     obs.inc(
                         "serve_requests_total", 1, matrix=name, status="ok"
                     )
-                    self._record_request_span(bsp, req, name, t_end)
+                    self._record_request_span(bsp, req, name, t_end, links)
                 req.future.set_result(y)
 
     @staticmethod
-    def _record_request_span(bsp, req: _Request, name: str, t_end: float) -> None:
-        """One span per request, parented under its batch span."""
+    def _record_request_span(
+        bsp,
+        req: _Request,
+        name: str,
+        t_end: float,
+        links: list | None,
+        *,
+        status: str = "ok",
+        degraded: bool = False,
+    ) -> None:
+        """One post-hoc span per request, in the *request's* trace.
+
+        The span covers submit → completion and parents under the
+        front-end span captured at submit (``req.ctx``), so it lives in
+        the request's own trace.  When ``links`` is given (batch path)
+        the executing span ``bsp`` is back-linked to the request span —
+        that link is how N traces share one batch span.
+        """
         if getattr(bsp, "span_id", None) is None:
             return
         from repro.obs.spans import Span, get_tracer
 
         tracer = get_tracer()
-        tracer.add_finished(
-            Span(
-                name="serve.request",
-                span_id=tracer.next_id(),
-                parent_id=bsp.span_id,
-                start=req.t_submit,
-                end=t_end,
-                thread=threading.current_thread().name,
-                attrs={"matrix": name},
-            )
+        ctx = req.ctx
+        sid = tracer.next_id()
+        sp = Span(
+            name="serve.request",
+            span_id=sid,
+            parent_id=None if ctx is None else ctx.span_id,
+            start=req.t_submit,
+            end=t_end,
+            thread=threading.current_thread().name,
+            attrs={"matrix": name, "status": status},
+            trace_id=(ctx.trace_id if ctx and ctx.trace_id else ""),
         )
+        if degraded:
+            sp.set_attr("degraded", True)
+        tracer.add_finished(sp)
+        if links is not None and sp.trace_id:
+            links.append((sp.trace_id, sid))
+            bsp.links = tuple(links)
 
     # ------------------------------------------------------------------
     # accounting
@@ -620,6 +690,7 @@ class SpMVServer:
                 "batches": 0,
                 "vectors": 0,
                 "nnz": 0,
+                "degraded": 0,
                 "latency": Summary(window=2048),
                 "status": dict.fromkeys(_STATUSES, 0),
             }
@@ -686,6 +757,7 @@ class SpMVServer:
                     "batches": pm["batches"],
                     "vectors": pm["vectors"],
                     "nnz": pm["nnz"],
+                    "degraded": pm["degraded"],
                     "status": dict(pm["status"]),
                     "latency_ms": _quant(pm["latency"]),
                 }
@@ -712,6 +784,7 @@ class SpMVServer:
                     round(self._batched_vectors / batches, 3) if batches else 0.0
                 ),
                 "latency_ms": _quant(self._latency),
+                "latency_degraded_ms": _quant(self._latency_degraded),
                 "per_matrix": per_matrix,
                 "registry": self.registry.stats(),
             }

@@ -316,3 +316,76 @@ class TestOpsList:
     def test_list_subcommand_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["ops"])
+
+
+class TestObsTraceAndTop:
+    def _seed_jsonl(self, tmp_path):
+        from repro import obs
+
+        obs.enable()
+        obs.reset_all()
+        try:
+            with obs.trace_root("http.spmv", trace_id="a" * 16):
+                with obs.span("serve.request", matrix="A"):
+                    pass
+        finally:
+            path = tmp_path / "spans.jsonl"
+            obs.write_jsonl(str(path))
+            obs.disable()
+            obs.reset_all()
+        return path
+
+    def test_trace_requires_input_file(self):
+        out = io.StringIO()
+        assert main(["obs", "trace", "a" * 16], out=out) == 2
+        assert "--in" in out.getvalue()
+
+    def test_trace_list(self, tmp_path):
+        path = self._seed_jsonl(tmp_path)
+        text = run_cli("obs", "trace", "--list", "--in", str(path))
+        assert "a" * 16 in text
+        assert "http.spmv" in text
+
+    def test_trace_render_by_prefix(self, tmp_path):
+        path = self._seed_jsonl(tmp_path)
+        text = run_cli("obs", "trace", "aaaa", "--in", str(path))
+        assert "http.spmv" in text and "serve.request" in text
+        assert "matrix=A" in text
+
+    def test_trace_unknown_id_exits_2(self, tmp_path):
+        path = self._seed_jsonl(tmp_path)
+        out = io.StringIO()
+        assert main(["obs", "trace", "dead", "--in", str(path)], out=out) == 2
+        assert "no trace" in out.getvalue()
+
+    def test_top_prints_attribution_table(self):
+        from repro import obs
+
+        assert not obs.enabled()
+        text = run_cli(
+            "obs", "--scale", "300", "top",
+            "--matrices", "sAMG", "--formats", "CRS",
+            "--reps", "3", "--bandwidth", "10", "--no-tune",
+        )
+        assert not obs.enabled()  # prior state restored
+        assert "sAMG" in text and "CRS" in text
+        assert "GF/s" in text
+        assert "model bandwidth: 10.0 GB/s" in text
+
+    def test_serve_slo_flags(self):
+        args = build_parser().parse_args(["serve", "--slo", "--slo-p99-ms", "250"])
+        assert args.slo and args.slo_p99_ms == 250.0
+
+    def test_chaos_trace_out(self, tmp_path):
+        import json as _json
+
+        path = tmp_path / "chaos.jsonl"
+        text = run_cli(
+            "chaos", "--plan", "smoke", "--scale", "512",
+            "--trace-out", str(path),
+        )
+        assert path.exists()
+        recs = [_json.loads(ln) for ln in path.read_text().splitlines()]
+        assert recs
+        assert "faulted trace(s):" in text
+        assert "repro obs trace" in text

@@ -727,11 +727,23 @@ class TestObsIntegration:
         batches = [s for s in tracer.finished() if s.name == "serve.batch"]
         requests = [s for s in tracer.finished() if s.name == "serve.request"]
         assert len(batches) == 1 and len(requests) == 4
-        batch_ids = {s.span_id for s in batches}
+        # one batch span *linking* the 4 request spans, each request
+        # span in its own trace (bare submits mint one trace each)
+        batch = batches[0]
+        linked = {sid for _, sid in batch.links}
+        traces = set()
         for s in requests:
-            assert s.parent_id in batch_ids  # parented under the batch span
+            assert s.span_id in linked  # the batch links back to it
+            assert s.trace_id
+            traces.add(s.trace_id)
             assert s.start <= s.end
             assert s.attrs["matrix"] == "A"
+        assert len(traces) == 4
+        assert {t for t, _ in batch.links} == traces
+        # each request's causal tree reaches the shared batch + kernel
+        for s in requests:
+            tree = obs.render_trace(s.trace_id)
+            assert "serve.batch" in tree and "engine.spmm" in tree
 
     def test_latency_summary_in_prometheus_text(self):
         obs.enable()
