@@ -381,6 +381,164 @@ def run_obs_overhead_bench(scale=48, *, keys=TABLE1_KEYS, reps=7, inner=20):
     return records
 
 
+# ---------------------------------------------------------------------------
+# Compiled tier vs vectorised NumPy (the CI compiled-smoke JSON artifact)
+# ---------------------------------------------------------------------------
+
+def _tier_of(spec) -> str:
+    if {"cnative", "numba"} & set(spec.tags):
+        return "compiled"
+    if "scipy" in spec.tags:
+        return "scipy"
+    return "numpy"
+
+
+def run_compiled_bench(scale=64, *, keys=TABLE1_KEYS, reps=5):
+    """Best compiled-tier (cnative/numba) vs best pure-NumPy spmv kernel.
+
+    The scipy delegates are excluded from *both* groups — they are a
+    third-party compiled baseline, and the ISSUE-7 gate compares this
+    repo's compiled tier against this repo's vectorised kernels.  Per
+    (matrix, format) record: best variant and best-of-``reps`` seconds
+    for each group, effective GB/s against the Eq.-1 traffic model of
+    the winning variant, speedup, and roofline efficiency vs the
+    measured host copy bandwidth.  A final summary record carries the
+    ``aggregate_speedup`` (total NumPy time over total compiled time)
+    that CI gates on.
+    """
+    from repro.engine import Workspace
+    from repro.formats import convert
+    from repro.matrices import generate
+    from repro.obs.profile import measure_host_bandwidth
+    from repro.ops import variants_for
+    from repro.perfmodel.predict import predict_spmv
+
+    host_gbs = measure_host_bandwidth()
+    records = []
+    total_numpy = total_compiled = 0.0
+    for key in keys:
+        coo = generate(key, scale=scale)
+        x = np.random.default_rng(0).standard_normal(coo.ncols)
+        for fmt in ENGINE_FORMATS:
+            m = convert(coo, fmt)
+            preds = {p.name: p for p in predict_spmv(m, bandwidth_gbs=host_gbs)}
+            groups = {"numpy": {}, "compiled": {}}
+            y = np.zeros(m.nrows, dtype=m.dtype)
+            xd = x.astype(m.dtype)
+            for spec in variants_for(m):
+                tier = _tier_of(spec)
+                if tier == "scipy":
+                    continue
+                ws = Workspace()
+                t = _best_seconds(lambda: spec.run(m, ws, xd, y), reps)
+                groups[tier][spec.name] = t
+            if not groups["compiled"]:
+                continue  # no compiled backend on this host
+            np_name = min(groups["numpy"], key=groups["numpy"].get)
+            cc_name = min(groups["compiled"], key=groups["compiled"].get)
+            t_np = groups["numpy"][np_name]
+            t_cc = groups["compiled"][cc_name]
+            total_numpy += t_np
+            total_compiled += t_cc
+            cc_gbs = preds[cc_name].bytes_per_call / t_cc / 1e9
+            records.append(
+                {
+                    "matrix": key,
+                    "format": fmt,
+                    "scale": scale,
+                    "nnz": m.nnz,
+                    "numpy_variant": np_name,
+                    "numpy_us": round(1e6 * t_np, 2),
+                    "numpy_gbs": round(
+                        preds[np_name].bytes_per_call / t_np / 1e9, 3
+                    ),
+                    "compiled_variant": cc_name,
+                    "compiled_us": round(1e6 * t_cc, 2),
+                    "compiled_gbs": round(cc_gbs, 3),
+                    "speedup": round(t_np / t_cc, 3),
+                    "roofline_efficiency": round(cc_gbs / host_gbs, 3),
+                }
+            )
+    summary = {
+        "summary": True,
+        "host_bandwidth_gbs": round(host_gbs, 3),
+        "total_numpy_us": round(1e6 * total_numpy, 2),
+        "total_compiled_us": round(1e6 * total_compiled, 2),
+        "aggregate_speedup": round(total_numpy / total_compiled, 3)
+        if total_compiled
+        else None,
+    }
+    records.append(summary)
+    return records
+
+
+def run_prune_quality(scale=48, *, keys=TABLE1_KEYS, reps=5, top_k=2):
+    """How good is Eq.-1 pruning?  Model keep-set vs exhaustive timings.
+
+    Each roster is timed exhaustively *once* and the model's keep-set
+    is evaluated against those same timings: ``pruned_winner`` is the
+    fastest kept candidate, ``regression`` its slowdown vs the overall
+    winner (0.0 whenever the winner survived the prune).  Scoring both
+    modes inside one timing context isolates *model* quality from
+    run-to-run timer jitter — a pruned autotune with these timings
+    would pick exactly this variant.  The summary aggregates the
+    timed-candidate reduction and the worst regression — the CI
+    compiled-smoke job gates reduction ≥ 50 % and regression ≤ 5 %.
+    """
+    from repro.engine import Workspace, autotune
+    from repro.formats import convert
+    from repro.matrices import generate
+    from repro.perfmodel.predict import prune_roster
+
+    records = []
+    total_exhaustive = total_pruned = 0
+    hits = 0
+    worst_regression = 0.0
+    for key in keys:
+        coo = generate(key, scale=scale)
+        for fmt in ENGINE_FORMATS:
+            m = convert(coo, fmt)
+            ex = autotune(m, Workspace(), reps=reps, use_cache=False)
+            keep, dropped, _ = prune_roster(m, top_k=top_k)
+            best = ex.timings[ex.variant]
+            pruned_winner = min(keep, key=lambda n: ex.timings[n])
+            regression = max(0.0, ex.timings[pruned_winner] / best - 1.0)
+            hit = ex.variant in keep
+            total_exhaustive += len(ex.timings)
+            total_pruned += len(keep)
+            hits += hit
+            worst_regression = max(worst_regression, regression)
+            records.append(
+                {
+                    "matrix": key,
+                    "format": fmt,
+                    "scale": scale,
+                    "exhaustive_timed": len(ex.timings),
+                    "pruned_timed": len(keep),
+                    "exhaustive_winner": ex.variant,
+                    "pruned_winner": pruned_winner,
+                    "winner_in_top_k": hit,
+                    "regression": round(regression, 4),
+                    "dropped": dropped,
+                }
+            )
+    n = len(records)
+    records.append(
+        {
+            "summary": True,
+            "top_k": top_k,
+            "total_exhaustive_timed": total_exhaustive,
+            "total_pruned_timed": total_pruned,
+            "timed_reduction": round(1.0 - total_pruned / total_exhaustive, 4)
+            if total_exhaustive
+            else None,
+            "winner_hit_rate": round(hits / n, 4) if n else None,
+            "worst_regression": round(worst_regression, 4),
+        }
+    )
+    return records
+
+
 def main(argv=None):
     import argparse
 
@@ -404,7 +562,110 @@ def main(argv=None):
         help="fail (exit 1) when the aggregate overhead exceeds this "
         "fraction in --dispatch / --obs-overhead mode",
     )
+    ap.add_argument(
+        "--compiled", action="store_true",
+        help="run the compiled-vs-vectorized comparison instead "
+        "(writes BENCH_compiled.json unless --out is given)",
+    )
+    ap.add_argument(
+        "--min-speedup", type=float, default=0.0,
+        help="fail (exit 1) when the --compiled aggregate speedup is "
+        "below this (CI gate: 1.0; the repo target is 1.5)",
+    )
+    ap.add_argument(
+        "--prune-quality", action="store_true",
+        help="run the Eq.-1 prune-quality probe instead "
+        "(writes BENCH_prune.json unless --out is given)",
+    )
+    ap.add_argument(
+        "--top-k", type=int, default=2,
+        help="candidates the prune keeps in --prune-quality mode",
+    )
+    ap.add_argument(
+        "--min-reduction", type=float, default=0.5,
+        help="fail when --prune-quality times fewer than this fraction "
+        "fewer candidates than the exhaustive sweep",
+    )
+    ap.add_argument(
+        "--max-regress", type=float, default=0.05,
+        help="fail when any pruned pick is more than this fraction "
+        "slower than the exhaustive winner",
+    )
     args = ap.parse_args(argv)
+    if args.compiled:
+        out = "BENCH_compiled.json" if args.out == "BENCH_kernels.json" else args.out
+        records = run_compiled_bench(args.scale, reps=args.reps)
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(records, fh, indent=2)
+        rows = [r for r in records if not r.get("summary")]
+        summary = records[-1]
+        if not rows:
+            print("no compiled backend available on this host; nothing to gate")
+            return 1 if args.min_speedup > 0 else 0
+        print(
+            f"{'matrix':6s} {'format':12s} {'numpy':16s} {'compiled':14s} "
+            f"{'np GB/s':>8s} {'cc GB/s':>8s} {'x':>6s} {'roof%':>6s}"
+        )
+        for r in rows:
+            print(
+                f"{r['matrix']:6s} {r['format']:12s} {r['numpy_variant']:16s} "
+                f"{r['compiled_variant']:14s} {r['numpy_gbs']:8.2f} "
+                f"{r['compiled_gbs']:8.2f} {r['speedup']:6.2f} "
+                f"{100 * r['roofline_efficiency']:6.1f}"
+            )
+        print(
+            f"wrote {out} ({len(rows)} records); aggregate compiled speedup "
+            f"{summary['aggregate_speedup']:.2f}x at host bandwidth "
+            f"{summary['host_bandwidth_gbs']:.1f} GB/s"
+        )
+        if summary["aggregate_speedup"] < args.min_speedup:
+            print(
+                f"FAIL: aggregate speedup {summary['aggregate_speedup']:.3f} "
+                f"< {args.min_speedup}"
+            )
+            return 1
+        return 0
+    if args.prune_quality:
+        out = "BENCH_prune.json" if args.out == "BENCH_kernels.json" else args.out
+        records = run_prune_quality(
+            args.scale, reps=args.reps, top_k=args.top_k
+        )
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(records, fh, indent=2)
+        rows = [r for r in records if not r.get("summary")]
+        summary = records[-1]
+        print(
+            f"{'matrix':6s} {'format':12s} {'exhaustive':16s} {'pruned':16s} "
+            f"{'timed':>7s} {'hit':>4s} {'regr%':>6s}"
+        )
+        for r in rows:
+            print(
+                f"{r['matrix']:6s} {r['format']:12s} "
+                f"{r['exhaustive_winner']:16s} {r['pruned_winner']:16s} "
+                f"{r['pruned_timed']}/{r['exhaustive_timed']:>5d} "
+                f"{'yes' if r['winner_in_top_k'] else 'NO':>4s} "
+                f"{100 * r['regression']:6.2f}"
+            )
+        print(
+            f"wrote {out} ({len(rows)} records); timed-candidate reduction "
+            f"{100 * summary['timed_reduction']:.1f}%, winner hit rate "
+            f"{100 * summary['winner_hit_rate']:.0f}%, worst regression "
+            f"{100 * summary['worst_regression']:.2f}%"
+        )
+        failed = False
+        if summary["timed_reduction"] < args.min_reduction:
+            print(
+                f"FAIL: timed reduction {summary['timed_reduction']:.3f} "
+                f"< {args.min_reduction}"
+            )
+            failed = True
+        if summary["worst_regression"] > args.max_regress:
+            print(
+                f"FAIL: worst regression {summary['worst_regression']:.4f} "
+                f"> {args.max_regress}"
+            )
+            failed = True
+        return 1 if failed else 0
     if args.obs_overhead:
         out = "BENCH_obs.json" if args.out == "BENCH_kernels.json" else args.out
         records = run_obs_overhead_bench(args.scale, reps=args.reps)

@@ -265,6 +265,8 @@ def cmd_engine(args, out) -> int:
             seed=args.seed,
             cache=cache,
             use_cache=not args.no_cache,
+            prune=args.prune,
+            top_k=args.top_k,
         )
     print(
         f"{args.matrix} (1/{args.scale} scale) as {m.name}: "
@@ -274,6 +276,12 @@ def cmd_engine(args, out) -> int:
     print(f"fingerprint : {fingerprint(m)}", file=out)
     print(f"cache       : {'hit' if tr.cache_hit else 'miss'}", file=out)
     print(f"candidates  : {[v.name for v in variants_for(m)]}", file=out)
+    if tr.pruned:
+        print(
+            f"pruned      : timed {len(tr.timings) or len(variants_for(m)) - len(tr.dropped)}"
+            f"/{len(variants_for(m))} (model dropped {list(tr.dropped)})",
+            file=out,
+        )
     if tr.timings:
         best = min(tr.timings.values())
         for name, secs in sorted(tr.timings.items(), key=lambda kv: kv[1]):
@@ -284,7 +292,50 @@ def cmd_engine(args, out) -> int:
                 file=out,
             )
     print(f"chosen      : {tr.variant}", file=out)
+    if tr.tier:
+        print(f"tier        : {','.join(tr.tier)}", file=out)
+    if tr.measured_gbs is not None:
+        print(
+            f"bandwidth   : measured {tr.measured_gbs:.2f} GB/s vs "
+            f"model {tr.predicted_gbs:.2f} GB/s sustainable",
+            file=out,
+        )
+    if args.explain:
+        _print_explain(m, tr, out)
     return 0
+
+
+def _print_explain(m, tr, out) -> None:
+    """Eq.-1 prediction table for ``engine tune --explain``."""
+    from repro.ops import kernel_tiers
+    from repro.perfmodel.predict import explain_rows, predict_spmv
+
+    preds = predict_spmv(m)
+    keep = None
+    if tr.pruned:
+        dropped = set(tr.dropped)
+        keep = [p.name for p in preds if p.name not in dropped]
+    rows = explain_rows(preds, keep=keep, timings=tr.timings or None)
+    print("", file=out)
+    print(f"model explain (tiers: {', '.join(kernel_tiers())})", file=out)
+    print(
+        f"  {'variant':16s} {'tier':13s} {'B [B/F]':>8s} {'pred us':>9s} "
+        f"{'meas us':>9s} {'meas GB/s':>9s} kept",
+        file=out,
+    )
+    for r in rows:
+        meas = f"{r['measured_us']:9.1f}" if "measured_us" in r else f"{'-':>9s}"
+        gbs = (
+            f"{r['measured_gbs']:9.2f}"
+            if r.get("measured_gbs") is not None
+            else f"{'-':>9s}"
+        )
+        print(
+            f"  {r['variant']:16s} {r['tier']:13s} "
+            f"{r['balance_bytes_per_flop']:8.2f} {r['predicted_us']:9.1f} "
+            f"{meas} {gbs} {'yes' if r['kept'] else 'dropped'}",
+            file=out,
+        )
 
 
 def cmd_ops(args, out) -> int:
@@ -314,6 +365,9 @@ def cmd_ops(args, out) -> int:
             )
         print(f"{len(rows)} kernels registered "
               f"(+ the 'generic' spmv fallback for unlisted formats)", file=out)
+        from repro.ops import kernel_tiers
+
+        print(f"kernel tiers: {', '.join(kernel_tiers())}", file=out)
         return 0
 
     from repro.engine import autotune
@@ -886,6 +940,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="timing repetitions per candidate")
     pet.add_argument("--no-cache", action="store_true",
                      help="ignore and do not write the tuner cache")
+    pet.add_argument(
+        "--prune", action=argparse.BooleanOptionalAction, default=False,
+        help="Eq.-1 model pruning: time only the --top-k "
+             "fastest-predicted candidates",
+    )
+    pet.add_argument("--top-k", type=int, default=2,
+                     help="candidates kept by --prune (default 2)")
+    pet.add_argument(
+        "--explain", action="store_true",
+        help="print the model's prediction table next to the timings",
+    )
 
     pop = sub.add_parser(
         "ops", help="central kernel registry introspection"

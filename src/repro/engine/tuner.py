@@ -75,9 +75,17 @@ def fingerprint(matrix: SparseMatrixFormat) -> str:
     # delegates registering on one machine but not another)
     roster = ",".join(v.name for v in variants_for(matrix))
     vdigest = hashlib.sha1(roster.encode()).hexdigest()[:8]
+    # ... and the available kernel-tier set (numba/cnative presence and
+    # version): a cache warmed without a compiled backend must not pin
+    # a slow NumPy variant after the backend becomes available, and
+    # recorded timings from one tier set are not comparable to another's
+    from repro.kernels import compiled as _ctier
+
+    tiers = ",".join(_ctier.kernel_tiers())
+    tdigest = hashlib.sha1(tiers.encode()).hexdigest()[:8]
     return (
         f"{matrix.name}:{matrix.nrows}x{matrix.ncols}:nnz{matrix.nnz}:"
-        f"{matrix.dtype.name}:rl{digest}:vs{vdigest}"
+        f"{matrix.dtype.name}:rl{digest}:vs{vdigest}:kt{tdigest}"
     )
 
 
@@ -90,6 +98,18 @@ class TuneResult:
     #: best wall-clock seconds per call for each candidate
     timings: dict[str, float] = field(default_factory=dict)
     cache_hit: bool = False
+    #: whether model-guided pruning was applied to this run
+    pruned: bool = False
+    #: candidates dropped by the model before timing (predicted order)
+    dropped: tuple[str, ...] = ()
+    #: predicted seconds per candidate (whole roster, pruned or not)
+    predicted: dict[str, float] = field(default_factory=dict)
+    #: registry tags of the winning variant (tier provenance)
+    tier: tuple[str, ...] = ()
+    #: modelled traffic of the winner over its measured time, in GB/s
+    measured_gbs: float | None = None
+    #: modelled sustainable GB/s of the winner (bandwidth x tier eff.)
+    predicted_gbs: float | None = None
 
     @property
     def best_seconds(self) -> float:
@@ -122,6 +142,8 @@ def autotune(
     seed: int = 0,
     cache=None,
     use_cache: bool = True,
+    prune: bool = False,
+    top_k: int = 2,
 ) -> TuneResult:
     """Pick the fastest kernel variant for ``matrix``.
 
@@ -129,6 +151,13 @@ def autotune(
     immediately (``cache_hit=True``, no timings).  Otherwise each
     candidate runs ``reps`` times on a seeded random RHS and the
     fastest wins; the decision is persisted.
+
+    With ``prune=True`` the Eq.-1 traffic model
+    (:func:`repro.perfmodel.predict.prune_roster`) ranks the roster
+    analytically first and only the ``top_k`` fastest-predicted
+    candidates are timed; the prediction table, the dropped names and
+    the winner's predicted-vs-measured GB/s are recorded alongside the
+    decision.
 
     Determinism: for a given fingerprint the decision is stable once
     recorded — repeated binds resolve from the cache, never re-race.
@@ -156,9 +185,34 @@ def autotune(
                 variant=rec["variant"],
                 timings={k: float(v) for k, v in rec.get("timings", {}).items()},
                 cache_hit=True,
+                pruned=bool(rec.get("pruned", False)),
+                dropped=tuple(rec.get("dropped", ())),
+                predicted={
+                    k: float(v) for k, v in rec.get("predicted", {}).items()
+                },
+                tier=tuple(rec.get("tier", ())),
+                measured_gbs=rec.get("measured_gbs"),
+                predicted_gbs=rec.get("predicted_gbs"),
             )
 
     candidates = variants_for(matrix)
+    predicted: dict[str, float] = {}
+    dropped: tuple[str, ...] = ()
+    preds_by_name: dict = {}
+    did_prune = False
+    if prune and len(candidates) > 1:
+        from repro.perfmodel.predict import prune_roster
+
+        keep, dropped_names, preds = prune_roster(
+            matrix, top_k=top_k, candidates=candidates
+        )
+        preds_by_name = {p.name: p for p in preds}
+        predicted = {p.name: p.predicted_seconds for p in preds}
+        keep_set = set(keep)
+        candidates = [c for c in candidates if c.name in keep_set]
+        dropped = tuple(dropped_names)
+        did_prune = True
+
     rng = np.random.default_rng(seed)
     x = rng.standard_normal(matrix.ncols).astype(matrix.dtype)
     y = np.zeros(matrix.nrows, dtype=matrix.dtype)
@@ -174,11 +228,42 @@ def autotune(
                     format=matrix.name,
                 )
     best = min(timings, key=timings.get)
+    tier = tuple(get_variant(matrix, best).tags)
+    measured_gbs = None
+    predicted_gbs = None
+    bp = preds_by_name.get(best)
+    if bp is not None:
+        predicted_gbs = round(bp.effective_gbs, 3)
+        if timings[best] > 0:
+            measured_gbs = round(bp.bytes_per_call / timings[best] / 1e9, 3)
     if use_cache:
-        cache.put(fp, {"variant": best, "timings": timings, "format": matrix.name})
+        cache.put(
+            fp,
+            {
+                "variant": best,
+                "timings": timings,
+                "format": matrix.name,
+                "tier": list(tier),
+                "pruned": did_prune,
+                "dropped": list(dropped),
+                "predicted": predicted,
+                "measured_gbs": measured_gbs,
+                "predicted_gbs": predicted_gbs,
+            },
+        )
     if obs.enabled():
         obs.set_gauge(
             "engine_tuned_variant_seconds", timings[best],
             format=matrix.name, variant=best,
         )
-    return TuneResult(fingerprint=fp, variant=best, timings=timings)
+    return TuneResult(
+        fingerprint=fp,
+        variant=best,
+        timings=timings,
+        pruned=did_prune,
+        dropped=dropped,
+        predicted=predicted,
+        tier=tier,
+        measured_gbs=measured_gbs,
+        predicted_gbs=predicted_gbs,
+    )

@@ -1,0 +1,761 @@
+"""Optional compiled kernel tier, registered behind the central registry.
+
+The paper's Sect. III point is that an spMVM kernel should run at the
+memory-bandwidth limit; every pure-NumPy kernel falls short of that
+because it must materialise the gathered product (``x[col] * val``)
+through main memory at least once.  This module adds *fused*
+single-pass kernels for the CSR, ELLPACK/-R, JDS/pJDS and
+SELL-C-sigma hot loops (spmv and batched spmm) from two optional
+backends, registered through :func:`repro.ops.registry.register_kernel`
+as ordinary variants — so :class:`~repro.engine.bound.BoundMatrix`,
+every backend (parallel / distributed / serve) and all five solvers
+pick them up with zero call-site changes, and the autotuner simply
+ranks them against the NumPy kernels per matrix:
+
+``cnative``
+    C kernels compiled once per machine with the system C compiler
+    (``cc``/``gcc``/``clang``), cached as a shared library under the
+    repro cache dir and loaded through :mod:`ctypes`.  OpenMP
+    (``-fopenmp``) is used when the compiler supports it; the row /
+    chunk partitioning keeps per-row accumulation order identical to
+    the serial sweep, so results are reproducible at any thread count.
+``numba``
+    ``@njit(parallel=True)`` kernels (guarded import — the module
+    imports cleanly and registers nothing when :mod:`numba` is
+    absent).  First call per (kernel, signature) JIT-compiles; the
+    autotuner's warm-up call absorbs that, so timed reps never include
+    compilation (see docs/performance.md, "JIT warm-up semantics").
+
+Both backends preserve the NumPy kernels' per-row accumulation order
+(ascending entry order, zero-initialised accumulator), so at float64
+they agree *bitwise* with their order-matched NumPy counterparts
+(``csr_reduceat``, ``ell_sweep``, ``jds_sweep``, ``sell_chunks``) —
+``tests/test_ops.py`` pins that.
+
+Environment knobs:
+
+``REPRO_COMPILED_DISABLE``
+    comma-separated backend names (``numba``, ``cnative``, or ``all``)
+    to suppress; used by the guarded-import tests and as an escape
+    hatch on machines with a broken toolchain.
+``REPRO_CC``
+    C compiler to use for the ``cnative`` build (default: first of
+    ``cc``/``gcc``/``clang`` on PATH).
+``REPRO_CACHE_DIR``
+    cache root for the compiled shared library (default
+    ``~/.cache/repro-pjds``), shared with the matrix/tuner caches.
+
+:func:`kernel_tiers` reports the loaded tier set (with versions); the
+autotuner folds it into the matrix fingerprint so a tuning decision
+cached without a backend never pins a slow variant after the backend
+appears (see :func:`repro.engine.tuner.fingerprint`).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.jds import JaggedDiagonalsBase
+from repro.core.sell import SELLMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.ellpack import ELLPACKMatrix
+from repro.ops.registry import register_kernel
+from repro.ops.spmv_kernels import _HAVE_CSR_MATVEC, stored_csr_triplet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.workspace import Workspace
+
+__all__ = [
+    "kernel_tiers",
+    "backend_status",
+    "compiled_variant_names",
+    "CNATIVE_TAG",
+    "NUMBA_TAG",
+]
+
+#: registry tag shared by every kernel of this module
+COMPILED_TAG = "compiled"
+#: backend-specific registry tags
+CNATIVE_TAG = "cnative"
+NUMBA_TAG = "numba"
+
+
+def _disabled() -> set[str]:
+    raw = os.environ.get("REPRO_COMPILED_DISABLE", "")
+    names = {t.strip().lower() for t in raw.split(",") if t.strip()}
+    if "all" in names:
+        names |= {CNATIVE_TAG, NUMBA_TAG}
+    return names
+
+
+# ---------------------------------------------------------------------------
+# cnative backend: one C translation unit, compiled once per machine
+# ---------------------------------------------------------------------------
+
+# Kernel bodies are generated for float64/float32 values and (for the
+# stored-CSR-view spmm delegates) int64/int32 indices.  Accumulation is
+# a zero-initialised scalar walked in ascending entry order — the same
+# order as the NumPy sweep kernels, which is what makes the float64
+# parity bitwise.  OpenMP partitions rows (CSR/ELL/JDS), chunks (SELL)
+# or row blocks; partitioning never changes any per-row order.
+_C_PRELUDE = r"""
+#include <stddef.h>
+#ifdef _OPENMP
+#include <omp.h>
+#else
+static int omp_get_num_threads(void) { return 1; }
+static int omp_get_thread_num(void) { return 0; }
+#endif
+typedef long long i64;
+typedef int i32;
+"""
+
+_C_CSR_TEMPLATE = r"""
+void csr_spmv_{I}_{F}(i64 nrows, const {IT} *indptr, const {IT} *col,
+                      const {FT} *val, const {FT} *x, {FT} *y) {{
+    i64 i;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (i = 0; i < nrows; i++) {{
+        {FT} t = 0;
+        i64 e;
+        for (e = (i64)indptr[i]; e < (i64)indptr[i + 1]; e++)
+            t += val[e] * x[col[e]];
+        y[i] = t;
+    }}
+}}
+
+void csr_spmm_{I}_{F}(i64 nrows, i64 k, const {IT} *indptr, const {IT} *col,
+                      const {FT} *val, const {FT} *X, {FT} *Y) {{
+    i64 i;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (i = 0; i < nrows; i++) {{
+        {FT} *yi = Y + i * k;
+        i64 e, c;
+        for (c = 0; c < k; c++)
+            yi[c] = 0;
+        for (e = (i64)indptr[i]; e < (i64)indptr[i + 1]; e++) {{
+            const {FT} v = val[e];
+            const {FT} *xr = X + (i64)col[e] * k;
+            for (c = 0; c < k; c++)
+                yi[c] += v * xr[c];
+        }}
+    }}
+}}
+"""
+
+_C_FMT_TEMPLATE = r"""
+/* ELLPACK rectangle, (width, padded_rows) column-major slabs; the
+   jagged-column sweep keeps val/col reads fully sequential and the
+   row-block accumulator cache-resident. */
+void ell_spmv_{F}(i64 nrows, i64 prows, i64 width, const i64 *col,
+                  const {FT} *val, const {FT} *x, {FT} *y) {{
+#ifdef _OPENMP
+#pragma omp parallel
+#endif
+    {{
+        const i64 nt = omp_get_num_threads();
+        const i64 tid = omp_get_thread_num();
+        const i64 lo = nrows * tid / nt;
+        const i64 hi = nrows * (tid + 1) / nt;
+        i64 i, j;
+        for (i = lo; i < hi; i++)
+            y[i] = 0;
+        for (j = 0; j < width; j++) {{
+            const {FT} *vj = val + j * prows;
+            const i64 *cj = col + j * prows;
+            for (i = lo; i < hi; i++)
+                y[i] += vj[i] * x[cj[i]];
+        }}
+    }}
+}}
+
+/* JDS/pJDS jagged diagonals: column lengths are non-increasing, so a
+   row block can stop at the first too-short column. */
+void jds_spmv_{F}(i64 nrows, i64 width, const i64 *col_start,
+                  const i64 *col, const {FT} *val, const {FT} *x, {FT} *y) {{
+#ifdef _OPENMP
+#pragma omp parallel
+#endif
+    {{
+        const i64 nt = omp_get_num_threads();
+        const i64 tid = omp_get_thread_num();
+        const i64 lo = nrows * tid / nt;
+        const i64 hi = nrows * (tid + 1) / nt;
+        i64 r, j;
+        for (r = lo; r < hi; r++)
+            y[r] = 0;
+        for (j = 0; j < width; j++) {{
+            const i64 s = col_start[j];
+            const i64 len = col_start[j + 1] - s;
+            const i64 h = len < hi ? len : hi;
+            if (len <= lo)
+                break;
+            for (r = lo; r < h; r++)
+                y[r] += val[s + r] * x[col[s + r]];
+        }}
+    }}
+}}
+
+/* SELL-C-sigma: chunk slots are column-major (width, C) rectangles. */
+void sell_spmv_{F}(i64 nchunks, i64 C, const i64 *ptr, const i64 *widths,
+                   const i64 *col, const {FT} *val, const {FT} *x, {FT} *y) {{
+    i64 c;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (c = 0; c < nchunks; c++) {{
+        const i64 w = widths[c];
+        const i64 base = ptr[c];
+        {FT} *yy = y + c * C;
+        i64 r, j;
+        for (r = 0; r < C; r++)
+            yy[r] = 0;
+        for (j = 0; j < w; j++) {{
+            const {FT} *vj = val + base + j * C;
+            const i64 *cj = col + base + j * C;
+            for (r = 0; r < C; r++)
+                yy[r] += vj[r] * x[cj[r]];
+        }}
+    }}
+}}
+"""
+
+
+def _c_source() -> str:
+    parts = [_C_PRELUDE]
+    for fsuf, ftype in (("f64", "double"), ("f32", "float")):
+        for isuf, itype in (("i64", "i64"), ("i32", "i32")):
+            parts.append(
+                _C_CSR_TEMPLATE.format(I=isuf, IT=itype, F=fsuf, FT=ftype)
+            )
+        parts.append(_C_FMT_TEMPLATE.format(F=fsuf, FT=ftype))
+    return "".join(parts)
+
+
+def _cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    base = Path(env) if env else Path.home() / ".cache" / "repro-pjds"
+    return base / "compiled"
+
+
+class _CNative:
+    """The loaded cnative shared library plus its provenance tag."""
+
+    def __init__(self, lib: ctypes.CDLL, tag: str, openmp: bool, path: Path):
+        self.lib = lib
+        self.tag = tag
+        self.openmp = openmp
+        self.path = path
+
+    def fn(self, name: str):
+        f = getattr(self.lib, name)
+        f.restype = None
+        return f
+
+
+def _find_cc() -> str | None:
+    env = os.environ.get("REPRO_CC")
+    if env:
+        return env if shutil.which(env) else None
+    for cand in ("cc", "gcc", "clang"):
+        if shutil.which(cand):
+            return cand
+    return None
+
+
+def _build_cnative() -> _CNative | None:
+    """Compile (or reuse) the shared library; ``None`` on any failure.
+
+    The library is keyed by a digest of the source + compiler, so a
+    kernel change recompiles and two repro versions never collide.
+    Compilation happens at most once per machine; every later import
+    is a plain ``dlopen`` of the cached ``.so``.
+    """
+    cc = _find_cc()
+    if cc is None:
+        return None
+    source = _c_source()
+    digest = hashlib.sha1(f"{cc}\n{source}".encode()).hexdigest()[:16]
+    cache = _cache_dir()
+    so_path = cache / f"spmv_{digest}.so"
+    openmp_marker = cache / f"spmv_{digest}.omp"
+    try:
+        if not so_path.exists():
+            cache.mkdir(parents=True, exist_ok=True)
+            src_path = cache / f"spmv_{digest}.c"
+            src_path.write_text(source, encoding="utf-8")
+            base_cmd = [cc, "-O3", "-fPIC", "-shared", "-std=c99"]
+            openmp = True
+            with tempfile.NamedTemporaryFile(
+                dir=cache, suffix=".so", delete=False
+            ) as tmp:
+                tmp_path = Path(tmp.name)
+            for flags in (["-fopenmp"], []):
+                proc = subprocess.run(
+                    base_cmd + flags + [str(src_path), "-o", str(tmp_path)],
+                    capture_output=True,
+                    timeout=120,
+                )
+                if proc.returncode == 0:
+                    openmp = bool(flags)
+                    break
+            else:
+                tmp_path.unlink(missing_ok=True)
+                return None
+            # atomic publish so concurrent builders never load a torn file
+            os.replace(tmp_path, so_path)
+            if openmp:
+                openmp_marker.touch()
+        lib = ctypes.CDLL(str(so_path))
+        return _CNative(
+            lib, f"{cc}-{digest[:8]}", openmp_marker.exists(), so_path
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+_CNATIVE: _CNative | None = (
+    None if CNATIVE_TAG in _disabled() else _build_cnative()
+)
+
+
+# ---------------------------------------------------------------------------
+# numba backend (guarded import: absence must be completely silent)
+# ---------------------------------------------------------------------------
+
+_NUMBA_VERSION: str | None = None
+if NUMBA_TAG not in _disabled():
+    try:  # pragma: no cover - exercised only where numba is installed
+        import numba as _numba
+        from numba import njit as _njit
+        from numba import prange as _prange
+
+        _NUMBA_VERSION = _numba.__version__
+    except Exception:  # noqa: BLE001 - any import failure means "absent"
+        _NUMBA_VERSION = None
+
+
+# ---------------------------------------------------------------------------
+# shared python-side glue
+# ---------------------------------------------------------------------------
+
+def _contig_vec(ws: Workspace, name: str, x: np.ndarray, dtype) -> np.ndarray:
+    """``x`` itself when already compiled-callable, else a scratch copy."""
+    if x.flags.c_contiguous and x.dtype == dtype:
+        return x
+    buf = ws.buf(name, x.shape[0], dtype)
+    buf[:] = x
+    return buf
+
+
+def _out_vec(ws: Workspace, name: str, y: np.ndarray):
+    """(callable target, finish) pair tolerating non-contiguous ``y``."""
+    if y.flags.c_contiguous:
+        return y, None
+    buf = ws.buf(name, y.shape[0], y.dtype)
+    return buf, buf
+
+
+_F_SUFFIX = {np.dtype(np.float64): "f64", np.dtype(np.float32): "f32"}
+_I_SUFFIX = {np.dtype(np.int64): "i64", np.dtype(np.int32): "i32"}
+
+
+def _ptr(a: np.ndarray):
+    return ctypes.c_void_p(a.ctypes.data)
+
+
+def _jds_col_idx(m: JaggedDiagonalsBase, ws: Workspace, permuted: bool):
+    if permuted:
+        return ws.const("jds_colperm", lambda: m._permuted_col_idx())  # noqa: SLF001
+    return ws.const("col_idx", lambda: m.col_idx)
+
+
+# ---------------------------------------------------------------------------
+# cnative kernels
+# ---------------------------------------------------------------------------
+
+if _CNATIVE is not None:
+    _i64 = ctypes.c_longlong
+
+    def _cc_csr_call(op, nrows, indptr, col, val, x, y, k=None):
+        fs = _F_SUFFIX[val.dtype]
+        isuf = _I_SUFFIX[indptr.dtype]
+        fn = _CNATIVE.fn(f"csr_{op}_{isuf}_{fs}")
+        if op == "spmv":
+            fn(_i64(nrows), _ptr(indptr), _ptr(col), _ptr(val), _ptr(x), _ptr(y))
+        else:
+            fn(
+                _i64(nrows), _i64(k), _ptr(indptr), _ptr(col), _ptr(val),
+                _ptr(x), _ptr(y),
+            )
+
+    def _cc_csr_spmv(m: CSRMatrix, ws, x, y, permuted=False):
+        if m.nrows == 0:
+            return
+        xb = _contig_vec(ws, "cc_x", x, m.dtype)
+        yb, fin = _out_vec(ws, "cc_y", y)
+        _cc_csr_call("spmv", m.nrows, m.indptr, m.indices, m.data, xb, yb)
+        if fin is not None:
+            y[:] = fin
+
+    def _cc_ell_spmv(m: ELLPACKMatrix, ws, x, y, permuted=False):
+        if m.nrows == 0:
+            return
+        if m.width == 0:
+            y.fill(0.0)
+            return
+        val = ws.const("val", lambda: m.val)
+        col = ws.const("col", lambda: m.col)
+        xb = _contig_vec(ws, "cc_x", x, m.dtype)
+        yb, fin = _out_vec(ws, "cc_y", y)
+        fn = _CNATIVE.fn(f"ell_spmv_{_F_SUFFIX[m.dtype]}")
+        fn(
+            _i64(m.nrows), _i64(m.padded_rows), _i64(m.width),
+            _ptr(col), _ptr(val), _ptr(xb), _ptr(yb),
+        )
+        if fin is not None:
+            y[:] = fin
+
+    def _cc_jds_spmv(m: JaggedDiagonalsBase, ws, x, y, permuted=False):
+        if m.nrows == 0:
+            return
+        if m.total_slots == 0:
+            y.fill(0.0)
+            return
+        col_idx = _jds_col_idx(m, ws, permuted)
+        val = ws.const("val", lambda: m.val)
+        cs = ws.const("col_start", lambda: m.col_start)
+        xb = _contig_vec(ws, "cc_x", x, m.dtype)
+        yb, fin = _out_vec(ws, "cc_y", y)
+        fn = _CNATIVE.fn(f"jds_spmv_{_F_SUFFIX[m.dtype]}")
+        fn(
+            _i64(m.nrows), _i64(m.width), _ptr(cs),
+            _ptr(col_idx), _ptr(val), _ptr(xb), _ptr(yb),
+        )
+        if fin is not None:
+            y[:] = fin
+
+    def _cc_sell_spmv(m: SELLMatrix, ws, x, y, permuted=False):
+        if m.nrows == 0:
+            return
+        if m.total_slots == 0:
+            y.fill(0.0)
+            return
+        ptr = ws.const("chunk_ptr", lambda: m.chunk_ptr)
+        widths = ws.const("chunk_widths", lambda: m.chunk_widths)
+        col = ws.const("col_idx", lambda: m.col_idx)
+        val = ws.const("val", lambda: m.val)
+        xb = _contig_vec(ws, "cc_x", x, m.dtype)
+        acc = ws.buf("cc_sell_acc", m.padded_rows, m.dtype)
+        fn = _CNATIVE.fn(f"sell_spmv_{_F_SUFFIX[m.dtype]}")
+        fn(
+            _i64(m.nchunks), _i64(m.chunk_rows), _ptr(ptr), _ptr(widths),
+            _ptr(col), _ptr(val), _ptr(xb), _ptr(acc),
+        )
+        y[:] = acc[: m.nrows]
+
+    # -- batched spmm over the (cached) stored-order CSR views ----------
+
+    def _cc_spmm_stored(m, X, out, ws, permuted=False):
+        """Fused k-wide sweep; returns the stored-order block."""
+        indptr, indices, data = stored_csr_triplet(m, permuted)
+        nrows = indptr.shape[0] - 1
+        k = X.shape[1]
+        _cc_csr_call("spmm", nrows, indptr, indices, data, X, out, k=k)
+        return out
+
+    def _cc_csr_spmm(m: CSRMatrix, X, out, ws):
+        if m.nnz == 0 or not (X.flags.c_contiguous and out.flags.c_contiguous):
+            return None
+        _cc_csr_call(
+            "spmm", m.nrows, m.indptr, m.indices, m.data, X, out,
+            k=X.shape[1],
+        )
+        return out
+
+    def _cc_ell_spmm(m: ELLPACKMatrix, X, out, ws):
+        if m.nnz == 0 or not (X.flags.c_contiguous and out.flags.c_contiguous):
+            return None
+        return _cc_spmm_stored(m, X, out, ws)
+
+    def _cc_jds_spmm(m: JaggedDiagonalsBase, X, out, ws):
+        if m.total_slots == 0 or not X.flags.c_contiguous:
+            return None
+        k = X.shape[1]
+        acc = ws.buf("cc_spmm_acc", (m.nrows, k), m.dtype)
+        _cc_spmm_stored(m, X, acc, ws)
+        np.take(acc, m.permutation.inverse, axis=0, out=out, mode="clip")
+        return out
+
+    def _cc_sell_spmm(m: SELLMatrix, X, out, ws):
+        if m.total_slots == 0 or not X.flags.c_contiguous:
+            return None
+        k = X.shape[1]
+        acc = ws.buf("cc_spmm_acc", (m.padded_rows, k), m.dtype)
+        _cc_spmm_stored(m, X, acc, ws)
+        out[m.permutation.perm] = acc[: m.nrows]
+        return out
+
+
+# ---------------------------------------------------------------------------
+# numba kernels
+# ---------------------------------------------------------------------------
+
+if _NUMBA_VERSION is not None:  # pragma: no cover - needs numba installed
+
+    @_njit(parallel=True, cache=False)
+    def _nb_csr_spmv_impl(nrows, indptr, col, val, x, y):
+        for i in _prange(nrows):
+            t = 0.0
+            for e in range(indptr[i], indptr[i + 1]):
+                t += val[e] * x[col[e]]
+            y[i] = t
+
+    @_njit(parallel=True, cache=False)
+    def _nb_csr_spmm_impl(nrows, indptr, col, val, X, Y):
+        k = X.shape[1]
+        for i in _prange(nrows):
+            for c in range(k):
+                Y[i, c] = 0.0
+            for e in range(indptr[i], indptr[i + 1]):
+                v = val[e]
+                ci = col[e]
+                for c in range(k):
+                    Y[i, c] += v * X[ci, c]
+
+    @_njit(parallel=True, cache=False)
+    def _nb_ell_spmv_impl(nrows, width, col, val, x, y):
+        for i in _prange(nrows):
+            t = 0.0
+            for j in range(width):
+                t += val[j, i] * x[col[j, i]]
+            y[i] = t
+
+    @_njit(parallel=True, cache=False)
+    def _nb_jds_spmv_impl(nrows, width, col_start, col, val, x, y):
+        for r in _prange(nrows):
+            t = 0.0
+            for j in range(width):
+                s = col_start[j]
+                if col_start[j + 1] - s <= r:
+                    break
+                t += val[s + r] * x[col[s + r]]
+            y[r] = t
+
+    @_njit(parallel=True, cache=False)
+    def _nb_sell_spmv_impl(nchunks, C, ptr, widths, col, val, x, y):
+        for c in _prange(nchunks):
+            w = widths[c]
+            base = ptr[c]
+            for r in range(C):
+                t = 0.0
+                for j in range(w):
+                    s = base + j * C + r
+                    t += val[s] * x[col[s]]
+                y[c * C + r] = t
+
+    def _nb_csr_spmv(m: CSRMatrix, ws, x, y, permuted=False):
+        if m.nrows == 0:
+            return
+        xb = _contig_vec(ws, "nb_x", x, m.dtype)
+        yb, fin = _out_vec(ws, "nb_y", y)
+        _nb_csr_spmv_impl(m.nrows, m.indptr, m.indices, m.data, xb, yb)
+        if fin is not None:
+            y[:] = fin
+
+    def _nb_ell_spmv(m: ELLPACKMatrix, ws, x, y, permuted=False):
+        if m.nrows == 0:
+            return
+        if m.width == 0:
+            y.fill(0.0)
+            return
+        val = ws.const("val", lambda: m.val)
+        col = ws.const("col", lambda: m.col)
+        xb = _contig_vec(ws, "nb_x", x, m.dtype)
+        yb, fin = _out_vec(ws, "nb_y", y)
+        _nb_ell_spmv_impl(m.nrows, m.width, col, val, xb, yb)
+        if fin is not None:
+            y[:] = fin
+
+    def _nb_jds_spmv(m: JaggedDiagonalsBase, ws, x, y, permuted=False):
+        if m.nrows == 0:
+            return
+        if m.total_slots == 0:
+            y.fill(0.0)
+            return
+        col_idx = _jds_col_idx(m, ws, permuted)
+        val = ws.const("val", lambda: m.val)
+        cs = ws.const("col_start", lambda: m.col_start)
+        xb = _contig_vec(ws, "nb_x", x, m.dtype)
+        yb, fin = _out_vec(ws, "nb_y", y)
+        _nb_jds_spmv_impl(m.nrows, m.width, cs, col_idx, val, xb, yb)
+        if fin is not None:
+            y[:] = fin
+
+    def _nb_sell_spmv(m: SELLMatrix, ws, x, y, permuted=False):
+        if m.nrows == 0:
+            return
+        if m.total_slots == 0:
+            y.fill(0.0)
+            return
+        ptr = ws.const("chunk_ptr", lambda: m.chunk_ptr)
+        widths = ws.const("chunk_widths", lambda: m.chunk_widths)
+        col = ws.const("col_idx", lambda: m.col_idx)
+        val = ws.const("val", lambda: m.val)
+        xb = _contig_vec(ws, "nb_x", x, m.dtype)
+        acc = ws.buf("nb_sell_acc", m.padded_rows, m.dtype)
+        _nb_sell_spmv_impl(
+            m.nchunks, m.chunk_rows, ptr, widths, col, val, xb, acc
+        )
+        y[:] = acc[: m.nrows]
+
+    def _nb_csr_spmm(m: CSRMatrix, X, out, ws):
+        if m.nnz == 0 or not (X.flags.c_contiguous and out.flags.c_contiguous):
+            return None
+        _nb_csr_spmm_impl(m.nrows, m.indptr, m.indices, m.data, X, out)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# registration: ordinary variants, ranked by the autotuner per matrix
+# ---------------------------------------------------------------------------
+
+# Fall back to the vectorised kernel path when the compiled spmm
+# preconditions (contiguity) do not hold: the wrappers above return
+# None in that case and these shims delegate.
+
+def _spmm_with_fallback(fast, slow_name):
+    def run(m, X, out, ws):
+        got = fast(m, X, out, ws)
+        if got is not None:
+            return got
+        from repro.ops.registry import get_kernel
+
+        return get_kernel(m, slow_name, "spmm").run(m, X, out, ws)
+
+    return run
+
+
+def _register_all() -> None:
+    if _CNATIVE is not None:
+        tags = (COMPILED_TAG, CNATIVE_TAG)
+        register_kernel(CSRMatrix, "spmv", name="csr_cc", tags=tags)(
+            _cc_csr_spmv
+        )
+        register_kernel(ELLPACKMatrix, "spmv", name="ell_cc", tags=tags)(
+            _cc_ell_spmv
+        )
+        register_kernel(
+            JaggedDiagonalsBase, "spmv", name="jds_cc",
+            supports_permuted=True, tags=tags,
+        )(_cc_jds_spmv)
+        register_kernel(SELLMatrix, "spmv", name="sell_cc", tags=tags)(
+            _cc_sell_spmv
+        )
+        register_kernel(CSRMatrix, "spmm", name="spmm_csr_cc", tags=tags)(
+            _spmm_with_fallback(_cc_csr_spmm, "spmm_csr")
+        )
+        register_kernel(ELLPACKMatrix, "spmm", name="spmm_ell_cc", tags=tags)(
+            _spmm_with_fallback(_cc_ell_spmm, "spmm_ell")
+        )
+        register_kernel(
+            JaggedDiagonalsBase, "spmm", name="spmm_jds_cc", tags=tags
+        )(_spmm_with_fallback(_cc_jds_spmm, "spmm_jds"))
+        register_kernel(SELLMatrix, "spmm", name="spmm_sell_cc", tags=tags)(
+            _spmm_with_fallback(_cc_sell_spmm, "spmm_sell")
+        )
+    if _NUMBA_VERSION is not None:  # pragma: no cover - needs numba
+        tags = (COMPILED_TAG, NUMBA_TAG)
+        register_kernel(CSRMatrix, "spmv", name="csr_numba", tags=tags)(
+            _nb_csr_spmv
+        )
+        register_kernel(ELLPACKMatrix, "spmv", name="ell_numba", tags=tags)(
+            _nb_ell_spmv
+        )
+        register_kernel(
+            JaggedDiagonalsBase, "spmv", name="jds_numba",
+            supports_permuted=True, tags=tags,
+        )(_nb_jds_spmv)
+        register_kernel(SELLMatrix, "spmv", name="sell_numba", tags=tags)(
+            _nb_sell_spmv
+        )
+        register_kernel(CSRMatrix, "spmm", name="spmm_csr_numba", tags=tags)(
+            _spmm_with_fallback(_nb_csr_spmm, "spmm_csr")
+        )
+
+
+_register_all()
+
+
+# ---------------------------------------------------------------------------
+# introspection
+# ---------------------------------------------------------------------------
+
+def kernel_tiers() -> tuple[str, ...]:
+    """The kernel-tier set available in this process, with versions.
+
+    Folded into the autotuner's matrix fingerprint: a decision cached
+    when a tier was absent (say, before Numba was installed) must not
+    survive the tier appearing — the roster it was ranked against is
+    no longer the roster that exists.
+    """
+    tiers = ["numpy"]
+    if _HAVE_CSR_MATVEC:
+        try:
+            import scipy
+
+            tiers.append(f"scipy-{scipy.__version__}")
+        except ImportError:  # pragma: no cover - _HAVE implies scipy
+            tiers.append("scipy")
+    if _CNATIVE is not None:
+        tiers.append(f"cnative-{_CNATIVE.tag}")
+    if _NUMBA_VERSION is not None:  # pragma: no cover - needs numba
+        tiers.append(f"numba-{_NUMBA_VERSION}")
+    return tuple(tiers)
+
+
+def backend_status() -> dict[str, dict]:
+    """Human-readable availability report (``repro ops list`` footer)."""
+    disabled = _disabled()
+    status = {
+        CNATIVE_TAG: {
+            "available": _CNATIVE is not None,
+            "disabled": CNATIVE_TAG in disabled,
+        },
+        NUMBA_TAG: {
+            "available": _NUMBA_VERSION is not None,
+            "disabled": NUMBA_TAG in disabled,
+        },
+    }
+    if _CNATIVE is not None:
+        status[CNATIVE_TAG].update(
+            compiler=_CNATIVE.tag, openmp=_CNATIVE.openmp,
+            library=str(_CNATIVE.path),
+        )
+    if _NUMBA_VERSION is not None:  # pragma: no cover - needs numba
+        status[NUMBA_TAG]["version"] = _NUMBA_VERSION
+    return status
+
+
+def compiled_variant_names() -> dict[str, list[str]]:
+    """Registered compiled-tier variant names per op (for tests/bench)."""
+    from repro.ops.registry import registry_rows
+
+    out: dict[str, list[str]] = {"spmv": [], "spmm": []}
+    for row in registry_rows():
+        if COMPILED_TAG in row["tags"]:
+            out[row["op"]].append(row["variant"])
+    return out

@@ -61,6 +61,9 @@ __all__ = [
     "stored_csr_triplet",
     "spmm_dispatch",
     "spmm_permuted",
+    # compiled tier introspection
+    "kernel_tiers",
+    "backend_status",
     # protocol
     "LinearOperator",
     "FormatOperator",
@@ -85,4 +88,10 @@ def __getattr__(name):
         from repro.ops import spmm_kernels
 
         return getattr(spmm_kernels, name)
+    # the compiled tier builds/loads its shared library on first touch;
+    # resolve lazily so ``import repro.ops`` stays cheap
+    if name in ("kernel_tiers", "backend_status"):
+        from repro.kernels import compiled
+
+        return getattr(compiled, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -154,6 +154,10 @@ def _ensure_loaded() -> None:
             return
         from repro.ops import spmm_kernels, spmv_kernels  # noqa: F401
 
+        # optional compiled tier (cnative / numba); the module imports
+        # cleanly and registers nothing when no backend is available
+        from repro.kernels import compiled  # noqa: F401
+
         _LOADED = True
 
 

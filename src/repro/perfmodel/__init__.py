@@ -31,6 +31,14 @@ from repro.perfmodel.pcie_model import (
     t_mvm,
     t_pci,
 )
+from repro.perfmodel.predict import (
+    TIER_EFFICIENCY,
+    VariantPrediction,
+    explain_rows,
+    predict_spmv,
+    prune_roster,
+    variant_tier,
+)
 
 __all__ = [
     "alpha_bounds",
@@ -56,4 +64,10 @@ __all__ = [
     "ridge_intensity",
     "roofline_series",
     "spmv_intensity",
+    "TIER_EFFICIENCY",
+    "VariantPrediction",
+    "explain_rows",
+    "predict_spmv",
+    "prune_roster",
+    "variant_tier",
 ]

@@ -1,0 +1,252 @@
+"""Model-guided roster scoring: Eq.-1 code balance per kernel variant.
+
+The paper's argument (Sect. II-B) is that spMVM performance is
+*predictable*: the kernel is bandwidth-bound, so time is just bytes
+moved over attainable bandwidth, and the byte count follows from the
+format's storage layout (Eq. 1).  Schubert/Hager/Fehske
+(arXiv:0910.4836) apply the same discipline to multicore hosts.  This
+module turns that into a tuning strategy: instead of timing every
+candidate in the roster, score each one analytically and let the
+autotuner measure only the plausible winners (``top_k`` pruning) —
+O(1) measurements instead of an exhaustive sweep.
+
+Per-variant traffic model (double precision, per spmv call)::
+
+    bytes = S * (v + i + alpha * v)      entry value + index + RHS gather
+          + nrows * 2 * v                LHS read-modify-write (Eq. 1's
+                                         16/Nnzr per flop, un-amortised)
+          + S * extra                    variant-specific spill traffic
+
+where ``S`` is the number of *stored slots the variant actually
+sweeps* (nnz for CSR and the unpadded scipy delegates, the padded
+rectangle/slot count for ELLPACK / JDS / SELL), ``v`` the value
+itemsize, ``i`` the column-index itemsize and ``alpha`` in
+``[1/Nnzr, 1]`` the RHS reuse parameter of Eq. 1 (default: the
+cache-friendly ``1/Nnzr`` lower bound, appropriate for a host whose
+LLC holds the RHS).
+
+``extra`` is what separates the tiers.  A fused compiled kernel
+(scipy / cnative / numba) touches each stored entry exactly once:
+``extra = 0``.  Every pure-NumPy kernel must materialise the gathered
+product ``x[col] * val`` — one write plus one read per slot
+(``extra = 2v``) — unless it is cache-blocked (``blocked`` tag), in
+which case the gather rectangle is reduced while cache-resident and
+only a fraction spills (``extra = v/2``).
+
+Predicted time divides bytes by *effective* bandwidth: the measured
+host copy bandwidth (:func:`repro.obs.profile.measure_host_bandwidth`,
+the same reference the attribution profiler uses) times a per-tier
+efficiency factor that accounts for non-traffic overheads (NumPy
+per-call dispatch, per-column Python loops).  The factors are
+calibration constants, not measurements — they only need to *order*
+the tiers correctly for pruning to keep the true winner in the top-k;
+``bench_kernels.py --prune-quality`` measures how often it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "VariantPrediction",
+    "TIER_EFFICIENCY",
+    "variant_tier",
+    "predict_spmv",
+    "prune_roster",
+    "explain_rows",
+]
+
+#: fraction of the reference copy bandwidth each tier typically
+#: sustains on the spmv sweep (calibration constants; see module doc)
+TIER_EFFICIENCY = {
+    "cnative": 0.90,
+    "numba": 0.85,
+    "scipy": 0.85,
+    "numpy-blocked": 0.60,
+    "numpy": 0.45,
+}
+
+#: tags (in priority order) that decide a variant's tier
+_TIER_TAGS = ("cnative", "numba", "scipy")
+
+
+def variant_tier(tags: tuple[str, ...]) -> str:
+    """Map a kernel's registry tags onto a :data:`TIER_EFFICIENCY` key."""
+    for t in _TIER_TAGS:
+        if t in tags:
+            return t
+    if "blocked" in tags:
+        return "numpy-blocked"
+    return "numpy"
+
+
+@dataclass(frozen=True)
+class VariantPrediction:
+    """Analytic score of one roster candidate on one matrix."""
+
+    name: str
+    tags: tuple[str, ...]
+    tier: str
+    #: stored slots the variant sweeps (padding included where swept)
+    slots: int
+    #: modelled main-memory traffic of one spmv call
+    bytes_per_call: int
+    #: Eq.-1-style code balance of the variant: bytes / (2 * nnz) flops
+    balance: float
+    #: modelled sustainable bandwidth (reference BW x tier efficiency)
+    effective_gbs: float
+    predicted_seconds: float
+
+    @property
+    def predicted_gflops(self) -> float:
+        if self.predicted_seconds <= 0:
+            return 0.0
+        return self._flops / self.predicted_seconds / 1e9
+
+    @property
+    def _flops(self) -> float:
+        # balance is bytes/flop by construction
+        return self.bytes_per_call / self.balance if self.balance else 0.0
+
+
+def _swept_slots(matrix, tags: tuple[str, ...]) -> int:
+    """Stored slots one spmv sweep of this variant touches.
+
+    The scipy delegates sweep unpadded CSR views (nnz entries) even
+    for padded formats; every other kernel walks the format's native
+    layout, padding included.
+    """
+    if "scipy" in tags:
+        return matrix.nnz
+    slots = getattr(matrix, "total_slots", None)  # JDS / pJDS / SELL
+    if slots is not None:
+        return int(slots)
+    width = getattr(matrix, "width", None)  # ELLPACK rectangle
+    if width is not None and hasattr(matrix, "padded_rows"):
+        return int(width) * int(matrix.padded_rows)
+    return matrix.nnz  # CSR / COO
+
+
+def _extra_bytes_per_slot(tier: str, value_bytes: int) -> float:
+    if tier in ("cnative", "numba", "scipy"):
+        return 0.0
+    if tier == "numpy-blocked":
+        return value_bytes / 2.0
+    return 2.0 * value_bytes
+
+
+def _reference_bandwidth() -> float:
+    from repro.obs import profile as _profile
+
+    return _profile.reference_bandwidth_gbs()
+
+
+def predict_spmv(
+    matrix,
+    *,
+    bandwidth_gbs: float | None = None,
+    alpha: float | None = None,
+    candidates=None,
+) -> list[VariantPrediction]:
+    """Score every spmv roster candidate; fastest-predicted first.
+
+    ``bandwidth_gbs`` defaults to the measured host copy bandwidth
+    (cached process-wide by :mod:`repro.obs.profile`); ``alpha``
+    defaults to Eq. 1's ``1/Nnzr`` lower bound.  ``candidates``
+    (sequence of :class:`~repro.ops.registry.KernelSpec`) defaults to
+    the live registry roster for the matrix.
+    """
+    from repro.ops.registry import variants_for
+
+    if candidates is None:
+        candidates = variants_for(matrix)
+    bw = bandwidth_gbs if bandwidth_gbs is not None else _reference_bandwidth()
+    if bw <= 0:
+        raise ValueError(f"bandwidth must be > 0, got {bw}")
+    nrows = max(matrix.nrows, 1)
+    nnzr = max(matrix.nnz / nrows, 1e-9)
+    if alpha is None:
+        alpha = 1.0 / max(nnzr, 1.0)
+    v = np.dtype(matrix.dtype).itemsize
+    flops = 2.0 * max(matrix.nnz, 1)
+
+    preds = []
+    for spec in candidates:
+        tier = variant_tier(spec.tags)
+        slots = max(_swept_slots(matrix, spec.tags), 1)
+        # index itemsize: the registry formats store int64 indices; the
+        # scipy delegates narrow to int32 when the matrix allows it
+        i = 4 if ("scipy" in spec.tags and matrix.nnz < 2**31) else 8
+        base = slots * (v + i + alpha * v) + nrows * 2 * v
+        extra = slots * _extra_bytes_per_slot(tier, v)
+        total = int(base + extra)
+        eff = bw * TIER_EFFICIENCY[tier]
+        secs = total / (eff * 1e9)
+        preds.append(
+            VariantPrediction(
+                name=spec.name,
+                tags=tuple(spec.tags),
+                tier=tier,
+                slots=slots,
+                bytes_per_call=total,
+                balance=total / flops,
+                effective_gbs=eff,
+                predicted_seconds=secs,
+            )
+        )
+    preds.sort(key=lambda p: p.predicted_seconds)
+    return preds
+
+
+def prune_roster(
+    matrix,
+    top_k: int = 3,
+    *,
+    bandwidth_gbs: float | None = None,
+    candidates=None,
+) -> tuple[list[str], list[str], list[VariantPrediction]]:
+    """``(keep, dropped, predictions)`` for model-guided tuning.
+
+    ``keep`` holds the ``top_k`` fastest-predicted candidate names (in
+    predicted order); the autotuner times only those.  Guarantees at
+    least one candidate survives whatever ``top_k`` says.
+    """
+    if top_k < 1:
+        raise ValueError(f"top_k must be >= 1, got {top_k}")
+    preds = predict_spmv(
+        matrix, bandwidth_gbs=bandwidth_gbs, candidates=candidates
+    )
+    keep = [p.name for p in preds[:top_k]]
+    dropped = [p.name for p in preds[top_k:]]
+    return keep, dropped, preds
+
+
+def explain_rows(
+    preds: list[VariantPrediction],
+    *,
+    keep: list[str] | None = None,
+    timings: dict[str, float] | None = None,
+) -> list[dict]:
+    """JSON/CLI-friendly rows merging predictions with measurements."""
+    rows = []
+    for p in preds:
+        row = {
+            "variant": p.name,
+            "tier": p.tier,
+            "slots": p.slots,
+            "model_bytes": p.bytes_per_call,
+            "balance_bytes_per_flop": round(p.balance, 3),
+            "predicted_us": round(p.predicted_seconds * 1e6, 2),
+            "predicted_gbs": round(p.effective_gbs, 2),
+            "kept": keep is None or p.name in keep,
+        }
+        if timings is not None and p.name in timings:
+            t = timings[p.name]
+            row["measured_us"] = round(t * 1e6, 2)
+            row["measured_gbs"] = (
+                round(p.bytes_per_call / t / 1e9, 2) if t > 0 else None
+            )
+        rows.append(row)
+    return rows

@@ -325,6 +325,199 @@ class TestParityMatrix:
 
 
 # ---------------------------------------------------------------------------
+# satellite: the optional compiled kernel tier (cnative / numba)
+# ---------------------------------------------------------------------------
+
+import pathlib  # noqa: E402
+
+from repro.kernels import compiled as compiled_mod  # noqa: E402
+
+_REPO_ROOT = str(pathlib.Path(__file__).resolve().parent.parent)
+_CNATIVE_OK = compiled_mod.backend_status()["cnative"]["available"]
+_NUMBA_OK = compiled_mod.backend_status()["numba"]["available"]
+
+#: compiled variant -> the NumPy variant whose accumulation order it
+#: reproduces exactly (sequential ascending per-row sums from zero), so
+#: float64 agreement is *bitwise*, not just allclose
+_BITWISE_PAIRS = {
+    "CRS": ("csr_cc", "csr_numba", "csr_bincount"),
+    "ELLPACK-R": ("ell_cc", "ell_numba", "ell_sweep"),
+    "pJDS": ("jds_cc", "jds_numba", "jds_sweep"),
+    "SELL-C-sigma": ("sell_cc", "sell_numba", "sell_chunks"),
+}
+
+_SPMM_PAIRS = {
+    "CRS": ("spmm_csr_cc", "spmm_csr_scipy"),
+    "ELLPACK-R": ("spmm_ell_cc", None),
+    "pJDS": ("spmm_jds_cc", None),
+    "SELL-C-sigma": ("spmm_sell_cc", None),
+}
+
+
+def _compiled_case_matrices():
+    return {
+        "random-square": random_coo(60, seed=3),
+        # empty rows stress the row-pointer walk / zero-length jagged tail
+        "empty-rows": random_coo(50, seed=31, empty_row_fraction=0.4),
+        "single-dense-row": single_dense_row_coo(),
+    }
+
+
+class TestCompiledTier:
+    def test_module_imports_and_reports_status(self):
+        status = compiled_mod.backend_status()
+        assert set(status) == {"cnative", "numba"}
+        for rec in status.values():
+            assert "available" in rec
+        tiers = compiled_mod.kernel_tiers()
+        assert tiers[0] == "numpy"
+
+    def test_guarded_import_registers_nothing_when_disabled(self):
+        """With every backend disabled the module must import cleanly,
+        register nothing, and leave the CLI working (satellite 2)."""
+        import json
+        import os
+        import subprocess
+        import sys
+
+        code = (
+            "import json\n"
+            "from repro.ops import variant_names_for, kernel_tiers\n"
+            "from repro.formats.csr import CSRMatrix\n"
+            "from repro.kernels import compiled\n"
+            "print(json.dumps({'roster': variant_names_for(CSRMatrix),"
+            " 'tiers': list(kernel_tiers()),"
+            " 'status': compiled.backend_status()}))\n"
+        )
+        env = dict(os.environ, REPRO_COMPILED_DISABLE="numba,cnative")
+        env["PYTHONPATH"] = os.path.join(_REPO_ROOT, "src")
+        out = subprocess.run(
+            [sys.executable, "-c", code], env=env, cwd=_REPO_ROOT,
+            capture_output=True, text=True, check=True,
+        )
+        got = json.loads(out.stdout)
+        # this module's own registrations (the scipy delegates also
+        # carry the "compiled" tag but are not guarded by the env knob)
+        compiled_names = {
+            r["variant"] for r in registry_rows()
+            if {"cnative", "numba"} & set(r["tags"])
+        }
+        assert compiled_names or not _CNATIVE_OK
+        assert not (set(got["roster"]) & compiled_names)
+        assert got["tiers"][0] == "numpy"
+        assert all(t.startswith(("numpy", "scipy")) for t in got["tiers"])
+        assert not got["status"]["cnative"]["available"]
+        # ... and the registry CLI still answers
+        cli = subprocess.run(
+            [sys.executable, "-m", "repro", "ops", "list"], env=env,
+            cwd=_REPO_ROOT, capture_output=True, text=True, check=True,
+        )
+        assert "kernels registered" in cli.stdout
+        for name in compiled_names:
+            assert name not in cli.stdout
+
+    @pytest.mark.parametrize("backend", ["cnative", "numba"])
+    @pytest.mark.parametrize("fmt", sorted(_BITWISE_PAIRS))
+    def test_spmv_bitwise_vs_numpy(self, fmt, backend):
+        if backend == "cnative" and not _CNATIVE_OK:
+            pytest.skip("no C compiler / cnative backend")
+        if backend == "numba" and not _NUMBA_OK:
+            pytest.skip("numba not installed")
+        cc_name, nb_name, ref_name = _BITWISE_PAIRS[fmt]
+        name = cc_name if backend == "cnative" else nb_name
+        for case, coo in _compiled_case_matrices().items():
+            m = convert(coo, fmt)
+            assert name in variant_names_for(m), f"{name} not in roster"
+            rng = np.random.default_rng(7)
+            x = rng.standard_normal(m.ncols)
+            got = bind(m, tune=False, variant=name).spmv(x)
+            ref = bind(m, tune=False, variant=ref_name).spmv(x)
+            np.testing.assert_array_equal(
+                got, ref, err_msg=f"{fmt}/{name}/{case} not bitwise"
+            )
+
+    @pytest.mark.skipif(not _CNATIVE_OK, reason="no cnative backend")
+    @pytest.mark.parametrize("fmt", sorted(_BITWISE_PAIRS))
+    def test_spmv_compiled_noncontiguous_and_empty(self, fmt):
+        name = _BITWISE_PAIRS[fmt][0]
+        # non-contiguous RHS: the glue must densify without changing bits
+        coo = random_coo(30, seed=9)
+        m = convert(coo, fmt)
+        rng = np.random.default_rng(8)
+        wide = rng.standard_normal(2 * m.ncols)
+        x = wide[::2]
+        assert not x.flags.c_contiguous
+        got = bind(m, tune=False, variant=name).spmv(x)
+        ref = bind(m, tune=False, variant=name).spmv(np.ascontiguousarray(x))
+        np.testing.assert_array_equal(got, ref)
+        # 0x0 degenerate
+        z = convert(empty_coo(), fmt)
+        out = bind(z, tune=False, variant=name).spmv(np.empty(0))
+        assert out.shape == (0,)
+
+    @pytest.mark.skipif(not _CNATIVE_OK, reason="no cnative backend")
+    @pytest.mark.parametrize("fmt", ["JDS", "pJDS"])
+    def test_spmv_compiled_permuted_bitwise(self, fmt):
+        coo = random_coo(48, seed=21)
+        m = convert(coo, fmt)
+        rng = np.random.default_rng(22)
+        x_perm = m.permutation.to_permuted(rng.standard_normal(m.ncols))
+        spec = get_variant(m, "jds_cc")
+        assert spec.supports_permuted
+        got = bind(m, tune=False, variant="jds_cc").spmv_permuted(x_perm).copy()
+        ref = bind(m, tune=False, variant="jds_sweep").spmv_permuted(x_perm)
+        np.testing.assert_array_equal(got, ref)
+
+    @pytest.mark.skipif(not _CNATIVE_OK, reason="no cnative backend")
+    @pytest.mark.parametrize("order", ["C", "F", "sliced"])
+    @pytest.mark.parametrize("fmt", sorted(_SPMM_PAIRS))
+    def test_spmm_compiled_parity(self, fmt, order):
+        name = _SPMM_PAIRS[fmt][0]
+        coo = random_coo(35, seed=13)
+        m = convert(coo, fmt)
+        A = dense_of(coo)
+        rng = np.random.default_rng(14)
+        if order == "sliced":
+            X = rng.standard_normal((m.ncols, 8))[:, ::2]
+        else:
+            X = np.asarray(rng.standard_normal((m.ncols, 4)), order=order)
+        spec = next(
+            k for k in kernels_for(m, "spmm") if k.name == name
+        )
+        Xc = np.ascontiguousarray(X, dtype=m.dtype)
+        out = np.zeros((m.nrows, Xc.shape[1]), dtype=m.dtype)
+        got = spec.run(m, Xc, out, Workspace())
+        np.testing.assert_allclose(
+            got, A @ X, rtol=1e-12, atol=1e-12, err_msg=f"{fmt}/{name}/{order}"
+        )
+
+    @pytest.mark.skipif(not _CNATIVE_OK, reason="no cnative backend")
+    def test_spmm_noncontiguous_falls_back(self):
+        """The cnative spmm glue refuses non-C-contiguous X; the
+        registered wrapper must silently delegate to the NumPy path."""
+        coo = random_coo(25, seed=19)
+        m = convert(coo, "CRS")
+        A = dense_of(coo)
+        spec = next(
+            k for k in kernels_for(m, "spmm") if k.name == "spmm_csr_cc"
+        )
+        X = np.asfortranarray(
+            np.random.default_rng(20).standard_normal((m.ncols, 4))
+        )
+        out = np.zeros((m.nrows, 4), dtype=m.dtype)
+        got = spec.run(m, X, out, Workspace())
+        np.testing.assert_allclose(got, A @ X, rtol=1e-12, atol=1e-12)
+
+    def test_compiled_variants_carry_tier_tags(self):
+        rows = registry_rows()
+        for r in rows:
+            if r["variant"].endswith("_cc") or "_cc" in r["variant"]:
+                assert "compiled" in r["tags"] and "cnative" in r["tags"], r
+            if r["variant"].endswith("_numba"):
+                assert "compiled" in r["tags"] and "numba" in r["tags"], r
+
+
+# ---------------------------------------------------------------------------
 # tentpole: the LinearOperator protocol
 # ---------------------------------------------------------------------------
 
