@@ -16,6 +16,9 @@ Examples
         --metrics-out metrics.prom        # instrumented run + artifacts
     python -m repro serve --port 8080 --matrix sAMG --max-batch 32
                                           # micro-batching HTTP server
+    python -m repro serve --fleet 4 --replicas 2 --slo
+                                          # sharded fleet + autoscaler
+    python -m repro fleet status --url http://127.0.0.1:8000
 
 Heavy experiments accept ``--scale`` (matrix shrink factor relative to
 the paper dimensions; larger = faster).
@@ -412,6 +415,90 @@ def _resolve_format(name: str) -> str:
     return canon[key]
 
 
+def _serve_fleet(args, out) -> int:
+    """Fleet branch of ``repro serve``: N shards behind the router.
+
+    Matrices are materialised up front (row blocks have to be cut and
+    shipped to shards), served as CRS with the deterministic
+    ``csr_scipy`` kernel so sharded answers stay bitwise-equal to a
+    single server's.  ``--slo`` additionally wires the fleet SLO
+    monitor and the worker-pool autoscaler.
+    """
+    from repro.formats import convert
+    from repro.matrices import generate
+    from repro.serve import (
+        AutoscalePolicy,
+        Autoscaler,
+        Fleet,
+        FleetRouter,
+        run_http_server,
+    )
+
+    fleet = Fleet(
+        args.fleet,
+        mode=args.fleet_mode,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        max_queue=args.max_queue,
+        policy=args.policy,
+    )
+    hedge_ms = args.hedge_ms if args.replicas > 1 else None
+    router = FleetRouter(
+        fleet,
+        replicas=args.replicas,
+        blocks=args.blocks,
+        seed=args.seed,
+        hedge_delay_ms=hedge_ms,
+    )
+    for spec in args.matrix or ["sAMG"]:
+        name, _, key = spec.partition("=")
+        router.register(
+            name, convert(generate(key or name, scale=args.scale,
+                                   seed=args.seed), "CRS")
+        )
+    for path in args.mtx:
+        from pathlib import Path
+
+        from repro.matrices import read_matrix_market
+
+        router.register(
+            Path(path).stem, convert(read_matrix_market(path), "CRS")
+        )
+    monitor = None
+    if args.slo:
+        from repro.obs.slo import SLOMonitor, default_fleet_slos
+
+        monitor = SLOMonitor(
+            default_fleet_slos(p99_latency_s=args.slo_p99_ms / 1e3)
+        )
+        monitor.start()
+        scaler = Autoscaler(
+            router,
+            monitor=monitor,
+            policy=AutoscalePolicy(
+                min_workers=max(1, args.workers),
+                max_workers=max(args.workers, 4 * args.workers),
+            ),
+        )
+        scaler.start()
+        router.attach_autoscaler(scaler, monitor)
+        print(
+            f"fleet SLO monitor + autoscaler on "
+            f"(p99 < {args.slo_p99_ms:g} ms): GET /sloz",
+            file=out,
+        )
+    print(
+        f"fleet: {args.fleet} {args.fleet_mode} shard(s), "
+        f"replicas={args.replicas}, "
+        f"blocks={args.blocks or args.fleet}/matrix, "
+        f"hedge={'off' if hedge_ms is None else f'{hedge_ms:g}ms'} "
+        f"— GET /fleetz",
+        file=out,
+    )
+    return run_http_server(router, args.host, args.port, out=out, slo=monitor)
+
+
 def cmd_serve(args, out) -> int:
     """``repro serve --port N``: boot the HTTP serving front-end.
 
@@ -419,12 +506,17 @@ def cmd_serve(args, out) -> int:
     on first request), builds the micro-batching scheduler with the
     given admission-control policy, and serves ``/v1/spmv``,
     ``/v1/solve``, ``/healthz`` and ``/statz`` until interrupted.
+    With ``--fleet N`` the backend is N sharded servers behind the
+    scatter/gather :class:`~repro.serve.router.FleetRouter` instead
+    (adds ``/fleetz``; see ``repro fleet status``).
     """
     from repro import obs
     from repro.serve import Client, MatrixRegistry, SpMVServer, run_http_server
 
     if args.obs or args.slo:
         obs.enable()
+    if args.fleet:
+        return _serve_fleet(args, out)
     budget = None if args.budget_mb is None else int(args.budget_mb * 2**20)
     registry = MatrixRegistry(budget_bytes=budget)
     for spec in args.matrix or ["sAMG"]:
@@ -470,6 +562,88 @@ def cmd_serve(args, out) -> int:
         file=out,
     )
     return run_http_server(Client(server), args.host, args.port, out=out, slo=slo)
+
+
+def cmd_fleet(args, out) -> int:
+    """``repro fleet status --url ...``: render a running fleet's /fleetz.
+
+    Prints per-shard liveness / queue depth / worker counts, the block
+    placement of every registered matrix, and the autoscaler's recent
+    decisions.  ``--json`` dumps the raw payload instead.
+    """
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    url = args.url.rstrip("/") + "/fleetz"
+    try:
+        with urllib.request.urlopen(url, timeout=args.timeout) as resp:
+            payload = _json.load(resp)
+    except urllib.error.HTTPError as exc:
+        detail = ""
+        try:
+            detail = _json.load(exc).get("error", "")
+        except Exception:  # noqa: BLE001 - body is best-effort
+            pass
+        print(f"fleet status failed: HTTP {exc.code} {detail}".rstrip(),
+              file=out)
+        return 1
+    except OSError as exc:
+        print(f"fleet status failed: cannot reach {url}: {exc}", file=out)
+        return 1
+    if args.json:
+        print(_json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 0
+
+    req = payload.get("requests", {})
+    print(
+        f"fleet: {payload.get('nshards')} {payload.get('mode')} shard(s), "
+        f"replicas={payload.get('replicas')}, "
+        f"requests ok={req.get('ok', 0)} degraded={req.get('degraded', 0)} "
+        f"partial={req.get('partial', 0)} error={req.get('error', 0)}, "
+        f"hedges={payload.get('hedges', 0)} "
+        f"failovers={payload.get('failovers', 0)}",
+        file=out,
+    )
+    print("shards:", file=out)
+    for row in payload.get("shards", []):
+        if row.get("alive"):
+            print(
+                f"  shard {row['shard']}: up, "
+                f"queue={row.get('queue_depth', 0)}, "
+                f"workers={row.get('live_workers', row.get('workers', '?'))}",
+                file=out,
+            )
+        else:
+            print(
+                f"  shard {row['shard']}: DOWN ({row.get('reason', '?')})",
+                file=out,
+            )
+    placements = payload.get("placements", {})
+    if placements:
+        print("placement:", file=out)
+        for name in sorted(placements):
+            pl = placements[name]
+            blocks = " ".join(
+                f"[{b['rows'][0]}:{b['rows'][1]})->"
+                + ",".join(str(s) for s in b["replicas"])
+                for b in pl.get("blocks", [])
+            )
+            print(f"  {name}: {blocks}", file=out)
+    scaler = payload.get("autoscaler")
+    if scaler:
+        print(
+            f"autoscaler: {scaler.get('evaluations', 0)} evaluations, "
+            f"workers={scaler.get('workers', {})}",
+            file=out,
+        )
+        for d in scaler.get("decisions", []):
+            print(
+                f"  shard {d['shard']}: {d['from']}->{d['to']} "
+                f"({d['direction']}, {d['reason']})",
+                file=out,
+            )
+    return 0
 
 
 def _obs_trace(args, out) -> int:
@@ -1002,6 +1176,35 @@ def build_parser() -> argparse.ArgumentParser:
                          "adds GET /sloz and the slo section of /statz)")
     pv.add_argument("--slo-p99-ms", type=float, default=500.0,
                     help="p99 latency objective for the default serve SLOs")
+    pv.add_argument("--fleet", type=int, default=0, metavar="N",
+                    help="run N server shards behind the scatter/gather "
+                         "router instead of one in-process server")
+    pv.add_argument("--replicas", type=int, default=1, metavar="R",
+                    help="copies of each row block across shards "
+                         "(fleet mode; R <= N)")
+    pv.add_argument("--fleet-mode", choices=("process", "inproc"),
+                    default="process",
+                    help="shard transport: separate OS processes or "
+                         "threads in this process")
+    pv.add_argument("--blocks", type=int, default=None,
+                    help="row blocks per matrix (fleet mode; default: "
+                         "one per shard)")
+    pv.add_argument("--hedge-ms", type=float, default=20.0,
+                    help="router hedge delay before racing a second "
+                         "replica (fleet mode with --replicas >= 2)")
+
+    pf = sub.add_parser(
+        "fleet", help="inspect a running serve fleet over HTTP"
+    )
+    fsub = pf.add_subparsers(dest="fleet_command", required=True)
+    pfs = fsub.add_parser(
+        "status", help="per-shard placement, queue depth, autoscaler log"
+    )
+    pfs.add_argument("--url", default="http://127.0.0.1:8000",
+                     help="base URL of the serve front-end")
+    pfs.add_argument("--timeout", type=float, default=5.0)
+    pfs.add_argument("--json", action="store_true",
+                     help="print the raw /fleetz payload")
 
     pc = sub.add_parser(
         "chaos", help="replay a fault plan against the runtime; report recovery"
@@ -1098,6 +1301,7 @@ _COMMANDS = {
     "ops": cmd_ops,
     "obs": cmd_obs,
     "serve": cmd_serve,
+    "fleet": cmd_fleet,
     "chaos": cmd_chaos,
 }
 

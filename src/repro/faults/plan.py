@@ -8,7 +8,7 @@ labels), and *how often* it may fire.  Plans come from three places:
   seed always produces the same plan (the determinism contract the
   chaos tests assert),
 * :meth:`FaultPlan.named` — curated plans (``smoke``, ``exchange``,
-  ``crashes``, ``stubborn``, ``serve``, ``soak``) used by the
+  ``crashes``, ``stubborn``, ``serve``, ``fleet``, ``soak``) used by the
   ``repro chaos`` CLI and CI,
 * explicit construction from events in tests.
 
@@ -29,6 +29,7 @@ kernel_exception      any            the compute kernel raises
 slow_worker           any            the worker sleeps ``delay_s``
 worker_crash          serve          a batcher worker thread dies
 registry_load_failure serve          the matrix loader fails
+shard_kill            serve          a fleet shard process is killed
 ====================  =============  =====================================
 """
 
@@ -53,6 +54,7 @@ FAULT_KINDS = (
     "slow_worker",
     "worker_crash",
     "registry_load_failure",
+    "shard_kill",
 )
 
 FAULT_LAYERS = ("distributed", "serve", "engine", "sim")
@@ -74,6 +76,7 @@ _DEFAULT_LAYER = {
     "slow_worker": "distributed",
     "worker_crash": "serve",
     "registry_load_failure": "serve",
+    "shard_kill": "serve",
 }
 
 
@@ -351,6 +354,26 @@ def _plan_serve(*, nranks: int, workers: int, delay_s: float) -> FaultPlan:
     return FaultPlan(tuple(events), name="serve")
 
 
+def _plan_fleet(*, nranks: int, workers: int, delay_s: float) -> FaultPlan:
+    """Fleet drill: kill one shard mid-load, slow a worker on another.
+
+    ``nranks`` doubles as the shard count; the victim is the last
+    shard so single-shard fleets still get a kill.
+    """
+    victim = max(nranks - 1, 0)
+    events = [
+        FaultEvent("shard_kill", 0.3, layer="serve", target={"shard": victim}),
+        FaultEvent(
+            "slow_worker",
+            0.1,
+            layer="serve",
+            target={"shard": 0, "worker": 0},
+            delay_s=delay_s,
+        ),
+    ]
+    return FaultPlan(tuple(events), name="fleet")
+
+
 def _plan_soak(*, nranks: int, workers: int, delay_s: float) -> FaultPlan:
     """A long generated schedule for soak testing (seeded, still
     deterministic)."""
@@ -366,5 +389,6 @@ NAMED_PLANS: dict = {
     "crashes": _plan_crashes,
     "stubborn": _plan_stubborn,
     "serve": _plan_serve,
+    "fleet": _plan_fleet,
     "soak": _plan_soak,
 }

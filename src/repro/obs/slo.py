@@ -43,6 +43,7 @@ __all__ = [
     "SLOSpec",
     "SLOMonitor",
     "default_serve_slos",
+    "default_fleet_slos",
 ]
 
 _KINDS = ("latency_p99", "error_rate", "queue_depth")
@@ -118,6 +119,53 @@ def default_serve_slos(
             kind="queue_depth",
             objective=max_queue_depth,
             metric="serve_queue_depth",
+            budget=0.10,
+            window_s=window_s,
+            fast_window_s=fast_window_s,
+        ),
+    ]
+
+
+def default_fleet_slos(
+    *,
+    p99_latency_s: float = 0.5,
+    error_budget: float = 0.05,
+    max_queue_depth: float = 64,
+    window_s: float = 60.0,
+    fast_window_s: float = 5.0,
+) -> list[SLOSpec]:
+    """The stock objectives for a fleet router (``repro serve --fleet --slo``).
+
+    Same three signals as :func:`default_serve_slos`, read from the
+    fleet-level metrics the :class:`~repro.serve.router.FleetRouter`
+    publishes: end-to-end scatter/gather latency, router request
+    status (``ok`` is good; ``degraded``/``partial``/``error`` burn
+    the budget), and the worst per-shard queue depth.
+    """
+    return [
+        SLOSpec(
+            name="fleet-latency-p99",
+            kind="latency_p99",
+            objective=p99_latency_s,
+            metric="fleet_request_seconds",
+            budget=0.05,
+            window_s=window_s,
+            fast_window_s=fast_window_s,
+        ),
+        SLOSpec(
+            name="fleet-error-rate",
+            kind="error_rate",
+            objective=error_budget,
+            metric="fleet_requests_total",
+            budget=0.05,
+            window_s=window_s,
+            fast_window_s=fast_window_s,
+        ),
+        SLOSpec(
+            name="fleet-queue-depth",
+            kind="queue_depth",
+            objective=max_queue_depth,
+            metric="fleet_queue_depth",
             budget=0.10,
             window_s=window_s,
             fast_window_s=fast_window_s,

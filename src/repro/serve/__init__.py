@@ -1,4 +1,4 @@
-"""repro.serve — concurrent SpMV serving: registry, batching, admission.
+"""repro.serve — concurrent SpMV serving: registry, batching, fleet.
 
 The serving subsystem turns the repo's batch primitives into a
 long-lived process that can take heavy concurrent traffic:
@@ -12,44 +12,68 @@ long-lived process that can take heavy concurrent traffic:
   — the Eq. (1) bandwidth argument applied to serving.  Admission
   control bounds the queue with ``block`` / ``reject`` / ``shed-oldest``
   backpressure and enforces per-request deadlines before work reaches
-  a worker.
+  a worker; :meth:`~repro.serve.scheduler.SpMVServer.resize_workers`
+  is the autoscaler's actuator.
 * :mod:`repro.serve.client` — the in-process API (``spmv``, ``solve``,
   ``eigsh``, ``stats``).
+* :mod:`repro.serve.fleet` / :mod:`repro.serve.router` /
+  :mod:`repro.serve.autoscale` — the sharded fleet: N shard hosts
+  (processes or threads) each owning nnz-balanced row blocks of the
+  registered matrices, a consistent-hash :class:`FleetRouter` doing
+  scatter/gather spmv with replica failover and hedging, and an
+  SLO-burn-driven :class:`Autoscaler` resizing shard worker pools
+  (``repro serve --fleet N``).
 * :mod:`repro.serve.http` — stdlib JSON endpoint (``repro serve
-  --port N``): ``/v1/spmv``, ``/v1/solve``, ``/healthz``, ``/statz``.
+  --port N``): ``/v1/spmv``, ``/v1/solve``, ``/healthz``, ``/statz``,
+  ``/fleetz``.
 * :mod:`repro.serve.errors` — the error taxonomy
-  (:class:`ServerOverloaded`, :class:`DeadlineExceeded`, ...), each
-  mapped to one HTTP status.
+  (:class:`ServerOverloaded`, :class:`DeadlineExceeded`,
+  :class:`ShardDown`, ...), each mapped to one HTTP status.
 
-See ``docs/serving.md`` for architecture, window semantics and the
-metrics table.
+See ``docs/serving.md`` and ``docs/fleet.md`` for architecture,
+window semantics and the metrics tables.
 """
 
+from repro.serve.autoscale import AutoscalePolicy, Autoscaler
 from repro.serve.client import Client
 from repro.serve.errors import (
     DeadlineExceeded,
+    FleetDegraded,
     MatrixNotFound,
     RegistryLoadFailed,
     ServeError,
     ServerClosed,
     ServerOverloaded,
+    ShardDown,
 )
+from repro.serve.fleet import Fleet, ShardConfig
 from repro.serve.http import make_http_server, run_http_server
 from repro.serve.registry import MatrixLease, MatrixRegistry, MatrixSpec
+from repro.serve.router import FleetRouter, HashRing, Placement, RoutedOperator
 from repro.serve.scheduler import POLICIES, SpMVServer
 
 __all__ = [
+    "AutoscalePolicy",
+    "Autoscaler",
     "Client",
     "DeadlineExceeded",
+    "Fleet",
+    "FleetDegraded",
+    "FleetRouter",
+    "HashRing",
     "MatrixLease",
     "MatrixNotFound",
     "MatrixRegistry",
     "MatrixSpec",
     "POLICIES",
+    "Placement",
     "RegistryLoadFailed",
+    "RoutedOperator",
     "ServeError",
     "ServerClosed",
     "ServerOverloaded",
+    "ShardConfig",
+    "ShardDown",
     "SpMVServer",
     "make_http_server",
     "run_http_server",

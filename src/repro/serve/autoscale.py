@@ -1,0 +1,255 @@
+"""SLO-driven autoscaler for fleet shard worker pools.
+
+The controller closes the loop between the signals the serve stack
+already publishes and the one actuator the scheduler grew for it,
+:meth:`~repro.serve.scheduler.SpMVServer.resize_workers`:
+
+* **inputs** — an :class:`~repro.obs.slo.SLOMonitor` over the fleet
+  SLOs (:func:`~repro.obs.slo.default_fleet_slos`: p99 latency,
+  error rate, queue depth — each a burn-rate alert, not a raw
+  threshold) plus the live per-shard queue depths from
+  :meth:`~repro.serve.router.FleetRouter.shard_queue_depths`;
+* **policy** — :class:`AutoscalePolicy`: scale *up* by ``step``
+  workers on any firing SLO or per-worker queue pressure above
+  ``queue_high``, scale *down* only after ``scale_down_after``
+  consecutive calm evaluations below ``queue_low`` (scale-up is
+  twitchy, scale-down is patient — the standard asymmetry), both
+  bounded by ``[min_workers, max_workers]`` and separated by
+  ``cooldown_s`` per shard;
+* **outputs** — every decision is applied via
+  ``shard.resize_workers``, recorded on the bounded
+  :meth:`Autoscaler.decisions` log (the ``repro fleet status``
+  payload), counted in ``fleet_autoscale_decisions_total`` and
+  emitted as a ``fleet.autoscale`` span.
+
+:meth:`Autoscaler.evaluate` is a pure step (injectable clock, no
+thread) so tests drive it deterministically; :meth:`Autoscaler.start`
+runs it on a daemon thread for ``repro serve --fleet --slo``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro import obs
+
+__all__ = ["AutoscalePolicy", "Autoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Bounds and thresholds of the scaling controller."""
+
+    min_workers: int = 1
+    max_workers: int = 4
+    #: workers added (removed) per scale-up (scale-down) decision
+    step: int = 1
+    #: minimum seconds between decisions for the same shard
+    cooldown_s: float = 10.0
+    #: queued requests per worker that trigger a scale-up
+    queue_high: float = 8.0
+    #: queued requests per worker below which an evaluation counts calm
+    queue_low: float = 1.0
+    #: consecutive calm evaluations before a scale-down
+    scale_down_after: int = 3
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_workers <= self.max_workers:
+            raise ValueError(
+                "need 1 <= min_workers <= max_workers, got "
+                f"{self.min_workers} / {self.max_workers}"
+            )
+        if self.step < 1:
+            raise ValueError(f"step must be >= 1, got {self.step}")
+        if self.queue_low > self.queue_high:
+            raise ValueError("queue_low must be <= queue_high")
+        if self.scale_down_after < 1:
+            raise ValueError("scale_down_after must be >= 1")
+
+
+class _ShardControl:
+    """Per-shard controller state."""
+
+    __slots__ = ("workers", "last_change", "calm_streak")
+
+    def __init__(self, workers: int):
+        self.workers = workers
+        self.last_change = float("-inf")
+        self.calm_streak = 0
+
+
+class Autoscaler:
+    """Grows/shrinks per-shard worker pools from SLO burn + queue depth."""
+
+    def __init__(
+        self,
+        router,
+        *,
+        policy: AutoscalePolicy | None = None,
+        monitor=None,
+        clock=time.monotonic,
+        max_decisions: int = 256,
+    ):
+        self.router = router
+        self.policy = policy or AutoscalePolicy()
+        self.monitor = monitor
+        self._clock = clock
+        self._decisions: deque[dict] = deque(maxlen=max_decisions)
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self.evaluations = 0
+        self._shards = {
+            s.shard_id: _ShardControl(
+                max(self.policy.min_workers,
+                    min(s.config.workers, self.policy.max_workers))
+            )
+            for s in router.fleet.shards
+        }
+
+    # -- the controller step ----------------------------------------------
+    def evaluate(self, now: float | None = None) -> list[dict]:
+        """One control step; returns the decisions it made (maybe [])."""
+        now = self._clock() if now is None else now
+        firing = list(self.monitor.firing()) if self.monitor is not None else []
+        depths = self.router.shard_queue_depths()
+        made: list[dict] = []
+        with self._lock:
+            self.evaluations += 1
+            for sid, ctl in self._shards.items():
+                depth = depths.get(sid)
+                if depth is None:  # dead or unreachable: nothing to steer
+                    continue
+                pressure = depth / max(ctl.workers, 1)
+                want = ctl.workers
+                reason = ""
+                if firing or pressure >= self.policy.queue_high:
+                    ctl.calm_streak = 0
+                    want = min(
+                        ctl.workers + self.policy.step, self.policy.max_workers
+                    )
+                    reason = (
+                        f"slo:{','.join(firing)}" if firing
+                        else f"queue pressure {pressure:.1f}"
+                    )
+                elif pressure <= self.policy.queue_low:
+                    ctl.calm_streak += 1
+                    if ctl.calm_streak >= self.policy.scale_down_after:
+                        want = max(
+                            ctl.workers - self.policy.step,
+                            self.policy.min_workers,
+                        )
+                        reason = f"calm x{ctl.calm_streak}"
+                else:
+                    ctl.calm_streak = 0
+                if want == ctl.workers:
+                    continue
+                if now - ctl.last_change < self.policy.cooldown_s:
+                    continue
+                decision = self._apply_locked(sid, ctl, want, reason, now)
+                if decision is not None:
+                    made.append(decision)
+        return made
+
+    def _apply_locked(self, sid, ctl, want, reason, now) -> dict | None:
+        direction = "up" if want > ctl.workers else "down"
+        try:
+            self.router.fleet.shard(sid).resize_workers(want)
+        except Exception as exc:  # noqa: BLE001 - shard died under us
+            self._decisions.append(
+                {
+                    "t": now,
+                    "shard": sid,
+                    "direction": direction,
+                    "from": ctl.workers,
+                    "to": want,
+                    "reason": reason,
+                    "applied": False,
+                    "error": str(exc),
+                }
+            )
+            return None
+        decision = {
+            "t": now,
+            "shard": sid,
+            "direction": direction,
+            "from": ctl.workers,
+            "to": want,
+            "reason": reason,
+            "applied": True,
+        }
+        ctl.workers = want
+        ctl.last_change = now
+        if direction == "down":
+            ctl.calm_streak = 0
+        self._decisions.append(decision)
+        if obs.enabled():
+            obs.inc(
+                "fleet_autoscale_decisions_total",
+                1,
+                direction=direction,
+                shard=str(sid),
+            )
+            obs.set_gauge("fleet_shard_workers", float(want), shard=str(sid))
+            with obs.span(
+                "fleet.autoscale",
+                shard=sid,
+                direction=direction,
+                workers=want,
+                reason=reason,
+            ):
+                pass
+        return decision
+
+    # -- background loop ---------------------------------------------------
+    def start(self, interval_s: float = 1.0) -> None:
+        """Run :meth:`evaluate` on a daemon thread every ``interval_s``."""
+        if self._thread is not None:
+            return
+
+        def loop() -> None:
+            while not self._stop.wait(interval_s):
+                try:
+                    self.evaluate()
+                except Exception:  # pragma: no cover - keep steering
+                    pass
+
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=loop, name="fleet-autoscaler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    # -- reporting ---------------------------------------------------------
+    def decisions(self) -> list[dict]:
+        with self._lock:
+            return list(self._decisions)
+
+    def state(self) -> dict:
+        with self._lock:
+            return {
+                "evaluations": self.evaluations,
+                "policy": {
+                    "min_workers": self.policy.min_workers,
+                    "max_workers": self.policy.max_workers,
+                    "step": self.policy.step,
+                    "cooldown_s": self.policy.cooldown_s,
+                    "queue_high": self.policy.queue_high,
+                    "queue_low": self.policy.queue_low,
+                    "scale_down_after": self.policy.scale_down_after,
+                },
+                "workers": {
+                    str(sid): ctl.workers for sid, ctl in self._shards.items()
+                },
+                "decisions": list(self._decisions)[-16:],
+            }

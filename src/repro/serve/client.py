@@ -63,6 +63,11 @@ class Client:
         #: client (best-effort under concurrency; a convenience for
         #: ``repro obs trace`` and tests, not a correctness surface)
         self.last_trace_id: str | None = None
+        self._hedge_lock = threading.Lock()
+        #: outcome accounting for abandoned hedge submissions — a
+        #: losing hedge must never surface its late error through the
+        #: winning call (see :meth:`spmv_hedged`)
+        self.hedge_outcomes = {"cancelled": 0, "late_ok": 0, "late_error": 0}
 
     @contextmanager
     def _front_span(self, name: str, **attrs):
@@ -140,12 +145,51 @@ class Client:
         The first successful result wins.  Only when **every**
         submission failed does the last error propagate — a lone slow
         or faulted request never decides the call.
+
+        Losing submissions are *discarded* the moment a winner returns:
+        still-queued ones are cancelled (the scheduler drops them before
+        they reach a worker), already-running ones get their eventual
+        result or error consumed by a callback.  A hedge that loses the
+        race can therefore never surface its late error through a call
+        that already succeeded — see :attr:`hedge_outcomes`.
         """
         if hedges < 0:
             raise ValueError(f"hedges must be >= 0, got {hedges}")
         with self._front_span("client.spmv_hedged", matrix=matrix, hedges=hedges):
             return self._spmv_hedged(
                 matrix, x, hedges, hedge_delay_ms, deadline_ms, timeout
+            )
+
+    def _discard_losers(self, losers, matrix: str) -> None:
+        """Cancel or absorb every abandoned hedge submission."""
+        for f in losers:
+            if f.cancel():
+                with self._hedge_lock:
+                    self.hedge_outcomes["cancelled"] += 1
+                if obs.enabled():
+                    obs.inc(
+                        "serve_client_hedge_cancelled_total", 1, matrix=matrix
+                    )
+            else:
+                f.add_done_callback(
+                    lambda fut: self._absorb_loser(fut, matrix)
+                )
+
+    def _absorb_loser(self, fut, matrix: str) -> None:
+        """Consume a losing hedge's outcome so it never propagates."""
+        if fut.cancelled():
+            return
+        exc = fut.exception()
+        key = "late_ok" if exc is None else "late_error"
+        with self._hedge_lock:
+            self.hedge_outcomes[key] += 1
+        if obs.enabled():
+            obs.inc(
+                "serve_client_hedge_losses_total",
+                1,
+                matrix=matrix,
+                outcome=key,
+                error="" if exc is None else type(exc).__name__,
             )
 
     def _spmv_hedged(
@@ -169,6 +213,8 @@ class Client:
                 if exc is None:
                     if obs.enabled() and launched > 1:
                         obs.inc("serve_client_hedges_total", launched - 1, matrix=matrix)
+                    futures.remove(f)
+                    self._discard_losers(futures, matrix)
                     return f.result()
                 errors.append(exc)
                 futures.remove(f)
@@ -182,6 +228,7 @@ class Client:
             elif not done:
                 rem = _remaining()
                 if rem is not None and rem <= 0:
+                    self._discard_losers(futures, matrix)
                     raise TimeoutError(
                         f"spmv_hedged({matrix!r}) timed out with "
                         f"{len(futures)} submission(s) in flight"
@@ -284,7 +331,15 @@ class Client:
             self, matrix, deadline_ms=deadline_ms, timeout=timeout
         )
 
-    # -- introspection -----------------------------------------------------
+    # -- introspection / lifecycle -----------------------------------------
+    def names(self) -> list[str]:
+        """All registered matrix names (the HTTP banner + 404 hints)."""
+        return self.server.registry.names()
+
+    def close(self) -> None:
+        """Shut the underlying server down (drains the queue)."""
+        self.server.close()
+
     def stats(self) -> dict:
         return self.server.stats()
 

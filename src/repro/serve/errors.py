@@ -11,6 +11,8 @@ exception                     HTTP    meaning
 :class:`DeadlineExceeded`     504     the request's deadline expired queued
 :class:`ServerClosed`         503     the server is shutting down
 :class:`RegistryLoadFailed`   503     the matrix loader failed (retryable)
+:class:`ShardDown`            503     a fleet shard is dead (failover ran)
+:class:`FleetDegraded`        503     no replica could answer a row block
 ============================  ======  =====================================
 
 All inherit :class:`ServeError`, so front-ends can catch the whole
@@ -26,6 +28,8 @@ __all__ = [
     "DeadlineExceeded",
     "ServerClosed",
     "RegistryLoadFailed",
+    "ShardDown",
+    "FleetDegraded",
 ]
 
 
@@ -116,3 +120,40 @@ class RegistryLoadFailed(ServeError):
         self.reason = reason
         tail = f": {reason}" if reason else ""
         super().__init__(f"loading matrix {name!r} failed{tail}")
+
+
+class ShardDown(ServeError):
+    """A fleet shard process is dead (crashed, killed, or unreachable).
+
+    Raised by a shard handle on submission to a dead shard and set on
+    every future that was in flight when the shard died.  The router
+    treats it as a failover trigger, not a request failure: surviving
+    replicas answer the row block, and only when *no* replica is left
+    does the request degrade (see :class:`FleetDegraded`).
+    """
+
+    http_status = 503
+
+    def __init__(self, shard_id: int, reason: str = ""):
+        self.shard_id = shard_id
+        self.reason = reason
+        tail = f": {reason}" if reason else ""
+        super().__init__(f"shard {shard_id} is down{tail}")
+
+
+class FleetDegraded(ServeError):
+    """Every replica of at least one row block failed to answer.
+
+    Raised only when the router runs with ``allow_partial=False``;
+    with partial answers enabled the router zero-fills the missing
+    blocks and reports ``status="partial"`` instead of raising.
+    """
+
+    http_status = 503
+
+    def __init__(self, matrix: str, blocks: list[int]):
+        self.matrix = matrix
+        self.blocks = list(blocks)
+        super().__init__(
+            f"no replica answered row block(s) {self.blocks} of {matrix!r}"
+        )

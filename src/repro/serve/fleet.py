@@ -1,0 +1,685 @@
+"""Shard hosts for the serve fleet: N servers, each owning row blocks.
+
+The paper's scalability story (Sect. III) is one device per contiguous
+row block with the result gathered in block order.  The fleet applies
+it to serving: each **shard** is a full serve stack — a
+:class:`~repro.serve.registry.MatrixRegistry` holding *row-block
+slices* of registered matrices plus a micro-batching
+:class:`~repro.serve.scheduler.SpMVServer` — and the
+:class:`~repro.serve.router.FleetRouter` in front scatters requests to
+the shards owning a matrix's blocks and gathers the row-block results
+in plan order.
+
+Two shard transports share one core (:class:`_ShardCore`):
+
+* :class:`ProcessShard` — the production transport: the shard runs in
+  its own OS process (``repro serve --fleet N``), commands and results
+  travel over a duplex :mod:`multiprocessing` pipe, and a reader
+  thread on the parent side resolves submission futures.  A dead
+  process (crash, ``kill()``, chaos ``shard_kill``) fails every
+  in-flight future with :class:`~repro.serve.errors.ShardDown` — the
+  router's failover trigger.
+* :class:`InprocShard` — the same semantics on threads in the calling
+  process: deterministic for tests, and the cheap default for
+  short-lived programmatic fleets.
+
+**Modeled-device pacing.**  For scaling experiments on hosts with
+fewer cores than shards (CI, laptops), a shard can pace its kernels to
+the paper's Eq. (1) bandwidth model: :func:`eq1_spmm_seconds` predicts
+the block-product time for a device of a given memory bandwidth, and
+:class:`PacingRegistry` wraps every bound matrix so each ``spmv`` /
+``spmm`` takes at least that long (the real kernel still runs — the
+answers stay exact; only the *timing* emulates the device).  This is
+the serving analogue of the repo's other model-driven scaling studies
+(``bench_fig5_scaling.py``): the router, pipes, batching and hedging
+are all real, the device speed is modeled.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import multiprocessing as mp
+import signal
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.serve.errors import ServeError, ShardDown
+from repro.serve.registry import MatrixRegistry
+from repro.serve.scheduler import SpMVServer
+
+__all__ = [
+    "ShardConfig",
+    "Fleet",
+    "InprocShard",
+    "ProcessShard",
+    "PacingRegistry",
+    "ShardRequestError",
+    "eq1_spmm_seconds",
+    "block_name",
+    "plan_for_shard",
+]
+
+FLEET_MODES = ("inproc", "process")
+
+
+def block_name(key: str, block: int) -> str:
+    """Registry name of one row block of a fleet matrix."""
+    return f"{key}@{block}"
+
+
+class ShardRequestError(ServeError):
+    """A request failed inside a (remote) shard; carries the remote type.
+
+    The router treats it like any shard-side failure: try the next
+    replica, degrade only when none is left.
+    """
+
+    http_status = 503
+
+    def __init__(self, shard_id: int, remote_type: str, message: str):
+        self.shard_id = shard_id
+        self.remote_type = remote_type
+        super().__init__(f"shard {shard_id} {remote_type}: {message}")
+
+
+# ---------------------------------------------------------------------------
+# Eq. (1) modeled-device pacing
+# ---------------------------------------------------------------------------
+
+def eq1_spmm_seconds(
+    nnz: int,
+    nrows: int,
+    k: int,
+    bandwidth_bytes: float,
+    alpha: float = 1.0,
+) -> float:
+    """Predicted block-product time on a device of the given bandwidth.
+
+    Eq. (1) traffic for a DP CRS sweep with ``k`` right-hand sides: the
+    matrix values + column indices stream once (``8 + 4`` bytes per
+    non-zero), and each RHS adds the x gather (``8·alpha`` bytes per
+    non-zero, ``alpha ∈ [1/Nnzr, 1]``) plus the write-allocate + store
+    of its result rows (``16`` bytes per row).
+    """
+    if bandwidth_bytes <= 0:
+        raise ValueError(f"bandwidth_bytes must be > 0, got {bandwidth_bytes}")
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    traffic = nnz * 12.0 + k * (8.0 * alpha * nnz + 16.0 * nrows)
+    return traffic / bandwidth_bytes
+
+
+class _PacedBound:
+    """A bound matrix whose kernels take at least the Eq. (1) device time.
+
+    Pure timing shim: results come from the real wrapped kernels, the
+    residual of the modeled time is slept off (releasing the GIL, so
+    paced shards overlap like real devices would).  ``per_request``
+    switches the spmm model from one shared matrix stream per batch
+    (the micro-batching discount) to one stream per vector — the
+    device then serves every request at single-vector speed, which
+    isolates sharding measurements from batch-formation noise.
+    """
+
+    def __init__(
+        self,
+        inner,
+        bandwidth_bytes: float,
+        alpha: float = 1.0,
+        per_request: bool = False,
+    ):
+        self._inner = inner
+        self._bw = float(bandwidth_bytes)
+        self._alpha = float(alpha)
+        self._per_request = bool(per_request)
+
+    def _pace(self, k: int, t0: float) -> None:
+        if self._per_request:
+            target = k * eq1_spmm_seconds(
+                self._inner.nnz, self._inner.nrows, 1, self._bw, self._alpha
+            )
+        else:
+            target = eq1_spmm_seconds(
+                self._inner.nnz, self._inner.nrows, k, self._bw, self._alpha
+            )
+        rest = target - (time.perf_counter() - t0)
+        if rest > 0:
+            time.sleep(rest)
+
+    def spmv(self, x, out=None):
+        t0 = time.perf_counter()
+        y = self._inner.spmv(x, out=out)
+        self._pace(1, t0)
+        return y
+
+    def spmm(self, X, out=None):
+        t0 = time.perf_counter()
+        Y = self._inner.spmm(X, out=out)
+        self._pace(int(np.asarray(X).shape[1]), t0)
+        return Y
+
+    def clone(self) -> "_PacedBound":
+        return _PacedBound(
+            self._inner.clone(), self._bw, self._alpha, self._per_request
+        )
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class PacingRegistry(MatrixRegistry):
+    """A registry whose resident matrices run at modeled-device speed.
+
+    ``pace`` is ``{"bandwidth_bytes": float, "alpha": float}`` (alpha
+    optional); ``None`` makes this an ordinary registry.
+    """
+
+    def __init__(self, *, pace: dict | None = None, **kwargs):
+        super().__init__(**kwargs)
+        if pace is not None and "bandwidth_bytes" not in pace:
+            raise ValueError("pace needs a 'bandwidth_bytes' entry")
+        self._pace_params = dict(pace) if pace else None
+
+    def acquire(self, name: str):
+        lease = super().acquire(name)
+        if self._pace_params is not None:
+            with self._lock:
+                entry = lease._entry
+                if not isinstance(entry.bound, _PacedBound):
+                    entry.bound = _PacedBound(
+                        entry.bound,
+                        self._pace_params["bandwidth_bytes"],
+                        self._pace_params.get("alpha", 1.0),
+                        self._pace_params.get("per_request", False),
+                    )
+        return lease
+
+
+# ---------------------------------------------------------------------------
+# shard configuration
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything one shard needs to boot (picklable for process mode)."""
+
+    shard_id: int
+    workers: int = 1
+    max_batch: int = 16
+    max_delay_ms: float = 1.0
+    max_queue: int = 512
+    policy: str = "block"
+    tune: bool = False
+    #: Eq. (1) pacing params ({"bandwidth_bytes", "alpha"}) or None
+    pace: dict | None = None
+    #: serve-layer fault schedule for this shard (already filtered to
+    #: it — see :func:`plan_for_shard`)
+    faults: object | None = field(default=None, compare=False)
+
+
+def plan_for_shard(plan, shard_id: int):
+    """Restrict a :class:`~repro.faults.plan.FaultPlan` to one shard.
+
+    Keeps events carrying no ``shard`` target (they apply everywhere)
+    plus events targeting exactly ``shard_id`` — with the ``shard``
+    pair stripped, since shard-internal injection sites label by
+    ``worker``/``matrix``, not by shard.  ``shard_kill`` events are
+    dropped entirely: they are consumed at the router, never inside a
+    shard.
+    """
+    if plan is None:
+        return None
+    kept = []
+    for ev in plan.events:
+        if ev.kind == "shard_kill":
+            continue
+        labels = dict(ev.target)
+        if "shard" in labels:
+            if labels.pop("shard") != shard_id:
+                continue
+            ev = replace(ev, target=tuple(sorted(labels.items())))
+        kept.append(ev)
+    if not kept:
+        return None
+    return replace(plan, events=tuple(kept))
+
+
+# ---------------------------------------------------------------------------
+# shard core (shared by both transports)
+# ---------------------------------------------------------------------------
+
+class _ShardCore:
+    """Registry + scheduler + block bookkeeping of one shard."""
+
+    def __init__(self, config: ShardConfig):
+        self.config = config
+        injector = None
+        if config.faults is not None:
+            injector = config.faults.injector()
+        self.faults = injector
+        self.registry = PacingRegistry(
+            pace=config.pace, tune=config.tune, faults=injector
+        )
+        self.server = SpMVServer(
+            self.registry,
+            max_batch=config.max_batch,
+            max_delay_ms=config.max_delay_ms,
+            max_queue=config.max_queue,
+            policy=config.policy,
+            workers=config.workers,
+            faults=injector,
+        )
+
+    def register_block(
+        self,
+        key: str,
+        block: int,
+        matrix: CSRMatrix,
+        variant: str | None,
+    ) -> None:
+        self.registry.register(
+            block_name(key, block), matrix=matrix, variant=variant, tune=False
+        )
+
+    def submit(self, key: str, block: int, x, deadline_ms):
+        return self.server.submit(
+            block_name(key, block), x, deadline_ms=deadline_ms
+        )
+
+    def spmm(self, key: str, block: int, X) -> np.ndarray:
+        with self.registry.acquire(block_name(key, block)) as lease:
+            bound = lease.clone_for("spmm")
+            return bound.spmm(np.asarray(X))
+
+    def stats(self) -> dict:
+        s = self.server.stats()
+        s["shard"] = self.config.shard_id
+        s["alive"] = True
+        return s
+
+    def resize(self, n: int) -> int:
+        return self.server.resize_workers(n)
+
+    def close(self, *, drain: bool = True) -> None:
+        self.server.close(drain=drain)
+
+
+# ---------------------------------------------------------------------------
+# in-process transport
+# ---------------------------------------------------------------------------
+
+class InprocShard:
+    """A shard hosted on threads in the calling process."""
+
+    mode = "inproc"
+
+    def __init__(self, config: ShardConfig):
+        self.shard_id = config.shard_id
+        self.config = config
+        self._core = _ShardCore(config)
+        self._aux = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix=f"shard{config.shard_id}-aux"
+        )
+        self._dead = False
+        self._death_reason = ""
+
+    @property
+    def alive(self) -> bool:
+        return not self._dead
+
+    def _check(self) -> None:
+        if self._dead:
+            raise ShardDown(self.shard_id, self._death_reason)
+
+    def register_block(self, key, block, matrix, variant=None) -> None:
+        self._check()
+        self._core.register_block(key, block, matrix, variant)
+
+    def submit(self, key, block, x, deadline_ms=None) -> "Future[np.ndarray]":
+        self._check()
+        return self._core.submit(key, block, x, deadline_ms)
+
+    def spmm(self, key, block, X) -> "Future[np.ndarray]":
+        self._check()
+        return self._aux.submit(self._core.spmm, key, block, X)
+
+    def stats(self) -> dict:
+        self._check()
+        return self._core.stats()
+
+    def resize_workers(self, n: int) -> int:
+        self._check()
+        return self._core.resize(n)
+
+    def kill(self, reason: str = "killed") -> None:
+        """Simulate shard death: in-flight work fails, submissions raise."""
+        if self._dead:
+            return
+        self._dead = True
+        self._death_reason = reason
+        self._aux.shutdown(wait=False, cancel_futures=True)
+        self._core.close(drain=False)
+
+    def close(self) -> None:
+        if self._dead:
+            return
+        self._dead = True
+        self._death_reason = "closed"
+        self._aux.shutdown(wait=True)
+        self._core.close(drain=True)
+
+
+# ---------------------------------------------------------------------------
+# process transport
+# ---------------------------------------------------------------------------
+
+def _encode_exc(exc: Exception) -> tuple[str, str]:
+    return type(exc).__name__, str(exc)
+
+
+def _shard_main(conn, config: ShardConfig) -> None:
+    """Entry point of a shard process: serve pipe commands until stop."""
+    # A terminal ^C delivers SIGINT to the whole foreground process
+    # group; shutdown is the parent's job (stop message / terminate),
+    # so the shard must not die mid-reply with a KeyboardInterrupt
+    # traceback of its own.
+    with contextlib.suppress(ValueError, OSError):
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    core = _ShardCore(config)
+    send_lock = threading.Lock()
+    aux = ThreadPoolExecutor(
+        max_workers=2, thread_name_prefix=f"shard{config.shard_id}-aux"
+    )
+
+    def reply(rid, ok, payload) -> None:
+        with send_lock:
+            try:
+                conn.send((rid, ok, payload))
+            except (BrokenPipeError, OSError):  # parent gone: nothing to do
+                pass
+
+    def run_sync(rid, fn, *args) -> None:
+        try:
+            reply(rid, True, fn(*args))
+        except Exception as exc:  # noqa: BLE001 - shipped to the parent
+            reply(rid, False, _encode_exc(exc))
+
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            op, rid = msg[0], msg[1]
+            if op == "stop":
+                reply(rid, True, None)
+                break
+            try:
+                if op == "spmv":
+                    _, _, key, block, x, deadline_ms = msg
+                    fut = core.submit(key, block, x, deadline_ms)
+
+                    def _done(f, rid=rid):
+                        exc = f.exception()
+                        if exc is None:
+                            reply(rid, True, f.result())
+                        else:
+                            reply(rid, False, _encode_exc(exc))
+
+                    fut.add_done_callback(_done)
+                elif op == "spmm":
+                    _, _, key, block, X = msg
+                    aux.submit(run_sync, rid, core.spmm, key, block, X)
+                elif op == "register":
+                    _, _, key, block, matrix, variant = msg
+                    core.register_block(key, block, matrix, variant)
+                    reply(rid, True, None)
+                elif op == "resize":
+                    reply(rid, True, core.resize(msg[2]))
+                elif op == "stats":
+                    reply(rid, True, core.stats())
+                elif op == "ping":
+                    reply(rid, True, "pong")
+                else:
+                    reply(rid, False, ("ValueError", f"unknown op {op!r}"))
+            except Exception as exc:  # noqa: BLE001 - shipped to the parent
+                reply(rid, False, _encode_exc(exc))
+    finally:
+        aux.shutdown(wait=False, cancel_futures=True)
+        try:
+            core.close(drain=False)
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+
+
+class ProcessShard:
+    """A shard hosted in its own OS process behind a duplex pipe."""
+
+    mode = "process"
+
+    def __init__(
+        self,
+        config: ShardConfig,
+        *,
+        start_method: str | None = None,
+        boot_timeout_s: float = 30.0,
+    ):
+        self.shard_id = config.shard_id
+        self.config = config
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        ctx = mp.get_context(start_method)
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self._conn = parent_conn
+        self._proc = ctx.Process(
+            target=_shard_main,
+            args=(child_conn, config),
+            name=f"repro-shard-{config.shard_id}",
+            daemon=True,
+        )
+        self._proc.start()
+        child_conn.close()
+        self._rid = itertools.count()
+        self._pending: dict[int, Future] = {}
+        self._plock = threading.Lock()
+        self._wlock = threading.Lock()
+        self._dead = False
+        self._death_reason = ""
+        self._reader = threading.Thread(
+            target=self._read_loop,
+            name=f"shard{config.shard_id}-reader",
+            daemon=True,
+        )
+        self._reader.start()
+        # handshake: surfaces boot failures at construction time
+        self._call("ping", timeout=boot_timeout_s)
+
+    # -- parent-side plumbing ---------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return not self._dead
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                rid, ok, payload = self._conn.recv()
+                with self._plock:
+                    fut = self._pending.pop(rid, None)
+                if fut is None or fut.done():
+                    continue
+                if not fut.set_running_or_notify_cancel():
+                    continue
+                if ok:
+                    fut.set_result(payload)
+                else:
+                    fut.set_exception(
+                        ShardRequestError(self.shard_id, payload[0], payload[1])
+                    )
+        except (EOFError, OSError, ValueError):
+            self._on_death("shard process exited")
+
+    def _on_death(self, reason: str) -> None:
+        with self._plock:
+            if self._dead:
+                return
+            self._dead = True
+            self._death_reason = reason
+            pending = list(self._pending.values())
+            self._pending.clear()
+        exc = ShardDown(self.shard_id, reason)
+        for fut in pending:
+            if not fut.done() and fut.set_running_or_notify_cancel():
+                fut.set_exception(exc)
+
+    def _send(self, op: str, *args) -> Future:
+        if self._dead:
+            raise ShardDown(self.shard_id, self._death_reason)
+        rid = next(self._rid)
+        fut: Future = Future()
+        with self._plock:
+            self._pending[rid] = fut
+        try:
+            with self._wlock:
+                self._conn.send((op, rid, *args))
+        except (BrokenPipeError, OSError) as exc:
+            with self._plock:
+                self._pending.pop(rid, None)
+            self._on_death(f"pipe write failed: {exc}")
+            raise ShardDown(self.shard_id, self._death_reason) from exc
+        return fut
+
+    def _call(self, op: str, *args, timeout: float = 30.0):
+        return self._send(op, *args).result(timeout)
+
+    # -- shard API ---------------------------------------------------------
+    def register_block(self, key, block, matrix, variant=None) -> None:
+        self._call("register", key, block, matrix, variant, timeout=120.0)
+
+    def submit(self, key, block, x, deadline_ms=None) -> "Future[np.ndarray]":
+        return self._send("spmv", key, block, np.asarray(x), deadline_ms)
+
+    def spmm(self, key, block, X) -> "Future[np.ndarray]":
+        return self._send("spmm", key, block, np.asarray(X))
+
+    def stats(self) -> dict:
+        return self._call("stats", timeout=30.0)
+
+    def resize_workers(self, n: int) -> int:
+        return self._call("resize", n, timeout=30.0)
+
+    def kill(self, reason: str = "killed") -> None:
+        """Hard-kill the shard process (the chaos ``shard_kill`` effect)."""
+        if self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(timeout=5.0)
+        self._on_death(reason)
+
+    def close(self) -> None:
+        if not self._dead:
+            try:
+                self._call("stop", timeout=10.0)
+            except (ShardDown, Exception):  # noqa: BLE001 - already dying
+                pass
+        self._proc.join(timeout=10.0)
+        if self._proc.is_alive():  # pragma: no cover - stuck process
+            self._proc.terminate()
+            self._proc.join(timeout=5.0)
+        self._on_death("closed")
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+# ---------------------------------------------------------------------------
+# the fleet
+# ---------------------------------------------------------------------------
+
+class Fleet:
+    """N shard hosts with one lifecycle (context manager).
+
+    ``mode`` picks the transport (``"process"`` for real OS processes,
+    ``"inproc"`` for deterministic thread-backed shards); every other
+    keyword is a per-shard :class:`ShardConfig` field applied
+    uniformly.  ``faults`` (a :class:`~repro.faults.plan.FaultPlan`) is
+    split per shard via :func:`plan_for_shard`.
+    """
+
+    def __init__(
+        self,
+        nshards: int,
+        *,
+        mode: str = "inproc",
+        workers: int = 1,
+        max_batch: int = 16,
+        max_delay_ms: float = 1.0,
+        max_queue: int = 512,
+        policy: str = "block",
+        tune: bool = False,
+        pace: dict | None = None,
+        faults=None,
+        start_method: str | None = None,
+    ):
+        if nshards < 1:
+            raise ValueError(f"nshards must be >= 1, got {nshards}")
+        if mode not in FLEET_MODES:
+            raise ValueError(f"mode must be one of {FLEET_MODES}, got {mode!r}")
+        self.mode = mode
+        self.shards: list = []
+        for i in range(nshards):
+            config = ShardConfig(
+                shard_id=i,
+                workers=workers,
+                max_batch=max_batch,
+                max_delay_ms=max_delay_ms,
+                max_queue=max_queue,
+                policy=policy,
+                tune=tune,
+                pace=pace,
+                faults=plan_for_shard(faults, i),
+            )
+            if mode == "inproc":
+                self.shards.append(InprocShard(config))
+            else:
+                self.shards.append(
+                    ProcessShard(config, start_method=start_method)
+                )
+        self._by_id = {s.shard_id: s for s in self.shards}
+
+    @property
+    def nshards(self) -> int:
+        return len(self.shards)
+
+    def shard(self, shard_id: int):
+        try:
+            return self._by_id[shard_id]
+        except KeyError:
+            raise ValueError(f"no shard {shard_id}") from None
+
+    def alive_ids(self) -> list[int]:
+        return [s.shard_id for s in self.shards if s.alive]
+
+    def kill(self, shard_id: int, reason: str = "killed") -> None:
+        self.shard(shard_id).kill(reason)
+
+    def close(self) -> None:
+        for s in self.shards:
+            s.close()
+
+    def __enter__(self) -> "Fleet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        alive = len(self.alive_ids())
+        return f"<Fleet mode={self.mode} shards={self.nshards} alive={alive}>"

@@ -24,6 +24,16 @@ Endpoints
 ``GET /sloz``
     Burn-rate state of the attached :class:`~repro.obs.slo.SLOMonitor`
     (404 when the server runs without one).
+``GET /fleetz``
+    Fleet topology: per-shard liveness/queue depth, block placement
+    per matrix, and the autoscaler's recent decisions (404 when the
+    backend is a single server, not a
+    :class:`~repro.serve.router.FleetRouter`).
+
+The backend may be a single-process :class:`~repro.serve.client.Client`
+or a :class:`~repro.serve.router.FleetRouter` — both expose the same
+``spmv``/``solve``/``eigsh``/``stats``/``health``/``names``/``close``
+surface, so every endpoint serves either unchanged.
 
 Tracing: with instrumentation enabled, each ``POST`` opens a trace
 root (honouring a caller-supplied ``X-Trace-Id`` header, minting a
@@ -134,6 +144,15 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             else:
                 self._send_json(200, mon.state())
+        elif path.path == "/fleetz":
+            stats = self.client.stats()
+            if not stats.get("fleet"):
+                self._send_json(
+                    404,
+                    {"error": "not a fleet; start with serve --fleet N"},
+                )
+            else:
+                self._send_json(200, stats)
         else:
             self._send_json(404, {"error": f"no such endpoint {path.path!r}"})
 
@@ -241,7 +260,7 @@ def run_http_server(
     if out is not None:
         print(
             f"repro serve listening on http://{host}:{httpd.server_address[1]} "
-            f"(matrices: {', '.join(client.server.registry.names()) or '<none>'})",
+            f"(matrices: {', '.join(client.names()) or '<none>'})",
             file=out,
         )
     try:
@@ -252,5 +271,5 @@ def run_http_server(
         httpd.shutdown()
         if slo is not None:
             slo.stop()
-        client.server.close()
+        client.close()
     return 0

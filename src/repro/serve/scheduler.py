@@ -60,7 +60,7 @@ __all__ = ["SpMVServer", "POLICIES"]
 
 POLICIES = ("block", "reject", "shed-oldest")
 
-_STATUSES = ("ok", "rejected", "shed", "expired", "error")
+_STATUSES = ("ok", "rejected", "shed", "expired", "error", "cancelled")
 
 
 class _Request:
@@ -153,6 +153,9 @@ class SpMVServer:
         self._closing = False
         self._threads: list[threading.Thread] = []
         self._started = False
+        #: workers asked to retire by :meth:`resize_workers` (shrink)
+        self._retire = 0
+        self._next_worker_idx = 0
 
         # resilience state: worker deaths and the degraded fallback
         self._live_workers = 0
@@ -186,14 +189,58 @@ class SpMVServer:
                 return self
             self._started = True
             self._live_workers = self.num_workers
+            self._next_worker_idx = self.num_workers
         for i in range(self.num_workers):
-            t = threading.Thread(
-                target=self._worker, args=(i,), name=f"serve-worker-{i}",
-                daemon=True,
-            )
-            self._threads.append(t)
-            t.start()
+            self._spawn_worker(i)
         return self
+
+    def _spawn_worker(self, idx: int) -> None:
+        t = threading.Thread(
+            target=self._worker, args=(idx,), name=f"serve-worker-{idx}",
+            daemon=True,
+        )
+        self._threads.append(t)
+        t.start()
+
+    def resize_workers(self, n: int) -> int:
+        """Grow or shrink the worker pool to ``n`` threads (autoscaler hook).
+
+        Growing spawns fresh workers immediately (new thread indices, so
+        per-worker clone caches stay coherent).  Shrinking retires the
+        surplus cooperatively: workers check a retire counter at the top
+        of batch formation and exit cleanly before taking more work —
+        in-flight batches always complete.  Returns the applied delta
+        (positive = spawned, negative = retiring).  Growing a degraded
+        server restores a live batcher pool alongside the fallback loop
+        (both drain the same queue under the same lock).
+        """
+        if n < 1:
+            raise ValueError(f"workers must be >= 1, got {n}")
+        spawn: list[int] = []
+        with self._lock:
+            if self._closing:
+                raise ServerClosed("cannot resize a closed server")
+            self.num_workers = n
+            if not self._started:
+                return 0
+            effective = self._live_workers - self._retire
+            delta = n - effective
+            if delta > 0:
+                # cancel pending retirements first, then spawn the rest
+                cancelled = min(self._retire, delta)
+                self._retire -= cancelled
+                spawn = [
+                    self._next_worker_idx + i
+                    for i in range(delta - cancelled)
+                ]
+                self._next_worker_idx += len(spawn)
+                self._live_workers += len(spawn)
+            elif delta < 0:
+                self._retire += -delta
+                self._ready.notify_all()
+        for idx in spawn:
+            self._spawn_worker(idx)
+        return delta
 
     def close(self, *, drain: bool = True, timeout: float | None = 10.0) -> None:
         """Stop accepting requests; drain (default) or fail the queue."""
@@ -220,8 +267,9 @@ class SpMVServer:
             while dq:
                 req = dq.popleft()
                 self._depth -= 1
-                req.future.set_exception(exc)
-                self._count_locked(req.matrix, "error")
+                if not req.future.done():
+                    req.future.set_exception(exc)
+                    self._count_locked(req.matrix, "error")
         self._publish_depth_locked()
 
     def __enter__(self) -> "SpMVServer":
@@ -337,12 +385,20 @@ class SpMVServer:
     # batch formation
     # ------------------------------------------------------------------
     def _expire_locked(self, now: float) -> None:
-        """Fail queued requests whose deadline passed (never executed)."""
+        """Fail queued requests whose deadline passed (never executed).
+
+        Cancelled requests (an abandoned hedge whose sibling already
+        won) are dropped here too — they must never reach a worker nor
+        count toward queue depth once the caller has let go.
+        """
         for dq in self._pending.values():
             alive: deque[_Request] = deque()
             while dq:
                 req = dq.popleft()
-                if req.t_deadline is not None and now >= req.t_deadline:
+                if req.future.cancelled():
+                    self._depth -= 1
+                    self._count_locked(req.matrix, "cancelled")
+                elif req.t_deadline is not None and now >= req.t_deadline:
                     self._depth -= 1
                     waited = now - req.t_submit
                     req.future.set_exception(
@@ -371,6 +427,10 @@ class SpMVServer:
             while True:
                 now = self._clock()
                 self._expire_locked(now)
+                if self._retire > 0:
+                    # resize_workers shrank the pool: exit cleanly
+                    self._retire -= 1
+                    return None
                 if self._closing and self._depth == 0:
                     self._ready.notify_all()  # wake sibling workers to exit
                     return None
@@ -503,6 +563,9 @@ class SpMVServer:
         """
         t_start = self._clock()
         dsp = None
+        if not req.future.set_running_or_notify_cancel():
+            self._count(name, "cancelled")
+            return
         try:
             if req.t_deadline is not None and t_start >= req.t_deadline:
                 # raced past the pop-time check: still a 504, never generic
@@ -567,6 +630,11 @@ class SpMVServer:
                     good: list[_Request] = []
                     cols: list[np.ndarray] = []
                     for req in reqs:
+                        # claim the future; a cancelled hedge is dropped
+                        # here and never stacked into the batch
+                        if not req.future.set_running_or_notify_cancel():
+                            self._count(name, "cancelled")
+                            continue
                         try:
                             cols.append(bound.matrix.check_rhs(req.x))
                             good.append(req)
@@ -772,6 +840,7 @@ class SpMVServer:
                 "max_queue": self.max_queue,
                 "workers": self.num_workers,
                 "live_workers": self._live_workers,
+                "retiring_workers": self._retire,
                 "degraded": self._degraded,
                 "degraded_requests": self._degraded_requests,
                 "worker_deaths": list(self._worker_deaths),

@@ -1,0 +1,640 @@
+"""Tests for the sharded serve fleet: placement, parity, chaos, scaling.
+
+Parity discipline: the fleet pins every shard to the same
+``csr_scipy`` kernel variant the single-server reference uses, and
+row-block results are concatenated in plan order — so the sharded
+answer must be *bitwise* identical to the unsharded one, not merely
+close.
+"""
+
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.faults import FaultEvent, FaultPlan
+from repro.formats import convert
+from repro.matrices import generate, poisson2d
+from repro.obs.slo import SLOMonitor, default_fleet_slos
+from repro.serve import (
+    AutoscalePolicy,
+    Autoscaler,
+    Client,
+    Fleet,
+    FleetDegraded,
+    FleetRouter,
+    HashRing,
+    MatrixRegistry,
+    ShardDown,
+    SpMVServer,
+)
+from repro.serve.fleet import (
+    ShardConfig,
+    block_name,
+    eq1_spmm_seconds,
+    plan_for_shard,
+)
+from repro.serve.router import place_blocks
+
+VARIANT = "csr_scipy"
+
+
+def small_csr():
+    return convert(poisson2d(24), "CRS")
+
+
+def suite_csr():
+    return convert(generate("sAMG", scale=2048, seed=0), "CRS")
+
+
+import contextlib
+
+
+@contextlib.contextmanager
+def reference_client(csr, name="ref"):
+    reg = MatrixRegistry(tune=False)
+    reg.register(name, matrix=csr, variant=VARIANT)
+    client = Client(SpMVServer(reg, workers=1, max_delay_ms=0.0))
+    try:
+        yield client
+    finally:
+        client.close()
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset_all()
+    yield
+    obs.reset_all()
+
+
+# ---------------------------------------------------------------------------
+# consistent-hash placement
+# ---------------------------------------------------------------------------
+class TestHashRing:
+    KEYS = [f"key-{i}" for i in range(300)]
+
+    def test_deterministic_given_seed(self):
+        a = HashRing([0, 1, 2, 3], seed=7)
+        b = HashRing([0, 1, 2, 3], seed=7)
+        assert [a.preference(k) for k in self.KEYS] == [
+            b.preference(k) for k in self.KEYS
+        ]
+
+    def test_seed_changes_layout(self):
+        a = HashRing([0, 1, 2, 3], seed=0)
+        b = HashRing([0, 1, 2, 3], seed=1)
+        assert [a.owner(k) for k in self.KEYS] != [b.owner(k) for k in self.KEYS]
+
+    def test_preference_covers_all_shards_distinctly(self):
+        ring = HashRing([0, 1, 2, 3])
+        for key in self.KEYS[:50]:
+            pref = ring.preference(key)
+            assert sorted(pref) == [0, 1, 2, 3]
+
+    def test_add_moves_only_keys_to_new_shard(self):
+        ring = HashRing([0, 1, 2, 3])
+        before = {k: ring.owner(k) for k in self.KEYS}
+        ring.add(4)
+        moved = 0
+        for k in self.KEYS:
+            after = ring.owner(k)
+            if after != before[k]:
+                moved += 1
+                # stability: a key only ever moves to the new shard
+                assert after == 4, (k, before[k], after)
+        # expected movement is ~1/5 of keys; assert a generous bound
+        assert 0 < moved <= len(self.KEYS) * 0.45
+
+    def test_remove_moves_only_keys_of_removed_shard(self):
+        ring = HashRing([0, 1, 2, 3])
+        before = {k: ring.owner(k) for k in self.KEYS}
+        ring.remove(2)
+        for k in self.KEYS:
+            if before[k] != 2:
+                assert ring.owner(k) == before[k]
+            else:
+                assert ring.owner(k) != 2
+
+    def test_place_blocks_honors_replication_factor(self):
+        ring = HashRing([0, 1, 2, 3])
+        assignment = place_blocks(ring, "A", nblocks=6, replicas=2)
+        assert len(assignment) == 6
+        for replicas in assignment:
+            assert len(replicas) == 2
+            assert len(set(replicas)) == 2
+
+    def test_replicas_use_chained_declustering(self):
+        # consecutive blocks should not all pile onto one replica pair
+        ring = HashRing([0, 1, 2, 3])
+        assignment = place_blocks(ring, "A", nblocks=4, replicas=2)
+        primaries = {r[0] for r in assignment}
+        assert len(primaries) > 1
+
+
+# ---------------------------------------------------------------------------
+# scatter/gather parity against the single-server reference
+# ---------------------------------------------------------------------------
+class TestShardedParity:
+    @pytest.mark.parametrize("blocks", [2, 3])
+    @pytest.mark.parametrize("replicas", [1, 2])
+    def test_spmv_bitwise_equal(self, blocks, replicas):
+        csr = small_csr()
+        rng = np.random.default_rng(blocks * 10 + replicas)
+        x = rng.standard_normal(csr.ncols)
+        with reference_client(csr) as ref:
+            y_ref = ref.spmv("ref", x)
+        with Fleet(3, mode="inproc", workers=1) as fleet:
+            router = FleetRouter(fleet, replicas=replicas)
+            router.register("A", csr, blocks=blocks)
+            y = router.spmv("A", x)
+        assert np.array_equal(y, y_ref)
+
+    @pytest.mark.parametrize("blocks", [2, 3])
+    def test_spmm_bitwise_equal(self, blocks):
+        csr = small_csr()
+        rng = np.random.default_rng(blocks)
+        X = rng.standard_normal((csr.ncols, 3))
+        reg = MatrixRegistry(tune=False)
+        reg.register("ref", matrix=csr, variant=VARIANT)
+        with reg.acquire("ref") as lease:
+            Y_ref = lease.clone_for("t").spmm(X)
+        with Fleet(3, mode="inproc", workers=1) as fleet:
+            router = FleetRouter(fleet)
+            router.register("A", csr, blocks=blocks)
+            Y = router.spmm("A", X)
+        assert np.array_equal(Y, Y_ref)
+
+    def test_suite_matrix_parity(self):
+        csr = suite_csr()
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(csr.ncols)
+        with reference_client(csr) as ref:
+            y_ref = ref.spmv("ref", x)
+        with Fleet(4, mode="inproc", workers=1) as fleet:
+            router = FleetRouter(fleet, replicas=2)
+            router.register("A", csr)
+            assert np.array_equal(router.spmv("A", x), y_ref)
+
+    def test_cg_solve_identical_iterates(self):
+        # CG over the routed operator must walk the exact same iterate
+        # sequence as the single-server solve: bitwise x, same count
+        csr = small_csr()
+        b = np.ones(csr.ncols)
+        with reference_client(csr) as ref:
+            res_ref = ref.solve("ref", b, tol=1e-8)
+        with Fleet(2, mode="inproc", workers=1) as fleet:
+            router = FleetRouter(fleet)
+            router.register("A", csr)
+            res = router.solve("A", b, tol=1e-8)
+        assert res["converged"] and res_ref["converged"]
+        assert res["iterations"] == res_ref["iterations"]
+        assert np.array_equal(res["x"], res_ref["x"])
+
+    def test_rejects_bad_shapes(self):
+        csr = small_csr()
+        with Fleet(2, mode="inproc", workers=1) as fleet:
+            router = FleetRouter(fleet)
+            router.register("A", csr)
+            with pytest.raises(ValueError):
+                router.spmv("A", np.ones(csr.ncols + 1))
+            with pytest.raises(ValueError):
+                router.spmm("A", np.ones((3, csr.ncols)))
+
+    def test_placement_partitions_by_nnz(self):
+        csr = small_csr()
+        with Fleet(2, mode="inproc", workers=1) as fleet:
+            router = FleetRouter(fleet)
+            pl = router.register("A", csr, blocks=2)
+            assert pl.nblocks == 2
+            (lo0, hi0), (lo1, hi1) = pl.partition
+            assert lo0 == 0 and hi1 == csr.nrows and hi0 == lo1
+            desc = pl.describe()
+            assert len(desc["blocks"]) == 2
+
+
+# ---------------------------------------------------------------------------
+# process transport
+# ---------------------------------------------------------------------------
+class TestProcessShards:
+    def test_spmv_parity_across_processes(self):
+        csr = small_csr()
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(csr.ncols)
+        with reference_client(csr) as ref:
+            y_ref = ref.spmv("ref", x)
+        with Fleet(2, mode="process", workers=1) as fleet:
+            router = FleetRouter(fleet)
+            router.register("A", csr)
+            assert np.array_equal(router.spmv("A", x, timeout=60), y_ref)
+
+    def test_killed_process_fails_over_to_replica(self):
+        csr = small_csr()
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(csr.ncols)
+        with reference_client(csr) as ref:
+            y_ref = ref.spmv("ref", x)
+        with Fleet(2, mode="process", workers=1) as fleet:
+            router = FleetRouter(fleet, replicas=2)
+            router.register("A", csr)
+            assert np.array_equal(router.spmv("A", x, timeout=60), y_ref)
+            fleet.kill(1)
+            assert np.array_equal(router.spmv("A", x, timeout=60), y_ref)
+            assert router.health()["status"] == "degraded"
+
+
+# ---------------------------------------------------------------------------
+# degradation: partial answers and hard failures
+# ---------------------------------------------------------------------------
+class TestDegradedAnswers:
+    def test_partial_answer_zero_fills_missing_blocks(self):
+        csr = small_csr()
+        x = np.ones(csr.ncols)
+        with reference_client(csr) as ref:
+            y_ref = ref.spmv("ref", x)
+        with Fleet(2, mode="inproc", workers=1) as fleet:
+            router = FleetRouter(fleet, replicas=1, allow_partial=True)
+            pl = router.register("A", csr, blocks=2)
+            victim = pl.replicas[1][0]
+            fleet.kill(victim)
+            y, report = router.spmv_detail("A", x)
+        assert report["status"] == "partial"
+        assert report["missing_blocks"] == [1]
+        lo, hi = pl.block_range(1)
+        assert np.all(y[lo:hi] == 0.0)
+        ok_lo, ok_hi = pl.block_range(0)
+        assert np.array_equal(y[ok_lo:ok_hi], y_ref[ok_lo:ok_hi])
+
+    def test_strict_mode_raises_fleet_degraded(self):
+        csr = small_csr()
+        with Fleet(2, mode="inproc", workers=1) as fleet:
+            router = FleetRouter(fleet, replicas=1, allow_partial=False)
+            pl = router.register("A", csr, blocks=2)
+            fleet.kill(pl.replicas[0][0])
+            with pytest.raises(FleetDegraded):
+                router.spmv("A", np.ones(csr.ncols))
+
+    def test_submitting_to_killed_shard_raises_shard_down(self):
+        csr = small_csr()
+        with Fleet(2, mode="inproc", workers=1) as fleet:
+            fleet.shard(0).register_block("A", 0, csr, VARIANT)
+            fleet.kill(0)
+            with pytest.raises(ShardDown):
+                fleet.shard(0).submit("A", 0, np.ones(csr.ncols))
+            assert fleet.alive_ids() == [1]
+
+
+# ---------------------------------------------------------------------------
+# hedging
+# ---------------------------------------------------------------------------
+class TestHedging:
+    def _paced_fleet(self, csr, nshards, service_s):
+        bw = eq1_spmm_seconds(csr.nnz, csr.nrows, 1, 1.0) / service_s
+        return Fleet(
+            nshards,
+            mode="inproc",
+            workers=1,
+            max_batch=1,
+            max_delay_ms=0.0,
+            pace={"bandwidth_bytes": bw, "per_request": True},
+        )
+
+    def test_router_hedges_slow_primary_and_stays_exact(self):
+        csr = small_csr()
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal(csr.ncols)
+        with reference_client(csr) as ref:
+            y_ref = ref.spmv("ref", x)
+        with self._paced_fleet(csr, 2, service_s=0.12) as fleet:
+            router = FleetRouter(fleet, replicas=2, hedge_delay_ms=5.0)
+            router.register("A", csr, blocks=2)
+            y, report = router.spmv_detail("A", x, timeout=30)
+            assert np.array_equal(y, y_ref)
+            # every block is paced well past the hedge delay, so the
+            # router must have raced the replica of each block
+            assert report["hedges"] >= 1
+            assert router.stats()["hedges"] >= 1
+            # losers were discarded, not leaked: a second request on a
+            # clean fleet still answers exactly
+            assert np.array_equal(router.spmv("A", x, timeout=30), y_ref)
+
+    def test_client_hedge_cancels_queued_loser(self):
+        # fault-injected slow replica: the worker consumes a slow_worker
+        # event at startup, so the primary sits queued long enough for
+        # the hedge to launch; the winner returns and the loser must be
+        # cancelled, never surfacing a late result or error
+        csr = small_csr()
+        plan = FaultPlan(
+            (FaultEvent("slow_worker", 0.1, layer="serve", delay_s=0.3),),
+            name="slow-replica",
+        )
+        reg = MatrixRegistry(tune=False)
+        reg.register("A", matrix=csr, variant=VARIANT)
+        server = SpMVServer(
+            reg, workers=1, max_batch=1, max_delay_ms=0.0,
+            faults=plan.injector(),
+        )
+        client = Client(server)
+        try:
+            y_ref = csr.spmv(np.ones(csr.ncols))
+            y = client.spmv_hedged(
+                "A", np.ones(csr.ncols), hedges=1, hedge_delay_ms=10.0,
+                timeout=30.0,
+            )
+            assert np.allclose(y, y_ref)
+            # the loser is either cancelled while queued or absorbed if
+            # a worker claimed it first — but always exactly one loser,
+            # always accounted, and never a surfaced late error
+            deadline = time.monotonic() + 5
+            while (
+                sum(client.hedge_outcomes.values()) == 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            outcomes = dict(client.hedge_outcomes)
+            assert sum(outcomes.values()) == 1, outcomes
+            assert outcomes["cancelled"] + outcomes["late_ok"] == 1, outcomes
+            assert outcomes["late_error"] == 0, outcomes
+            # the server stays healthy for ordinary traffic afterwards
+            assert np.allclose(client.spmv("A", np.ones(csr.ncols)), y_ref)
+        finally:
+            client.close()
+
+    def test_client_absorbs_late_loser_error(self):
+        # regression: a losing hedge whose error lands *after* the win
+        # must be swallowed by the discard callback, not raised at the
+        # next interaction with the client
+        csr = small_csr()
+        reg = MatrixRegistry(tune=False)
+        reg.register("A", matrix=csr, variant=VARIANT)
+        server = SpMVServer(reg, workers=1, max_batch=1, max_delay_ms=0.0)
+        stuck: list[Future] = []
+        real_submit = server.submit
+
+        def submit(name, x, **kwargs):
+            if not stuck:
+                fut = Future()
+                fut.set_running_or_notify_cancel()  # uncancellable
+                stuck.append(fut)
+                return fut
+            return real_submit(name, x, **kwargs)
+
+        server.submit = submit
+        client = Client(server)
+        try:
+            y = client.spmv_hedged(
+                "A", np.ones(csr.ncols), hedges=1, hedge_delay_ms=1.0,
+                timeout=30.0,
+            )
+            assert np.allclose(y, csr.spmv(np.ones(csr.ncols)))
+            assert client.hedge_outcomes["late_error"] == 0
+            stuck[0].set_exception(RuntimeError("late replica failure"))
+            deadline = time.monotonic() + 5
+            while (
+                client.hedge_outcomes["late_error"] == 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            assert client.hedge_outcomes["late_error"] == 1
+        finally:
+            server.submit = real_submit
+            client.close()
+
+
+# ---------------------------------------------------------------------------
+# fault-plan routing to shards
+# ---------------------------------------------------------------------------
+class TestPlanForShard:
+    def test_filters_by_shard_and_strips_label(self):
+        plan = FaultPlan.named("fleet", nranks=2, workers=1, delay_s=0.01)
+        for_zero = plan_for_shard(plan, 0)
+        # shard_kill is router-consumed, never shipped to a shard
+        assert all(ev.kind != "shard_kill" for ev in for_zero)
+        slow = [ev for ev in for_zero if ev.kind == "slow_worker"]
+        assert len(slow) == 1
+        assert "shard" not in slow[0].labels
+        # shard 1 owns nothing after filtering: collapses to no plan
+        assert plan_for_shard(plan, 1) is None
+
+    def test_untargeted_events_reach_every_shard(self):
+        plan = FaultPlan(
+            (FaultEvent("kernel_exception", 0.1, layer="serve"),),
+            name="wild",
+        )
+        for sid in (0, 1, 2):
+            kinds = [ev.kind for ev in plan_for_shard(plan, sid)]
+            assert kinds == ["kernel_exception"]
+
+    def test_shard_config_is_frozen(self):
+        cfg = ShardConfig(shard_id=0)
+        with pytest.raises(Exception):
+            cfg.shard_id = 1
+        assert block_name("A", 2) == "A@2"
+
+
+# ---------------------------------------------------------------------------
+# the chaos drill: shard killed mid-load, SLO fires exactly once
+# ---------------------------------------------------------------------------
+class TestChaosDrill:
+    def test_shard_kill_mid_load_keeps_answers_and_fires_slo_once(self):
+        obs.enable()
+        csr = small_csr()
+        x = np.ones(csr.ncols)
+        with reference_client(csr) as ref:
+            y_ref = ref.spmv("ref", x)
+        service_s = 0.15
+        bw = eq1_spmm_seconds(csr.nnz // 2, csr.nrows // 2, 1, 1.0) / service_s
+        monitor = SLOMonitor(
+            default_fleet_slos(
+                p99_latency_s=30.0,  # only the error-rate SLO may fire
+                error_budget=0.001,
+                window_s=10.0,
+                fast_window_s=2.0,
+            )
+        )
+        fleet = Fleet(
+            2, mode="inproc", workers=1, max_batch=1, max_delay_ms=0.0,
+            pace={"bandwidth_bytes": bw, "per_request": True},
+        )
+        router = FleetRouter(fleet, replicas=2)
+        try:
+            pl = router.register("A", csr, blocks=2)
+            victim = pl.replicas[0][0]
+
+            monitor.tick(now=0.0)  # baseline for the error-rate deltas
+            for _ in range(3):  # healthy phase
+                assert np.array_equal(router.spmv("A", x, timeout=30), y_ref)
+            monitor.tick(now=1.0)
+
+            # occupy the victim's only worker, then start a request that
+            # queues behind it — guaranteed in flight when the kill lands
+            plug = fleet.shard(victim).submit("A", 0, x)
+            caught = {}
+
+            def in_flight():
+                caught["result"] = router.spmv_detail("A", x, timeout=30)
+
+            t = threading.Thread(target=in_flight)
+            t.start()
+            time.sleep(0.05)
+            plan = FaultPlan(
+                (
+                    FaultEvent(
+                        "shard_kill", 0.1, layer="serve",
+                        target={"shard": victim},
+                    ),
+                ),
+                name="drill",
+            )
+            router.faults = plan.injector()
+            # this request consumes the kill; it sees the victim down
+            # before launching, so it routes cleanly to the survivor
+            assert np.array_equal(router.spmv("A", x, timeout=30), y_ref)
+            t.join(timeout=30)
+            assert not t.is_alive()
+            y_deg, report = caught["result"]
+            assert np.array_equal(y_deg, y_ref)
+            assert report["status"] == "degraded"
+            assert report["failovers"] >= 1
+            try:  # the plug died with its shard (or just beat the kill)
+                plug.result(timeout=5)
+            except Exception:
+                pass
+
+            monitor.tick(now=2.0)  # degraded traffic lands in this delta
+            for _ in range(3):  # recovery phase: replica serves cleanly
+                assert np.array_equal(router.spmv("A", x, timeout=30), y_ref)
+            for now in (3.0, 4.0, 5.0, 6.0, 7.0):
+                monitor.tick(now=now)
+
+            alerts = [
+                ev for ev in monitor.events()
+                if ev["slo"] == "fleet-error-rate"
+            ]
+            assert [a["state"] for a in alerts] == ["firing", "resolved"]
+            assert router.stats()["failovers"] >= 1
+            assert router.health()["status"] == "degraded"
+        finally:
+            router.close()
+            monitor.stop()
+
+
+# ---------------------------------------------------------------------------
+# autoscaler
+# ---------------------------------------------------------------------------
+class TestAutoscaler:
+    POLICY = AutoscalePolicy(
+        min_workers=1, max_workers=3, step=1, cooldown_s=5.0,
+        queue_high=8.0, queue_low=1.0, scale_down_after=3,
+    )
+
+    def _rig(self, depths):
+        fleet = Fleet(2, mode="inproc", workers=1)
+        router = FleetRouter(fleet)
+        router.shard_queue_depths = lambda: dict(depths)
+        return fleet, router
+
+    def test_queue_pressure_scales_up_until_bounded(self):
+        depths = {0: 20.0, 1: 0.0}
+        fleet, router = self._rig(depths)
+        try:
+            scaler = Autoscaler(router, policy=self.POLICY)
+            made = scaler.evaluate(now=0.0)
+            assert [d["shard"] for d in made] == [0]
+            assert made[0]["direction"] == "up" and made[0]["to"] == 2
+            # cooldown: pressure persists but no new decision yet
+            assert scaler.evaluate(now=1.0) == []
+            made = scaler.evaluate(now=10.0)
+            assert made and made[0]["to"] == 3
+            # bounded by max_workers
+            assert scaler.evaluate(now=20.0) == []
+            assert router.stats()["shards"][0]["workers"] == 3
+        finally:
+            router.close()
+
+    def test_scale_down_needs_consecutive_calm(self):
+        depths = {0: 20.0, 1: 0.0}
+        fleet, router = self._rig(depths)
+        try:
+            scaler = Autoscaler(router, policy=self.POLICY)
+            scaler.evaluate(now=0.0)  # shard 0 -> 2 workers
+            depths[0] = 0.0
+            assert scaler.evaluate(now=10.0) == []  # calm x1
+            assert scaler.evaluate(now=11.0) == []  # calm x2
+            made = scaler.evaluate(now=12.0)  # calm x3: shrink
+            assert [d["direction"] for d in made] == ["down"]
+            assert made[0]["to"] == 1
+            # at min_workers already: stays put
+            assert scaler.evaluate(now=30.0) == []
+            assert scaler.evaluate(now=31.0) == []
+            assert scaler.evaluate(now=32.0) == []
+        finally:
+            router.close()
+
+    def test_firing_slo_forces_scale_up(self):
+        class Monitor:
+            def firing(self):
+                return ["fleet-latency-p99"]
+
+            def stop(self):
+                pass
+
+        fleet, router = self._rig({0: 0.0, 1: 0.0})
+        try:
+            scaler = Autoscaler(router, policy=self.POLICY, monitor=Monitor())
+            made = scaler.evaluate(now=0.0)
+            assert {d["shard"] for d in made} == {0, 1}
+            assert all(d["reason"].startswith("slo:") for d in made)
+        finally:
+            router.close()
+
+    def test_decisions_surface_in_stats_and_metrics(self):
+        obs.enable()
+        fleet, router = self._rig({0: 50.0, 1: 0.0})
+        try:
+            scaler = Autoscaler(router, policy=self.POLICY)
+            router.attach_autoscaler(scaler)
+            scaler.evaluate(now=0.0)
+            stats = router.stats()
+            assert stats["autoscaler"]["evaluations"] == 1
+            assert stats["autoscaler"]["decisions"][-1]["direction"] == "up"
+            fam = obs.get_registry().get("fleet_autoscale_decisions_total")
+            assert fam is not None
+            assert sum(c.value for _, c in fam.samples()) == 1
+        finally:
+            router.close()
+
+
+# ---------------------------------------------------------------------------
+# router stats / health surface
+# ---------------------------------------------------------------------------
+class TestFleetStats:
+    def test_stats_shape(self):
+        csr = small_csr()
+        with Fleet(2, mode="inproc", workers=1) as fleet:
+            router = FleetRouter(fleet, replicas=2)
+            router.register("A", csr)
+            router.spmv("A", np.ones(csr.ncols))
+            stats = router.stats()
+        assert stats["fleet"] is True
+        assert stats["nshards"] == 2 and stats["replicas"] == 2
+        assert stats["requests"]["ok"] == 1
+        assert len(stats["shards"]) == 2
+        assert "A" in stats["placements"]
+        assert stats["latency_ms"] and all(
+            v >= 0 for v in stats["latency_ms"].values()
+        )
+
+    def test_health_transitions(self):
+        with Fleet(2, mode="inproc", workers=1) as fleet:
+            router = FleetRouter(fleet)
+            assert router.health()["status"] == "ok"
+            fleet.kill(0)
+            health = router.health()
+            assert health["status"] == "degraded"
+            assert health["shards_alive"] == [1]
+            fleet.kill(1)
+            assert router.health()["status"] == "down"
