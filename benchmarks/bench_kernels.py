@@ -12,7 +12,6 @@ numbers the CI bench-smoke step uploads.  See
 ``docs/performance.md`` for how to read the fields.
 """
 
-import json
 import time
 
 import numpy as np
@@ -21,6 +20,7 @@ import pytest
 from repro.utils import gflops
 
 from _bench_common import TABLE1_KEYS, emit_table
+from _gates import EXIT_OK, GateSet, no_data, split_summary, write_artifact
 
 FORMATS = ("CRS", "ELLPACK", "ELLPACK-R", "JDS", "pJDS", "SELL-C-sigma")
 
@@ -94,7 +94,35 @@ def test_all_rates_positive(relative_table):
 # Engine-vs-seed comparison (the CI bench-smoke JSON artifact)
 # ---------------------------------------------------------------------------
 
-ENGINE_FORMATS = ("CRS", "pJDS", "ELLPACK-R", "SELL-C-sigma")
+def _engine_formats():
+    from repro.scenarios import BENCH_FORMATS
+
+    return BENCH_FORMATS
+
+
+ENGINE_FORMATS = _engine_formats()
+
+
+def scenario_pairs(keys=TABLE1_KEYS):
+    """Candidate (matrix, format) combos from the scenario bench suite.
+
+    The ``bench`` suite cells (``repro matrix expand --suite bench``)
+    are the single source of what gets measured; this collapses them
+    to unique (suite-matrix, format) pairs, reordered key-major in the
+    caller's ``keys`` order so the printed tables group per matrix.
+    """
+    from repro.scenarios import expand_suite
+
+    seen = []
+    for cell in expand_suite("bench", wave="full"):
+        axes = cell.axes_dict
+        pair = (axes["suite-matrix"], axes["format"])
+        if pair not in seen:
+            seen.append(pair)
+    if keys is None:
+        keys = tuple(dict.fromkeys(k for k, _ in seen))
+    fmts = tuple(dict.fromkeys(f for _, f in seen))
+    return [(k, f) for k in keys for f in fmts if (k, f) in seen]
 
 
 def _seed_spmv_crs(m, x, out):
@@ -163,42 +191,44 @@ def run_engine_bench(scale=64, *, keys=TABLE1_KEYS, reps=5, spmm_rhs=8):
 
     cache = TunerCache(persist=False)  # rank fresh on this machine
     records = []
-    for key in keys:
-        coo = generate(key, scale=scale)
+    coos = {}
+    for key, fmt in scenario_pairs(keys):
+        if key not in coos:
+            coos[key] = generate(key, scale=scale)
+        coo = coos[key]
         x = np.random.default_rng(0).standard_normal(coo.ncols)
         X = np.ascontiguousarray(
             np.random.default_rng(1).standard_normal((coo.ncols, spmm_rhs))
         )
-        for fmt in ENGINE_FORMATS:
-            m = convert(coo, fmt)
-            out = np.zeros(m.nrows)
-            seed_kernel = _seed_kernel_for(m)
-            t_seed = _best_seconds(lambda: seed_kernel(m, x, out), reps)
-            b = bind(m, reps=max(1, reps // 2), cache=cache)
-            t_engine = _best_seconds(lambda: b.spmv(x, out=out), reps)
-            Yout = np.zeros((m.nrows, spmm_rhs))
-            t_col = _best_seconds(lambda: m.spmm_percolumn(X, out=Yout), reps)
-            t_blk = _best_seconds(lambda: b.spmm(X, out=Yout), reps)
-            records.append(
-                {
-                    "matrix": key,
-                    "format": fmt,
-                    "scale": scale,
-                    "nnz": m.nnz,
-                    "variant": b.variant_name,
-                    "seed_gflops": round(gflops(m.nnz, t_seed), 4),
-                    "engine_gflops": round(gflops(m.nnz, t_engine), 4),
-                    "engine_speedup": round(t_seed / t_engine, 3),
-                    "spmm_rhs": spmm_rhs,
-                    "spmm_percolumn_gflops": round(
-                        gflops(m.nnz * spmm_rhs, t_col), 4
-                    ),
-                    "spmm_batched_gflops": round(
-                        gflops(m.nnz * spmm_rhs, t_blk), 4
-                    ),
-                    "spmm_speedup": round(t_col / t_blk, 3),
-                }
-            )
+        m = convert(coo, fmt)
+        out = np.zeros(m.nrows)
+        seed_kernel = _seed_kernel_for(m)
+        t_seed = _best_seconds(lambda: seed_kernel(m, x, out), reps)
+        b = bind(m, reps=max(1, reps // 2), cache=cache)
+        t_engine = _best_seconds(lambda: b.spmv(x, out=out), reps)
+        Yout = np.zeros((m.nrows, spmm_rhs))
+        t_col = _best_seconds(lambda: m.spmm_percolumn(X, out=Yout), reps)
+        t_blk = _best_seconds(lambda: b.spmm(X, out=Yout), reps)
+        records.append(
+            {
+                "matrix": key,
+                "format": fmt,
+                "scale": scale,
+                "nnz": m.nnz,
+                "variant": b.variant_name,
+                "seed_gflops": round(gflops(m.nnz, t_seed), 4),
+                "engine_gflops": round(gflops(m.nnz, t_engine), 4),
+                "engine_speedup": round(t_seed / t_engine, 3),
+                "spmm_rhs": spmm_rhs,
+                "spmm_percolumn_gflops": round(
+                    gflops(m.nnz * spmm_rhs, t_col), 4
+                ),
+                "spmm_batched_gflops": round(
+                    gflops(m.nnz * spmm_rhs, t_blk), 4
+                ),
+                "spmm_speedup": round(t_col / t_blk, 3),
+            }
+        )
     return records
 
 
@@ -233,47 +263,48 @@ def run_dispatch_bench(scale=48, *, keys=TABLE1_KEYS, reps=7, inner=20):
     from repro.ops import get_variant
 
     records = []
-    for key in keys:
-        coo = generate(key, scale=scale)
-        for fmt in ENGINE_FORMATS:
-            m = convert(coo, fmt)
-            b = bind(m, tune=False)  # rank-0 (untuned default) kernel
-            name = b.variant_name
-            ws = Workspace()
-            x = np.random.default_rng(0).standard_normal(m.ncols).astype(m.dtype)
-            y = np.zeros(m.nrows, dtype=m.dtype)
-            fn = get_variant(m, name).run
-            out = np.zeros(m.nrows, dtype=m.dtype)
+    coos = {}
+    for key, fmt in scenario_pairs(keys):
+        if key not in coos:
+            coos[key] = generate(key, scale=scale)
+        m = convert(coos[key], fmt)
+        b = bind(m, tune=False)  # rank-0 (untuned default) kernel
+        name = b.variant_name
+        ws = Workspace()
+        x = np.random.default_rng(0).standard_normal(m.ncols).astype(m.dtype)
+        y = np.zeros(m.nrows, dtype=m.dtype)
+        fn = get_variant(m, name).run
+        out = np.zeros(m.nrows, dtype=m.dtype)
 
-            def direct():
-                for _ in range(inner):
-                    fn(m, ws, x, y)
+        def direct():
+            for _ in range(inner):
+                fn(m, ws, x, y)
 
-            def registry():
-                for _ in range(inner):
-                    get_variant(m, name).run(m, ws, x, y)
+        def registry():
+            for _ in range(inner):
+                get_variant(m, name).run(m, ws, x, y)
 
-            def engine():
-                for _ in range(inner):
-                    b.spmv(x, out=out)
+        def engine():
+            for _ in range(inner):
+                b.spmv(x, out=out)
 
-            t_direct = _best_seconds(direct, reps) / inner
-            t_registry = _best_seconds(registry, reps) / inner
-            t_engine = _best_seconds(engine, reps) / inner
-            records.append(
-                {
-                    "matrix": key,
-                    "format": fmt,
-                    "scale": scale,
-                    "variant": name,
-                    "nnz": m.nnz,
-                    "direct_us": round(1e6 * t_direct, 3),
-                    "registry_us": round(1e6 * t_registry, 3),
-                    "engine_us": round(1e6 * t_engine, 3),
-                    "overhead_registry": round(t_registry / t_direct - 1.0, 4),
-                    "overhead_engine": round(t_engine / t_direct - 1.0, 4),
-                }
-            )
+        t_direct = _best_seconds(direct, reps) / inner
+        t_registry = _best_seconds(registry, reps) / inner
+        t_engine = _best_seconds(engine, reps) / inner
+        records.append(
+            {
+                "matrix": key,
+                "format": fmt,
+                "scale": scale,
+                "variant": name,
+                "nnz": m.nnz,
+                "direct_us": round(1e6 * t_direct, 3),
+                "registry_us": round(1e6 * t_registry, 3),
+                "engine_us": round(1e6 * t_engine, 3),
+                "overhead_registry": round(t_registry / t_direct - 1.0, 4),
+                "overhead_engine": round(t_engine / t_direct - 1.0, 4),
+            }
+        )
     total_direct = sum(r["direct_us"] for r in records)
     total_registry = sum(r["registry_us"] for r in records)
     total_engine = sum(r["engine_us"] for r in records)
@@ -321,44 +352,45 @@ def run_obs_overhead_bench(scale=48, *, keys=TABLE1_KEYS, reps=7, inner=20):
 
     was_enabled = obs.enabled()
     records = []
+    coos = {}
     try:
-        for key in keys:
-            coo = generate(key, scale=scale)
-            for fmt in ENGINE_FORMATS:
-                m = convert(coo, fmt)
-                obs.disable()
-                b = bind(m, tune=False, label=key)
-                x = np.random.default_rng(0).standard_normal(m.ncols).astype(m.dtype)
-                out = np.zeros(m.nrows, dtype=m.dtype)
+        for key, fmt in scenario_pairs(keys):
+            if key not in coos:
+                coos[key] = generate(key, scale=scale)
+            m = convert(coos[key], fmt)
+            obs.disable()
+            b = bind(m, tune=False, label=key)
+            x = np.random.default_rng(0).standard_normal(m.ncols).astype(m.dtype)
+            out = np.zeros(m.nrows, dtype=m.dtype)
 
-                def loop():
+            def loop():
+                for _ in range(inner):
+                    b.spmv(x, out=out)
+
+            def traced_loop():
+                with obs.span("bench.traced"):
                     for _ in range(inner):
                         b.spmv(x, out=out)
 
-                def traced_loop():
-                    with obs.span("bench.traced"):
-                        for _ in range(inner):
-                            b.spmv(x, out=out)
-
-                t_off = _best_seconds(loop, reps) / inner
-                obs.enable()
-                obs.reset_all()
-                t_on = _best_seconds(loop, reps) / inner
-                t_traced = _best_seconds(traced_loop, reps) / inner
-                records.append(
-                    {
-                        "matrix": key,
-                        "format": fmt,
-                        "scale": scale,
-                        "variant": b.variant_name,
-                        "nnz": m.nnz,
-                        "off_us": round(1e6 * t_off, 3),
-                        "on_us": round(1e6 * t_on, 3),
-                        "traced_us": round(1e6 * t_traced, 3),
-                        "overhead_on": round(t_on / t_off - 1.0, 4),
-                        "overhead_traced": round(t_traced / t_off - 1.0, 4),
-                    }
-                )
+            t_off = _best_seconds(loop, reps) / inner
+            obs.enable()
+            obs.reset_all()
+            t_on = _best_seconds(loop, reps) / inner
+            t_traced = _best_seconds(traced_loop, reps) / inner
+            records.append(
+                {
+                    "matrix": key,
+                    "format": fmt,
+                    "scale": scale,
+                    "variant": b.variant_name,
+                    "nnz": m.nnz,
+                    "off_us": round(1e6 * t_off, 3),
+                    "on_us": round(1e6 * t_on, 3),
+                    "traced_us": round(1e6 * t_traced, 3),
+                    "overhead_on": round(t_on / t_off - 1.0, 4),
+                    "overhead_traced": round(t_traced / t_off - 1.0, 4),
+                }
+            )
     finally:
         obs.reset_all()
         if was_enabled:
@@ -416,49 +448,51 @@ def run_compiled_bench(scale=64, *, keys=TABLE1_KEYS, reps=5):
     host_gbs = measure_host_bandwidth()
     records = []
     total_numpy = total_compiled = 0.0
-    for key in keys:
-        coo = generate(key, scale=scale)
+    coos = {}
+    for key, fmt in scenario_pairs(keys):
+        if key not in coos:
+            coos[key] = generate(key, scale=scale)
+        coo = coos[key]
         x = np.random.default_rng(0).standard_normal(coo.ncols)
-        for fmt in ENGINE_FORMATS:
-            m = convert(coo, fmt)
-            preds = {p.name: p for p in predict_spmv(m, bandwidth_gbs=host_gbs)}
-            groups = {"numpy": {}, "compiled": {}}
-            y = np.zeros(m.nrows, dtype=m.dtype)
-            xd = x.astype(m.dtype)
-            for spec in variants_for(m):
-                tier = _tier_of(spec)
-                if tier == "scipy":
-                    continue
-                ws = Workspace()
-                t = _best_seconds(lambda: spec.run(m, ws, xd, y), reps)
-                groups[tier][spec.name] = t
-            if not groups["compiled"]:
-                continue  # no compiled backend on this host
-            np_name = min(groups["numpy"], key=groups["numpy"].get)
-            cc_name = min(groups["compiled"], key=groups["compiled"].get)
-            t_np = groups["numpy"][np_name]
-            t_cc = groups["compiled"][cc_name]
-            total_numpy += t_np
-            total_compiled += t_cc
-            cc_gbs = preds[cc_name].bytes_per_call / t_cc / 1e9
-            records.append(
-                {
-                    "matrix": key,
-                    "format": fmt,
-                    "scale": scale,
-                    "nnz": m.nnz,
-                    "numpy_variant": np_name,
-                    "numpy_us": round(1e6 * t_np, 2),
-                    "numpy_gbs": round(
-                        preds[np_name].bytes_per_call / t_np / 1e9, 3
-                    ),
-                    "compiled_variant": cc_name,
-                    "compiled_us": round(1e6 * t_cc, 2),
-                    "compiled_gbs": round(cc_gbs, 3),
-                    "speedup": round(t_np / t_cc, 3),
-                    "roofline_efficiency": round(cc_gbs / host_gbs, 3),
-                }
-            )
+        m = convert(coo, fmt)
+        preds = {p.name: p for p in predict_spmv(m, bandwidth_gbs=host_gbs)}
+        groups = {"numpy": {}, "compiled": {}}
+        y = np.zeros(m.nrows, dtype=m.dtype)
+        xd = x.astype(m.dtype)
+        for spec in variants_for(m):
+            tier = _tier_of(spec)
+            if tier == "scipy":
+                continue
+            ws = Workspace()
+            t = _best_seconds(lambda: spec.run(m, ws, xd, y), reps)
+            groups[tier][spec.name] = t
+        if not groups["compiled"]:
+            continue  # no compiled backend on this host
+        np_name = min(groups["numpy"], key=groups["numpy"].get)
+        cc_name = min(groups["compiled"], key=groups["compiled"].get)
+        t_np = groups["numpy"][np_name]
+        t_cc = groups["compiled"][cc_name]
+        total_numpy += t_np
+        total_compiled += t_cc
+        cc_gbs = preds[cc_name].bytes_per_call / t_cc / 1e9
+        records.append(
+            {
+                "matrix": key,
+                "format": fmt,
+                "scale": scale,
+                "nnz": m.nnz,
+                "numpy_variant": np_name,
+                "numpy_us": round(1e6 * t_np, 2),
+                "numpy_gbs": round(
+                    preds[np_name].bytes_per_call / t_np / 1e9, 3
+                ),
+                "compiled_variant": cc_name,
+                "compiled_us": round(1e6 * t_cc, 2),
+                "compiled_gbs": round(cc_gbs, 3),
+                "speedup": round(t_np / t_cc, 3),
+                "roofline_efficiency": round(cc_gbs / host_gbs, 3),
+            }
+        )
     summary = {
         "summary": True,
         "host_bandwidth_gbs": round(host_gbs, 3),
@@ -494,34 +528,35 @@ def run_prune_quality(scale=48, *, keys=TABLE1_KEYS, reps=5, top_k=2):
     total_exhaustive = total_pruned = 0
     hits = 0
     worst_regression = 0.0
-    for key in keys:
-        coo = generate(key, scale=scale)
-        for fmt in ENGINE_FORMATS:
-            m = convert(coo, fmt)
-            ex = autotune(m, Workspace(), reps=reps, use_cache=False)
-            keep, dropped, _ = prune_roster(m, top_k=top_k)
-            best = ex.timings[ex.variant]
-            pruned_winner = min(keep, key=lambda n: ex.timings[n])
-            regression = max(0.0, ex.timings[pruned_winner] / best - 1.0)
-            hit = ex.variant in keep
-            total_exhaustive += len(ex.timings)
-            total_pruned += len(keep)
-            hits += hit
-            worst_regression = max(worst_regression, regression)
-            records.append(
-                {
-                    "matrix": key,
-                    "format": fmt,
-                    "scale": scale,
-                    "exhaustive_timed": len(ex.timings),
-                    "pruned_timed": len(keep),
-                    "exhaustive_winner": ex.variant,
-                    "pruned_winner": pruned_winner,
-                    "winner_in_top_k": hit,
-                    "regression": round(regression, 4),
-                    "dropped": dropped,
-                }
-            )
+    coos = {}
+    for key, fmt in scenario_pairs(keys):
+        if key not in coos:
+            coos[key] = generate(key, scale=scale)
+        m = convert(coos[key], fmt)
+        ex = autotune(m, Workspace(), reps=reps, use_cache=False)
+        keep, dropped, _ = prune_roster(m, top_k=top_k)
+        best = ex.timings[ex.variant]
+        pruned_winner = min(keep, key=lambda n: ex.timings[n])
+        regression = max(0.0, ex.timings[pruned_winner] / best - 1.0)
+        hit = ex.variant in keep
+        total_exhaustive += len(ex.timings)
+        total_pruned += len(keep)
+        hits += hit
+        worst_regression = max(worst_regression, regression)
+        records.append(
+            {
+                "matrix": key,
+                "format": fmt,
+                "scale": scale,
+                "exhaustive_timed": len(ex.timings),
+                "pruned_timed": len(keep),
+                "exhaustive_winner": ex.variant,
+                "pruned_winner": pruned_winner,
+                "winner_in_top_k": hit,
+                "regression": round(regression, 4),
+                "dropped": dropped,
+            }
+        )
     n = len(records)
     records.append(
         {
@@ -595,13 +630,10 @@ def main(argv=None):
     if args.compiled:
         out = "BENCH_compiled.json" if args.out == "BENCH_kernels.json" else args.out
         records = run_compiled_bench(args.scale, reps=args.reps)
-        with open(out, "w", encoding="utf-8") as fh:
-            json.dump(records, fh, indent=2)
-        rows = [r for r in records if not r.get("summary")]
-        summary = records[-1]
+        write_artifact(out, records)
+        rows, summary = split_summary(records)
         if not rows:
-            print("no compiled backend available on this host; nothing to gate")
-            return 1 if args.min_speedup > 0 else 0
+            return no_data("no compiled backend available on this host")
         print(
             f"{'matrix':6s} {'format':12s} {'numpy':16s} {'compiled':14s} "
             f"{'np GB/s':>8s} {'cc GB/s':>8s} {'x':>6s} {'roof%':>6s}"
@@ -618,22 +650,19 @@ def main(argv=None):
             f"{summary['aggregate_speedup']:.2f}x at host bandwidth "
             f"{summary['host_bandwidth_gbs']:.1f} GB/s"
         )
-        if summary["aggregate_speedup"] < args.min_speedup:
-            print(
-                f"FAIL: aggregate speedup {summary['aggregate_speedup']:.3f} "
-                f"< {args.min_speedup}"
-            )
-            return 1
-        return 0
+        gates = GateSet()
+        gates.at_least(
+            summary["aggregate_speedup"], args.min_speedup,
+            "aggregate speedup",
+        )
+        return gates.exit_code()
     if args.prune_quality:
         out = "BENCH_prune.json" if args.out == "BENCH_kernels.json" else args.out
         records = run_prune_quality(
             args.scale, reps=args.reps, top_k=args.top_k
         )
-        with open(out, "w", encoding="utf-8") as fh:
-            json.dump(records, fh, indent=2)
-        rows = [r for r in records if not r.get("summary")]
-        summary = records[-1]
+        write_artifact(out, records)
+        rows, summary = split_summary(records)
         print(
             f"{'matrix':6s} {'format':12s} {'exhaustive':16s} {'pruned':16s} "
             f"{'timed':>7s} {'hit':>4s} {'regr%':>6s}"
@@ -652,31 +681,23 @@ def main(argv=None):
             f"{100 * summary['winner_hit_rate']:.0f}%, worst regression "
             f"{100 * summary['worst_regression']:.2f}%"
         )
-        failed = False
-        if summary["timed_reduction"] < args.min_reduction:
-            print(
-                f"FAIL: timed reduction {summary['timed_reduction']:.3f} "
-                f"< {args.min_reduction}"
-            )
-            failed = True
-        if summary["worst_regression"] > args.max_regress:
-            print(
-                f"FAIL: worst regression {summary['worst_regression']:.4f} "
-                f"> {args.max_regress}"
-            )
-            failed = True
-        return 1 if failed else 0
+        gates = GateSet()
+        gates.at_least(
+            summary["timed_reduction"], args.min_reduction, "timed reduction"
+        )
+        gates.at_most(
+            summary["worst_regression"], args.max_regress, "worst regression"
+        )
+        return gates.exit_code()
     if args.obs_overhead:
         out = "BENCH_obs.json" if args.out == "BENCH_kernels.json" else args.out
         records = run_obs_overhead_bench(args.scale, reps=args.reps)
-        with open(out, "w", encoding="utf-8") as fh:
-            json.dump(records, fh, indent=2)
+        write_artifact(out, records)
         print(
             f"{'matrix':6s} {'format':12s} {'variant':16s} "
             f"{'off':>9s} {'on':>9s} {'traced':>9s} {'ovh%':>6s}"
         )
-        rows = [r for r in records if not r.get("summary")]
-        summary = records[-1]
+        rows, summary = split_summary(records)
         for r in rows:
             print(
                 f"{r['matrix']:6s} {r['format']:12s} {r['variant']:16s} "
@@ -688,24 +709,20 @@ def main(argv=None):
             f"{100 * summary['overhead_on']:.2f}% "
             f"(traced path {100 * summary['overhead_traced']:.2f}%)"
         )
-        if summary["overhead_on"] > args.max_overhead:
-            print(
-                f"FAIL: aggregate overhead {summary['overhead_on']:.4f} "
-                f"> {args.max_overhead}"
-            )
-            return 1
-        return 0
+        gates = GateSet()
+        gates.at_most(
+            summary["overhead_on"], args.max_overhead, "aggregate overhead"
+        )
+        return gates.exit_code()
     if args.dispatch:
         out = "BENCH_dispatch.json" if args.out == "BENCH_kernels.json" else args.out
         records = run_dispatch_bench(args.scale, reps=args.reps)
-        with open(out, "w", encoding="utf-8") as fh:
-            json.dump(records, fh, indent=2)
+        write_artifact(out, records)
         print(
             f"{'matrix':6s} {'format':12s} {'variant':16s} "
             f"{'direct':>9s} {'registry':>9s} {'engine':>9s} {'ovh%':>6s}"
         )
-        rows = [r for r in records if not r.get("summary")]
-        summary = records[-1]
+        rows, summary = split_summary(records)
         for r in rows:
             print(
                 f"{r['matrix']:6s} {r['format']:12s} {r['variant']:16s} "
@@ -717,16 +734,14 @@ def main(argv=None):
             f"{100 * summary['overhead_registry']:.2f}% "
             f"(engine path {100 * summary['overhead_engine']:.2f}%)"
         )
-        if summary["overhead_registry"] > args.max_overhead:
-            print(
-                f"FAIL: aggregate overhead {summary['overhead_registry']:.4f} "
-                f"> {args.max_overhead}"
-            )
-            return 1
-        return 0
+        gates = GateSet()
+        gates.at_most(
+            summary["overhead_registry"], args.max_overhead,
+            "aggregate overhead",
+        )
+        return gates.exit_code()
     records = run_engine_bench(args.scale, reps=args.reps, spmm_rhs=args.rhs)
-    with open(args.out, "w", encoding="utf-8") as fh:
-        json.dump(records, fh, indent=2)
+    write_artifact(args.out, records)
     hdr = (
         f"{'matrix':6s} {'format':12s} {'variant':16s} "
         f"{'seed':>8s} {'engine':>8s} {'x':>6s} {'spmm':>6s}"
@@ -739,7 +754,7 @@ def main(argv=None):
             f"{r['engine_speedup']:6.2f} {r['spmm_speedup']:6.2f}"
         )
     print(f"wrote {args.out} ({len(records)} records)")
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

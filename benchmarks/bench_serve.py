@@ -30,11 +30,12 @@ answers are still computed exactly and checked against a
 single-server reference before each timed run).
 """
 
-import json
 import threading
 import time
 
 import numpy as np
+
+from _gates import GateSet, write_artifact
 
 
 def _closed_loop(server, name, n, *, clients, requests_per_client, seed=0):
@@ -343,8 +344,7 @@ def _main_fleet(args):
         workers=args.workers,
         max_delay_ms=args.max_delay_ms,
     )
-    with open(args.out, "w", encoding="utf-8") as fh:
-        json.dump(records, fh, indent=2)
+    write_artifact(args.out, records)
     print(
         f"{'shards':>6s} {'rps':>10s} {'scaling':>8s} "
         f"{'p50ms':>8s} {'p99ms':>8s} {'exact':>6s}"
@@ -367,16 +367,27 @@ def _main_fleet(args):
         )
     )
     print(f"wrote {args.out} ({len(records)} records)")
-    return 0
+    gates = GateSet()
+    gates.require(summary["bitwise_equal"], "sharded answers not bitwise")
+    top = str(max(int(s) for s in summary["scaling"]))
+    gates.at_least(
+        summary["scaling"][top], args.min_scaling,
+        f"throughput scaling at {top} shards",
+    )
+    return gates.exit_code()
 
 
 def main(argv=None):
     import argparse
 
+    from repro.scenarios import axis_values
+
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--scale", type=int, default=64)
-    ap.add_argument("--matrix", default="sAMG")
-    ap.add_argument("--format", default="pJDS")
+    ap.add_argument("--matrix", default="sAMG",
+                    choices=axis_values("suite-matrix"))
+    ap.add_argument("--format", default="pJDS",
+                    choices=axis_values("format"))
     ap.add_argument("--clients", type=int, default=8)
     ap.add_argument("--requests", type=int, default=50,
                     help="requests per client")
@@ -397,6 +408,12 @@ def main(argv=None):
     ap.add_argument("--service-ms", type=float, default=8.0,
                     help="modeled Eq. (1) whole-matrix sweep time on one "
                          "shard (calibrates the device bandwidth)")
+    ap.add_argument("--min-batched-speedup", type=float, default=None,
+                    help="fail (exit 1) when the batched-vs-baseline "
+                         "throughput ratio is below this (CI smoke: 1.0)")
+    ap.add_argument("--min-scaling", type=float, default=None,
+                    help="fail (exit 1) when --fleet throughput scaling at "
+                         "the largest shard count is below this")
     args = ap.parse_args(argv)
     if args.fleet:
         args.out = args.out or "BENCH_fleet.json"
@@ -422,8 +439,7 @@ def main(argv=None):
         max_delay_ms=args.max_delay_ms,
         workers=args.workers,
     )
-    with open(args.out, "w", encoding="utf-8") as fh:
-        json.dump(records, fh, indent=2)
+    write_artifact(args.out, records)
     hdr = (
         f"{'max_batch':>9s} {'rps':>10s} {'mean_bs':>8s} "
         f"{'spmm':>6s} {'p50ms':>8s} {'p95ms':>8s} {'p99ms':>8s}"
@@ -445,7 +461,12 @@ def main(argv=None):
         f"{summary['best_rps']:.1f} vs {summary['baseline_rps']:.1f} rps)"
     )
     print(f"wrote {args.out} ({len(records)} records)")
-    return 0
+    gates = GateSet()
+    gates.at_least(
+        summary["batched_speedup"], args.min_batched_speedup,
+        "batched speedup",
+    )
+    return gates.exit_code()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,69 @@
+"""Declarative scenario matrices: one combinator engine behind
+tests, chaos drills, benches, and CI.
+
+* :mod:`repro.scenarios.matrix` — the ``Base``/``Sum``/``Product``/
+  ``Filter``/``Subset`` algebra and the :class:`ScenarioCell` row type;
+* :mod:`repro.scenarios.fixtures` — named matrix classes the specs
+  reference (shared with the test and bench fixtures);
+* :mod:`repro.scenarios.specs` — the axes and suites (the single
+  source of truth for what exists);
+* :mod:`repro.scenarios.executors` — how a cell runs.
+
+See ``docs/scenarios.md`` for the axis/wave semantics and
+``repro matrix expand|run`` for the CLI surface.
+"""
+
+from repro.scenarios.executors import (
+    EXECUTORS,
+    apply_env,
+    executor_names,
+    register_executor,
+    run_cell,
+)
+from repro.scenarios.matrix import (
+    Base,
+    Filter,
+    Product,
+    ScenarioCell,
+    Subset,
+    Sum,
+    canonical_key,
+    combo_digest,
+    expand,
+)
+from repro.scenarios.specs import (
+    AXES,
+    BENCH_FORMATS,
+    PLAN_EXPECTATIONS,
+    SMOKE_SIZES,
+    SUITES,
+    WAVES,
+    axis_values,
+    expand_suite,
+    suite_names,
+)
+
+__all__ = [
+    "AXES",
+    "BENCH_FORMATS",
+    "Base",
+    "EXECUTORS",
+    "Filter",
+    "PLAN_EXPECTATIONS",
+    "Product",
+    "SMOKE_SIZES",
+    "SUITES",
+    "ScenarioCell",
+    "Subset",
+    "Sum",
+    "WAVES",
+    "apply_env",
+    "axis_values",
+    "canonical_key",
+    "combo_digest",
+    "executor_names",
+    "expand",
+    "expand_suite",
+    "run_cell",
+    "suite_names",
+]

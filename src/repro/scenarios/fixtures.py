@@ -1,0 +1,141 @@
+"""Named matrix fixtures shared by tests, benchmarks, and scenario cells.
+
+Before the scenario harness these generators were copied between
+``tests/_test_common.py``, ``tests/test_ops.py`` and the bench
+scripts; now there is one table.  A *matrix class* names a structural
+shape (random square with empty rows, rectangular, one dense row,
+0x0, a 2-D Poisson stencil); :func:`materialize` turns a name into a
+COO matrix, and the scenario specs reference classes purely by name
+so the run matrix stays data.
+
+Paper-suite generator keys (``DLR1`` ... ``UHBR``) are also accepted:
+they materialise through :func:`repro.matrices.generate` at the
+caller's scale, which is how the bench suites reuse the same axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ALL_FORMATS",
+    "GPU_FORMATS",
+    "MATRIX_CLASSES",
+    "PERMUTING_FORMATS",
+    "SQUARE_ONLY_FORMATS",
+    "empty_coo",
+    "is_square_class",
+    "materialize",
+    "matrix_classes",
+    "random_coo",
+    "single_dense_row_coo",
+]
+
+#: every registered format that implements spmv (COO included)
+ALL_FORMATS = ("COO", "CRS", "ELLPACK", "ELLPACK-R", "JDS", "pJDS", "SELL-C-sigma")
+#: formats with a GPU kernel trace
+GPU_FORMATS = ("ELLPACK", "ELLPACK-R", "JDS", "pJDS", "SELL-C-sigma")
+#: formats that permute rows
+PERMUTING_FORMATS = ("JDS", "pJDS", "SELL-C-sigma")
+#: formats whose construction requires nrows == ncols
+SQUARE_ONLY_FORMATS = ("JDS", "pJDS", "SELL-C-sigma")
+
+
+def random_coo(
+    n: int = 60,
+    m: int | None = None,
+    *,
+    seed: int = 0,
+    max_row: int = 12,
+    min_row: int = 0,
+    dtype=np.float64,
+    empty_row_fraction: float = 0.1,
+):
+    """Random rectangular COO with a skewed row-length distribution."""
+    from repro.formats import COOMatrix
+
+    m = n if m is None else m
+    rng = np.random.default_rng(seed)
+    rows, cols, vals = [], [], []
+    for i in range(n):
+        if rng.random() < empty_row_fraction and min_row == 0:
+            continue
+        k = int(rng.integers(max(min_row, 1), max_row + 1))
+        k = min(k, m)
+        c = rng.choice(m, size=k, replace=False)
+        rows.extend([i] * k)
+        cols.extend(c.tolist())
+        vals.extend(rng.normal(size=k).tolist())
+    return COOMatrix(
+        np.asarray(rows, dtype=np.int64),
+        np.asarray(cols, dtype=np.int64),
+        np.asarray(vals, dtype=dtype),
+        (n, m),
+        sum_duplicates=False,
+    )
+
+
+def single_dense_row_coo(n: int = 20):
+    """One fully dense row amid empties — the pJDS worst case."""
+    from repro.formats import COOMatrix
+
+    rng = np.random.default_rng(11)
+    rows = np.full(n, 3, dtype=np.int64)
+    cols = np.arange(n, dtype=np.int64)
+    vals = rng.normal(size=n)
+    # a couple of scattered extras so conversion paths see >1 row
+    rows = np.concatenate([rows, [0, n - 1]])
+    cols = np.concatenate([cols, [1, 2]])
+    vals = np.concatenate([vals, [0.5, -0.25]])
+    return COOMatrix(rows, cols, vals, (n, n))
+
+
+def empty_coo():
+    """The 0x0 degenerate matrix."""
+    from repro.formats import COOMatrix
+
+    z = np.empty(0, dtype=np.int64)
+    return COOMatrix(z, z, np.empty(0), (0, 0))
+
+
+def _poisson2d_coo():
+    from repro.matrices import poisson2d
+
+    return poisson2d(12, 13)
+
+
+#: matrix class name -> (builder, square?)
+MATRIX_CLASSES = {
+    "random-square": (lambda: random_coo(60, seed=3), True),
+    "rectangular": (lambda: random_coo(40, 70, seed=5), False),
+    "single-dense-row": (lambda: single_dense_row_coo(), True),
+    "empty": (lambda: empty_coo(), True),
+    "empty-rows": (lambda: random_coo(50, seed=31, empty_row_fraction=0.4), True),
+    "poisson2d": (lambda: _poisson2d_coo(), True),
+}
+
+
+def matrix_classes() -> tuple:
+    """Sorted matrix-class names (the ``matrix-class`` scenario axis)."""
+    return tuple(sorted(MATRIX_CLASSES))
+
+
+def is_square_class(name: str) -> bool:
+    """True when the class builds a square matrix (suite keys are square)."""
+    if name in MATRIX_CLASSES:
+        return MATRIX_CLASSES[name][1]
+    return True
+
+
+def materialize(name: str, *, scale: int = 64, seed: int = 0):
+    """Build the COO matrix a class (or paper-suite key) names."""
+    if name in MATRIX_CLASSES:
+        return MATRIX_CLASSES[name][0]()
+    from repro.matrices import SUITE_KEYS, generate
+
+    if name in SUITE_KEYS:
+        return generate(name, scale=scale, seed=seed)
+    raise KeyError(
+        f"unknown matrix class {name!r}; known: "
+        f"{sorted(MATRIX_CLASSES) + sorted(SUITE_KEYS)}"
+    )

@@ -1,0 +1,273 @@
+"""Teuthology-style scenario combinators: an algebra over axis values.
+
+A scenario *spec* is a tree of combinators that expands into a flat,
+deduplicated, canonically ordered run matrix.  Leaves contribute axis
+bindings, inner nodes combine them:
+
+* :class:`Base` — one axis with its candidate values
+  (``Base("format", ("CRS", "pJDS"))`` → two one-axis combos),
+* :class:`Product` — the cross product of child combos (axes must be
+  disjoint: a combo binds each axis at most once),
+* :class:`Sum` — the union of child combos (duplicates collapse),
+* :class:`Filter` — keeps only combos accepted by a predicate (the
+  place validity rules live, e.g. "square-only formats never meet a
+  rectangular matrix class"),
+* :class:`Subset` — a seed-deterministic sample of the child's combos
+  (wave sampling: the ``smoke`` wave is a strict subset of ``full``).
+
+Expansion guarantees — the invariants the property tests pin down:
+
+* **deduplicated**: ``len(expand(spec)) == len(set(...))`` (the
+  frozenset property from the teuthology matrix tests),
+* **seed-deterministic**: the same ``(spec, seed)`` always yields the
+  same tuple, byte for byte once serialised,
+* **order-canonical**: reordering ``Product``/``Sum`` children or the
+  values inside a ``Base`` never changes the expanded *set*, and the
+  output ordering is derived from the combos themselves (sorted by
+  canonical key), not from tree shape,
+* **subset-monotone**: ``Subset`` output is always a subset of its
+  child's expansion, strict whenever ``k`` is smaller.
+
+Values must be hashable and JSON-representable (strings, numbers,
+bools, tuples); determinism across *processes* is why sampling uses a
+keyed blake2b ranking instead of Python's salted ``hash``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Base",
+    "Combo",
+    "Filter",
+    "Product",
+    "ScenarioCell",
+    "Subset",
+    "Sum",
+    "canonical_key",
+    "combo_digest",
+    "expand",
+]
+
+
+#: a combo is an immutable mapping axis -> value
+Combo = dict
+
+
+def canonical_key(combo: Combo) -> tuple:
+    """The order-free identity of a combo: sorted ``(axis, value)`` pairs."""
+    return tuple(sorted((str(k), _freeze(v)) for k, v in combo.items()))
+
+
+def _freeze(value):
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+    return value
+
+
+def combo_digest(combo: Combo, *, salt: str = "") -> str:
+    """Process-stable hex digest of a combo (used for ids and sampling)."""
+    h = hashlib.blake2b(digest_size=8)
+    h.update(salt.encode())
+    h.update(repr(canonical_key(combo)).encode())
+    return h.hexdigest()
+
+
+class Spec:
+    """Base class for combinator nodes."""
+
+    def expand(self, seed: int = 0) -> tuple:
+        """Deduplicated, canonically ordered tuple of combos."""
+        combos = self._combos(seed)
+        seen = {}
+        for c in combos:
+            seen.setdefault(canonical_key(c), c)
+        return tuple(seen[k] for k in sorted(seen))
+
+    def _combos(self, seed: int):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def size(self, seed: int = 0) -> int:
+        return len(self.expand(seed))
+
+    # sugar: a * b == Product(a, b); a + b == Sum(a, b)
+    def __mul__(self, other: "Spec") -> "Product":
+        return Product(self, other)
+
+    def __add__(self, other: "Spec") -> "Sum":
+        return Sum(self, other)
+
+
+@dataclass(frozen=True)
+class Base(Spec):
+    """One axis with its candidate values."""
+
+    axis: str
+    values: tuple
+
+    def __post_init__(self):
+        object.__setattr__(self, "values", tuple(self.values))
+        if not self.values:
+            raise ValueError(f"axis {self.axis!r} has no values")
+
+    def _combos(self, seed: int):
+        return [{self.axis: v} for v in self.values]
+
+
+class Sum(Spec):
+    """Union of child expansions (duplicates collapse)."""
+
+    def __init__(self, *children: Spec):
+        if not children:
+            raise ValueError("Sum needs at least one child")
+        self.children = tuple(children)
+
+    def _combos(self, seed: int):
+        out = []
+        for child in self.children:
+            out.extend(child.expand(seed))
+        return out
+
+
+class Product(Spec):
+    """Cross product of child expansions; axes must stay disjoint."""
+
+    def __init__(self, *children: Spec):
+        if not children:
+            raise ValueError("Product needs at least one child")
+        self.children = tuple(children)
+
+    def _combos(self, seed: int):
+        combos: list[Combo] = [{}]
+        for child in self.children:
+            nxt = []
+            for left in combos:
+                for right in child.expand(seed):
+                    overlap = set(left) & set(right)
+                    if overlap:
+                        raise ValueError(
+                            f"Product rebinds axes {sorted(overlap)}"
+                        )
+                    merged = dict(left)
+                    merged.update(right)
+                    nxt.append(merged)
+            combos = nxt
+        return combos
+
+
+class Filter(Spec):
+    """Keep only combos accepted by ``predicate(combo) -> bool``."""
+
+    def __init__(self, predicate, child: Spec):
+        self.predicate = predicate
+        self.child = child
+
+    def _combos(self, seed: int):
+        return [c for c in self.child.expand(seed) if self.predicate(c)]
+
+
+class Subset(Spec):
+    """A seed-deterministic sample of ``k`` combos from the child.
+
+    Each combo is ranked by a keyed blake2b digest of its canonical
+    key — the same ``(child, k, seed)`` always selects the same
+    subset, independent of tree shape, process, or axis ordering, and
+    the selection is always a subset of the child's full expansion.
+    """
+
+    def __init__(self, child: Spec, k: int):
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        self.child = child
+        self.k = k
+
+    def _combos(self, seed: int):
+        combos = self.child.expand(seed)
+        ranked = sorted(
+            combos, key=lambda c: combo_digest(c, salt=f"subset:{seed}")
+        )
+        return ranked[: self.k]
+
+
+# ---------------------------------------------------------------------------
+# the expanded row: one runnable cell
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScenarioCell:
+    """One row of an expanded run matrix.
+
+    ``axes`` is the combo that produced the cell; ``executor`` names
+    the binding that knows how to run it (parity-check, chaos-drill,
+    serve-roundtrip, fleet-drill, bench-probe); ``env`` is propagated
+    into ``os.environ`` for the duration of the run (and exported in
+    the JSON row so CI can reproduce the cell out of process);
+    ``config`` carries executor keyword defaults the axes don't encode.
+    """
+
+    suite: str
+    executor: str
+    axes: tuple  # canonical (axis, value) pairs
+    env: tuple = ()
+    config: tuple = ()
+    wave: str = "full"
+
+    @classmethod
+    def build(cls, suite, executor, combo, *, env=None, config=None, wave="full"):
+        return cls(
+            suite=suite,
+            executor=executor,
+            axes=canonical_key(combo),
+            env=tuple(sorted((env or {}).items())),
+            config=tuple(sorted((config or {}).items())),
+            wave=wave,
+        )
+
+    @property
+    def axes_dict(self) -> dict:
+        return dict(self.axes)
+
+    @property
+    def env_dict(self) -> dict:
+        return dict(self.env)
+
+    @property
+    def config_dict(self) -> dict:
+        return dict(self.config)
+
+    @property
+    def cell_id(self) -> str:
+        """Deterministic short id: ``<suite>-<digest>``."""
+        return f"{self.suite}-{combo_digest(dict(self.axes), salt=self.suite)}"
+
+    def label(self) -> str:
+        """Human-readable id for pytest parametrisation and tables."""
+        parts = [f"{k}={_render(v)}" for k, v in self.axes]
+        return "/".join(parts)
+
+    def to_row(self) -> dict:
+        """JSON-ready row (stable key order handled by the serialiser)."""
+        return {
+            "cell_id": self.cell_id,
+            "suite": self.suite,
+            "executor": self.executor,
+            "wave": self.wave,
+            "axes": self.axes_dict,
+            "env": self.env_dict,
+            "config": self.config_dict,
+        }
+
+
+def _render(value) -> str:
+    if isinstance(value, tuple):
+        return "+".join(_render(v) for v in value)
+    return str(value)
+
+
+def expand(spec: Spec, seed: int = 0) -> tuple:
+    """Module-level convenience: ``spec.expand(seed)``."""
+    return spec.expand(seed)

@@ -1,4 +1,11 @@
-"""Shared test helpers (uniquely named to avoid conftest shadowing)."""
+"""Shared test helpers (uniquely named to avoid conftest shadowing).
+
+The matrix generators and format rosters live in
+:mod:`repro.scenarios.fixtures` — the same module the scenario specs
+and bench scripts draw from — so there is exactly one definition of
+"a random test matrix" in the repo.  This module only adds the pytest
+fixture wrappers.
+"""
 
 from __future__ import annotations
 
@@ -6,45 +13,30 @@ import numpy as np
 import pytest
 
 from repro.formats import COOMatrix, convert
+from repro.scenarios.fixtures import (
+    empty_coo,
+    random_coo,
+    single_dense_row_coo,
+)
+from repro.scenarios.fixtures import ALL_FORMATS as _ALL
+from repro.scenarios.fixtures import GPU_FORMATS as _GPU
+from repro.scenarios.fixtures import PERMUTING_FORMATS as _PERM
+
+__all__ = [
+    "ALL_FORMATS",
+    "GPU_FORMATS",
+    "PERMUTING_FORMATS",
+    "empty_coo",
+    "random_coo",
+    "single_dense_row_coo",
+]
 
 #: every registered format that implements spmv (COO included)
-ALL_FORMATS = ["COO", "CRS", "ELLPACK", "ELLPACK-R", "JDS", "pJDS", "SELL-C-sigma"]
+ALL_FORMATS = list(_ALL)
 #: formats with a GPU kernel trace
-GPU_FORMATS = ["ELLPACK", "ELLPACK-R", "JDS", "pJDS", "SELL-C-sigma"]
+GPU_FORMATS = list(_GPU)
 #: formats that permute rows
-PERMUTING_FORMATS = ["JDS", "pJDS", "SELL-C-sigma"]
-
-
-def random_coo(
-    n: int = 60,
-    m: int | None = None,
-    *,
-    seed: int = 0,
-    max_row: int = 12,
-    min_row: int = 0,
-    dtype=np.float64,
-    empty_row_fraction: float = 0.1,
-) -> COOMatrix:
-    """Random rectangular COO with a skewed row-length distribution."""
-    m = n if m is None else m
-    rng = np.random.default_rng(seed)
-    rows, cols, vals = [], [], []
-    for i in range(n):
-        if rng.random() < empty_row_fraction and min_row == 0:
-            continue
-        k = int(rng.integers(max(min_row, 1), max_row + 1))
-        k = min(k, m)
-        c = rng.choice(m, size=k, replace=False)
-        rows.extend([i] * k)
-        cols.extend(c.tolist())
-        vals.extend(rng.normal(size=k).tolist())
-    return COOMatrix(
-        np.asarray(rows, dtype=np.int64),
-        np.asarray(cols, dtype=np.int64),
-        np.asarray(vals, dtype=dtype),
-        (n, m),
-        sum_duplicates=False,
-    )
+PERMUTING_FORMATS = list(_PERM)
 
 
 @pytest.fixture(scope="session")

@@ -15,7 +15,12 @@ import warnings
 import numpy as np
 import pytest
 
-from _test_common import ALL_FORMATS, random_coo
+from _test_common import (
+    ALL_FORMATS,
+    empty_coo,
+    random_coo,
+    single_dense_row_coo,
+)
 from repro.engine import Workspace, bind
 from repro.formats import (
     COOMatrix,
@@ -51,31 +56,6 @@ from repro.utils.deprecation import reset_warned
 
 def dense_of(coo: COOMatrix) -> np.ndarray:
     return coo.todense()
-
-
-def single_dense_row_coo(n: int = 20) -> COOMatrix:
-    """One fully dense row amid empties — the pJDS worst case."""
-    rng = np.random.default_rng(11)
-    rows = np.full(n, 3, dtype=np.int64)
-    cols = np.arange(n, dtype=np.int64)
-    vals = rng.normal(size=n)
-    # a couple of scattered extras so conversion paths see >1 row
-    rows = np.concatenate([rows, [0, n - 1]])
-    cols = np.concatenate([cols, [1, 2]])
-    vals = np.concatenate([vals, [0.5, -0.25]])
-    return COOMatrix(rows, cols, vals, (n, n))
-
-
-def empty_coo() -> COOMatrix:
-    z = np.empty(0, dtype=np.int64)
-    return COOMatrix(z, z, np.empty(0), (0, 0))
-
-
-CASES = {
-    "random-square": lambda: random_coo(60, seed=3),
-    "rectangular": lambda: random_coo(40, 70, seed=5),
-    "single-dense-row": single_dense_row_coo,
-}
 
 
 # ---------------------------------------------------------------------------
@@ -214,25 +194,23 @@ class TestKernelRegistry:
 # satellite: the parity matrix (format x variant x {spmv, spmm, permuted})
 # ---------------------------------------------------------------------------
 
+from repro.scenarios import expand_suite, run_cell  # noqa: E402
+
+#: the declarative parity matrix: matrix-class x format x kernel-tier,
+#: expanded once at collection from the shared scenario specs (the same
+#: cells `repro matrix run --suite parity` executes in CI)
+PARITY_CELLS = expand_suite("parity", wave="full")
+
+
 class TestParityMatrix:
-    @pytest.mark.parametrize("case", sorted(CASES))
-    @pytest.mark.parametrize("fmt", ALL_FORMATS)
-    def test_spmv_every_variant(self, fmt, case):
-        coo = CASES[case]()
-        if fmt in ("JDS", "pJDS", "SELL-C-sigma") and coo.nrows != coo.ncols:
-            pytest.skip(f"{fmt} is square-only")
-        m = convert(coo, fmt)
-        A = dense_of(coo)
-        rng = np.random.default_rng(7)
-        x = rng.standard_normal(m.ncols)
-        ref = A @ x
-        for name in variant_names_for(m):
-            bound = bind(m, tune=False, variant=name)
-            got = bound.spmv(x)
-            np.testing.assert_allclose(
-                got, ref, rtol=1e-12, atol=1e-12,
-                err_msg=f"{fmt}/{name}/{case}",
-            )
+    @pytest.mark.parametrize(
+        "cell", [pytest.param(c, id=c.label()) for c in PARITY_CELLS]
+    )
+    def test_cell(self, cell):
+        row = run_cell(cell)
+        if row["status"] == "skip":
+            pytest.skip(row["reason"])
+        assert row["status"] == "ok", row.get("error")
 
     @pytest.mark.parametrize("fmt", ALL_FORMATS)
     def test_spmv_noncontiguous_rhs(self, fmt):
