@@ -22,7 +22,16 @@ FORMATS = {
     "JDS": {},
     "pJDS": {"block_rows": 32},
     "SELL-C-sigma": {"chunk_rows": 32, "sigma": 256},
+    "CMRS": {"strip_height": 4},
+    "ARG-CSR": {},
 }
+
+#: the formats the paper itself compares (Sect. II-A); the generality
+#: claim below is *their* claim, so newcomers (CMRS, ARG-CSR — both
+#: published after the paper) are reported in the table but excluded
+#: from the pJDS-near-the-top assertion: them beating pJDS is a
+#: finding, not a regression
+PAPER_FORMATS = tuple(f for f in FORMATS if f not in ("CMRS", "ARG-CSR"))
 
 
 @pytest.fixture(scope="module")
@@ -66,7 +75,7 @@ class TestShootout:
             best = max(
                 rep.gflops
                 for (k, f), (m, rep) in shootout.items()
-                if k == key and rep is not None
+                if k == key and f in PAPER_FORMATS and rep is not None
             )
             pj = shootout[(key, "pJDS")][1].gflops
             assert pj >= 0.88 * best, key

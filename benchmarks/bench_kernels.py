@@ -506,6 +506,113 @@ def run_compiled_bench(scale=64, *, keys=TABLE1_KEYS, reps=5):
     return records
 
 
+def run_shootout(scale=64, *, keys=TABLE1_KEYS, reps=5):
+    """Table-I-style shootout across *every* registered format.
+
+    Unlike :func:`run_engine_bench` (which probes the curated
+    ``BENCH_FORMATS`` subset), this sweeps the full live roster from
+    ``available_formats()`` — so a newly registered format lands in the
+    ranking with zero bench edits.  Per (matrix, format) cell every
+    spmv roster variant is timed and the best one reported with its
+    effective GB/s against the Eq.-1 traffic model, the roofline
+    efficiency vs the measured host copy bandwidth, and the wall-clock
+    ratio vs the ``csr_scipy`` reference on the same matrix (the
+    library-CSR baseline the CI gate compares newcomers against).  The
+    summary record carries the GB/s ranking averaged across the suite
+    and the worst newcomer-vs-baseline ratio.
+    """
+    from repro.engine import Workspace
+    from repro.formats import available_formats, convert
+    from repro.matrices import generate
+    from repro.obs.profile import measure_host_bandwidth
+    from repro.ops import variants_for
+    from repro.perfmodel.predict import predict_spmv
+
+    host_gbs = measure_host_bandwidth()
+    roster = tuple(available_formats())
+    records = []
+    gbs_by_fmt: dict = {fmt: [] for fmt in roster}
+    for key in keys:
+        coo = generate(key, scale=scale)
+        x = np.random.default_rng(0).standard_normal(coo.ncols)
+        # the library-CSR reference every cell is measured against
+        crs = convert(coo, "CRS")
+        ref_spec = next(
+            (s for s in variants_for(crs) if s.name == "csr_scipy"), None
+        )
+        t_ref = None
+        if ref_spec is not None:
+            ws = Workspace()
+            y = np.zeros(crs.nrows, dtype=crs.dtype)
+            xd = x.astype(crs.dtype)
+            t_ref = _best_seconds(lambda: ref_spec.run(crs, ws, xd, y), reps)
+        for fmt in roster:
+            m = convert(coo, fmt)
+            preds = {
+                p.name: p for p in predict_spmv(m, bandwidth_gbs=host_gbs)
+            }
+            y = np.zeros(m.nrows, dtype=m.dtype)
+            xd = x.astype(m.dtype)
+            timings = {}
+            for spec in variants_for(m):
+                ws = Workspace()
+                timings[spec.name] = _best_seconds(
+                    lambda: spec.run(m, ws, xd, y), reps
+                )
+            best = min(timings, key=timings.get)
+            t = timings[best]
+            gbs = preds[best].bytes_per_call / t / 1e9
+            gbs_by_fmt[fmt].append(gbs)
+            records.append(
+                {
+                    "matrix": key,
+                    "format": fmt,
+                    "scale": scale,
+                    "nnz": m.nnz,
+                    "bytes_per_row": round(m.nbytes / max(m.nrows, 1), 2),
+                    "variant": best,
+                    "tier": _tier_of(
+                        next(s for s in variants_for(m) if s.name == best)
+                    ),
+                    "variants_timed": len(timings),
+                    "best_us": round(1e6 * t, 2),
+                    "gflops": round(gflops(m.nnz, t), 4),
+                    "gbs": round(gbs, 3),
+                    "roofline_efficiency": round(gbs / host_gbs, 3),
+                    "vs_csr_scipy": round(t / t_ref, 3) if t_ref else None,
+                }
+            )
+    ranking = sorted(
+        (
+            (fmt, sum(v) / len(v))
+            for fmt, v in gbs_by_fmt.items()
+            if v
+        ),
+        key=lambda kv: -kv[1],
+    )
+    newcomer_rows = [
+        r
+        for r in records
+        if r["format"] in ("CMRS", "ARG-CSR") and r["vs_csr_scipy"]
+    ]
+    records.append(
+        {
+            "summary": True,
+            "host_bandwidth_gbs": round(host_gbs, 3),
+            "formats_measured": sorted(gbs_by_fmt),
+            "ranking": [
+                {"format": fmt, "mean_gbs": round(g, 3)} for fmt, g in ranking
+            ],
+            "worst_newfmt_vs_csr_scipy": round(
+                max(r["vs_csr_scipy"] for r in newcomer_rows), 3
+            )
+            if newcomer_rows
+            else None,
+        }
+    )
+    return records
+
+
 def run_prune_quality(scale=48, *, keys=TABLE1_KEYS, reps=5, top_k=2):
     """How good is Eq.-1 pruning?  Model keep-set vs exhaustive timings.
 
@@ -608,6 +715,16 @@ def main(argv=None):
         "below this (CI gate: 1.0; the repo target is 1.5)",
     )
     ap.add_argument(
+        "--shootout", action="store_true",
+        help="run the full-roster format shootout instead "
+        "(writes BENCH_shootout.json unless --out is given)",
+    )
+    ap.add_argument(
+        "--max-newfmt-ratio", type=float, default=1.5,
+        help="fail (exit 1) when a CMRS/ARG-CSR cell is more than this "
+        "factor slower than csr_scipy in --shootout mode",
+    )
+    ap.add_argument(
         "--prune-quality", action="store_true",
         help="run the Eq.-1 prune-quality probe instead "
         "(writes BENCH_prune.json unless --out is given)",
@@ -655,6 +772,46 @@ def main(argv=None):
             summary["aggregate_speedup"], args.min_speedup,
             "aggregate speedup",
         )
+        return gates.exit_code()
+    if args.shootout:
+        from repro.formats import available_formats
+
+        out = "BENCH_shootout.json" if args.out == "BENCH_kernels.json" else args.out
+        records = run_shootout(args.scale, reps=args.reps)
+        write_artifact(out, records)
+        rows, summary = split_summary(records)
+        print(
+            f"{'matrix':6s} {'format':14s} {'variant':16s} {'tier':9s} "
+            f"{'us':>9s} {'GB/s':>7s} {'roof%':>6s} {'vs csr':>7s}"
+        )
+        for r in rows:
+            ratio = f"{r['vs_csr_scipy']:7.2f}" if r["vs_csr_scipy"] else "      -"
+            print(
+                f"{r['matrix']:6s} {r['format']:14s} {r['variant']:16s} "
+                f"{r['tier']:9s} {r['best_us']:9.2f} {r['gbs']:7.2f} "
+                f"{100 * r['roofline_efficiency']:6.1f} {ratio}"
+            )
+        print("ranking (mean GB/s across the suite):")
+        for i, e in enumerate(summary["ranking"], 1):
+            print(f"  {i:2d}. {e['format']:14s} {e['mean_gbs']:7.2f}")
+        print(
+            f"wrote {out} ({len(rows)} records); worst CMRS/ARG-CSR ratio "
+            f"vs csr_scipy {summary['worst_newfmt_vs_csr_scipy']} at host "
+            f"bandwidth {summary['host_bandwidth_gbs']:.1f} GB/s"
+        )
+        gates = GateSet()
+        measured = set(summary["formats_measured"])
+        gates.require(
+            measured == set(available_formats()),
+            f"every registered format measured (missing: "
+            f"{sorted(set(available_formats()) - measured)})",
+        )
+        if summary["worst_newfmt_vs_csr_scipy"] is not None:
+            gates.at_most(
+                summary["worst_newfmt_vs_csr_scipy"],
+                args.max_newfmt_ratio,
+                "worst new-format ratio vs csr_scipy",
+            )
         return gates.exit_code()
     if args.prune_quality:
         out = "BENCH_prune.json" if args.out == "BENCH_kernels.json" else args.out

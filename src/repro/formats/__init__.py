@@ -12,7 +12,9 @@ from repro.formats.conversions import (
     convert,
     register_format,
 )
+from repro.formats.argcsr import ARGCSRMatrix
 from repro.formats.bellpack import BELLPACKMatrix
+from repro.formats.cmrs import CMRSMatrix
 from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
 from repro.formats.ellpack import ELLPACKMatrix
@@ -28,7 +30,9 @@ __all__ = [
     "available_formats",
     "convert",
     "register_format",
+    "ARGCSRMatrix",
     "BELLPACKMatrix",
+    "CMRSMatrix",
     "COOMatrix",
     "CSRMatrix",
     "ELLPACKMatrix",

@@ -210,6 +210,22 @@ class SparseMatrixFormat(abc.ABC):
         """Materialise as a dense ndarray (small matrices / tests only)."""
         return self.to_coo().todense()
 
+    def to_dense(self) -> np.ndarray:
+        """Alias of :meth:`todense` (the registry-facing spelling)."""
+        return self.todense()
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, **kwargs) -> "SparseMatrixFormat":
+        """Build this format from a dense 2-D array via COO interchange.
+
+        Non-zero entries of ``dense`` become stored entries; format
+        kwargs (e.g. chunk sizes) pass through to :meth:`from_coo`.
+        COO overrides this with a direct constructor.
+        """
+        from repro.formats.coo import COOMatrix
+
+        return cls.from_coo(COOMatrix.from_dense(dense), **kwargs)
+
     def check_rhs_block(
         self, X: np.ndarray, out: np.ndarray | None
     ) -> tuple[np.ndarray, np.ndarray]:

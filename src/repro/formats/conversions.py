@@ -30,7 +30,10 @@ def register_format(cls: Type[SparseMatrixFormat]) -> Type[SparseMatrixFormat]:
     """Register a format class under its ``name`` (idempotent)."""
     existing = FORMATS.get(cls.name)
     if existing is not None and existing is not cls:
-        raise ValueError(f"format name {cls.name!r} already registered")
+        raise ValueError(
+            f"format name {cls.name!r} already registered by "
+            f"{existing.__module__}.{existing.__qualname__}"
+        )
     FORMATS[cls.name] = cls
     return cls
 
@@ -70,9 +73,19 @@ def _register_core_formats() -> None:
     from repro.core.jds import JDSMatrix
     from repro.core.pjds import PJDSMatrix
     from repro.core.sell import SELLMatrix
+    from repro.formats.argcsr import ARGCSRMatrix
     from repro.formats.bellpack import BELLPACKMatrix
+    from repro.formats.cmrs import CMRSMatrix
     from repro.formats.ellr_t import ELLRTMatrix
 
-    for cls in (JDSMatrix, PJDSMatrix, SELLMatrix, BELLPACKMatrix, ELLRTMatrix):
+    for cls in (
+        JDSMatrix,
+        PJDSMatrix,
+        SELLMatrix,
+        BELLPACKMatrix,
+        ELLRTMatrix,
+        CMRSMatrix,
+        ARGCSRMatrix,
+    ):
         if cls.name not in FORMATS:
             register_format(cls)

@@ -14,6 +14,11 @@ Checked invariants (per applicable format):
 * jagged formats: ``col_start`` monotone, padded lengths non-increasing
   and dominating the true lengths, permutation valid;
 * SELL: chunk pointers consistent with chunk widths;
+* CMRS: strip pointers monotone and covering the nnz, in-strip row
+  counters below the strip height, entries row-major within strips;
+* ARG-CSR: power-of-two group widths strictly increasing, rectangle
+  slot accounting exact, stored rows a valid partial permutation,
+  true lengths dominated by the group width;
 * spMVM agreement with the COO oracle on a random vector.
 """
 
@@ -99,6 +104,60 @@ def verify_format(
                 )
             ),
             "chunk_ptr inconsistent with chunk widths",
+        )
+
+    from repro.formats.argcsr import ARGCSRMatrix
+    from repro.formats.cmrs import CMRSMatrix
+
+    if isinstance(matrix, CMRSMatrix):
+        sptr = matrix.strip_ptr
+        _require(sptr[0] == 0, "strip_ptr[0] != 0")
+        _require(bool(np.all(np.diff(sptr) >= 0)), "strip_ptr not monotone")
+        _require(int(sptr[-1]) == matrix.nnz, "strip_ptr[-1] != nnz")
+        _require(
+            bool(np.all(matrix.row_in_strip < matrix.strip_height)),
+            "row_in_strip counter >= strip height",
+        )
+        if matrix.nnz:
+            # entries must be row-major within each strip (the run
+            # detection the strip kernels rely on): the per-entry row
+            # id may never decrease between two entries of one strip
+            strips = np.repeat(
+                np.arange(matrix.nstrips, dtype=np.int64), np.diff(sptr)
+            )
+            rows = matrix.entry_rows
+            same = strips[1:] == strips[:-1]
+            _require(
+                bool(np.all(rows[1:][same] >= rows[:-1][same])),
+                "strip entries not row-major",
+            )
+
+    if isinstance(matrix, ARGCSRMatrix):
+        gp, gw = matrix.group_ptr, matrix.group_width
+        rp = matrix.group_rows_ptr
+        _require(gp[0] == 0 and rp[0] == 0, "group pointers must start at 0")
+        _require(
+            bool(np.all(gw > 0)) and bool(np.all((gw & (gw - 1)) == 0)),
+            "group widths must be positive powers of two",
+        )
+        _require(
+            bool(np.all(np.diff(gw) > 0)), "group widths not strictly increasing"
+        )
+        _require(
+            bool(np.array_equal(np.diff(gp), np.diff(rp) * gw)),
+            "group slot accounting inconsistent",
+        )
+        _require(int(gp[-1]) == matrix.total_slots, "group_ptr[-1] != slots")
+        rids = matrix.row_ids
+        _require(
+            np.unique(rids).size == rids.size, "duplicate stored row ids"
+        )
+        group_of = np.repeat(
+            np.arange(matrix.ngroups, dtype=np.int64), np.diff(rp)
+        )
+        _require(
+            bool(np.all(matrix.true_lengths <= gw[group_of])),
+            "true row length exceeds its group width",
         )
 
     # the (O(nnz)) round trip runs after the cheap structural checks so

@@ -87,7 +87,9 @@ def extract_trace(
     if precision is None:
         precision = "SP" if matrix.dtype == np.float32 else "DP"
     itemsize = precision_dtype(precision).itemsize
+    from repro.formats.argcsr import ARGCSRMatrix
     from repro.formats.bellpack import BELLPACKMatrix
+    from repro.formats.cmrs import CMRSMatrix
     from repro.formats.csr import CSRMatrix
     from repro.formats.ellr_t import ELLRTMatrix
 
@@ -103,11 +105,16 @@ def extract_trace(
         return _trace_ellpack(matrix, device, precision, itemsize, skip_padding=True)
     if isinstance(matrix, ELLPACKMatrix):
         return _trace_ellpack(matrix, device, precision, itemsize, skip_padding=False)
+    if isinstance(matrix, CMRSMatrix):
+        return _trace_cmrs(matrix, device, precision, itemsize)
+    if isinstance(matrix, ARGCSRMatrix):
+        return _trace_argcsr(matrix, device, precision, itemsize)
     if isinstance(matrix, CSRMatrix):
         return _trace_csr_scalar(matrix, device, precision, itemsize)
     raise TypeError(
         f"no GPU kernel trace for format {type(matrix).__name__}; "
-        "supported: ELLPACK, ELLPACK-R, JDS, pJDS, SELL-C-sigma"
+        "supported: ELLPACK, ELLPACK-R, ELLR-T, BELLPACK, JDS, pJDS, "
+        "SELL-C-sigma, CMRS, ARG-CSR, CRS"
     )
 
 
@@ -405,6 +412,102 @@ def _trace_jagged(
         j=j,
         stored_row=k,
         stored_lengths=np.asarray(matrix.rowmax),
+        rowmax_array=True,
+    )
+
+
+def _trace_cmrs(
+    matrix,
+    device: DeviceSpec,
+    precision: Precision,
+    itemsize: int,
+) -> KernelTrace:
+    """CMRS: one warp per strip sweeping the strip's flat entry stream.
+
+    Lane ``l`` of the warp handles entries ``sptr[s] + j*ws + l`` — the
+    val/col loads are perfectly coalesced (consecutive flat positions)
+    no matter how ragged the rows are, which is the format's selling
+    point (Koza et al.); the per-lane partial products are then routed
+    to ``y[s*HS + row_in_strip]`` through shared memory (un-modelled,
+    on-chip).  A strip is reserved for ``ceil(count / warp_size)``
+    iterations.  The rowmax-style aux charge stands in for the strip
+    pointer + row-counter streams.
+    """
+    if matrix.nnz > MAX_TRACE_SLOTS:
+        raise MemoryError("CMRS trace too large; use a smaller scale")
+    sptr = np.asarray(matrix.strip_ptr, dtype=np.int64)
+    counts = np.diff(sptr)
+    strip = np.repeat(np.arange(matrix.nstrips, dtype=np.int64), counts)
+    pos = np.arange(matrix.nnz, dtype=np.int64)
+    j = (pos - sptr[strip]) // device.warp_size
+    col = np.asarray(matrix.col_idx, dtype=np.int64)
+    return _finalize(
+        matrix,
+        device,
+        precision,
+        itemsize,
+        pos=pos,
+        col=col,
+        j=j,
+        stored_row=strip,
+        stored_lengths=-(-counts // device.warp_size),
+        rowmax_array=True,
+        rows_per_warp=1,  # stored_row is already the warp (strip) id
+    )
+
+
+def _trace_argcsr(
+    matrix,
+    device: DeviceSpec,
+    precision: Precision,
+    itemsize: int,
+) -> KernelTrace:
+    """ARG-CSR: one thread per stored row; device rectangles are
+    column-major per group (Heller & Oberhuber), so iteration ``j``
+    reads ``gptr[g] + j*n_g + r`` — consecutive addresses across the
+    group's rows, i.e. coalesced like ELLPACK but at the group's width
+    instead of the global maximum.  The per-row true-length guard
+    skips the power-of-two padding (the host arrays stay row-major;
+    only the modelled device addresses transpose).
+    """
+    if matrix.total_slots > MAX_TRACE_SLOTS:
+        raise MemoryError("ARG-CSR trace too large; use a smaller scale")
+    gp = np.asarray(matrix.group_ptr, dtype=np.int64)
+    gw = np.asarray(matrix.group_width, dtype=np.int64)
+    rp = np.asarray(matrix.group_rows_ptr, dtype=np.int64)
+    tl_all = np.asarray(matrix.true_lengths, dtype=np.int64)
+    col_host = np.asarray(matrix.col_idx, dtype=np.int64)
+
+    pos_parts, col_parts, j_parts, row_parts = [], [], [], []
+    for g in range(matrix.ngroups):
+        lo, L = int(gp[g]), int(gw[g])
+        r0, r1 = int(rp[g]), int(rp[g + 1])
+        ng = r1 - r0
+        tl = tl_all[r0:r1]
+        J = np.broadcast_to(np.arange(L, dtype=np.int64), (ng, L))
+        R = np.broadcast_to(np.arange(ng, dtype=np.int64)[:, None], (ng, L))
+        active = J < tl[:, None]
+        j_g = J[active]
+        r_g = R[active]
+        pos_parts.append(lo + j_g * ng + r_g)  # column-major device slot
+        col_parts.append(col_host[lo + r_g * L + j_g])  # host row-major
+        j_parts.append(j_g)
+        row_parts.append(r0 + r_g)
+    cat = (
+        lambda parts: np.concatenate(parts)
+        if parts
+        else np.empty(0, dtype=np.int64)
+    )
+    return _finalize(
+        matrix,
+        device,
+        precision,
+        itemsize,
+        pos=cat(pos_parts),
+        col=cat(col_parts),
+        j=cat(j_parts),
+        stored_row=cat(row_parts),
+        stored_lengths=tl_all,
         rowmax_array=True,
     )
 

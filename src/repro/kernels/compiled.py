@@ -4,8 +4,8 @@ The paper's Sect. III point is that an spMVM kernel should run at the
 memory-bandwidth limit; every pure-NumPy kernel falls short of that
 because it must materialise the gathered product (``x[col] * val``)
 through main memory at least once.  This module adds *fused*
-single-pass kernels for the CSR, ELLPACK/-R, JDS/pJDS and
-SELL-C-sigma hot loops (spmv and batched spmm) from two optional
+single-pass kernels for the CSR, ELLPACK/-R, JDS/pJDS, SELL-C-sigma,
+CMRS and ARG-CSR hot loops (spmv and batched spmm) from two optional
 backends, registered through :func:`repro.ops.registry.register_kernel`
 as ordinary variants — so :class:`~repro.engine.bound.BoundMatrix`,
 every backend (parallel / distributed / serve) and all five solvers
@@ -29,8 +29,9 @@ ranks them against the NumPy kernels per matrix:
 Both backends preserve the NumPy kernels' per-row accumulation order
 (ascending entry order, zero-initialised accumulator), so at float64
 they agree *bitwise* with their order-matched NumPy counterparts
-(``csr_reduceat``, ``ell_sweep``, ``jds_sweep``, ``sell_chunks``) —
-``tests/test_ops.py`` pins that.
+(``csr_reduceat``, ``ell_sweep``, ``jds_sweep``, ``sell_chunks``,
+``cmrs_bincount``, ``argcsr_sweep``) — ``tests/test_ops.py`` pins
+that.
 
 Environment knobs:
 
@@ -66,6 +67,8 @@ import numpy as np
 
 from repro.core.jds import JaggedDiagonalsBase
 from repro.core.sell import SELLMatrix
+from repro.formats.argcsr import ARGCSRMatrix
+from repro.formats.cmrs import CMRSMatrix
 from repro.formats.csr import CSRMatrix
 from repro.formats.ellpack import ELLPACKMatrix
 from repro.ops.registry import register_kernel
@@ -205,6 +208,71 @@ void jds_spmv_{F}(i64 nrows, i64 width, const i64 *col_start,
                 break;
             for (r = lo; r < h; r++)
                 y[r] += val[s + r] * x[col[s + r]];
+        }}
+    }}
+}}
+
+/* CMRS strips: the entry stream is row-major CRS order; strip s owns
+   rows [s*hs, (s+1)*hs) exclusively, so strips parallelise safely
+   while each row accumulates ascending through its entries (bitwise
+   vs cmrs_bincount at float64). */
+void cmrs_spmv_{F}(i64 nrows, i64 nstrips, i64 hs, const i64 *sptr,
+                   const i64 *ris, const i64 *col, const {FT} *val,
+                   const {FT} *x, {FT} *y) {{
+    i64 i, s;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (i = 0; i < nrows; i++)
+        y[i] = 0;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (s = 0; s < nstrips; s++) {{
+        i64 e = sptr[s];
+        const i64 hi = sptr[s + 1];
+        while (e < hi) {{
+            const i64 rr = ris[e];
+            {FT} t = 0;
+            while (e < hi && ris[e] == rr) {{
+                t += val[e] * x[col[e]];
+                e++;
+            }}
+            y[s * hs + rr] = t;
+        }}
+    }}
+}}
+
+/* ARG-CSR: one row-major (n_g, width) rectangle per length group; each
+   row sweeps its full padded width (padding is 0 * x[0]), the same
+   column order as argcsr_sweep — bitwise at float64. */
+void argcsr_spmv_{F}(i64 nrows, i64 ngroups, const i64 *gptr,
+                     const i64 *gwidth, const i64 *rptr,
+                     const i64 *row_ids, const i64 *col, const {FT} *val,
+                     const {FT} *x, {FT} *y) {{
+    i64 i, g;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (i = 0; i < nrows; i++)
+        y[i] = 0;
+    for (g = 0; g < ngroups; g++) {{
+        const i64 L = gwidth[g];
+        const i64 r0 = rptr[g];
+        const i64 r1 = rptr[g + 1];
+        const i64 base = gptr[g];
+        i64 r;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+        for (r = r0; r < r1; r++) {{
+            const {FT} *vr = val + base + (r - r0) * L;
+            const i64 *cr = col + base + (r - r0) * L;
+            {FT} t = 0;
+            i64 j;
+            for (j = 0; j < L; j++)
+                t += vr[j] * x[cr[j]];
+            y[row_ids[r]] = t;
         }}
     }}
 }}
@@ -467,6 +535,48 @@ if _CNATIVE is not None:
         )
         y[:] = acc[: m.nrows]
 
+    def _cc_cmrs_spmv(m: CMRSMatrix, ws, x, y, permuted=False):
+        if m.nrows == 0:
+            return
+        if m.nnz == 0:
+            y.fill(0.0)
+            return
+        sptr = ws.const("strip_ptr", lambda: m.strip_ptr)
+        ris = ws.const("row_in_strip", lambda: m.row_in_strip)
+        col = ws.const("col_idx", lambda: m.col_idx)
+        val = ws.const("val", lambda: m.val)
+        xb = _contig_vec(ws, "cc_x", x, m.dtype)
+        yb, fin = _out_vec(ws, "cc_y", y)
+        fn = _CNATIVE.fn(f"cmrs_spmv_{_F_SUFFIX[m.dtype]}")
+        fn(
+            _i64(m.nrows), _i64(m.nstrips), _i64(m.strip_height),
+            _ptr(sptr), _ptr(ris), _ptr(col), _ptr(val), _ptr(xb), _ptr(yb),
+        )
+        if fin is not None:
+            y[:] = fin
+
+    def _cc_argcsr_spmv(m: ARGCSRMatrix, ws, x, y, permuted=False):
+        if m.nrows == 0:
+            return
+        if m.total_slots == 0:
+            y.fill(0.0)
+            return
+        gptr = ws.const("group_ptr", lambda: m.group_ptr)
+        gw = ws.const("group_width", lambda: m.group_width)
+        rptr = ws.const("group_rows_ptr", lambda: m.group_rows_ptr)
+        rids = ws.const("argcsr_rows", lambda: m.row_ids)
+        col = ws.const("col_idx", lambda: m.col_idx)
+        val = ws.const("val", lambda: m.val)
+        xb = _contig_vec(ws, "cc_x", x, m.dtype)
+        yb, fin = _out_vec(ws, "cc_y", y)
+        fn = _CNATIVE.fn(f"argcsr_spmv_{_F_SUFFIX[m.dtype]}")
+        fn(
+            _i64(m.nrows), _i64(m.ngroups), _ptr(gptr), _ptr(gw),
+            _ptr(rptr), _ptr(rids), _ptr(col), _ptr(val), _ptr(xb), _ptr(yb),
+        )
+        if fin is not None:
+            y[:] = fin
+
     # -- batched spmm over the (cached) stored-order CSR views ----------
 
     def _cc_spmm_stored(m, X, out, ws, permuted=False):
@@ -508,6 +618,14 @@ if _CNATIVE is not None:
         _cc_spmm_stored(m, X, acc, ws)
         out[m.permutation.perm] = acc[: m.nrows]
         return out
+
+    def _cc_plaincsr_spmm(m, X, out, ws):
+        """CMRS / ARG-CSR: their stored-CSR view is already original
+        row order and unpadded, so the fused sweep writes ``out``
+        directly with no permutation or trim step."""
+        if m.nnz == 0 or not (X.flags.c_contiguous and out.flags.c_contiguous):
+            return None
+        return _cc_spmm_stored(m, X, out, ws)
 
 
 # ---------------------------------------------------------------------------
@@ -567,6 +685,38 @@ if _NUMBA_VERSION is not None:  # pragma: no cover - needs numba installed
                     t += val[s] * x[col[s]]
                 y[c * C + r] = t
 
+    @_njit(parallel=True, cache=False)
+    def _nb_cmrs_spmv_impl(nrows, nstrips, hs, sptr, ris, col, val, x, y):
+        for i in _prange(nrows):
+            y[i] = 0.0
+        for s in _prange(nstrips):
+            e = sptr[s]
+            hi = sptr[s + 1]
+            while e < hi:
+                rr = ris[e]
+                t = 0.0
+                while e < hi and ris[e] == rr:
+                    t += val[e] * x[col[e]]
+                    e += 1
+                y[s * hs + rr] = t
+
+    @_njit(parallel=True, cache=False)
+    def _nb_argcsr_spmv_impl(
+        nrows, ngroups, gptr, gwidth, rptr, row_ids, col, val, x, y
+    ):
+        for i in _prange(nrows):
+            y[i] = 0.0
+        for g in range(ngroups):
+            L = gwidth[g]
+            r0 = rptr[g]
+            base = gptr[g]
+            for r in _prange(rptr[g + 1] - r0):
+                b = base + r * L
+                t = 0.0
+                for j in range(L):
+                    t += val[b + j] * x[col[b + j]]
+                y[row_ids[r0 + r]] = t
+
     def _nb_csr_spmv(m: CSRMatrix, ws, x, y, permuted=False):
         if m.nrows == 0:
             return
@@ -621,6 +771,44 @@ if _NUMBA_VERSION is not None:  # pragma: no cover - needs numba installed
             m.nchunks, m.chunk_rows, ptr, widths, col, val, xb, acc
         )
         y[:] = acc[: m.nrows]
+
+    def _nb_cmrs_spmv(m: CMRSMatrix, ws, x, y, permuted=False):
+        if m.nrows == 0:
+            return
+        if m.nnz == 0:
+            y.fill(0.0)
+            return
+        sptr = ws.const("strip_ptr", lambda: m.strip_ptr)
+        ris = ws.const("row_in_strip", lambda: m.row_in_strip)
+        col = ws.const("col_idx", lambda: m.col_idx)
+        val = ws.const("val", lambda: m.val)
+        xb = _contig_vec(ws, "nb_x", x, m.dtype)
+        yb, fin = _out_vec(ws, "nb_y", y)
+        _nb_cmrs_spmv_impl(
+            m.nrows, m.nstrips, m.strip_height, sptr, ris, col, val, xb, yb
+        )
+        if fin is not None:
+            y[:] = fin
+
+    def _nb_argcsr_spmv(m: ARGCSRMatrix, ws, x, y, permuted=False):
+        if m.nrows == 0:
+            return
+        if m.total_slots == 0:
+            y.fill(0.0)
+            return
+        gptr = ws.const("group_ptr", lambda: m.group_ptr)
+        gw = ws.const("group_width", lambda: m.group_width)
+        rptr = ws.const("group_rows_ptr", lambda: m.group_rows_ptr)
+        rids = ws.const("argcsr_rows", lambda: m.row_ids)
+        col = ws.const("col_idx", lambda: m.col_idx)
+        val = ws.const("val", lambda: m.val)
+        xb = _contig_vec(ws, "nb_x", x, m.dtype)
+        yb, fin = _out_vec(ws, "nb_y", y)
+        _nb_argcsr_spmv_impl(
+            m.nrows, m.ngroups, gptr, gw, rptr, rids, col, val, xb, yb
+        )
+        if fin is not None:
+            y[:] = fin
 
     def _nb_csr_spmm(m: CSRMatrix, X, out, ws):
         if m.nnz == 0 or not (X.flags.c_contiguous and out.flags.c_contiguous):
@@ -677,6 +865,18 @@ def _register_all() -> None:
         register_kernel(SELLMatrix, "spmm", name="spmm_sell_cc", tags=tags)(
             _spmm_with_fallback(_cc_sell_spmm, "spmm_sell")
         )
+        register_kernel(CMRSMatrix, "spmv", name="cmrs_cc", tags=tags)(
+            _cc_cmrs_spmv
+        )
+        register_kernel(ARGCSRMatrix, "spmv", name="argcsr_cc", tags=tags)(
+            _cc_argcsr_spmv
+        )
+        register_kernel(CMRSMatrix, "spmm", name="spmm_cmrs_cc", tags=tags)(
+            _spmm_with_fallback(_cc_plaincsr_spmm, "spmm_cmrs")
+        )
+        register_kernel(ARGCSRMatrix, "spmm", name="spmm_argcsr_cc", tags=tags)(
+            _spmm_with_fallback(_cc_plaincsr_spmm, "spmm_argcsr")
+        )
     if _NUMBA_VERSION is not None:  # pragma: no cover - needs numba
         tags = (COMPILED_TAG, NUMBA_TAG)
         register_kernel(CSRMatrix, "spmv", name="csr_numba", tags=tags)(
@@ -694,6 +894,12 @@ def _register_all() -> None:
         )
         register_kernel(CSRMatrix, "spmm", name="spmm_csr_numba", tags=tags)(
             _spmm_with_fallback(_nb_csr_spmm, "spmm_csr")
+        )
+        register_kernel(CMRSMatrix, "spmv", name="cmrs_numba", tags=tags)(
+            _nb_cmrs_spmv
+        )
+        register_kernel(ARGCSRMatrix, "spmv", name="argcsr_numba", tags=tags)(
+            _nb_argcsr_spmv
         )
 
 

@@ -30,7 +30,9 @@ import numpy as np
 
 from repro.core.jds import JaggedDiagonalsBase
 from repro.core.sell import SELLMatrix
+from repro.formats.argcsr import ARGCSRMatrix
 from repro.formats.base import SparseMatrixFormat
+from repro.formats.cmrs import CMRSMatrix
 from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
 from repro.formats.ellpack import ELLPACKMatrix
@@ -271,6 +273,43 @@ def _spmm_sell(m: SELLMatrix, X, out, ws):
         acc[c * C : (c + 1) * C] += gv.reshape(w, C, k).sum(axis=0)
     out[m.permutation.perm] = acc[: m.nrows]
     return out
+
+
+def _spmm_csrview(m, X, out, ws, *, name: str):
+    """Batched sweep over a format's stored-CSR view (original order).
+
+    Compiled scipy path when available; otherwise one ``(nnz, k)``
+    gather reduced per row run via 2-D ``reduceat`` — the COO batched
+    kernel on the triplet view.
+    """
+    if m.nnz == 0:
+        out[:] = 0.0
+        return out
+    if _try_spmm_scipy(m, X, out):
+        return out
+    indptr, indices, data = stored_csr_triplet(m)
+    k = X.shape[1]
+    prod = _block(ws, f"{name}_prod", (data.shape[0], k), m.dtype)
+    np.take(X, indices, axis=0, out=prod, mode="clip")
+    prod *= data[:, None]
+    lens = np.diff(indptr)
+    ne = np.flatnonzero(lens > 0)
+    starts = np.ascontiguousarray(indptr[:-1][ne])
+    out[:] = 0.0
+    out[ne] = np.add.reduceat(prod, starts, axis=0)
+    return out
+
+
+@register_kernel(CMRSMatrix, "spmm", name="spmm_cmrs", tags=("numpy",))
+def _spmm_cmrs(m: CMRSMatrix, X, out, ws):
+    """CMRS entries are row-major already: sweep the CSR relabelling."""
+    return _spmm_csrview(m, X, out, ws, name="spmm_cmrs")
+
+
+@register_kernel(ARGCSRMatrix, "spmm", name="spmm_argcsr", tags=("numpy",))
+def _spmm_argcsr(m: ARGCSRMatrix, X, out, ws):
+    """Sweep the unpadded original-order CSR view of the groups."""
+    return _spmm_csrview(m, X, out, ws, name="spmm_argcsr")
 
 
 # ---------------------------------------------------------------------------

@@ -27,6 +27,12 @@ JDS/pJDS  ``jds_grouped`` (cache-blocked grouped einsum),
 SELL      ``sell_fused`` (width-grouped chunk rectangles),
           ``sell_chunks`` (per-chunk loop),
           ``sell_scipy`` (padded-rows CSR view, compiled sweep)
+CMRS      ``cmrs_reduceat`` (row-run segment sums),
+          ``cmrs_bincount`` (scatter via bincount),
+          ``cmrs_scipy`` (strip stream is row-major CSR, compiled)
+ARG-CSR   ``argcsr_groups`` (cache-blocked per-group einsum),
+          ``argcsr_sweep`` (per-group column sweep incl. padding),
+          ``argcsr_scipy`` (unpadded CSR view, compiled sweep)
 ========  =====================================================
 
 The ``*_scipy`` delegates only register when :mod:`scipy` is
@@ -50,7 +56,9 @@ from typing import TYPE_CHECKING
 
 from repro.core.jds import JaggedDiagonalsBase
 from repro.core.sell import SELLMatrix
+from repro.formats.argcsr import ARGCSRMatrix
 from repro.formats.base import SparseMatrixFormat
+from repro.formats.cmrs import CMRSMatrix
 from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
 from repro.formats.ellpack import ELLPACKMatrix
@@ -468,6 +476,134 @@ def _sell_chunks(m: SELLMatrix, ws: Workspace, x, y, permuted=False):
 
 
 # ---------------------------------------------------------------------------
+# CMRS (strip-based compressed multi-row storage)
+# ---------------------------------------------------------------------------
+
+@register_kernel(CMRSMatrix, "spmv", name="cmrs_reduceat", tags=("numpy",))
+def _cmrs_reduceat(m: CMRSMatrix, ws: Workspace, x, y, permuted=False):
+    """Row-run segment sums over the flat strip stream.
+
+    CMRS keeps the entries in CRS order, so the per-row reduction is
+    the same ``reduceat`` over row runs COO uses — the strip structure
+    only changes how the row index is *stored*, not where entries live.
+    """
+    if m.nnz == 0:
+        y.fill(0.0)
+        return
+    val = ws.const("val", lambda: m.val)
+    col = ws.const("col_idx", lambda: m.col_idx)
+    starts, urows = ws.const("cmrs_runs", lambda: m._row_runs())  # noqa: SLF001
+    g = _take_mul(x, col, val, ws.buf("cmrs_g", m.nnz, m.dtype))
+    r = ws.buf("cmrs_r", starts.shape[0], m.dtype)
+    np.add.reduceat(g, starts, out=r)
+    y.fill(0.0)
+    y[urows] = r
+
+
+@register_kernel(CMRSMatrix, "spmv", name="cmrs_bincount", tags=("numpy",))
+def _cmrs_bincount(m: CMRSMatrix, ws: Workspace, x, y, permuted=False):
+    """Scatter-add via ``bincount`` over the reconstructed entry rows.
+
+    Accumulates each row ascending through its entries from a zero
+    start — the same order the compiled per-strip scalar loop uses, so
+    at float64 this is its bitwise reference.
+    """
+    if m.nnz == 0:
+        y.fill(0.0)
+        return
+    val = ws.const("val", lambda: m.val)
+    col = ws.const("col_idx", lambda: m.col_idx)
+    rows = ws.const("cmrs_rows", lambda: m.entry_rows)
+    g = _take_mul(x, col, val, ws.buf("cmrs_g", m.nnz, m.dtype))
+    acc = np.bincount(rows, weights=g, minlength=m.nrows)
+    np.copyto(y, acc, casting="same_kind")
+
+
+# ---------------------------------------------------------------------------
+# ARG-CSR (adaptive row-grouped CSR)
+# ---------------------------------------------------------------------------
+
+@register_kernel(
+    ARGCSRMatrix, "spmv", name="argcsr_groups", tags=("numpy", "blocked")
+)
+def _argcsr_groups(m: ARGCSRMatrix, ws: Workspace, x, y, permuted=False):
+    """Cache-blocked fused dot products, one einsum per group rectangle.
+
+    The format has already done the length grouping CSR's grouped
+    kernel computes on the fly: each group is a dense row-major
+    ``(n_g, width)`` rectangle (padding multiplies ``x[0]`` by 0), so
+    the kernel is a straight blocked gather + ``einsum('il,il->i')``
+    scattered to the group's original rows.
+    """
+    y.fill(0.0)
+    if m.total_slots == 0:
+        return
+    val = ws.const("val", lambda: m.val)
+    col = ws.const("col_idx", lambda: m.col_idx)
+    rids = ws.const("argcsr_rows", lambda: m.row_ids)
+    gptr, widths, rptr = m.group_ptr, m.group_width, m.group_rows_ptr
+    wmax = int(widths.max())
+    G = ws.buf(
+        "argcsr_G", min(m.total_slots, max(_SPMV_BLOCK, wmax)), m.dtype
+    )
+    r = ws.buf("argcsr_r", rids.shape[0], m.dtype)
+    for g in range(m.ngroups):
+        lo, L = int(gptr[g]), int(widths[g])
+        r0, r1 = int(rptr[g]), int(rptr[g + 1])
+        nL = r1 - r0
+        step = max(1, _SPMV_BLOCK // L)
+        for c0 in range(0, nL, step):
+            c1 = min(c0 + step, nL)
+            cnt = (c1 - c0) * L
+            sl = slice(lo + c0 * L, lo + c1 * L)
+            gv = G[:cnt]
+            np.take(x, col[sl], out=gv, mode="clip")
+            np.einsum(
+                "il,il->i",
+                gv.reshape(c1 - c0, L),
+                val[sl].reshape(c1 - c0, L),
+                out=r[: c1 - c0],
+            )
+            y[rids[r0 + c0 : r0 + c1]] = r[: c1 - c0]
+
+
+@register_kernel(ARGCSRMatrix, "spmv", name="argcsr_sweep", tags=("numpy",))
+def _argcsr_sweep(m: ARGCSRMatrix, ws: Workspace, x, y, permuted=False):
+    """Per-group column sweep over the padded rectangles.
+
+    Each group's accumulator adds one rectangle column per step,
+    ascending ``j`` from a zero start and *including* the padding
+    slots (``0 * x[0]``) — exactly the compiled per-row loop's
+    order, so this is its bitwise reference.
+    """
+    y.fill(0.0)
+    if m.total_slots == 0:
+        return
+    val = ws.const("val", lambda: m.val)
+    col = ws.const("col_idx", lambda: m.col_idx)
+    rids = ws.const("argcsr_rows", lambda: m.row_ids)
+    gptr, widths, rptr = m.group_ptr, m.group_width, m.group_rows_ptr
+    nmax = int(np.diff(rptr).max())
+    acc = ws.buf("argcsr_acc", nmax, m.dtype)
+    g = ws.buf("argcsr_gv", nmax, m.dtype)
+    for gi in range(m.ngroups):
+        lo, hi = int(gptr[gi]), int(gptr[gi + 1])
+        L = int(widths[gi])
+        r0, r1 = int(rptr[gi]), int(rptr[gi + 1])
+        nL = r1 - r0
+        cols2 = col[lo:hi].reshape(nL, L)
+        vals2 = val[lo:hi].reshape(nL, L)
+        a = acc[:nL]
+        a.fill(0.0)
+        gv = g[:nL]
+        for j in range(L):
+            np.take(x, cols2[:, j], out=gv, mode="clip")
+            np.multiply(gv, vals2[:, j], out=gv)
+            a += gv
+        y[rids[r0:r1]] = a
+
+
+# ---------------------------------------------------------------------------
 # compiled csr_matvec delegates (optional; only registered when scipy's
 # private sparsetools module is importable)
 # ---------------------------------------------------------------------------
@@ -546,6 +682,46 @@ def _sell_stored_csr(m: SELLMatrix):
     return indptr.astype(it), indices, data
 
 
+def _cmrs_csr(m: CMRSMatrix):
+    """CSR triplet of a CMRS matrix — a relabelling, not a copy.
+
+    The CMRS entry stream *is* row-major CSR order; only the row
+    pointer needs recovering from the strip structure (cached on the
+    matrix).  Values alias the matrix array.
+    """
+    it = _sp_index_dtype(max(m.nnz, m.ncols))
+    return (
+        np.asarray(m.row_ptr).astype(it, copy=False),
+        np.asarray(m.col_idx).astype(it, copy=False),
+        m.val,
+    )
+
+
+def _argcsr_true_csr(m: ARGCSRMatrix):
+    """CSR triplet of the unpadded entries of the group rectangles.
+
+    Original row order; the per-group padding tails are dropped, so
+    the compiled sweep touches only true non-zeros.
+    """
+    lens = np.asarray(m.row_lengths(), dtype=np.int64)
+    nnz = int(lens.sum())
+    it = _sp_index_dtype(max(nnz, m.ncols))
+    indptr = np.zeros(m.nrows + 1, dtype=np.int64)
+    np.cumsum(lens, out=indptr[1:])
+    indices = np.empty(nnz, dtype=it)
+    data = np.empty(nnz, dtype=m.dtype)
+    for g in range(m.ngroups):
+        vals, cols, rows = m.group_rect(g)
+        w = vals.shape[1]
+        tl = lens[rows]
+        j = np.arange(w, dtype=np.int64)[None, :]
+        keep = j < tl[:, None]
+        dst = (indptr[rows][:, None] + j)[keep]
+        indices[dst] = cols[keep].astype(it)
+        data[dst] = vals[keep]
+    return indptr.astype(it), indices, data
+
+
 #: per-matrix cache of stored-order CSR triplets, shared by the spmv
 #: kernels and the batched SpMM delegates (weak keys: the triplet dies
 #: with its matrix)
@@ -577,6 +753,10 @@ def stored_csr_triplet(m: SparseMatrixFormat, permuted: bool = False):
             per_m[key] = _sell_stored_csr(m)
         elif isinstance(m, ELLPACKMatrix):
             per_m[key] = _ell_true_csr(m)
+        elif isinstance(m, CMRSMatrix):
+            per_m[key] = _cmrs_csr(m)
+        elif isinstance(m, ARGCSRMatrix):
+            per_m[key] = _argcsr_true_csr(m)
         else:
             raise TypeError(f"no stored-CSR view for {type(m).__name__}")
     return per_m[key]
@@ -605,6 +785,18 @@ def _ell_scipy(m: ELLPACKMatrix, ws: Workspace, x, y, permuted=False):
     if m.width == 0:
         y.fill(0.0)
         return
+    indptr, indices, data = stored_csr_triplet(m)
+    _sp_matvec(m.nrows, m.ncols, indptr, indices, data, x, y)
+
+
+def _cmrs_scipy(m: CMRSMatrix, ws: Workspace, x, y, permuted=False):
+    """Strip stream relabelled as CSR, swept by the C kernel."""
+    indptr, indices, data = stored_csr_triplet(m)
+    _sp_matvec(m.nrows, m.ncols, indptr, indices, data, x, y)
+
+
+def _argcsr_scipy(m: ARGCSRMatrix, ws: Workspace, x, y, permuted=False):
+    """Unpadded original-order CSR view of the groups, compiled sweep."""
     indptr, indices, data = stored_csr_triplet(m)
     _sp_matvec(m.nrows, m.ncols, indptr, indices, data, x, y)
 
@@ -638,3 +830,9 @@ if _HAVE_CSR_MATVEC:
     register_kernel(
         SELLMatrix, "spmv", name="sell_scipy", tags=_sp_tags, first=True
     )(_sell_scipy)
+    register_kernel(
+        CMRSMatrix, "spmv", name="cmrs_scipy", tags=_sp_tags, first=True
+    )(_cmrs_scipy)
+    register_kernel(
+        ARGCSRMatrix, "spmv", name="argcsr_scipy", tags=_sp_tags, first=True
+    )(_argcsr_scipy)

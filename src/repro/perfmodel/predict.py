@@ -16,6 +16,15 @@ Per-variant traffic model (double precision, per spmv call)::
           + nrows * 2 * v                LHS read-modify-write (Eq. 1's
                                          16/Nnzr per flop, un-amortised)
           + S * extra                    variant-specific spill traffic
+          + aux                          format metadata streams
+
+``aux`` is the format's declared per-spmv metadata traffic
+(``spmv_aux_traffic_bytes`` attribute, 0 when absent): CMRS reads a
+strip pointer plus a one-byte row counter per entry, ARG-CSR its group
+descriptors and per-row id/length streams — the terms that feed the
+``B = 6 + 4*alpha + 8/Nnzr`` code balance beyond value+index traffic.
+The unpadded scipy delegates sweep a plain CSR view instead of the
+native layout, so ``aux`` does not apply to them.
 
 where ``S`` is the number of *stored slots the variant actually
 sweeps* (nnz for CSR and the unpadded scipy delegates, the padded
@@ -181,7 +190,14 @@ def predict_spmv(
         i = 4 if ("scipy" in spec.tags and matrix.nnz < 2**31) else 8
         base = slots * (v + i + alpha * v) + nrows * 2 * v
         extra = slots * _extra_bytes_per_slot(tier, v)
-        total = int(base + extra)
+        # format metadata streams (strip counters, group descriptors);
+        # the scipy delegates sweep an unpadded CSR view instead
+        aux = (
+            0
+            if "scipy" in spec.tags
+            else int(getattr(matrix, "spmv_aux_traffic_bytes", 0))
+        )
+        total = int(base + extra + aux)
         eff = bw * TIER_EFFICIENCY[tier]
         secs = total / (eff * 1e9)
         preds.append(

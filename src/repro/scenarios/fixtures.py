@@ -32,9 +32,27 @@ __all__ = [
 ]
 
 #: every registered format that implements spmv (COO included)
-ALL_FORMATS = ("COO", "CRS", "ELLPACK", "ELLPACK-R", "JDS", "pJDS", "SELL-C-sigma")
+ALL_FORMATS = (
+    "COO",
+    "CRS",
+    "ELLPACK",
+    "ELLPACK-R",
+    "JDS",
+    "pJDS",
+    "SELL-C-sigma",
+    "CMRS",
+    "ARG-CSR",
+)
 #: formats with a GPU kernel trace
-GPU_FORMATS = ("ELLPACK", "ELLPACK-R", "JDS", "pJDS", "SELL-C-sigma")
+GPU_FORMATS = (
+    "ELLPACK",
+    "ELLPACK-R",
+    "JDS",
+    "pJDS",
+    "SELL-C-sigma",
+    "CMRS",
+    "ARG-CSR",
+)
 #: formats that permute rows
 PERMUTING_FORMATS = ("JDS", "pJDS", "SELL-C-sigma")
 #: formats whose construction requires nrows == ncols

@@ -234,9 +234,10 @@ def _fleet_spec():
 
 
 #: the engine-bound formats the bench suite (and the bench scripts,
-#: which import this) probe — the paper's CRS/pJDS pair plus the two
-#: intermediate column-sweep formats
-BENCH_FORMATS = ("CRS", "pJDS", "ELLPACK-R", "SELL-C-sigma")
+#: which import this) probe — the paper's CRS/pJDS pair, the two
+#: intermediate column-sweep formats, and the two related-work
+#: challengers (Koza's CMRS, Heller-Oberhuber's ARG-CSR)
+BENCH_FORMATS = ("CRS", "pJDS", "ELLPACK-R", "SELL-C-sigma", "CMRS", "ARG-CSR")
 
 
 def _bench_spec():

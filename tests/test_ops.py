@@ -73,7 +73,12 @@ class TestFormatRegistry:
         class Impostor:
             name = "CRS"
 
-        with pytest.raises(ValueError, match="already registered"):
+        # the error must name the existing registrant so the collision
+        # is debuggable from the message alone (satellite fix)
+        with pytest.raises(
+            ValueError,
+            match="already registered by repro.formats.csr.CSRMatrix",
+        ):
             register_format(Impostor)
         # the real class is untouched
         assert FORMATS["CRS"] is CSRMatrix
@@ -322,6 +327,8 @@ _BITWISE_PAIRS = {
     "ELLPACK-R": ("ell_cc", "ell_numba", "ell_sweep"),
     "pJDS": ("jds_cc", "jds_numba", "jds_sweep"),
     "SELL-C-sigma": ("sell_cc", "sell_numba", "sell_chunks"),
+    "CMRS": ("cmrs_cc", "cmrs_numba", "cmrs_bincount"),
+    "ARG-CSR": ("argcsr_cc", "argcsr_numba", "argcsr_sweep"),
 }
 
 _SPMM_PAIRS = {
@@ -329,6 +336,8 @@ _SPMM_PAIRS = {
     "ELLPACK-R": ("spmm_ell_cc", None),
     "pJDS": ("spmm_jds_cc", None),
     "SELL-C-sigma": ("spmm_sell_cc", None),
+    "CMRS": ("spmm_cmrs_cc", "spmm_cmrs"),
+    "ARG-CSR": ("spmm_argcsr_cc", "spmm_argcsr"),
 }
 
 
@@ -485,6 +494,48 @@ class TestCompiledTier:
         out = np.zeros((m.nrows, 4), dtype=m.dtype)
         got = spec.run(m, X, out, Workspace())
         np.testing.assert_allclose(got, A @ X, rtol=1e-12, atol=1e-12)
+
+    def test_new_format_rosters_fall_back_when_disabled(self):
+        """With ``REPRO_COMPILED_DISABLE=all`` the CMRS / ARG-CSR
+        rosters must hold no compiled variants and the remaining
+        vectorised kernels must still match the dense oracle."""
+        import json
+        import os
+        import subprocess
+        import sys
+
+        code = (
+            "import json\n"
+            "import numpy as np\n"
+            "from repro.engine import bind\n"
+            "from repro.formats import convert, COOMatrix\n"
+            "from repro.ops import variant_names_for\n"
+            "rng = np.random.default_rng(5)\n"
+            "d = (rng.random((40, 33)) < 0.2) * rng.standard_normal((40, 33))\n"
+            "coo = COOMatrix.from_dense(d)\n"
+            "out = {}\n"
+            "for fmt in ('CMRS', 'ARG-CSR'):\n"
+            "    m = convert(coo, fmt)\n"
+            "    x = rng.standard_normal(m.ncols)\n"
+            "    y = bind(m, tune=False).spmv(x)\n"
+            "    out[fmt] = {'roster': variant_names_for(m),\n"
+            "                'ok': bool(np.allclose(y, d @ x, atol=1e-9))}\n"
+            "print(json.dumps(out))\n"
+        )
+        env = dict(os.environ, REPRO_COMPILED_DISABLE="all")
+        env["PYTHONPATH"] = os.path.join(_REPO_ROOT, "src")
+        proc = subprocess.run(
+            [sys.executable, "-c", code], env=env, cwd=_REPO_ROOT,
+            capture_output=True, text=True, check=True,
+        )
+        got = json.loads(proc.stdout)
+        for fmt in ("CMRS", "ARG-CSR"):
+            roster = got[fmt]["roster"]
+            assert roster, fmt
+            assert not any(
+                n.endswith("_cc") or n.endswith("_numba") for n in roster
+            ), roster
+            assert got[fmt]["ok"], fmt
 
     def test_compiled_variants_carry_tier_tags(self):
         rows = registry_rows()

@@ -190,6 +190,88 @@ class TestVerifierProperty:
         verify_format(convert(coo, "ELLR-T", threads_per_row=t))
 
 
+@st.composite
+def dense_arrays(draw, max_n: int = 10):
+    """Dense float64 arrays biased toward the format edge cases:
+    empty rows, fully dense rows, 0x0 and single-column shapes."""
+    n = draw(st.integers(0, max_n))
+    m = draw(st.sampled_from([0, 1, draw(st.integers(1, max_n))]))
+    if n == 0 or m == 0:
+        # the shape contract only admits the fully degenerate matrix
+        return np.zeros((0, 0))
+    seed = draw(st.integers(0, 2**16))
+    density = draw(st.floats(0.0, 1.0))
+    rng = np.random.default_rng(seed)
+    d = np.where(
+        rng.random((n, m)) < density, rng.standard_normal((n, m)), 0.0
+    )
+    kind = draw(st.sampled_from(["as-is", "empty-rows", "dense-row"]))
+    if kind == "empty-rows" and n > 1:
+        d[:: draw(st.integers(2, 3))] = 0.0
+    elif kind == "dense-row":
+        r = draw(st.integers(0, n - 1))
+        d[r] = rng.standard_normal(m)
+        d[r][d[r] == 0] = 1.0  # keep the row genuinely dense
+    return d
+
+
+class TestDenseRoundTripNewFormats:
+    """Satellite: ``dense -> {CMRS, ARG-CSR} -> dense`` is *bitwise*
+    exact (``from_dense`` drops explicit zeros; every surviving value
+    must come back with identical float bits), and converting through
+    any other registered format commutes with ``to_dense``."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(d=dense_arrays(), hs=st.integers(1, 9))
+    def test_cmrs_dense_roundtrip_bitwise(self, d, hs):
+        from repro.formats import CMRSMatrix
+
+        m = CMRSMatrix.from_dense(d, strip_height=hs)
+        back = m.to_dense()
+        assert np.array_equal(back, d)
+        mask = d != 0
+        assert back[mask].tobytes() == d[mask].tobytes()
+
+    @settings(max_examples=60, deadline=None)
+    @given(d=dense_arrays())
+    def test_argcsr_dense_roundtrip_bitwise(self, d):
+        from repro.formats import ARGCSRMatrix
+
+        m = ARGCSRMatrix.from_dense(d)
+        back = m.to_dense()
+        assert np.array_equal(back, d)
+        mask = d != 0
+        assert back[mask].tobytes() == d[mask].tobytes()
+
+    @pytest.mark.parametrize("fmt", ["CMRS", "ARG-CSR"])
+    def test_edge_shapes(self, fmt):
+        from repro.formats import ARGCSRMatrix, CMRSMatrix
+
+        cls = {"CMRS": CMRSMatrix, "ARG-CSR": ARGCSRMatrix}[fmt]
+        cases = [
+            np.zeros((0, 0)),  # degenerate
+            np.zeros((7, 4)),  # every row empty
+            np.ones((5, 1)),  # single column, fully dense
+            np.arange(1.0, 37.0).reshape(6, 6),  # fully dense rows
+        ]
+        for d in cases:
+            m = cls.from_dense(d)
+            assert np.array_equal(m.to_dense(), d)
+            assert m.nnz == int(np.count_nonzero(d))
+
+    @settings(max_examples=40, deadline=None)
+    @given(coo=coo_matrices(max_n=14), src=st.sampled_from(ALL_FORMATS))
+    @pytest.mark.parametrize("dst", ["CMRS", "ARG-CSR"])
+    def test_cross_format_conversion_commutes(self, coo, src, dst):
+        """to_dense after src -> dst conversion == to_dense after src
+        alone (values travel, never recomputed: bitwise equal)."""
+        m_src = convert(coo, src)
+        m_dst = convert(m_src, dst)
+        a, b = m_src.to_dense(), m_dst.to_dense()
+        assert np.array_equal(a, b)
+        assert a.tobytes() == b.tobytes()
+
+
 class TestDuplicateSemantics:
     @settings(max_examples=40, deadline=None)
     @given(

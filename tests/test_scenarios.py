@@ -164,6 +164,28 @@ class TestSuites:
         """The old hand-rolled parity matrix parametrised 21 cases."""
         assert len(expand_suite("parity", wave="full")) >= 21
 
+    def test_migration_parity_floor_with_new_formats(self):
+        """The CMRS / ARG-CSR registrations grew the parity matrix to
+        11 formats x 5 matrix classes x 3 kernel tiers = 165 cells;
+        the floor pins it so a format can never silently fall out."""
+        assert len(expand_suite("parity", wave="full")) >= 165
+
+    def test_parity_covers_new_formats_across_all_tiers(self):
+        """Satellite audit: every (new format, kernel tier) pair gets a
+        parity cell for every matrix class the suite expands."""
+        cells = expand_suite("parity", wave="full")
+        seen = {}
+        classes = set()
+        for c in cells:
+            axes = c.axes_dict
+            classes.add(axes["matrix-class"])
+            seen.setdefault(
+                (axes["format"], axes["kernel-tier"]), set()
+            ).add(axes["matrix-class"])
+        for fmt in ("CMRS", "ARG-CSR"):
+            for tier in ("numpy", "scipy", "compiled"):
+                assert seen.get((fmt, tier)) == classes, (fmt, tier)
+
     def test_migration_chaos_covers_old_grid(self):
         """The old chaos grids parametrised 14 fault drills."""
         assert len(expand_suite("chaos", wave="full")) >= 14
